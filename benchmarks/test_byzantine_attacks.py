@@ -1,0 +1,40 @@
+"""§4.3 "Byzantine gradients" — defence x attack grid.
+
+Paper claims exercised: plain averaging is destroyed by any crafted-gradient
+attack, the robust GARs keep training on track, and the analytic lower bound
+on the attacker's cost (Omega(nd/epsilon) operations per step) is prohibitive
+at paper scale.
+"""
+
+from repro.experiments import byzantine_attacks
+
+from benchmarks.conftest import run_once
+
+
+def test_byzantine_gradient_attacks(benchmark, profile):
+    results = run_once(benchmark, byzantine_attacks.run_attack_grid, profile)
+    print("\n" + byzantine_attacks.format_results(results))
+
+    cells = {(c["defence"], c["attack"]): c for c in results["cells"]}
+    attacks = sorted({attack for _, attack in cells})
+
+    for attack in attacks:
+        averaging = cells[("average", attack)]
+        multi_krum = cells[("multi-krum", attack)]
+        bulyan = cells[("bulyan", attack)]
+        # Averaging collapses under the destructive attacks (little-is-enough
+        # is designed to evade *robust* rules while staying within the honest
+        # variance, so it barely moves plain averaging on an easy task)...
+        if attack != "little-is-enough":
+            assert averaging["diverged"] or averaging["accuracy_drop"] > 0.15, attack
+        # ...while the robust rules stay close to their clean accuracy.
+        assert not multi_krum["diverged"], attack
+        assert multi_krum["final_accuracy"] > multi_krum["clean_accuracy"] - 0.1, attack
+        assert not bulyan["diverged"], attack
+        assert bulyan["final_accuracy"] > bulyan["clean_accuracy"] - 0.1, attack
+
+    # The §4.3 attack-cost bound: ~1e20 operations per step at paper scale
+    # (100 workers, d = 1e9, epsilon = 1e-9).
+    from repro.core import theory
+
+    assert theory.attack_cost_regression(100, 10**9, 1e-9) >= 1e19

@@ -1,0 +1,49 @@
+"""§4.2 cost analysis — O(n^2 d) aggregation complexity and analytic slowdowns.
+
+Measures the wall-clock of the actual GAR implementations across a grid of
+(n, d) and checks the scaling exponents, plus the analytic convergence
+slowdowns Omega(sqrt(m_tilde/n)) for the paper's deployment.
+"""
+
+from repro.core import theory
+from repro.experiments import cost_analysis
+
+from benchmarks.conftest import run_once
+
+
+def test_cost_analysis_scaling(benchmark):
+    results = run_once(
+        benchmark, cost_analysis.run_cost_analysis,
+        f=2, dims=(4_000, 32_000, 256_000), worker_counts=(11, 15, 19), repeats=3,
+    )
+    print("\n" + cost_analysis.format_results(results))
+
+    # Aggregation time is linear in d for fixed n (the d factor of O(n^2 d)).
+    for gar in ("multi-krum", "bulyan"):
+        slope = cost_analysis.scaling_exponent(results, gar, "d")
+        assert 0.7 < slope < 1.5, (gar, slope)
+
+    # Robust rules cost more than averaging at the same (n, d).
+    by_key = {(r["gar"], r["n"], r["d"]): r["seconds"] for r in results["measurements"]}
+    n, d = 15, 4_000
+    assert by_key[("average", n, d)] < by_key[("multi-krum", n, d)]
+
+    # Analytic slowdowns for the paper deployment (n=19, f=4).
+    assert results["analytic_slowdowns"]["weak (Multi-Krum)"] == theory.slowdown_ratio(19, 4)
+    assert results["analytic_slowdowns"]["strong (AggregaThor)"] < results[
+        "analytic_slowdowns"]["weak (Multi-Krum)"]
+
+
+def test_aggregation_flops_model_matches_big_o(benchmark):
+    """The analytic flop model used by the simulator follows the paper's O(n^2 d)."""
+    def compute():
+        return {
+            "mk_n19": theory.aggregation_flops_multi_krum(19, 1_750_000),
+            "mk_n38": theory.aggregation_flops_multi_krum(38, 1_750_000),
+            "bulyan": theory.aggregation_flops_bulyan(19, 4, 1_750_000),
+            "average": theory.aggregation_flops_average(19, 1_750_000),
+        }
+
+    flops = benchmark(compute)
+    assert flops["mk_n38"] / flops["mk_n19"] == 4.0          # quadratic in n
+    assert flops["average"] < flops["mk_n19"] < flops["bulyan"]

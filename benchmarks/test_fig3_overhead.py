@@ -1,0 +1,36 @@
+"""Figure 3 — overhead of AggregaThor in a non-Byzantine environment.
+
+Reproduces the accuracy-vs-time / vs-updates comparison of TF, Average,
+Median, Multi-Krum, Bulyan and Draco, and the headline overhead numbers
+(paper: Multi-Krum ~19% and Bulyan ~43% slower than TF to reach the reference
+accuracy).  Shape assertions: every system converges, robust rules are slower
+than the baseline, Bulyan is slower than Multi-Krum, and Draco is slowest.
+"""
+
+import numpy as np
+
+from repro.experiments import overhead
+
+from benchmarks.conftest import run_once
+
+
+def test_fig3_overhead_non_byzantine(benchmark, profile):
+    results = run_once(benchmark, overhead.run_overhead, profile,
+                       batch_sizes=[profile.batch_size])
+    print("\n" + overhead.format_results(results))
+
+    summaries = {s["system"]: s for s in results["summaries"]}
+    # Every system reaches a usable model (no divergence without Byzantine workers).
+    for system, summary in summaries.items():
+        assert not summary["diverged"], system
+        assert summary["final_accuracy"] > 0.5, system
+
+    # Overhead ordering: TF ~ Average < Median <= Multi-Krum < Bulyan << Draco.
+    rows = {r["system"]: r for r in overhead.overhead_summary(results)}
+    assert rows["average"]["overhead_vs_tf"] < 0.15
+    assert rows["multi-krum"]["overhead_vs_tf"] > 0.0
+    assert rows["bulyan"]["overhead_vs_tf"] > rows["multi-krum"]["overhead_vs_tf"]
+    assert rows["draco"]["overhead_vs_tf"] > rows["bulyan"]["overhead_vs_tf"]
+
+    # The weak-resilience overhead stays moderate (paper: 19%; same order here).
+    assert rows["multi-krum"]["overhead_vs_tf"] < 1.0

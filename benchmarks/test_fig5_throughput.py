@@ -1,0 +1,75 @@
+"""Figure 5 — throughput versus the number of workers.
+
+Panel (a): with the small CNN, the robust GARs fall behind averaging as the
+cluster grows (aggregation is O(n^2 d)), a larger declared f makes Bulyan
+faster, and Draco is an order of magnitude below everything else.
+Panel (b): with a much larger model, gradient computation dominates and the
+robust rules scale like averaging.
+"""
+
+from repro.experiments import scalability
+
+from benchmarks.conftest import run_once
+
+CURVES_A = (
+    ("tf", None),
+    ("average", None),
+    ("median", None),
+    ("multi-krum", 1),
+    ("multi-krum", 2),
+    ("bulyan", 1),
+    ("bulyan", 2),
+    ("draco", 1),
+    ("draco", 2),
+)
+
+CURVES_B = (
+    ("average", None),
+    ("median", None),
+    ("multi-krum", 1),
+    ("bulyan", 1),
+    ("draco", 1),
+)
+
+
+def test_fig5a_throughput_small_model(benchmark, profile):
+    worker_counts = tuple(range(3, profile.num_workers + 1, 2))
+    results = run_once(
+        benchmark, scalability.run_throughput_sweep, profile,
+        worker_counts=worker_counts, curves=CURVES_A, steps_per_point=5,
+    )
+    print("\n" + scalability.format_results(results))
+
+    n_max = max(p["num_workers"] for p in results["points"])
+    at_max = {(p["system"], p["f"]): p["throughput"] for p in results["points"]
+              if p["num_workers"] == n_max}
+
+    # At the largest cluster size, robust aggregation lags plain averaging.
+    assert at_max[("multi-krum", 1)] < at_max[("average", None)]
+    assert at_max[("bulyan", 1)] < at_max[("multi-krum", 1)]
+    # Larger declared f -> higher throughput for Bulyan (fewer iterations).
+    assert at_max[("bulyan", 2)] > at_max[("bulyan", 1)]
+    # Draco sits far below the TensorFlow-based systems.
+    assert at_max[("draco", 1)] < at_max[("average", None)] / 2
+    # Averaging throughput grows with the cluster size.
+    avg_curve = dict(scalability.throughput_curve(results, "average", None))
+    assert avg_curve[n_max] > avg_curve[min(avg_curve)]
+
+
+def test_fig5b_throughput_large_model(benchmark, profile):
+    worker_counts = (5, 7, 11) if profile.name == "ci" else (6, 10, 14, 18)
+    results = run_once(
+        benchmark, scalability.run_throughput_sweep, profile,
+        worker_counts=worker_counts, curves=CURVES_B, large_model=True, steps_per_point=3,
+    )
+    print("\n" + scalability.format_results(results))
+
+    n_max = max(p["num_workers"] for p in results["points"])
+    at_max = {(p["system"], p["f"]): p["throughput"] for p in results["points"]
+              if p["num_workers"] == n_max}
+    # With an expensive model the robust rules track averaging closely
+    # (the paper's Figure 5b observation): within ~20% of each other.
+    assert at_max[("multi-krum", 1)] > 0.8 * at_max[("average", None)]
+    assert at_max[("bulyan", 1)] > 0.7 * at_max[("average", None)]
+    # Draco remains far slower even with the large model.
+    assert at_max[("draco", 1)] < at_max[("average", None)] / 2

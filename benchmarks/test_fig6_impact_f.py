@@ -1,0 +1,36 @@
+"""Figure 6 — impact of the declared f on convergence (non-Byzantine).
+
+Paper: a larger f slightly slows Multi-Krum (fewer gradients averaged per
+step -> more variance) and slightly speeds Bulyan up (fewer selection
+iterations); the effect shrinks with the mini-batch size; Draco's throughput
+is essentially insensitive to f.  Shape assertions: all systems still reach a
+good model at either f, and Bulyan's simulated step time decreases with f.
+"""
+
+from repro.experiments import impact_f
+
+from benchmarks.conftest import run_once
+
+
+def test_fig6_impact_of_f(benchmark, profile):
+    results = run_once(benchmark, impact_f.run_impact_of_f, profile,
+                       batch_sizes=[profile.batch_size])
+    print("\n" + impact_f.format_results(results))
+
+    summaries = {(s["system"], s["f"]): s for s in results["summaries"]}
+
+    # Everyone converges in the non-Byzantine setting regardless of f.
+    for key, summary in summaries.items():
+        assert not summary["diverged"], key
+        assert summary["final_accuracy"] > 0.5, key
+
+    # Bulyan gets faster (higher throughput) with a larger declared f.
+    bulyan_fs = sorted(f for system, f in summaries if system == "bulyan")
+    if len(bulyan_fs) >= 2:
+        low_f, high_f = bulyan_fs[0], bulyan_fs[-1]
+        assert summaries[("bulyan", high_f)]["throughput"] >= summaries[("bulyan", low_f)]["throughput"]
+
+    # Draco is far slower than the TensorFlow-based systems at every f.
+    for (system, f), summary in summaries.items():
+        if system == "draco":
+            assert summary["throughput"] < summaries[("multi-krum", min(bulyan_fs))]["throughput"]

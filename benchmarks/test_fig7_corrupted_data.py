@@ -1,0 +1,31 @@
+"""Figure 7 — impact of malformed input (one worker on corrupted data).
+
+Paper: with a single corrupted-data worker, vanilla TensorFlow's accuracy
+collapses while AggregaThor (Multi-Krum, f=1) matches the ideal non-Byzantine
+TensorFlow curve.  Shape assertions: the poisoned-averaging run is worse than
+both the ideal and the AggregaThor run, and AggregaThor stays within a small
+margin of the ideal.
+"""
+
+from repro.experiments import corrupted_data
+
+from benchmarks.conftest import run_once
+
+
+def test_fig7_corrupted_data(benchmark, profile):
+    results = run_once(benchmark, corrupted_data.run_corrupted_data, profile)
+    print("\n" + corrupted_data.format_results(results))
+
+    summaries = {s["system"]: s for s in results["summaries"]}
+    ideal = summaries["tf-non-byzantine"]["final_accuracy"]
+    poisoned = summaries["tf"]["final_accuracy"]
+    protected = summaries["aggregathor"]["final_accuracy"]
+
+    # The ideal run trains fine.
+    assert ideal > 0.8
+    # Corrupted data hurts plain averaging...
+    assert summaries["tf"]["diverged"] or poisoned < ideal - 0.03
+    # ...while AggregaThor matches the ideal curve.
+    assert not summaries["aggregathor"]["diverged"]
+    assert protected > ideal - 0.05
+    assert protected > poisoned

@@ -1,0 +1,54 @@
+"""Figure 8 — impact of dropped packets (unreliable gradient transport).
+
+Panel (a), 0% artificial drops: the three §3.3 recovery strategies (drop the
+whole gradient, selective averaging, AggregaThor over garbage fill) all
+converge at essentially the same speed.
+
+Panel (b), 10% drops: AggregaThor over the lossy UDP-like transport converges
+much faster than TF over the TCP-like transport (whose congestion control
+collapses under loss; paper reports >6x to 30% accuracy), while TF over the
+lossy transport (averaging garbage coordinates) degrades or diverges.
+
+This bench also doubles as the §3.3 ablation of the three recovery policies.
+"""
+
+from repro.experiments import dropped_packets
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8a_no_artificial_drops(benchmark, profile):
+    results = run_once(benchmark, dropped_packets.run_dropped_packets_clean, profile)
+    print("\n" + dropped_packets.format_results(results))
+
+    summaries = {s["system"]: s for s in results["summaries"]}
+    for system, summary in summaries.items():
+        assert not summary["diverged"], system
+        assert summary["final_accuracy"] > 0.8, system
+    # All three recovery strategies take essentially the same simulated time.
+    times = [s["total_time"] for s in summaries.values()]
+    assert max(times) < 2.0 * min(times)
+
+
+def test_fig8b_ten_percent_drop_rate(benchmark, profile):
+    results = run_once(benchmark, dropped_packets.run_dropped_packets_lossy, profile,
+                       drop_rate=0.10)
+    print("\n" + dropped_packets.format_results(results))
+
+    summaries = {s["system"]: s for s in results["summaries"]}
+    aggregathor = summaries["aggregathor-udp"]
+    tf_tcp = summaries["tf-grpc"]
+    tf_udp = summaries["tf-lossympi"]
+
+    # AggregaThor over UDP is both correct and faster than TF over TCP.
+    assert not aggregathor["diverged"]
+    assert aggregathor["final_accuracy"] > 0.8
+    assert aggregathor["total_time"] < tf_tcp["total_time"]
+
+    # TF over the lossy transport averages garbage: it degrades or diverges.
+    assert tf_udp["diverged"] or tf_udp["final_accuracy"] < aggregathor["final_accuracy"]
+
+    speed = dropped_packets.speedup_to_accuracy(results, 0.5)
+    print(f"\nspeed-up of AggregaThor/UDP over TF/gRPC to 50% accuracy: "
+          f"{speed['speedup_aggregathor_vs_tf_grpc']:.2f}x (paper: >6x to 30%)")
+    assert speed["speedup_aggregathor_vs_tf_grpc"] > 1.0

@@ -1,0 +1,13 @@
+"""Table 1 — the CNN architecture and its ~1.75M parameter count."""
+
+from repro.experiments import table1
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_cnn_parameters(benchmark):
+    results = run_once(benchmark, table1.run_table1)
+    print("\n" + table1.format_results(results))
+    # The reproduction must match the paper's reported model size (~1.75M).
+    assert results["total_parameters"] == 1_756_426
+    assert abs(results["total_parameters"] - results["paper_reported_parameters"]) < 20_000

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Byzantine training scenarios: corrupted data and gradient attacks.
+
+Reproduces, at laptop scale, the two Byzantine scenarios of the paper's
+evaluation (§4.3 and Figure 7):
+
+* a worker whose *data* is corrupted (mislabelled, malformed input) — the
+  "mild" Byzantine behaviour that already breaks vanilla averaging;
+* adversaries that craft *gradients* (reversed gradient, little-is-enough,
+  NaN injection) — defeated by Multi-Krum / Bulyan, with Bulyan required for
+  the dimension-aware attacks.
+
+Run with::
+
+    python examples/byzantine_training.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import TrainerConfig, build_trainer
+from repro.data import gaussian_blobs
+from repro.experiments.export import format_table
+
+
+def corrupted_data_scenario() -> None:
+    """One worker trains on malformed input (Figure 7)."""
+    print("=" * 72)
+    print("Scenario 1: one worker holds corrupted data (Figure 7)")
+    print("=" * 72)
+    dataset = gaussian_blobs(num_train=800, num_test=200, num_classes=4, dim=16, rng=3)
+    common = dict(
+        model="mlp",
+        model_kwargs={"input_dim": 16, "hidden": (24,), "num_classes": 4},
+        dataset=dataset,
+        num_workers=11,
+        batch_size=64,
+        learning_rate=5e-3,
+        seed=3,
+    )
+    config = TrainerConfig(max_steps=60, eval_every=20)
+
+    rows = []
+    ideal = build_trainer(gar="average", **common).run(config)
+    rows.append(("averaging, clean data (ideal)", ideal.final_accuracy))
+    poisoned = build_trainer(gar="average", corrupted_workers=1, **common).run(config)
+    rows.append(("averaging, 1 corrupted worker", poisoned.final_accuracy))
+    protected = build_trainer(
+        gar="multi-krum", declared_f=1, corrupted_workers=1, **common
+    ).run(config)
+    rows.append(("multi-krum (f=1), 1 corrupted worker", protected.final_accuracy))
+    print(format_table(["deployment", "final accuracy"], rows))
+    print()
+
+
+def gradient_attack_scenario() -> None:
+    """f colluding workers craft malicious gradients (§4.3)."""
+    print("=" * 72)
+    print("Scenario 2: gradient-crafting adversaries (weak vs strong resilience)")
+    print("=" * 72)
+    dataset = gaussian_blobs(num_train=800, num_test=200, num_classes=4, dim=16, rng=5)
+    common = dict(
+        model="mlp",
+        model_kwargs={"input_dim": 16, "hidden": (24,), "num_classes": 4},
+        dataset=dataset,
+        num_workers=11,
+        num_byzantine=2,
+        declared_f=2,
+        batch_size=32,
+        learning_rate=5e-3,
+        seed=5,
+    )
+    config = TrainerConfig(max_steps=60, eval_every=20)
+
+    attacks = [
+        ("reversed-gradient", {"scale": 100.0}),
+        ("little-is-enough", {"z": 1.2}),
+        ("non-finite", {"kind": "nan"}),
+    ]
+    defences = ["average", "multi-krum", "bulyan"]
+
+    rows = []
+    for attack, attack_kwargs in attacks:
+        for defence in defences:
+            history = build_trainer(
+                gar=defence, attack=attack, attack_kwargs=attack_kwargs, **common
+            ).run(config)
+            outcome = "diverged" if history.diverged else f"{history.final_accuracy:.3f}"
+            rows.append((attack, defence, outcome))
+    print(format_table(["attack", "defence", "final accuracy"], rows))
+    print("\n(averaging fails under every attack; the robust rules keep training on track)")
+
+
+def main() -> None:
+    corrupted_data_scenario()
+    gradient_attack_scenario()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Training over an unreliable (UDP-like) network — the Figure 8 scenario.
+
+AggregaThor's observation: once a Byzantine-resilient GAR sits at the top of
+the stack, the bottom of the stack no longer needs reliable delivery.  Lost or
+scrambled gradient coordinates on up to ``f`` links look, to the server, like
+(at most ``f``) Byzantine gradients — which the GAR already tolerates — so the
+deployment can switch those links to a fast lossy transport and skip TCP's
+retransmission and congestion-control penalties.
+
+This example trains the same model over:
+
+* a clean network (everything reliable),
+* a 10%-loss network with vanilla averaging over TCP (slow: congestion
+  control collapses),
+* a 10%-loss network with vanilla averaging over UDP (diverges: garbage
+  coordinates are averaged in),
+* a 10%-loss network with AggregaThor (Multi-Krum) over UDP (fast *and*
+  correct).
+
+Run with::
+
+    python examples/lossy_network.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import TrainerConfig, build_trainer
+from repro.cluster.network import ReliableChannel
+from repro.data import gaussian_blobs
+from repro.experiments.export import format_table
+
+NUM_WORKERS = 11
+LOSSY_LINKS = 4          # the paper uses f = max Multi-Krum tolerance ((n-3)//2)
+DROP_RATE = 0.10
+
+
+def build_common(dataset):
+    return dict(
+        model="mlp",
+        model_kwargs={"input_dim": 16, "hidden": (24,), "num_classes": 4},
+        dataset=dataset,
+        num_workers=NUM_WORKERS,
+        batch_size=32,
+        learning_rate=5e-3,
+        seed=11,
+    )
+
+
+def main() -> None:
+    dataset = gaussian_blobs(num_train=800, num_test=200, num_classes=4, dim=16, rng=11)
+    common = build_common(dataset)
+    config = TrainerConfig(max_steps=60, eval_every=20)
+    rows = []
+
+    # Clean network, vanilla averaging: the reference.
+    clean = build_trainer(gar="average", **common).run(config)
+    rows.append(("clean network, averaging (reference)", f"{clean.final_accuracy:.3f}",
+                 f"{clean.total_time:.3f}"))
+
+    # Lossy network, averaging over TCP: reliable but slow (congestion penalty).
+    tcp_channels = {
+        worker_id: ReliableChannel(drop_rate=DROP_RATE)
+        for worker_id in range(NUM_WORKERS - LOSSY_LINKS, NUM_WORKERS)
+    }
+    tcp = build_trainer(gar="average", uplink_channels=tcp_channels, **common).run(config)
+    rows.append((f"{DROP_RATE:.0%} loss, averaging over TCP", f"{tcp.final_accuracy:.3f}",
+                 f"{tcp.total_time:.3f}"))
+
+    # Lossy network, averaging over UDP with garbage fill: diverges.
+    udp_avg = build_trainer(
+        gar="average",
+        lossy_links=LOSSY_LINKS,
+        lossy_drop_rate=DROP_RATE,
+        lossy_policy="random-fill",
+        **common,
+    ).run(config)
+    outcome = "diverged" if udp_avg.diverged else f"{udp_avg.final_accuracy:.3f}"
+    rows.append((f"{DROP_RATE:.0%} loss, averaging over UDP", outcome, f"{udp_avg.total_time:.3f}"))
+
+    # Lossy network, AggregaThor over UDP: fast and correct.
+    aggregathor = build_trainer(
+        gar="multi-krum",
+        declared_f=LOSSY_LINKS,
+        lossy_links=LOSSY_LINKS,
+        lossy_drop_rate=DROP_RATE,
+        lossy_policy="random-fill",
+        **common,
+    ).run(config)
+    rows.append((f"{DROP_RATE:.0%} loss, AggregaThor (Multi-Krum) over UDP",
+                 f"{aggregathor.final_accuracy:.3f}", f"{aggregathor.total_time:.3f}"))
+
+    print(format_table(
+        ["deployment", "final accuracy", "simulated time (s)"],
+        rows,
+        title="Figure 8 scenario — unreliable gradient transport",
+    ))
+    if tcp.total_time > 0 and aggregathor.total_time > 0:
+        print(f"\nAggregaThor/UDP finishes {tcp.total_time / aggregathor.total_time:.1f}x faster "
+              f"than averaging/TCP under {DROP_RATE:.0%} loss (paper reports >6x to 30% accuracy).")
+
+
+if __name__ == "__main__":
+    main()

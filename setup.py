@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+The declarative configuration lives in ``pyproject.toml``; this file exists so
+that editable installs work on environments whose setuptools predates full
+PEP 660 support (no ``wheel`` package available offline).
+"""
+from setuptools import setup
+
+setup()

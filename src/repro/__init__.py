@@ -1,0 +1,64 @@
+"""repro — a pure-Python reproduction of AGGREGATHOR (MLSys 2019).
+
+Byzantine-resilient distributed stochastic gradient descent via robust
+gradient aggregation (Multi-Krum for weak resilience, Bulyan for strong
+resilience), built on:
+
+* :mod:`repro.core` — the gradient aggregation rules and their theory;
+* :mod:`repro.nn`, :mod:`repro.optim`, :mod:`repro.data` — a NumPy
+  deep-learning substrate (models, optimizers, synthetic datasets);
+* :mod:`repro.cluster` — a simulated synchronous parameter-server cluster
+  with reliable and lossy (UDP-like) transports;
+* :mod:`repro.attacks` — Byzantine worker behaviours;
+* :mod:`repro.baselines` — the Draco redundant-gradient baseline;
+* :mod:`repro.experiments` — drivers reproducing every figure and table of
+  the paper's evaluation.
+
+Quickstart::
+
+    from repro import make_gar
+    import numpy as np
+
+    gar = make_gar("multi-krum", f=1)
+    gradients = [np.random.randn(10) for _ in range(6)]
+    aggregated = gar.aggregate(gradients)
+"""
+
+from repro.core import (
+    Average,
+    Bulyan,
+    CoordinateWiseMedian,
+    GradientAggregationRule,
+    Krum,
+    MultiKrum,
+    SelectiveAverage,
+    TrimmedMean,
+    available_gars,
+    make_gar,
+)
+from repro.exceptions import (
+    AggregationError,
+    ConfigurationError,
+    ReproError,
+    ResilienceConditionError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Average",
+    "SelectiveAverage",
+    "CoordinateWiseMedian",
+    "TrimmedMean",
+    "Krum",
+    "MultiKrum",
+    "Bulyan",
+    "GradientAggregationRule",
+    "available_gars",
+    "make_gar",
+    "ReproError",
+    "ConfigurationError",
+    "ResilienceConditionError",
+    "AggregationError",
+]

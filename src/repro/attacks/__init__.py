@@ -1,0 +1,39 @@
+"""Byzantine worker behaviours (attacks).
+
+An attack crafts the gradients submitted by the ``f`` colluding Byzantine
+workers.  Per the paper's threat model the adversary observes the current
+model and every correct worker's gradient before crafting its own, has
+unbounded compute, and sends a gradient at every step.
+
+Attacks range from "mild" (random noise, corrupted data — which the paper
+shows even vanilla TensorFlow cannot survive) to dimension-aware attacks that
+defeat weakly Byzantine-resilient rules but not Bulyan (little-is-enough and
+the omniscient Krum-targeted attack).
+"""
+
+from repro.attacks.base import Attack, ATTACK_REGISTRY, make_attack, register_attack
+from repro.attacks.random_gradient import RandomGradientAttack, ScaledNoiseAttack
+from repro.attacks.reversed_gradient import ReversedGradientAttack, SignFlipAttack
+from repro.attacks.constant import ZeroGradientAttack, ConstantGradientAttack
+from repro.attacks.nan_inf import NonFiniteAttack
+from repro.attacks.little_is_enough import LittleIsEnoughAttack
+from repro.attacks.omniscient import OmniscientKrumAttack
+from repro.attacks.inner_product import InnerProductManipulationAttack, MimicAttack
+
+__all__ = [
+    "Attack",
+    "ATTACK_REGISTRY",
+    "make_attack",
+    "register_attack",
+    "RandomGradientAttack",
+    "ScaledNoiseAttack",
+    "ReversedGradientAttack",
+    "SignFlipAttack",
+    "ZeroGradientAttack",
+    "ConstantGradientAttack",
+    "NonFiniteAttack",
+    "LittleIsEnoughAttack",
+    "OmniscientKrumAttack",
+    "InnerProductManipulationAttack",
+    "MimicAttack",
+]

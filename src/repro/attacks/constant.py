@@ -1,0 +1,36 @@
+"""Constant-vector attacks (including the "lazy worker" zero gradient)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, register_attack
+
+
+@register_attack("zero")
+class ZeroGradientAttack(Attack):
+    """Byzantine workers submit all-zero gradients (free-riding / stalling).
+
+    Harmless to averaging's direction but it dilutes the update and, when
+    selected by a robust rule, wastes that rule's selection budget — a useful
+    sanity check that selection rules still converge in its presence.
+    """
+
+    def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
+        d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
+        return np.zeros((num_byzantine, d))
+
+
+@register_attack("constant")
+class ConstantGradientAttack(Attack):
+    """Byzantine workers submit the same constant vector every step."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        self.value = float(value)
+
+    def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
+        d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
+        return np.full((num_byzantine, d), self.value)
+
+
+__all__ = ["ZeroGradientAttack", "ConstantGradientAttack"]

@@ -1,0 +1,75 @@
+"""Inner-product manipulation and mimicry attacks.
+
+Two additional adversaries from the robust-aggregation literature, useful for
+stress-testing GARs beyond the paper's own evaluation:
+
+* **Inner-product manipulation (IPM)** — Xie et al., 2020: the Byzantine
+  gradients are ``-epsilon`` times the honest mean.  For small ``epsilon`` the
+  crafted vectors sit close to the honest cluster (hard to filter) yet the
+  *inner product* between the aggregate and the true gradient can be driven
+  negative, stalling or reversing descent.
+* **Mimic** — Karimireddy et al., 2022: all Byzantine workers copy one honest
+  worker's gradient, skewing the empirical distribution the server sees and
+  starving the aggregate of the other workers' information (an attack on
+  over-selective rules rather than on averaging).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, register_attack
+from repro.exceptions import ConfigurationError
+
+
+@register_attack("inner-product")
+class InnerProductManipulationAttack(Attack):
+    """Submit ``-epsilon * mean(honest)`` from every Byzantine worker.
+
+    Parameters
+    ----------
+    epsilon:
+        Scale of the negated mean.  Values below 1 keep the crafted gradients
+        within the honest cluster's length scale (stealthy); larger values
+        behave like the reversed-gradient attack.
+    """
+
+    def __init__(self, epsilon: float = 0.5) -> None:
+        if epsilon <= 0:
+            raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
+        self.epsilon = float(epsilon)
+
+    def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
+        d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
+        if honest_gradients.size == 0:
+            direction = rng.normal(0.0, 1.0, size=d)
+        else:
+            direction = honest_gradients.mean(axis=0)
+        return np.tile(-self.epsilon * direction, (num_byzantine, 1))
+
+
+@register_attack("mimic")
+class MimicAttack(Attack):
+    """Every Byzantine worker copies one (fixed) honest worker's gradient.
+
+    Parameters
+    ----------
+    target_index:
+        Index (into the honest gradient matrix) of the worker being mimicked.
+        The same index is used every step, maximising the skew.
+    """
+
+    def __init__(self, target_index: int = 0) -> None:
+        if target_index < 0:
+            raise ConfigurationError(f"target_index must be non-negative, got {target_index}")
+        self.target_index = int(target_index)
+
+    def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
+        d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
+        if honest_gradients.size == 0:
+            return np.zeros((num_byzantine, d))
+        target = honest_gradients[min(self.target_index, honest_gradients.shape[0] - 1)]
+        return np.tile(target, (num_byzantine, 1))
+
+
+__all__ = ["InnerProductManipulationAttack", "MimicAttack"]

@@ -1,0 +1,52 @@
+"""The "a little is enough" attack (Baruch et al. style dimensional-leeway attack).
+
+The Byzantine gradients stay within a small number of standard deviations of
+the honest mean *per coordinate*, so distance-based rules (Krum, Multi-Krum,
+coordinate-wise median) cannot distinguish them from honest noise — yet the
+accumulated per-coordinate bias, amplified by the dimensionality (the paper's
+"curse of dimensionality" discussion and Figure 9), steers convergence to a
+poor optimum.  Bulyan's per-coordinate trimming around the median is designed
+to bound exactly this leeway.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, register_attack
+from repro.exceptions import ConfigurationError
+
+
+@register_attack("little-is-enough")
+class LittleIsEnoughAttack(Attack):
+    """Shift every coordinate by ``z`` honest standard deviations.
+
+    Parameters
+    ----------
+    z:
+        Number of per-coordinate standard deviations by which the Byzantine
+        gradients deviate from the honest mean (small values evade selection
+        rules; the classic choice is around 1.0-1.5).
+    negate:
+        When True the shift opposes the honest mean's sign coordinate-wise
+        (maximally harmful); when False the shift is a fixed +z*sigma.
+    """
+
+    def __init__(self, z: float = 1.0, negate: bool = True) -> None:
+        if z <= 0:
+            raise ConfigurationError(f"z must be positive, got {z}")
+        self.z = float(z)
+        self.negate = bool(negate)
+
+    def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
+        d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
+        if honest_gradients.size == 0:
+            return rng.normal(0.0, 1.0, size=(num_byzantine, d))
+        mean = honest_gradients.mean(axis=0)
+        std = honest_gradients.std(axis=0)
+        direction = -np.sign(mean) if self.negate else np.ones_like(mean)
+        crafted = mean + direction * self.z * std
+        return np.tile(crafted, (num_byzantine, 1))
+
+
+__all__ = ["LittleIsEnoughAttack"]

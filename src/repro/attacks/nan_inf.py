@@ -1,0 +1,63 @@
+"""Non-finite (NaN / ±Inf) injection attack.
+
+The paper highlights that supporting non-finite coordinates "is a crucial
+feature when facing actual malicious workers": a single NaN averaged into the
+model destroys it instantly, and a GAR implementation that chokes on NaN
+scores is itself a denial-of-service vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, register_attack
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_probability
+
+
+@register_attack("non-finite")
+class NonFiniteAttack(Attack):
+    """Byzantine gradients whose coordinates are NaN / +Inf / -Inf.
+
+    Parameters
+    ----------
+    kind:
+        ``"nan"``, ``"posinf"``, ``"neginf"`` or ``"mixed"``.
+    fraction:
+        Fraction of coordinates set to the non-finite value (the rest mimic
+        the honest mean so the gradient is not trivially all-garbage).
+    """
+
+    def __init__(self, kind: str = "nan", fraction: float = 1.0) -> None:
+        kind = str(kind).lower()
+        if kind not in ("nan", "posinf", "neginf", "mixed"):
+            raise ConfigurationError(f"kind must be nan/posinf/neginf/mixed, got {kind!r}")
+        self.kind = kind
+        self.fraction = check_probability(fraction, "fraction")
+        if self.fraction <= 0:
+            raise ConfigurationError("fraction must be > 0 for the attack to do anything")
+
+    def _fill_value(self, rng: np.random.Generator) -> float:
+        if self.kind == "nan":
+            return np.nan
+        if self.kind == "posinf":
+            return np.inf
+        if self.kind == "neginf":
+            return -np.inf
+        return rng.choice([np.nan, np.inf, -np.inf])
+
+    def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
+        d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
+        base = (
+            np.tile(honest_gradients.mean(axis=0), (num_byzantine, 1))
+            if honest_gradients.size
+            else np.zeros((num_byzantine, d))
+        )
+        count = max(1, int(round(self.fraction * d)))
+        for row in range(num_byzantine):
+            idx = rng.choice(d, size=count, replace=False)
+            base[row, idx] = self._fill_value(rng)
+        return base
+
+
+__all__ = ["NonFiniteAttack"]

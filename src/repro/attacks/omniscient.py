@@ -1,0 +1,88 @@
+"""Omniscient attack targeting Krum / Multi-Krum selection.
+
+This is the attack sketched in §4.3 ("Byzantine gradients") and in the
+"hidden vulnerability" paper: the adversary, knowing every honest gradient,
+searches for a *legitimate but harmful* vector — one that the selection-based
+GAR will pick (its Krum score is competitive) while pointing in a direction
+that damages convergence.
+
+The implementation follows the standard construction: the harmful direction
+is the negated honest mean, and the adversary maximises the step size
+``lambda`` along that direction subject to the crafted vector still being
+selected by the (known) GAR, using bisection with the actual Multi-Krum
+implementation as the selection oracle — the adversary literally runs the
+defence to tune its attack, which is exactly what "omniscient" means.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.attacks.base import Attack, register_attack
+from repro.core.krum import MultiKrum
+from repro.exceptions import ConfigurationError, ResilienceConditionError
+
+
+@register_attack("omniscient")
+class OmniscientKrumAttack(Attack):
+    """Bisection-tuned harmful vector that Multi-Krum still selects.
+
+    Parameters
+    ----------
+    f:
+        The declared number of Byzantine workers of the *defence* (the
+        adversary knows the deployment).
+    max_lambda:
+        Upper bound of the bisection search on the harmful step size.
+    iterations:
+        Number of bisection iterations (each costs one Multi-Krum evaluation).
+    """
+
+    def __init__(self, f: int, *, max_lambda: float = 10.0, iterations: int = 20) -> None:
+        if f < 0:
+            raise ConfigurationError(f"f must be non-negative, got {f}")
+        if max_lambda <= 0:
+            raise ConfigurationError(f"max_lambda must be positive, got {max_lambda}")
+        if iterations < 1:
+            raise ConfigurationError(f"iterations must be >= 1, got {iterations}")
+        self.f = int(f)
+        self.max_lambda = float(max_lambda)
+        self.iterations = int(iterations)
+
+    # ------------------------------------------------------------------ oracle
+    def _is_selected(self, candidate: np.ndarray, honest: np.ndarray, num_byzantine: int) -> bool:
+        """Whether Multi-Krum (the defence) would pick the candidate vector."""
+        n = honest.shape[0] + num_byzantine
+        try:
+            oracle = MultiKrum(f=self.f)
+            matrix = np.vstack([honest, np.tile(candidate, (num_byzantine, 1))])
+            result = oracle.aggregate_detailed(matrix)
+        except ResilienceConditionError:
+            return False
+        byzantine_indices = set(range(honest.shape[0], n))
+        return bool(byzantine_indices & set(result.selected_indices.tolist()))
+
+    def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
+        d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
+        if honest_gradients.size == 0:
+            return rng.normal(0.0, 1.0, size=(num_byzantine, d))
+        mean = honest_gradients.mean(axis=0)
+        harmful_direction = -mean
+        # Bisection on lambda: the largest harmful step that is still selected.
+        low, high = 0.0, self.max_lambda
+        best = low
+        for _ in range(self.iterations):
+            mid = 0.5 * (low + high)
+            candidate = mean + mid * harmful_direction
+            if self._is_selected(candidate, honest_gradients, num_byzantine):
+                best = mid
+                low = mid
+            else:
+                high = mid
+        crafted = mean + best * harmful_direction
+        return np.tile(crafted, (num_byzantine, 1))
+
+
+__all__ = ["OmniscientKrumAttack"]

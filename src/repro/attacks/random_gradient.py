@@ -1,0 +1,51 @@
+"""Random-noise attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, register_attack
+from repro.exceptions import ConfigurationError
+
+
+@register_attack("random")
+class RandomGradientAttack(Attack):
+    """Each Byzantine worker submits an isotropic Gaussian gradient.
+
+    With a large ``scale`` this instantly destroys plain averaging; any
+    distance-based robust rule filters it out trivially.
+    """
+
+    def __init__(self, scale: float = 100.0) -> None:
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+
+    def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
+        d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
+        return rng.normal(0.0, self.scale, size=(num_byzantine, d))
+
+
+@register_attack("scaled-noise")
+class ScaledNoiseAttack(Attack):
+    """Gaussian noise whose scale tracks the honest gradients' own spread.
+
+    Harder to filter by magnitude alone: the Byzantine gradients have the same
+    norm distribution as the honest ones but a random direction.
+    """
+
+    def __init__(self, multiplier: float = 1.0) -> None:
+        if multiplier <= 0:
+            raise ConfigurationError(f"multiplier must be positive, got {multiplier}")
+        self.multiplier = float(multiplier)
+
+    def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
+        d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
+        if honest_gradients.size == 0:
+            scale = 1.0
+        else:
+            scale = float(np.std(honest_gradients)) or 1.0
+        return rng.normal(0.0, self.multiplier * scale, size=(num_byzantine, d))
+
+
+__all__ = ["RandomGradientAttack", "ScaledNoiseAttack"]

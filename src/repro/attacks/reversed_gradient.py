@@ -1,0 +1,53 @@
+"""Reversed-gradient (sign-flip) attacks — the adversary model used by Draco."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import Attack, register_attack
+from repro.exceptions import ConfigurationError
+
+
+@register_attack("reversed-gradient")
+class ReversedGradientAttack(Attack):
+    """Submit the negated mean honest gradient scaled by a large factor.
+
+    This is the "reversed gradient" adversary the Draco paper (and our Draco
+    comparison) uses: it actively pushes the model away from the descent
+    direction.
+    """
+
+    def __init__(self, scale: float = 100.0) -> None:
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        self.scale = float(scale)
+
+    def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
+        d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
+        if honest_gradients.size == 0:
+            direction = rng.normal(0.0, 1.0, size=d)
+        else:
+            direction = honest_gradients.mean(axis=0)
+        crafted = -self.scale * direction
+        return np.tile(crafted, (num_byzantine, 1))
+
+
+@register_attack("sign-flip")
+class SignFlipAttack(Attack):
+    """Submit exactly the negated mean honest gradient (no amplification).
+
+    Unlike the amplified reversed gradient this stays within the honest
+    gradients' magnitude range, which makes it harder for naive outlier
+    filters while still stalling convergence of plain averaging.
+    """
+
+    def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
+        d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
+        if honest_gradients.size == 0:
+            direction = rng.normal(0.0, 1.0, size=d)
+        else:
+            direction = honest_gradients.mean(axis=0)
+        return np.tile(-direction, (num_byzantine, 1))
+
+
+__all__ = ["ReversedGradientAttack", "SignFlipAttack"]

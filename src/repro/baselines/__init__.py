@@ -1,0 +1,9 @@
+"""Baseline systems the paper compares against.
+
+Currently: Draco (Chen et al., 2018), the redundant-gradient coding approach
+used as the strong-resilience comparator in Figures 3, 5 and 6.
+"""
+
+from repro.baselines.draco import DracoConfig, DracoTrainer, RepetitionCode, majority_vote
+
+__all__ = ["DracoConfig", "DracoTrainer", "RepetitionCode", "majority_vote"]

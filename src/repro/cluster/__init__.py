@@ -1,0 +1,69 @@
+"""Simulated synchronous parameter-server cluster.
+
+This package is the stand-in for the paper's Grid5000 deployment of
+TensorFlow: a discrete-event simulation of the standard synchronous parameter
+server model (one trusted server, ``n`` workers of which up to ``f`` are
+Byzantine), with
+
+* a simulated clock driven by a calibrated cost model (gradient computation,
+  network transfer, aggregation),
+* a reliable TCP-like transport and a lossy UDP-like transport (lossyMPI
+  analogue) with the three §3.3 recovery policies,
+* honest, data-corrupted and Byzantine (attack-driven) workers,
+* a synchronous trainer that reproduces the paper's metrics: accuracy vs
+  time, accuracy vs model updates, throughput, and latency breakdowns.
+"""
+
+from repro.cluster.clock import SimulatedClock
+from repro.cluster.cost_model import CostModel
+from repro.cluster.deploy import ClusterSpec, NodeSpec, allocate_devices
+from repro.cluster.message import GradientMessage, ModelMessage
+from repro.cluster.packets import Packetizer, RecoveryPolicy
+from repro.cluster.network import ReliableChannel, LossyChannel, Channel
+from repro.cluster.worker import HonestWorker, ByzantineWorker, Worker
+from repro.cluster.server import ParameterServer
+from repro.cluster.telemetry import TrainingHistory, StepRecord, EvalRecord
+from repro.cluster.trainer import SynchronousTrainer, TrainerConfig
+from repro.cluster.builder import build_trainer
+from repro.cluster.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+    write_history_json,
+    write_summary_csv,
+)
+from repro.cluster.replicated_server import ReplicatedParameterServer, majority_model
+
+__all__ = [
+    "SimulatedClock",
+    "CostModel",
+    "ClusterSpec",
+    "NodeSpec",
+    "allocate_devices",
+    "GradientMessage",
+    "ModelMessage",
+    "Packetizer",
+    "RecoveryPolicy",
+    "Channel",
+    "ReliableChannel",
+    "LossyChannel",
+    "Worker",
+    "HonestWorker",
+    "ByzantineWorker",
+    "ParameterServer",
+    "TrainingHistory",
+    "StepRecord",
+    "EvalRecord",
+    "SynchronousTrainer",
+    "TrainerConfig",
+    "build_trainer",
+    "Checkpoint",
+    "CheckpointManager",
+    "save_checkpoint",
+    "load_checkpoint",
+    "write_summary_csv",
+    "write_history_json",
+    "ReplicatedParameterServer",
+    "majority_model",
+]

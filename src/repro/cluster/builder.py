@@ -1,0 +1,217 @@
+"""High-level cluster assembly — the ``runner.py`` analogue.
+
+:func:`build_trainer` wires a complete simulated deployment from declarative
+arguments (model name, dataset, GAR, optimizer, worker counts, attack, lossy
+links), mirroring how AggregaThor's ``runner.py`` builds a training session
+from command-line flags.  It is the main entry point used by the examples and
+experiment drivers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.attacks.base import Attack, make_attack
+from repro.cluster.cost_model import CostModel
+from repro.cluster.deploy import ClusterSpec, allocate_devices
+from repro.cluster.network import Channel, LossyChannel, ReliableChannel
+from repro.cluster.packets import RecoveryPolicy
+from repro.cluster.server import ParameterServer
+from repro.cluster.trainer import SynchronousTrainer
+from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker
+from repro.core.base import GradientAggregationRule, make_gar
+from repro.data.corruption import corrupt_features, permute_labels
+from repro.data.dataset import Dataset
+from repro.data.sampler import MiniBatchSampler
+from repro.exceptions import ConfigurationError
+from repro.nn.model import Sequential
+from repro.nn.models.registry import make_model
+from repro.optim.base import Optimizer, make_optimizer
+from repro.utils.random import SeedLike, spawn_rngs
+
+
+def _resolve_gar(gar: Union[str, GradientAggregationRule], f: int, gar_kwargs: Optional[dict]) -> GradientAggregationRule:
+    if isinstance(gar, GradientAggregationRule):
+        return gar
+    kwargs = dict(gar_kwargs or {})
+    kwargs.setdefault("f", f)
+    return make_gar(str(gar), **kwargs)
+
+
+def _resolve_optimizer(optimizer: Union[str, Optimizer], learning_rate: float,
+                       optimizer_kwargs: Optional[dict]) -> Optimizer:
+    if isinstance(optimizer, Optimizer):
+        return optimizer
+    kwargs = dict(optimizer_kwargs or {})
+    kwargs.setdefault("learning_rate", learning_rate)
+    return make_optimizer(str(optimizer), **kwargs)
+
+
+def _resolve_attack(attack: Union[None, str, Attack], attack_kwargs: Optional[dict]) -> Optional[Attack]:
+    if attack is None or isinstance(attack, Attack):
+        return attack
+    return make_attack(str(attack), **(attack_kwargs or {}))
+
+
+def build_trainer(
+    *,
+    model: Union[str, Callable[..., Sequential]] = "mlp",
+    model_kwargs: Optional[dict] = None,
+    dataset: Dataset,
+    gar: Union[str, GradientAggregationRule] = "multi-krum",
+    gar_kwargs: Optional[dict] = None,
+    num_workers: int = 19,
+    num_byzantine: int = 0,
+    declared_f: Optional[int] = None,
+    attack: Union[None, str, Attack] = None,
+    attack_kwargs: Optional[dict] = None,
+    corrupted_workers: int = 0,
+    batch_size: int = 100,
+    optimizer: Union[str, Optimizer] = "rmsprop",
+    optimizer_kwargs: Optional[dict] = None,
+    learning_rate: float = 1e-3,
+    cost_model: Optional[CostModel] = None,
+    cluster: Optional[ClusterSpec] = None,
+    lossy_links: int = 0,
+    lossy_drop_rate: float = 0.0,
+    lossy_policy: Union[str, RecoveryPolicy] = RecoveryPolicy.RANDOM_FILL,
+    uplink_channels: Optional[Dict[int, Channel]] = None,
+    seed: SeedLike = 0,
+) -> SynchronousTrainer:
+    """Assemble a full simulated deployment and return its trainer.
+
+    Parameters
+    ----------
+    model, model_kwargs:
+        A registered model name (``--experiment`` analogue) or a factory
+        callable; instantiated once per worker plus once each for the server
+        and the evaluator.
+    dataset:
+        The training/test data (each honest worker samples iid from the
+        training split).
+    gar, gar_kwargs:
+        The gradient aggregation rule (``--aggregator`` analogue).  ``f``
+        defaults to ``declared_f``.
+    num_workers:
+        Total worker count ``n``.
+    num_byzantine:
+        How many of those workers the adversary actually controls (requires
+        an ``attack``).
+    declared_f:
+        The ``f`` the *deployment* is configured to tolerate; defaults to
+        ``num_byzantine``.  The paper's non-Byzantine experiments use
+        ``declared_f > 0`` with zero actual attackers.
+    attack, attack_kwargs:
+        The Byzantine behaviour (registered attack name or instance).
+    corrupted_workers:
+        Number of honest workers whose local dataset has permuted labels
+        (the Figure 7 "corrupted data" behaviour).
+    batch_size:
+        Mini-batch size ``b`` per worker.
+    lossy_links, lossy_drop_rate, lossy_policy:
+        Put a lossy UDP-like uplink with the given drop rate and recovery
+        policy on this many workers (Figure 8).  Explicit ``uplink_channels``
+        entries take precedence.
+    seed:
+        Master seed; every worker / channel / attack derives an independent
+        stream from it.
+    """
+    if num_workers < 1:
+        raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
+    if num_byzantine < 0 or num_byzantine >= num_workers:
+        raise ConfigurationError(
+            f"num_byzantine must be in [0, num_workers), got {num_byzantine} of {num_workers}"
+        )
+    if corrupted_workers < 0 or corrupted_workers > num_workers - num_byzantine:
+        raise ConfigurationError(
+            "corrupted_workers must leave at least the Byzantine workers available"
+        )
+    if lossy_links < 0 or lossy_links > num_workers:
+        raise ConfigurationError(f"lossy_links must be in [0, num_workers], got {lossy_links}")
+    if num_byzantine > 0 and attack is None:
+        raise ConfigurationError("num_byzantine > 0 requires an attack")
+
+    f = num_byzantine if declared_f is None else int(declared_f)
+    gar_instance = _resolve_gar(gar, f, gar_kwargs)
+    optimizer_instance = _resolve_optimizer(optimizer, learning_rate, optimizer_kwargs)
+    attack_instance = _resolve_attack(attack, attack_kwargs)
+    cost = cost_model if cost_model is not None else CostModel()
+
+    # Independent RNG streams: one per worker, plus channels / corruption / attack.
+    rngs = spawn_rngs(seed, num_workers * 2 + 4)
+    worker_rngs = rngs[:num_workers]
+    channel_rngs = rngs[num_workers : 2 * num_workers]
+    corruption_rng, attack_rng, model_rng, _spare = rngs[2 * num_workers :]
+
+    def build_model() -> Sequential:
+        kwargs = dict(model_kwargs or {})
+        if callable(model) and not isinstance(model, str):
+            return model(**kwargs)
+        kwargs.setdefault("rng", model_rng)
+        return make_model(str(model), **kwargs)
+
+    server_model = build_model()
+    eval_model = build_model()
+    initial_parameters = server_model.get_parameters()
+
+    # Worker roles: the first `num_byzantine` ids are Byzantine, the next
+    # `corrupted_workers` ids run on corrupted data, the rest are honest.
+    workers: list[Worker] = []
+    num_honest = num_workers - num_byzantine
+    corrupted_ids = set(range(num_byzantine, num_byzantine + corrupted_workers))
+    for worker_id in range(num_workers):
+        if worker_id < num_byzantine:
+            workers.append(
+                ByzantineWorker(worker_id, attack_instance, rng=attack_rng)
+            )
+            continue
+        features, labels = dataset.train_x, dataset.train_y
+        if worker_id in corrupted_ids:
+            # Malformed input (Figure 7): the worker's local copy of the data
+            # has systematically permuted labels *and* garbage features, so its
+            # honestly-computed gradients are large and misleading.
+            labels = permute_labels(labels, max(dataset.num_classes, 2), rng=corruption_rng)
+            features = corrupt_features(features, scale=100.0, rng=corruption_rng)
+        sampler = MiniBatchSampler(features, labels, batch_size, rng=worker_rngs[worker_id])
+        worker_model = build_model()
+        workers.append(HonestWorker(worker_id, worker_model, sampler))
+
+    server = ParameterServer(
+        initial_parameters,
+        gar_instance,
+        optimizer_instance,
+        expected_workers=[w.worker_id for w in workers],
+    )
+
+    # Channels: lossy UDP-like links on the last `lossy_links` workers by
+    # default (so the Byzantine ids, which come first, keep reliable links
+    # unless the caller says otherwise), explicit entries win.
+    channels: Dict[int, Channel] = {}
+    lossy_ids = list(range(num_workers - lossy_links, num_workers))
+    for worker_id in lossy_ids:
+        channels[worker_id] = LossyChannel(
+            drop_rate=lossy_drop_rate,
+            policy=lossy_policy,
+            rng=channel_rngs[worker_id],
+        )
+    if uplink_channels:
+        channels.update(uplink_channels)
+
+    cluster_spec = cluster
+    if cluster_spec is not None and cluster_spec.server_node is None:
+        cluster_spec = allocate_devices(cluster_spec, num_workers)
+
+    return SynchronousTrainer(
+        server,
+        workers,
+        cost,
+        uplink_channels=channels,
+        cluster=cluster_spec,
+        eval_model=eval_model,
+        test_set=(dataset.test_x, dataset.test_y),
+    )
+
+
+__all__ = ["build_trainer"]

@@ -1,0 +1,135 @@
+"""Checkpointing and training-summary export.
+
+AggregaThor's runner exposes ``--checkpoint-delta`` / ``--summary-delta``
+flags: the server periodically saves the model and writes scalar summaries.
+The simulated counterpart stores checkpoints as ``.npz`` archives (model
+parameters, optimizer step, simulated time) and summaries as CSV files, so a
+training run can be resumed or analysed offline.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.cluster.telemetry import TrainingHistory
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class Checkpoint:
+    """A snapshot of the server state."""
+
+    step: int
+    sim_time: float
+    parameters: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ConfigurationError(f"step must be non-negative, got {self.step}")
+        if self.sim_time < 0:
+            raise ConfigurationError(f"sim_time must be non-negative, got {self.sim_time}")
+        self.parameters = np.asarray(self.parameters, dtype=np.float64)
+        if self.parameters.ndim != 1 or self.parameters.size == 0:
+            raise ConfigurationError("parameters must be a non-empty flat vector")
+
+
+def save_checkpoint(checkpoint: Checkpoint, path: Union[str, Path]) -> Path:
+    """Write a checkpoint to an ``.npz`` archive; returns the resolved path."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        step=np.asarray(checkpoint.step, dtype=np.int64),
+        sim_time=np.asarray(checkpoint.sim_time, dtype=np.float64),
+        parameters=checkpoint.parameters,
+    )
+    return path
+
+
+def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Load a checkpoint previously written by :func:`save_checkpoint`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"checkpoint {path} does not exist")
+    with np.load(path) as archive:
+        try:
+            return Checkpoint(
+                step=int(archive["step"]),
+                sim_time=float(archive["sim_time"]),
+                parameters=np.asarray(archive["parameters"], dtype=np.float64),
+            )
+        except KeyError as exc:
+            raise ConfigurationError(f"{path} is not a valid checkpoint archive: missing {exc}") from exc
+
+
+class CheckpointManager:
+    """Keeps the most recent ``max_to_keep`` checkpoints in a directory."""
+
+    def __init__(self, directory: Union[str, Path], *, max_to_keep: int = 3,
+                 prefix: str = "checkpoint") -> None:
+        if max_to_keep < 1:
+            raise ConfigurationError(f"max_to_keep must be >= 1, got {max_to_keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_to_keep = int(max_to_keep)
+        self.prefix = str(prefix)
+
+    def _path_for(self, step: int) -> Path:
+        return self.directory / f"{self.prefix}-{step:08d}.npz"
+
+    def existing(self) -> list[Path]:
+        """Checkpoints currently on disk, oldest first."""
+        return sorted(self.directory.glob(f"{self.prefix}-*.npz"))
+
+    def save(self, checkpoint: Checkpoint) -> Path:
+        """Save a checkpoint and prune the oldest beyond ``max_to_keep``."""
+        path = save_checkpoint(checkpoint, self._path_for(checkpoint.step))
+        existing = self.existing()
+        for stale in existing[: max(0, len(existing) - self.max_to_keep)]:
+            stale.unlink()
+        return path
+
+    def latest(self) -> Optional[Checkpoint]:
+        """Most recent checkpoint, or ``None`` when the directory is empty."""
+        existing = self.existing()
+        if not existing:
+            return None
+        return load_checkpoint(existing[-1])
+
+
+def write_summary_csv(history: TrainingHistory, path: Union[str, Path]) -> Path:
+    """Export the per-evaluation accuracy series as a CSV summary."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["step", "sim_time", "accuracy"])
+        for record in history.evaluations:
+            writer.writerow([record.step, f"{record.sim_time:.9f}", f"{record.accuracy:.6f}"])
+    return path
+
+
+def write_history_json(history: TrainingHistory, path: Union[str, Path]) -> Path:
+    """Export the full telemetry summary (including latency breakdown) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(history.to_dict(), indent=2, sort_keys=True))
+    return path
+
+
+__all__ = [
+    "Checkpoint",
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointManager",
+    "write_summary_csv",
+    "write_history_json",
+]

@@ -1,0 +1,45 @@
+"""Simulated wall-clock for the cluster simulation.
+
+All "time" measurements in the reproduced experiments (accuracy vs time,
+latency breakdowns, throughput) are expressed in simulated seconds advanced by
+the trainer according to the cost model — never by the host's wall clock — so
+experiments are deterministic and independent of the machine running them.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+
+class SimulatedClock:
+    """A monotonically advancing simulated clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ConfigurationError(f"start time must be non-negative, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by *seconds* (must be non-negative); returns the new time."""
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ConfigurationError(f"cannot advance the clock by a negative amount ({seconds})")
+        self._now += seconds
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock."""
+        if start < 0:
+            raise ConfigurationError(f"start time must be non-negative, got {start}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SimulatedClock(now={self._now:.6f})"
+
+
+__all__ = ["SimulatedClock"]

@@ -1,0 +1,153 @@
+"""Cost model translating work into simulated seconds.
+
+The paper measures three latency components per step (Figure 4):
+
+1. **gradient computation** on each worker — modelled as
+   ``flops_per_sample * batch_size / worker_gflops``;
+2. **communication** — the model broadcast and the gradient push, modelled as
+   ``bytes / bandwidth + latency`` per direction (with a TCP congestion
+   penalty under packet loss, see :mod:`repro.cluster.network`);
+3. **aggregation** on the server — modelled from the GAR's asymptotic flop
+   count (:mod:`repro.core.theory`), or optionally measured live from the
+   actual NumPy execution.
+
+The analytic mode is the default because it is deterministic and
+machine-independent; the measured mode exists so absolute ratios can be
+sanity-checked against real execution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core import theory
+from repro.core.base import GradientAggregationRule
+from repro.exceptions import ConfigurationError
+
+#: Bytes per gradient coordinate on the wire (float32, as TensorFlow sends).
+BYTES_PER_COORDINATE = 4
+
+
+@dataclass
+class CostModel:
+    """Parameters of the simulated-time cost model.
+
+    Attributes
+    ----------
+    flops_per_parameter_per_sample:
+        Gradient-computation cost: a forward+backward pass costs roughly
+        ``6`` floating-point operations per model parameter per sample
+        (2 for the forward pass, 4 for the backward pass) — the standard
+        rule of thumb for dense networks.
+    worker_gflops:
+        Sustained worker throughput in GFLOP/s.
+    server_gflops:
+        Sustained server throughput for the aggregation.
+    bandwidth_gbps:
+        Link bandwidth between any worker and the server.
+    latency_s:
+        One-way network latency in seconds.
+    measured_aggregation:
+        When True the aggregation time is measured from the live NumPy
+        execution instead of the analytic flop model.
+    """
+
+    flops_per_parameter_per_sample: float = 6.0
+    worker_gflops: float = 80.0
+    server_gflops: float = 80.0
+    bandwidth_gbps: float = 10.0
+    latency_s: float = 1e-4
+    measured_aggregation: bool = False
+
+    def __post_init__(self) -> None:
+        for attr in ("flops_per_parameter_per_sample", "worker_gflops", "server_gflops",
+                     "bandwidth_gbps"):
+            if getattr(self, attr) <= 0:
+                raise ConfigurationError(f"{attr} must be positive, got {getattr(self, attr)}")
+        if self.latency_s < 0:
+            raise ConfigurationError(f"latency_s must be non-negative, got {self.latency_s}")
+
+    # ----------------------------------------------------------- components
+    def gradient_compute_time(self, model_dim: int, batch_size: int,
+                              *, gflops: Optional[float] = None,
+                              flops_per_sample: Optional[float] = None) -> float:
+        """Seconds for one worker to compute one mini-batch gradient.
+
+        When ``flops_per_sample`` (the model's measured *forward* cost per
+        sample) is provided, the gradient cost is ``3x`` that forward cost —
+        the standard forward+backward rule — which lets convolution-heavy
+        models (high FLOPs per parameter) cost proportionally more than dense
+        models.  Otherwise the dense estimate
+        ``flops_per_parameter_per_sample * model_dim`` is used.
+        """
+        if model_dim < 1 or batch_size < 1:
+            raise ConfigurationError("model_dim and batch_size must be positive")
+        throughput = (gflops if gflops is not None else self.worker_gflops) * 1e9
+        if flops_per_sample is not None and flops_per_sample > 0:
+            flops = 3.0 * flops_per_sample * batch_size
+        else:
+            flops = self.flops_per_parameter_per_sample * model_dim * batch_size
+        return flops / throughput
+
+    def transfer_time(self, num_bytes: float, *, bandwidth_gbps: Optional[float] = None) -> float:
+        """Seconds to move *num_bytes* across one link (bandwidth + latency)."""
+        if num_bytes < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        bandwidth = (bandwidth_gbps if bandwidth_gbps is not None else self.bandwidth_gbps) * 1e9 / 8
+        return num_bytes / bandwidth + self.latency_s
+
+    def gradient_bytes(self, model_dim: int) -> float:
+        """Wire size of one gradient (or one model broadcast)."""
+        return float(model_dim) * BYTES_PER_COORDINATE
+
+    def round_trip_time(self, model_dim: int, *, bandwidth_gbps: Optional[float] = None) -> float:
+        """Model broadcast + gradient push for one worker in one step."""
+        size = self.gradient_bytes(model_dim)
+        return 2.0 * self.transfer_time(size, bandwidth_gbps=bandwidth_gbps)
+
+    def aggregation_flops(self, gar: GradientAggregationRule, n: int, d: int) -> float:
+        """Analytic flop count of one aggregation call for the given GAR."""
+        name = getattr(gar, "name", "")
+        if name in ("average", "selective-average", "median", "trimmed-mean",
+                    "meamed", "phocas", "geometric-median"):
+            return theory.aggregation_flops_average(n, d) * (3.0 if name != "average" else 1.0)
+        if name in ("krum", "multi-krum"):
+            return theory.aggregation_flops_multi_krum(n, d)
+        if name == "bulyan":
+            return theory.aggregation_flops_bulyan(n, gar.f, d)
+        # Unknown rule: assume the common O(n^2 d) bound for robust GARs.
+        return theory.aggregation_flops_multi_krum(n, d)
+
+    def aggregation_time(
+        self,
+        gar: GradientAggregationRule,
+        gradients: np.ndarray,
+        *,
+        precomputed: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, float]:
+        """Aggregate *gradients* and return ``(result, simulated_seconds)``.
+
+        In measured mode the host wall-clock duration of the NumPy call is
+        used directly; in analytic mode (default) the duration comes from the
+        flop model, making simulations machine-independent.
+        """
+        n, d = gradients.shape
+        if self.measured_aggregation:
+            start = time.perf_counter()
+            result = gar.aggregate(gradients)
+            elapsed = time.perf_counter() - start
+            return result, elapsed
+        result = gar.aggregate(gradients) if precomputed is None else precomputed
+        seconds = self.aggregation_flops(gar, n, d) / (self.server_gflops * 1e9)
+        return result, seconds
+
+    def update_time(self, model_dim: int) -> float:
+        """Server-side model update (optimizer step): a few passes over ``d`` values."""
+        return 5.0 * model_dim / (self.server_gflops * 1e9)
+
+
+__all__ = ["CostModel", "BYTES_PER_COORDINATE"]

@@ -1,0 +1,187 @@
+"""Cluster specification and device allocation.
+
+AggregaThor ships a ``deploy`` tool that provisions a cluster over SSH and a
+policy-based device-allocation mechanism deciding which TensorFlow operations
+run on which machines.  The simulated counterpart is a declarative
+:class:`ClusterSpec`: a list of :class:`NodeSpec` machines with compute and
+network characteristics, plus :func:`allocate_devices`, which assigns the
+parameter-server and worker roles to nodes according to a policy.
+
+The node characteristics feed the cost model: a node's ``compute_gflops``
+determines its gradient-computation time and the pairwise bandwidth/latency
+determine transfer times.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A machine in the cluster.
+
+    The defaults approximate the paper's Grid5000 nodes (2x Intel Xeon
+    E5-2630 with 8 cores each, 10 Gbps Ethernet).
+    """
+
+    name: str
+    compute_gflops: float = 80.0          #: sustained gradient-computation throughput
+    network_bandwidth_gbps: float = 10.0  #: link bandwidth to the switch
+    network_latency_ms: float = 0.1       #: one-way latency to any other node
+    has_gpu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.compute_gflops <= 0:
+            raise ConfigurationError(f"compute_gflops must be positive, got {self.compute_gflops}")
+        if self.network_bandwidth_gbps <= 0:
+            raise ConfigurationError(
+                f"network_bandwidth_gbps must be positive, got {self.network_bandwidth_gbps}"
+            )
+        if self.network_latency_ms < 0:
+            raise ConfigurationError(
+                f"network_latency_ms must be non-negative, got {self.network_latency_ms}"
+            )
+
+
+@dataclass
+class ClusterSpec:
+    """A named set of nodes plus the role assignment produced by allocation."""
+
+    nodes: List[NodeSpec]
+    server_node: Optional[str] = None
+    worker_nodes: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) == 0:
+            raise ConfigurationError("a cluster needs at least one node")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate node names in cluster spec: {names}")
+
+    @property
+    def node_map(self) -> Dict[str, NodeSpec]:
+        """Mapping from node name to its spec."""
+        return {node.name: node for node in self.nodes}
+
+    @property
+    def num_workers(self) -> int:
+        """Number of allocated worker roles."""
+        return len(self.worker_nodes)
+
+    def node(self, name: str) -> NodeSpec:
+        """Look up a node by name."""
+        try:
+            return self.node_map[name]
+        except KeyError as exc:
+            raise ConfigurationError(f"unknown node {name!r}") from exc
+
+    @classmethod
+    def homogeneous(
+        cls,
+        num_nodes: int,
+        *,
+        compute_gflops: float = 80.0,
+        network_bandwidth_gbps: float = 10.0,
+        network_latency_ms: float = 0.1,
+    ) -> "ClusterSpec":
+        """A cluster of identical nodes (the paper's setting: 20 identical machines)."""
+        check_positive_int(num_nodes, "num_nodes")
+        nodes = [
+            NodeSpec(
+                name=f"node{i}",
+                compute_gflops=compute_gflops,
+                network_bandwidth_gbps=network_bandwidth_gbps,
+                network_latency_ms=network_latency_ms,
+            )
+            for i in range(num_nodes)
+        ]
+        return cls(nodes=nodes)
+
+    # ------------------------------------------------------------- (de)serialisation
+    def to_dict(self) -> Dict:
+        """JSON-serialisable representation (the deploy-tool cluster file format)."""
+        return {
+            "nodes": [asdict(node) for node in self.nodes],
+            "server_node": self.server_node,
+            "worker_nodes": list(self.worker_nodes),
+        }
+
+    def to_json(self, path: Union[str, Path, None] = None) -> str:
+        """Serialise to JSON; optionally also write it to *path*."""
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(payload)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ClusterSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or a hand-written file)."""
+        try:
+            nodes = [NodeSpec(**node) for node in data["nodes"]]
+        except (KeyError, TypeError) as exc:
+            raise ConfigurationError(f"malformed cluster specification: {exc}") from exc
+        spec = cls(
+            nodes=nodes,
+            server_node=data.get("server_node"),
+            worker_nodes=list(data.get("worker_nodes", [])),
+        )
+        known = set(spec.node_map)
+        for name in spec.worker_nodes + ([spec.server_node] if spec.server_node else []):
+            if name not in known:
+                raise ConfigurationError(f"cluster spec references unknown node {name!r}")
+        return spec
+
+    @classmethod
+    def from_json(cls, source: Union[str, Path]) -> "ClusterSpec":
+        """Load a spec from a JSON string or a path to a JSON file."""
+        text = str(source)
+        try:
+            path = Path(text)
+            if path.exists():
+                text = path.read_text()
+        except OSError:
+            # Inline JSON content (too long / invalid as a file name): use as-is.
+            pass
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid cluster JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def allocate_devices(
+    spec: ClusterSpec, num_workers: int, *, policy: str = "first-fit"
+) -> ClusterSpec:
+    """Assign the parameter-server and worker roles to the cluster's nodes.
+
+    Policies
+    --------
+    ``"first-fit"``:
+        The first node hosts the parameter server, the following nodes host
+        one worker each; extra workers wrap around (co-located workers share
+        a node's compute, which the cost model accounts for).
+    ``"strongest-ps"``:
+        The node with the highest compute hosts the parameter server (robust
+        aggregation is server-side compute-heavy), workers fill the rest.
+    """
+    check_positive_int(num_workers, "num_workers")
+    if policy not in ("first-fit", "strongest-ps"):
+        raise ConfigurationError(f"unknown allocation policy {policy!r}")
+    nodes = list(spec.nodes)
+    if policy == "strongest-ps":
+        server = max(nodes, key=lambda node: node.compute_gflops)
+    else:
+        server = nodes[0]
+    remaining = [node for node in nodes if node.name != server.name] or [server]
+    worker_nodes = [remaining[i % len(remaining)].name for i in range(num_workers)]
+    return ClusterSpec(nodes=nodes, server_node=server.name, worker_nodes=worker_nodes)
+
+
+__all__ = ["NodeSpec", "ClusterSpec", "allocate_devices"]

@@ -1,0 +1,60 @@
+"""Messages exchanged between the parameter server and the workers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class ModelMessage:
+    """The model broadcast from the server to a worker at the start of a step."""
+
+    step: int
+    parameters: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ConfigurationError(f"step must be non-negative, got {self.step}")
+        self.parameters = np.asarray(self.parameters, dtype=np.float64)
+        if self.parameters.ndim != 1:
+            raise ConfigurationError(
+                f"model parameters must be a flat vector, got shape {self.parameters.shape}"
+            )
+
+    @property
+    def dim(self) -> int:
+        """Model dimensionality ``d``."""
+        return int(self.parameters.shape[0])
+
+
+@dataclass
+class GradientMessage:
+    """A gradient estimate pushed from a worker to the server."""
+
+    worker_id: int
+    step: int
+    gradient: np.ndarray
+    loss: float = float("nan")
+
+    def __post_init__(self) -> None:
+        if self.worker_id < 0:
+            raise ConfigurationError(f"worker_id must be non-negative, got {self.worker_id}")
+        if self.step < 0:
+            raise ConfigurationError(f"step must be non-negative, got {self.step}")
+        self.gradient = np.asarray(self.gradient, dtype=np.float64)
+        if self.gradient.ndim != 1:
+            raise ConfigurationError(
+                f"gradient must be a flat vector, got shape {self.gradient.shape}"
+            )
+
+    @property
+    def dim(self) -> int:
+        """Gradient dimensionality ``d``."""
+        return int(self.gradient.shape[0])
+
+
+__all__ = ["ModelMessage", "GradientMessage"]

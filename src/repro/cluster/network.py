@@ -1,0 +1,166 @@
+"""Simulated transports: reliable (TCP/gRPC-like) and lossy (UDP/lossyMPI-like).
+
+A channel transfers one gradient (or model) between a worker and the server
+and reports two things: the (possibly degraded) payload that arrives and the
+simulated transfer time.
+
+``ReliableChannel``
+    Models TCP semantics: the payload always arrives intact, but packet loss
+    costs time — retransmissions and congestion-window backoff reduce the
+    effective throughput.  We use the standard Mathis throughput model
+    (``rate ∝ MSS / (RTT * sqrt(p))``) capped at the link bandwidth, which
+    reproduces the paper's observation that a 10% loss rate slows TCP-based
+    training down by an order of magnitude.
+
+``LossyChannel``
+    Models UDP semantics: each packet is independently dropped with
+    probability ``drop_rate`` (and optionally reordered); whatever arrives is
+    delivered immediately at full link speed.  The receiving endpoint applies
+    one of the §3.3 recovery policies via :class:`~repro.cluster.packets.Packetizer`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.cost_model import BYTES_PER_COORDINATE, CostModel
+from repro.cluster.packets import Packetizer, RecoveryPolicy
+from repro.exceptions import ConfigurationError
+from repro.utils.random import SeedLike, as_rng
+from repro.utils.validation import check_probability
+
+
+class Channel(abc.ABC):
+    """A unidirectional transport for flat vectors."""
+
+    #: Human-readable transport name used in experiment reports.
+    name: str = "channel"
+
+    @abc.abstractmethod
+    def transfer(self, payload: np.ndarray, cost_model: CostModel) -> Tuple[Optional[np.ndarray], float]:
+        """Send *payload*; return ``(delivered_payload_or_None, simulated_seconds)``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class ReliableChannel(Channel):
+    """TCP-like transport: always delivers, pays for losses with time.
+
+    Parameters
+    ----------
+    drop_rate:
+        Probability that a packet is lost on the wire (losses trigger
+        retransmission and congestion backoff, they never corrupt data).
+    mss_bytes:
+        Maximum segment size used in the Mathis throughput model.
+    rtt_s:
+        Round-trip time used in the Mathis throughput model.
+    """
+
+    name = "tcp"
+
+    def __init__(self, *, drop_rate: float = 0.0, mss_bytes: int = 1460, rtt_s: float = 1e-3) -> None:
+        self.drop_rate = check_probability(drop_rate, "drop_rate")
+        if mss_bytes < 1:
+            raise ConfigurationError(f"mss_bytes must be >= 1, got {mss_bytes}")
+        if rtt_s <= 0:
+            raise ConfigurationError(f"rtt_s must be positive, got {rtt_s}")
+        self.mss_bytes = int(mss_bytes)
+        self.rtt_s = float(rtt_s)
+
+    def effective_bandwidth_gbps(self, cost_model: CostModel) -> float:
+        """Link bandwidth after the congestion-control penalty for the drop rate."""
+        link = cost_model.bandwidth_gbps
+        if self.drop_rate <= 0.0:
+            return link
+        # Mathis et al.: throughput ~= (MSS / RTT) * 1 / sqrt(2p/3).
+        mathis_bps = (self.mss_bytes * 8.0 / self.rtt_s) / math.sqrt(2.0 * self.drop_rate / 3.0)
+        return min(link, mathis_bps / 1e9)
+
+    def transfer(self, payload: np.ndarray, cost_model: CostModel) -> Tuple[np.ndarray, float]:
+        payload = np.asarray(payload, dtype=np.float64)
+        num_bytes = payload.size * BYTES_PER_COORDINATE
+        seconds = cost_model.transfer_time(
+            num_bytes, bandwidth_gbps=self.effective_bandwidth_gbps(cost_model)
+        )
+        if self.drop_rate > 0.0:
+            # Each loss event additionally stalls the sender for ~one RTT
+            # (fast-retransmit); expected number of loss events per transfer.
+            packets = max(1, math.ceil(num_bytes / self.mss_bytes))
+            seconds += packets * self.drop_rate * self.rtt_s
+        return payload.copy(), seconds
+
+
+class LossyChannel(Channel):
+    """UDP-like transport (lossyMPI analogue): fast, but drops and reorders packets.
+
+    Parameters
+    ----------
+    drop_rate:
+        Independent per-packet drop probability.
+    reorder_rate:
+        Probability that the surviving packet stream is delivered out of
+        order (only affects the ``RANDOM_FILL`` policy, which has no sequence
+        numbers; ``NAN_FILL`` carries sequence numbers as §3.3 requires).
+    policy:
+        Recovery policy applied at the receiving endpoint.
+    coordinates_per_packet:
+        Packet payload size.
+    rng:
+        Randomness source for drops, reordering and garbage fill.
+    """
+
+    name = "udp"
+
+    def __init__(
+        self,
+        *,
+        drop_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        policy: RecoveryPolicy | str = RecoveryPolicy.RANDOM_FILL,
+        coordinates_per_packet: int = 256,
+        rng: SeedLike = None,
+    ) -> None:
+        self.drop_rate = check_probability(drop_rate, "drop_rate")
+        self.reorder_rate = check_probability(reorder_rate, "reorder_rate")
+        self._rng = as_rng(rng)
+        self.packetizer = Packetizer(
+            coordinates_per_packet, policy=policy, rng=self._rng
+        )
+
+    @property
+    def policy(self) -> RecoveryPolicy:
+        """The recovery policy applied at the receiving endpoint."""
+        return self.packetizer.policy
+
+    def transfer(self, payload: np.ndarray, cost_model: CostModel) -> Tuple[Optional[np.ndarray], float]:
+        payload = np.asarray(payload, dtype=np.float64).ravel()
+        packets = self.packetizer.split(payload)
+        # UDP pays the wire time for every packet sent, regardless of drops —
+        # there are no retransmissions and no congestion backoff.
+        num_bytes = payload.size * BYTES_PER_COORDINATE
+        seconds = cost_model.transfer_time(num_bytes)
+
+        if self.drop_rate > 0.0:
+            keep_mask = self._rng.random(len(packets)) >= self.drop_rate
+            survivors = [p for p, keep in zip(packets, keep_mask) if keep]
+        else:
+            survivors = packets
+
+        in_order = True
+        if self.reorder_rate > 0.0 and len(survivors) > 1:
+            if self._rng.random() < self.reorder_rate:
+                order = self._rng.permutation(len(survivors))
+                survivors = [survivors[i] for i in order]
+                in_order = False
+
+        delivered = self.packetizer.reassemble(survivors, payload.size, in_order=in_order)
+        return delivered, seconds
+
+
+__all__ = ["Channel", "ReliableChannel", "LossyChannel"]

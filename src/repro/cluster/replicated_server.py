@@ -1,0 +1,181 @@
+"""Replicated parameter server (the §6 "untrusted server" extension).
+
+The paper assumes a trusted parameter server and sketches, in its concluding
+remarks, how to lift that assumption: replicate the server with a
+Byzantine-fault-tolerant state-machine-replication scheme, have every worker
+talk to all replicas, and use the model "that has been sent by 2/3 of the
+replicas" — which works because the server-side computation (GAR + optimizer
+update) is deterministic, so every *correct* replica produces bit-identical
+models.
+
+This module implements that extension on top of the existing substrate:
+
+* :class:`ReplicatedParameterServer` drives ``r`` replicas of
+  :class:`~repro.cluster.server.ParameterServer` in lock-step.  Up to ``f_s``
+  of them may be Byzantine (they can send arbitrary models to workers), with
+  the classic BFT requirement ``r >= 3 f_s + 1``.
+* :func:`majority_model` is the worker-side decision rule: accept the model
+  vector proposed by more than two thirds of the replicas.
+
+The Byzantine replicas cannot influence the correct replicas' state (each
+replica aggregates the same worker gradients independently); they can only
+lie about the broadcast, which the quorum vote filters out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.message import GradientMessage
+from repro.cluster.server import ParameterServer
+from repro.core.base import GradientAggregationRule
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.optim.base import Optimizer, make_optimizer
+from repro.utils.random import SeedLike, as_rng
+
+
+def majority_model(proposals: Sequence[np.ndarray], *, quorum: Optional[int] = None,
+                   atol: float = 0.0) -> np.ndarray:
+    """Return the model vector proposed by a quorum of server replicas.
+
+    Parameters
+    ----------
+    proposals:
+        One flat model vector per replica.
+    quorum:
+        Minimum number of identical proposals required; defaults to a strict
+        two-thirds majority ``floor(2r/3) + 1``.
+    atol:
+        Tolerance when comparing proposals (0 = bit-identical, which is what
+        deterministic replicas produce).
+    """
+    vectors = [np.asarray(p, dtype=np.float64).ravel() for p in proposals]
+    if len(vectors) == 0:
+        raise TrainingError("no server replica sent a model")
+    r = len(vectors)
+    needed = quorum if quorum is not None else (2 * r) // 3 + 1
+    if needed < 1 or needed > r:
+        raise ConfigurationError(f"quorum must be in [1, {r}], got {needed}")
+    counts = [0] * r
+    for i in range(r):
+        for j in range(r):
+            if vectors[i].shape == vectors[j].shape and np.allclose(
+                vectors[i], vectors[j], atol=atol, rtol=0.0, equal_nan=False
+            ):
+                counts[i] += 1
+    best = int(np.argmax(counts))
+    if counts[best] < needed:
+        raise TrainingError(
+            f"no model reached the quorum of {needed} identical replica proposals "
+            f"(best agreement: {counts[best]} of {r})"
+        )
+    return vectors[best].copy()
+
+
+class ReplicatedParameterServer:
+    """``r`` deterministic server replicas, up to ``f_s`` of them Byzantine.
+
+    Parameters
+    ----------
+    initial_parameters:
+        Flat initial model (identical on every replica, as SMR guarantees).
+    gar:
+        The gradient aggregation rule; each replica gets its own instance-like
+        usage but the rule is stateless, so sharing one object is fine.
+    optimizer_factory:
+        Callable returning a *fresh* optimizer per replica (optimizer state is
+        part of the replicated state machine and must not be shared).
+    num_replicas:
+        Number of server replicas ``r``.
+    byzantine_replicas:
+        How many replicas are controlled by the adversary; requires
+        ``r >= 3 * byzantine_replicas + 1``.
+    rng:
+        Randomness for the Byzantine replicas' garbage broadcasts.
+    """
+
+    def __init__(
+        self,
+        initial_parameters: np.ndarray,
+        gar: GradientAggregationRule,
+        optimizer_factory,
+        *,
+        num_replicas: int = 4,
+        byzantine_replicas: int = 0,
+        expected_workers: Optional[Sequence[int]] = None,
+        rng: SeedLike = None,
+    ) -> None:
+        if num_replicas < 1:
+            raise ConfigurationError(f"num_replicas must be >= 1, got {num_replicas}")
+        if byzantine_replicas < 0:
+            raise ConfigurationError("byzantine_replicas must be non-negative")
+        if byzantine_replicas > 0 and num_replicas < 3 * byzantine_replicas + 1:
+            raise ConfigurationError(
+                f"tolerating {byzantine_replicas} Byzantine replicas requires "
+                f"r >= {3 * byzantine_replicas + 1}, got {num_replicas}"
+            )
+        self.num_replicas = int(num_replicas)
+        self.byzantine_replicas = int(byzantine_replicas)
+        self._rng = as_rng(rng)
+        self.replicas: List[ParameterServer] = [
+            ParameterServer(
+                np.asarray(initial_parameters, dtype=np.float64).copy(),
+                gar,
+                optimizer_factory(),
+                expected_workers=expected_workers,
+            )
+            for _ in range(self.num_replicas)
+        ]
+
+    # ------------------------------------------------------------------ state
+    @property
+    def dim(self) -> int:
+        """Model dimensionality."""
+        return self.replicas[0].dim
+
+    @property
+    def step(self) -> int:
+        """Step counter of the correct replicas."""
+        return self.replicas[-1].step
+
+    @property
+    def parameters(self) -> np.ndarray:
+        """The quorum model (what a worker would accept this step)."""
+        return majority_model(self.broadcast())
+
+    # -------------------------------------------------------------- protocol
+    def broadcast(self) -> List[np.ndarray]:
+        """One model proposal per replica (Byzantine replicas send garbage).
+
+        The *first* ``byzantine_replicas`` replicas are the compromised ones;
+        their internal state is still correct (SMR keeps them in the quorum
+        protocol) but what they send to workers is arbitrary.
+        """
+        proposals: List[np.ndarray] = []
+        for index, replica in enumerate(self.replicas):
+            if index < self.byzantine_replicas:
+                proposals.append(self._rng.normal(0.0, 1e3, size=replica.dim))
+            else:
+                proposals.append(replica.parameters)
+        return proposals
+
+    def worker_view(self) -> np.ndarray:
+        """The model a worker adopts: the two-thirds-quorum proposal."""
+        return majority_model(self.broadcast())
+
+    def apply_round(self, messages: Sequence[GradientMessage]) -> np.ndarray:
+        """Deliver one round of gradients to every replica and update them all.
+
+        Every replica receives the same messages (the workers multicast), runs
+        the same deterministic aggregation and optimizer step, and therefore
+        stays in agreement.  Returns the post-update quorum model.
+        """
+        for replica in self.replicas:
+            aggregated = replica.aggregate(messages)
+            replica.apply_update(aggregated)
+        return self.worker_view()
+
+
+__all__ = ["majority_model", "ReplicatedParameterServer"]

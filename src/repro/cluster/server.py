@@ -1,0 +1,109 @@
+"""The (trusted) parameter server.
+
+Holds the authoritative model parameters, aggregates the workers' gradient
+messages with the configured GAR, and applies the optimizer update
+(Equation 4 of the paper).  The server also enforces the hardening described
+in §3.2: only registered workers may submit gradients and nobody but the
+server mutates the shared parameters (the analogue of the TensorFlow patch
+that discards remote graph definitions on the "ps" job).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.message import GradientMessage
+from repro.core.base import GradientAggregationRule
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.optim.base import Optimizer
+
+
+class ParameterServer:
+    """Synchronous parameter server.
+
+    Parameters
+    ----------
+    initial_parameters:
+        Flat initial model vector.
+    gar:
+        The gradient aggregation rule (any registered GAR).
+    optimizer:
+        Server-side update rule (RMSprop in the paper's evaluation).
+    expected_workers:
+        Worker ids allowed to submit gradients; submissions from unknown ids
+        are rejected (the hardened-TensorFlow behaviour).
+    """
+
+    def __init__(
+        self,
+        initial_parameters: np.ndarray,
+        gar: GradientAggregationRule,
+        optimizer: Optimizer,
+        *,
+        expected_workers: Optional[Iterable[int]] = None,
+    ) -> None:
+        self._parameters = np.asarray(initial_parameters, dtype=np.float64).copy()
+        if self._parameters.ndim != 1 or self._parameters.size == 0:
+            raise ConfigurationError("initial parameters must be a non-empty flat vector")
+        self.gar = gar
+        self.optimizer = optimizer
+        self._allowed = None if expected_workers is None else set(int(w) for w in expected_workers)
+        self.step = 0
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def parameters(self) -> np.ndarray:
+        """Copy of the current model (what gets broadcast to the workers)."""
+        return self._parameters.copy()
+
+    @property
+    def dim(self) -> int:
+        """Model dimensionality ``d``."""
+        return int(self._parameters.size)
+
+    # ------------------------------------------------------------- protocol
+    def validate_submission(self, message: GradientMessage) -> None:
+        """Reject gradients from unknown workers or with the wrong dimensionality."""
+        if self._allowed is not None and message.worker_id not in self._allowed:
+            raise TrainingError(
+                f"worker {message.worker_id} is not part of the deployed cluster "
+                "(hardened server rejects foreign submissions)"
+            )
+        if message.dim != self.dim:
+            raise TrainingError(
+                f"gradient dimensionality {message.dim} does not match the model ({self.dim})"
+            )
+
+    def aggregate(self, messages: Sequence[GradientMessage]) -> np.ndarray:
+        """Validate and aggregate one round of gradient messages."""
+        if len(messages) == 0:
+            raise TrainingError("no gradients arrived this step — cannot aggregate")
+        for message in messages:
+            self.validate_submission(message)
+        matrix = np.stack([m.gradient for m in messages], axis=0)
+        return self.gar.aggregate(matrix)
+
+    def apply_update(self, aggregated_gradient: np.ndarray) -> np.ndarray:
+        """Apply the optimizer step and return the new parameters."""
+        aggregated_gradient = np.asarray(aggregated_gradient, dtype=np.float64)
+        if aggregated_gradient.shape != self._parameters.shape:
+            raise TrainingError(
+                f"aggregated gradient shape {aggregated_gradient.shape} does not match "
+                f"model shape {self._parameters.shape}"
+            )
+        if not np.isfinite(aggregated_gradient).all():
+            raise TrainingError(
+                "aggregated gradient contains non-finite values; the GAR in use does not "
+                "tolerate the submitted inputs"
+            )
+        self._parameters = self.optimizer.step(self._parameters, aggregated_gradient)
+        self.step += 1
+        return self.parameters
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ParameterServer(d={self.dim}, gar={self.gar!r}, step={self.step})"
+
+
+__all__ = ["ParameterServer"]

@@ -1,0 +1,163 @@
+"""Training telemetry: per-step records and derived metrics.
+
+The metrics mirror the paper's evaluation section:
+
+* top-1 cross-accuracy versus simulated time (Figures 3a/3c, 6, 7, 8);
+* accuracy versus model updates (Figures 3b/3d);
+* throughput in batches (gradients) received per second (Figure 5);
+* the latency breakdown between computation + communication and aggregation
+  (Figure 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class StepRecord:
+    """Timing and loss information for a single model update."""
+
+    step: int
+    sim_time: float
+    mean_loss: float
+    compute_comm_time: float
+    aggregation_time: float
+    update_time: float
+    gradients_received: int
+
+    @property
+    def step_time(self) -> float:
+        """Total simulated duration of the step."""
+        return self.compute_comm_time + self.aggregation_time + self.update_time
+
+
+@dataclass
+class EvalRecord:
+    """A periodic accuracy evaluation."""
+
+    step: int
+    sim_time: float
+    accuracy: float
+
+
+@dataclass
+class TrainingHistory:
+    """Accumulated telemetry for a training run."""
+
+    steps: List[StepRecord] = field(default_factory=list)
+    evaluations: List[EvalRecord] = field(default_factory=list)
+    diverged: bool = False
+    divergence_reason: str = ""
+
+    # ------------------------------------------------------------- recording
+    def record_step(self, record: StepRecord) -> None:
+        """Append one step record."""
+        self.steps.append(record)
+
+    def record_evaluation(self, record: EvalRecord) -> None:
+        """Append one accuracy evaluation."""
+        self.evaluations.append(record)
+
+    def mark_diverged(self, reason: str) -> None:
+        """Flag the run as diverged (e.g. non-finite aggregated gradient)."""
+        self.diverged = True
+        self.divergence_reason = reason
+
+    # --------------------------------------------------------------- metrics
+    @property
+    def num_updates(self) -> int:
+        """Number of model updates performed."""
+        return len(self.steps)
+
+    @property
+    def total_time(self) -> float:
+        """Simulated wall-clock of the whole run."""
+        return self.steps[-1].sim_time if self.steps else 0.0
+
+    @property
+    def final_accuracy(self) -> float:
+        """Last recorded accuracy (NaN when no evaluation happened)."""
+        return self.evaluations[-1].accuracy if self.evaluations else float("nan")
+
+    @property
+    def best_accuracy(self) -> float:
+        """Best recorded accuracy (NaN when no evaluation happened)."""
+        if not self.evaluations:
+            return float("nan")
+        return max(e.accuracy for e in self.evaluations)
+
+    def accuracy_over_time(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, accuracies)`` arrays — the Figure 3(a)-style series."""
+        times = np.array([e.sim_time for e in self.evaluations])
+        accs = np.array([e.accuracy for e in self.evaluations])
+        return times, accs
+
+    def accuracy_over_updates(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(steps, accuracies)`` arrays — the Figure 3(b)-style series."""
+        steps = np.array([e.step for e in self.evaluations])
+        accs = np.array([e.accuracy for e in self.evaluations])
+        return steps, accs
+
+    def time_to_accuracy(self, threshold: float) -> Optional[float]:
+        """Earliest simulated time at which *threshold* accuracy was reached.
+
+        Returns ``None`` when the run never reached the threshold — the
+        quantity behind the paper's 19% / 43% overhead numbers (time to reach
+        a reference accuracy, relative to the baseline).
+        """
+        for record in self.evaluations:
+            if record.accuracy >= threshold:
+                return record.sim_time
+        return None
+
+    def updates_to_accuracy(self, threshold: float) -> Optional[int]:
+        """Earliest model-update count at which *threshold* accuracy was reached."""
+        for record in self.evaluations:
+            if record.accuracy >= threshold:
+                return record.step
+        return None
+
+    def throughput(self) -> float:
+        """Mean gradients received per simulated second (Figure 5 metric)."""
+        if not self.steps or self.total_time <= 0:
+            return 0.0
+        total_gradients = sum(r.gradients_received for r in self.steps)
+        return total_gradients / self.total_time
+
+    def latency_breakdown(self) -> Dict[str, float]:
+        """Mean per-step latency components (Figure 4 metric)."""
+        if not self.steps:
+            return {"compute_comm": 0.0, "aggregation": 0.0, "update": 0.0, "total": 0.0}
+        compute = float(np.mean([r.compute_comm_time for r in self.steps]))
+        aggregation = float(np.mean([r.aggregation_time for r in self.steps]))
+        update = float(np.mean([r.update_time for r in self.steps]))
+        return {
+            "compute_comm": compute,
+            "aggregation": aggregation,
+            "update": update,
+            "total": compute + aggregation + update,
+        }
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable summary of the run."""
+        return {
+            "num_updates": self.num_updates,
+            "total_time": self.total_time,
+            "final_accuracy": self.final_accuracy,
+            "best_accuracy": self.best_accuracy,
+            "throughput": self.throughput(),
+            "latency_breakdown": self.latency_breakdown(),
+            "diverged": self.diverged,
+            "divergence_reason": self.divergence_reason,
+            "evaluations": [
+                {"step": e.step, "sim_time": e.sim_time, "accuracy": e.accuracy}
+                for e in self.evaluations
+            ],
+        }
+
+
+__all__ = ["StepRecord", "EvalRecord", "TrainingHistory"]

@@ -1,0 +1,300 @@
+"""Synchronous distributed training loop (the AggregaThor runner analogue).
+
+One training step follows the paper's synchronous parameter-server protocol:
+
+1. the server broadcasts the current model to every worker (reliable link);
+2. every honest worker computes a gradient estimate on its own iid mini-batch;
+3. Byzantine workers craft their gradients — possibly as a function of every
+   honest gradient (omniscient adversary);
+4. every gradient travels to the server over that worker's uplink channel
+   (reliable by default; the Figure 8 experiments put the lossy UDP channel
+   on up to ``f`` links);
+5. the server aggregates the received gradients with the configured GAR and
+   applies the optimizer update.
+
+Simulated time advances by the slowest worker's compute + communication path
+plus the server's aggregation and update time (synchronous training: workers
+idle while the server aggregates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.clock import SimulatedClock
+from repro.cluster.cost_model import CostModel
+from repro.cluster.deploy import ClusterSpec
+from repro.cluster.message import GradientMessage
+from repro.cluster.network import Channel, ReliableChannel
+from repro.cluster.server import ParameterServer
+from repro.cluster.telemetry import EvalRecord, StepRecord, TrainingHistory
+from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.nn.model import Sequential
+
+
+@dataclass
+class TrainerConfig:
+    """Knobs of the training loop.
+
+    Attributes
+    ----------
+    max_steps:
+        Number of model updates to perform.
+    eval_every:
+        Evaluate accuracy every this many steps (0 disables evaluation).
+    target_accuracy:
+        Optional early-stop threshold on the evaluation accuracy.
+    divergence_threshold:
+        Training is declared diverged when the parameter norm exceeds this
+        value or the loss becomes non-finite (the fate of vanilla averaging
+        under attack).
+    """
+
+    max_steps: int = 100
+    eval_every: int = 10
+    target_accuracy: Optional[float] = None
+    divergence_threshold: float = 1e8
+
+    def __post_init__(self) -> None:
+        if self.max_steps < 1:
+            raise ConfigurationError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.eval_every < 0:
+            raise ConfigurationError(f"eval_every must be >= 0, got {self.eval_every}")
+        if self.target_accuracy is not None and not 0.0 < self.target_accuracy <= 1.0:
+            raise ConfigurationError(
+                f"target_accuracy must be in (0, 1], got {self.target_accuracy}"
+            )
+        if self.divergence_threshold <= 0:
+            raise ConfigurationError("divergence_threshold must be positive")
+
+
+class SynchronousTrainer:
+    """Drives synchronous Byzantine-resilient distributed SGD.
+
+    Parameters
+    ----------
+    server:
+        The parameter server (holds the model, GAR and optimizer).
+    workers:
+        All workers, honest and Byzantine.
+    cost_model:
+        Translates compute / communication work into simulated seconds.
+    uplink_channels:
+        Optional per-worker-id uplink channel; defaults to a loss-free
+        reliable channel for every worker.
+    cluster:
+        Optional cluster specification; when given, each worker's compute
+        throughput is taken from its host node (shared equally between
+        co-located workers).
+    eval_model:
+        A model replica used for accuracy evaluation (its parameters are
+        overwritten before each evaluation).
+    test_set:
+        ``(features, labels)`` used for the top-1 cross-accuracy metric.
+    """
+
+    def __init__(
+        self,
+        server: ParameterServer,
+        workers: Sequence[Worker],
+        cost_model: CostModel,
+        *,
+        uplink_channels: Optional[Dict[int, Channel]] = None,
+        cluster: Optional[ClusterSpec] = None,
+        eval_model: Optional[Sequential] = None,
+        test_set: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> None:
+        if len(workers) == 0:
+            raise ConfigurationError("the cluster needs at least one worker")
+        ids = [w.worker_id for w in workers]
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate worker ids: {ids}")
+        self.server = server
+        self.workers = list(workers)
+        self.cost_model = cost_model
+        self.clock = SimulatedClock()
+        default_channel = ReliableChannel()
+        self.uplink_channels: Dict[int, Channel] = {
+            w.worker_id: (uplink_channels or {}).get(w.worker_id, default_channel)
+            for w in self.workers
+        }
+        self.cluster = cluster
+        self.eval_model = eval_model
+        self.test_set = test_set
+        if (eval_model is None) != (test_set is None):
+            raise ConfigurationError("eval_model and test_set must be provided together")
+        self._worker_gflops = self._resolve_worker_gflops()
+        self.history = TrainingHistory()
+
+    # ----------------------------------------------------------------- setup
+    def _resolve_worker_gflops(self) -> Dict[int, float]:
+        """Per-worker compute throughput, accounting for node co-location."""
+        if self.cluster is None or not self.cluster.worker_nodes:
+            return {w.worker_id: self.cost_model.worker_gflops for w in self.workers}
+        assignments = self.cluster.worker_nodes
+        counts: Dict[str, int] = {}
+        for name in assignments:
+            counts[name] = counts.get(name, 0) + 1
+        gflops: Dict[int, float] = {}
+        for worker, node_name in zip(self.workers, assignments):
+            node = self.cluster.node(node_name)
+            gflops[worker.worker_id] = node.compute_gflops / counts[node_name]
+        # Workers beyond the assignment list fall back to the cost-model default.
+        for worker in self.workers[len(assignments):]:
+            gflops.setdefault(worker.worker_id, self.cost_model.worker_gflops)
+        return gflops
+
+    @property
+    def honest_workers(self) -> List[HonestWorker]:
+        """The correct workers."""
+        return [w for w in self.workers if isinstance(w, HonestWorker)]
+
+    @property
+    def byzantine_workers(self) -> List[ByzantineWorker]:
+        """The adversary-controlled workers."""
+        return [w for w in self.workers if isinstance(w, ByzantineWorker)]
+
+    # ------------------------------------------------------------------ step
+    def run_step(self) -> StepRecord:
+        """Execute one synchronous step and return its telemetry record."""
+        parameters = self.server.parameters
+        step = self.server.step
+        dim = self.server.dim
+
+        # Phase 1-2: broadcast + honest gradient computation.
+        honest_messages: List[GradientMessage] = []
+        path_times: List[float] = []
+        downlink_time = self.cost_model.transfer_time(self.cost_model.gradient_bytes(dim))
+        for worker in self.honest_workers:
+            message = worker.compute_gradient(parameters, step)
+            honest_messages.append(message)
+            compute_time = self.cost_model.gradient_compute_time(
+                dim,
+                worker.batch_size,
+                gflops=self._worker_gflops[worker.worker_id],
+                flops_per_sample=worker.model.flops_per_sample(),
+            )
+            path_times.append(downlink_time + compute_time)
+
+        honest_matrix = (
+            np.stack([m.gradient for m in honest_messages], axis=0)
+            if honest_messages
+            else np.zeros((0, dim))
+        )
+
+        # Phase 3: Byzantine gradients (crafted with full knowledge of the honest ones).
+        byzantine_messages: List[GradientMessage] = []
+        num_byz = len(self.byzantine_workers)
+        for index, worker in enumerate(self.byzantine_workers):
+            message = worker.craft_gradient(
+                parameters, honest_matrix, step, num_byzantine=num_byz, index=index
+            )
+            byzantine_messages.append(message)
+            # The adversary has unbounded compute and arbitrarily fast links,
+            # so Byzantine workers never extend the step's critical path.
+
+        # Phase 4: gradient transfer over each worker's uplink channel.
+        delivered: List[GradientMessage] = []
+        for path_index, message in enumerate(honest_messages + byzantine_messages):
+            channel = self.uplink_channels[message.worker_id]
+            payload, seconds = channel.transfer(message.gradient, self.cost_model)
+            if path_index < len(honest_messages):
+                path_times[path_index] += seconds
+            if payload is None:
+                continue  # drop-gradient policy: the whole gradient is discarded
+            delivered.append(
+                GradientMessage(
+                    worker_id=message.worker_id,
+                    step=message.step,
+                    gradient=payload,
+                    loss=message.loss,
+                )
+            )
+
+        if not delivered:
+            raise TrainingError("every gradient was dropped this step; cannot make progress")
+
+        # Phase 5: aggregation + model update on the server.
+        for message in delivered:
+            self.server.validate_submission(message)
+        matrix = np.stack([m.gradient for m in delivered], axis=0)
+        aggregated, aggregation_time = self.cost_model.aggregation_time(self.server.gar, matrix)
+        self.server.apply_update(aggregated)
+        update_time = self.cost_model.update_time(dim)
+
+        compute_comm_time = max(path_times) if path_times else downlink_time
+        self.clock.advance(compute_comm_time + aggregation_time + update_time)
+
+        losses = [m.loss for m in honest_messages if np.isfinite(m.loss)]
+        record = StepRecord(
+            step=step,
+            sim_time=self.clock.now,
+            mean_loss=float(np.mean(losses)) if losses else float("nan"),
+            compute_comm_time=compute_comm_time,
+            aggregation_time=aggregation_time,
+            update_time=update_time,
+            gradients_received=len(delivered),
+        )
+        self.history.record_step(record)
+        return record
+
+    # ------------------------------------------------------------------ eval
+    def evaluate(self) -> float:
+        """Top-1 cross-accuracy of the server's current model on the test set."""
+        if self.eval_model is None or self.test_set is None:
+            raise ConfigurationError("no evaluation model / test set configured")
+        self.eval_model.set_parameters(self.server.parameters)
+        features, labels = self.test_set
+        return self.eval_model.accuracy(features, labels)
+
+    def _check_divergence(self, config: TrainerConfig, record: StepRecord) -> bool:
+        """Detect parameter blow-up or non-finite loss."""
+        params = self.server.parameters
+        if not np.isfinite(params).all():
+            self.history.mark_diverged("model parameters became non-finite")
+            return True
+        if np.abs(params).max() > config.divergence_threshold:
+            self.history.mark_diverged("model parameter norm exceeded the divergence threshold")
+            return True
+        if self.history.steps and not np.isfinite(record.mean_loss) and self.honest_workers:
+            # A NaN loss from every honest worker means the broadcast model is junk.
+            self.history.mark_diverged("training loss became non-finite")
+            return True
+        return False
+
+    # ------------------------------------------------------------------- run
+    def run(self, config: TrainerConfig) -> TrainingHistory:
+        """Run the full training loop and return the telemetry history."""
+        for _ in range(config.max_steps):
+            try:
+                record = self.run_step()
+            except TrainingError as exc:
+                self.history.mark_diverged(str(exc))
+                break
+            if self._check_divergence(config, record):
+                break
+            if config.eval_every and (self.server.step % config.eval_every == 0):
+                accuracy = self.evaluate() if self.eval_model is not None else float("nan")
+                self.history.record_evaluation(
+                    EvalRecord(step=self.server.step, sim_time=self.clock.now, accuracy=accuracy)
+                )
+                if (
+                    config.target_accuracy is not None
+                    and np.isfinite(accuracy)
+                    and accuracy >= config.target_accuracy
+                ):
+                    break
+        # Always finish with one evaluation so short runs report an accuracy.
+        if self.eval_model is not None and not self.history.diverged:
+            if not self.history.evaluations or self.history.evaluations[-1].step != self.server.step:
+                self.history.record_evaluation(
+                    EvalRecord(step=self.server.step, sim_time=self.clock.now, accuracy=self.evaluate())
+                )
+        return self.history
+
+
+__all__ = ["TrainerConfig", "SynchronousTrainer"]

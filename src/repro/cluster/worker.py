@@ -1,0 +1,126 @@
+"""Worker processes of the simulated cluster.
+
+Honest workers hold a local copy of the model graph, draw their own iid
+mini-batches and compute gradient estimates; Byzantine workers are controlled
+by an :mod:`repro.attacks` attack object (which, per the threat model, may
+observe every honest gradient before crafting its own).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.message import GradientMessage
+from repro.data.sampler import MiniBatchSampler
+from repro.exceptions import ConfigurationError
+from repro.nn.model import Sequential
+from repro.utils.random import SeedLike, as_rng
+
+
+class Worker(abc.ABC):
+    """Base class for all workers (honest or Byzantine)."""
+
+    def __init__(self, worker_id: int) -> None:
+        if worker_id < 0:
+            raise ConfigurationError(f"worker_id must be non-negative, got {worker_id}")
+        self.worker_id = int(worker_id)
+
+    @property
+    @abc.abstractmethod
+    def is_byzantine(self) -> bool:
+        """Whether this worker is controlled by the adversary."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(id={self.worker_id})"
+
+
+class HonestWorker(Worker):
+    """A correct worker: computes an unbiased gradient estimate each step.
+
+    Parameters
+    ----------
+    worker_id:
+        Index of the worker in the cluster.
+    model:
+        The worker's local model replica (architecture identical to the
+        server's; parameters are overwritten by each model broadcast).
+    sampler:
+        The worker's private mini-batch sampler.  "Corrupted data" workers
+        (Figure 7) are honest workers whose sampler draws from a corrupted
+        copy of the dataset.
+    """
+
+    def __init__(self, worker_id: int, model: Sequential, sampler: MiniBatchSampler) -> None:
+        super().__init__(worker_id)
+        self.model = model
+        self.sampler = sampler
+
+    @property
+    def is_byzantine(self) -> bool:
+        return False
+
+    @property
+    def batch_size(self) -> int:
+        """Mini-batch size used by this worker."""
+        return self.sampler.batch_size
+
+    def compute_gradient(self, parameters: np.ndarray, step: int) -> GradientMessage:
+        """One gradient estimation: load the broadcast model, sample, backprop."""
+        self.model.set_parameters(parameters)
+        batch_x, batch_y = self.sampler.sample()
+        loss, gradient = self.model.loss_and_gradient(batch_x, batch_y)
+        return GradientMessage(worker_id=self.worker_id, step=step, gradient=gradient, loss=loss)
+
+
+class ByzantineWorker(Worker):
+    """A worker controlled by the adversary.
+
+    The actual gradient it submits is produced by an attack object (see
+    :mod:`repro.attacks`), potentially as a function of every honest
+    gradient — the trainer passes those in, honouring the threat model's
+    omniscient adversary.
+    """
+
+    def __init__(self, worker_id: int, attack, *, rng: SeedLike = None) -> None:
+        super().__init__(worker_id)
+        if not hasattr(attack, "craft"):
+            raise ConfigurationError(
+                f"attack object {attack!r} must expose a craft(parameters, honest_gradients, "
+                "num_byzantine, rng) method"
+            )
+        self.attack = attack
+        self._rng = as_rng(rng)
+
+    @property
+    def is_byzantine(self) -> bool:
+        return True
+
+    def craft_gradient(
+        self,
+        parameters: np.ndarray,
+        honest_gradients: np.ndarray,
+        step: int,
+        *,
+        num_byzantine: int = 1,
+        index: int = 0,
+    ) -> GradientMessage:
+        """Craft this worker's malicious gradient for the current step.
+
+        *index* selects this worker's row when the attack crafts all
+        ``num_byzantine`` Byzantine gradients jointly (colluding adversary).
+        """
+        crafted = self.attack.craft(
+            parameters=np.asarray(parameters, dtype=np.float64),
+            honest_gradients=np.asarray(honest_gradients, dtype=np.float64),
+            num_byzantine=num_byzantine,
+            rng=self._rng,
+        )
+        crafted = np.atleast_2d(np.asarray(crafted, dtype=np.float64))
+        row = crafted[min(index, crafted.shape[0] - 1)]
+        return GradientMessage(worker_id=self.worker_id, step=step, gradient=row, loss=float("nan"))
+
+
+__all__ = ["Worker", "HonestWorker", "ByzantineWorker"]

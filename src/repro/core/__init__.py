@@ -1,0 +1,50 @@
+"""Gradient Aggregation Rules — the paper's primary contribution.
+
+Importing this package registers every built-in GAR in
+:data:`repro.core.GAR_REGISTRY`, so ``make_gar("multi-krum", f=4)`` works the
+same way as AggregaThor's ``--aggregator multi-krum`` command-line flag.
+"""
+
+from repro.core.base import (
+    AggregationResult,
+    GradientAggregationRule,
+    GAR_REGISTRY,
+    available_gars,
+    make_gar,
+    register_gar,
+)
+from repro.core.average import Average, SelectiveAverage
+from repro.core.median import CoordinateWiseMedian, TrimmedMean
+from repro.core.krum import Krum, MultiKrum, krum_scores, pairwise_squared_distances
+from repro.core.bulyan import Bulyan, NaiveBulyan
+from repro.core.geometric_median import GeometricMedian
+from repro.core.meamed import MeaMed, Phocas
+from repro.core.brute import Brute
+from repro.core.clipping import CenteredClipping, NormClippedMean
+from repro.core import theory
+
+__all__ = [
+    "AggregationResult",
+    "GradientAggregationRule",
+    "GAR_REGISTRY",
+    "available_gars",
+    "make_gar",
+    "register_gar",
+    "Average",
+    "SelectiveAverage",
+    "CoordinateWiseMedian",
+    "TrimmedMean",
+    "Krum",
+    "MultiKrum",
+    "Bulyan",
+    "NaiveBulyan",
+    "GeometricMedian",
+    "MeaMed",
+    "Phocas",
+    "Brute",
+    "CenteredClipping",
+    "NormClippedMean",
+    "krum_scores",
+    "pairwise_squared_distances",
+    "theory",
+]

@@ -1,0 +1,80 @@
+"""Brute / Minimum-Diameter Averaging (MDA) gradient aggregation.
+
+The original AggregaThor code base ships a "brute" aggregator: enumerate every
+subset of ``n - f`` gradients, pick the subset with the smallest *diameter*
+(the largest pairwise distance inside the subset), and return its average.
+This rule is strongly Byzantine resilient for ``n >= 2f + 1`` but its cost is
+combinatorial in ``n`` (``C(n, n-f)`` subsets), which is why Multi-Krum /
+Bulyan are the practical choices — making Brute both a useful correctness
+oracle and an instructive cost comparison point.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.base import AggregationResult, GradientAggregationRule, register_gar
+from repro.core.krum import pairwise_squared_distances
+from repro.exceptions import AggregationError, ConfigurationError, ResilienceConditionError
+
+
+@register_gar("brute")
+class Brute(GradientAggregationRule):
+    """Minimum-diameter averaging over all ``n - f`` subsets.
+
+    Parameters
+    ----------
+    f:
+        Number of Byzantine workers to tolerate; requires ``n >= 2f + 1``.
+    max_workers:
+        Safety cap on ``n``: the subset enumeration is combinatorial, so the
+        rule refuses inputs larger than this (default 25, ~5 million subsets
+        in the worst case for f close to n/2 — still tractable but slow).
+    """
+
+    resilience = "strong"
+    supports_non_finite = True
+
+    def __init__(self, f: int = 0, max_workers: int = 25) -> None:
+        super().__init__(f=f)
+        if max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = int(max_workers)
+
+    @classmethod
+    def minimum_workers(cls, f: int) -> int:
+        return 2 * f + 1
+
+    def _aggregate(self, matrix: np.ndarray) -> AggregationResult:
+        n = matrix.shape[0]
+        if n > self.max_workers:
+            raise AggregationError(
+                f"Brute aggregation over {n} workers would enumerate too many subsets; "
+                f"raise max_workers (currently {self.max_workers}) explicitly if intended"
+            )
+        subset_size = n - self.f
+        if subset_size < 1:
+            raise ResilienceConditionError(f"Brute needs n - f >= 1, got n={n}, f={self.f}")
+        distances = pairwise_squared_distances(matrix)
+        best_indices: tuple[int, ...] | None = None
+        best_diameter = np.inf
+        for subset in combinations(range(n), subset_size):
+            idx = np.asarray(subset, dtype=np.intp)
+            diameter = distances[np.ix_(idx, idx)].max()
+            if diameter < best_diameter:
+                best_diameter = diameter
+                best_indices = subset
+        assert best_indices is not None
+        selected = np.asarray(best_indices, dtype=np.intp)
+        chosen = matrix[selected]
+        if not np.isfinite(chosen).all():
+            raise AggregationError(
+                "Brute selected a non-finite gradient: more than f workers submitted "
+                "invalid values"
+            )
+        return AggregationResult(gradient=chosen.mean(axis=0), selected_indices=selected)
+
+
+__all__ = ["Brute"]

@@ -1,0 +1,85 @@
+"""Dataset container with train/test split."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class Dataset:
+    """A supervised dataset split into training and test portions.
+
+    Attributes
+    ----------
+    train_x, train_y:
+        Training features and integer labels.
+    test_x, test_y:
+        Held-out features and labels used for the cross-accuracy metric.
+    name:
+        Identifier used in experiment reports.
+    num_classes:
+        Number of distinct labels (0 for regression tasks).
+    """
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+    name: str = "dataset"
+    num_classes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.train_x.shape[0] != self.train_y.shape[0]:
+            raise ConfigurationError(
+                f"train_x has {self.train_x.shape[0]} rows but train_y has {self.train_y.shape[0]}"
+            )
+        if self.test_x.shape[0] != self.test_y.shape[0]:
+            raise ConfigurationError(
+                f"test_x has {self.test_x.shape[0]} rows but test_y has {self.test_y.shape[0]}"
+            )
+        if self.train_x.shape[0] == 0:
+            raise ConfigurationError("training split must be non-empty")
+
+    @property
+    def num_train(self) -> int:
+        """Number of training examples (``B`` in the paper's notation)."""
+        return int(self.train_x.shape[0])
+
+    @property
+    def num_test(self) -> int:
+        """Number of test examples."""
+        return int(self.test_x.shape[0])
+
+    @property
+    def feature_shape(self) -> Tuple[int, ...]:
+        """Shape of a single feature sample (without the batch dimension)."""
+        return tuple(self.train_x.shape[1:])
+
+    def subset(self, size: int, *, rng: np.random.Generator | None = None) -> "Dataset":
+        """A random subset of the training data (test split kept whole).
+
+        Useful for quick experiments that should not iterate over the full
+        training set.
+        """
+        if size < 1 or size > self.num_train:
+            raise ConfigurationError(
+                f"subset size must be in [1, {self.num_train}], got {size}"
+            )
+        generator = rng if rng is not None else np.random.default_rng(0)
+        idx = generator.choice(self.num_train, size=size, replace=False)
+        return Dataset(
+            train_x=self.train_x[idx],
+            train_y=self.train_y[idx],
+            test_x=self.test_x,
+            test_y=self.test_y,
+            name=f"{self.name}-subset{size}",
+            num_classes=self.num_classes,
+        )
+
+
+__all__ = ["Dataset"]

@@ -1,0 +1,70 @@
+"""Per-worker mini-batch sampling.
+
+Each correct worker draws its own iid mini-batch from the training set
+(uniform random sampling with replacement), which is the assumption under
+which the gradient estimate is unbiased — and the only data assumption
+AggregaThor makes (unlike Draco, no agreement on data ordering is needed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.random import SeedLike, as_rng
+from repro.utils.validation import check_positive_int
+
+
+class MiniBatchSampler:
+    """Uniform-with-replacement mini-batch sampler over a training set.
+
+    Parameters
+    ----------
+    features, labels:
+        The training arrays (first axis is the sample axis).
+    batch_size:
+        The mini-batch size ``b`` (paper default: 100; Figures 3/6 also use
+        250 and 20).
+    rng:
+        Seed or generator; each worker owns an independent sampler stream.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int,
+        *,
+        rng: SeedLike = None,
+    ) -> None:
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        if features.shape[0] != labels.shape[0]:
+            raise ConfigurationError(
+                f"features have {features.shape[0]} rows but labels have {labels.shape[0]}"
+            )
+        if features.shape[0] == 0:
+            raise ConfigurationError("cannot sample from an empty dataset")
+        self.features = features
+        self.labels = labels
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self._rng = as_rng(rng)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of samples in the underlying training set."""
+        return int(self.features.shape[0])
+
+    def sample(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw one mini-batch ``(x, y)`` uniformly at random with replacement."""
+        idx = self._rng.integers(0, self.num_samples, size=self.batch_size)
+        return self.features[idx], self.labels[idx]
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        while True:
+            yield self.sample()
+
+
+__all__ = ["MiniBatchSampler"]

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers can
+catch any failure originating from this package with a single ``except``
+clause, while still being able to discriminate configuration problems from
+runtime (training / aggregation) problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter combination was supplied by the caller.
+
+    Examples include requesting Multi-Krum with ``n < 2f + 3`` workers or a
+    negative mini-batch size.
+    """
+
+
+class ResilienceConditionError(ConfigurationError):
+    """A Byzantine-resilience precondition on ``(n, f, m)`` is violated.
+
+    Raised by the GAR constructors and by :mod:`repro.core.theory` when a
+    requested deployment cannot provide the resilience guarantee the GAR
+    advertises (e.g. Bulyan with ``n < 4f + 3``).
+    """
+
+
+class AggregationError(ReproError, RuntimeError):
+    """A gradient aggregation rule received inputs it cannot aggregate.
+
+    Examples include an empty gradient list, gradients of mismatched
+    dimensionality, or fewer gradients than the rule's minimum ``n``.
+    """
+
+
+class NetworkError(ReproError, RuntimeError):
+    """The simulated transport layer was used incorrectly."""
+
+
+class TrainingError(ReproError, RuntimeError):
+    """The distributed training loop reached an unrecoverable state."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment driver was configured inconsistently."""

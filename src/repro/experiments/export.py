@@ -1,0 +1,58 @@
+"""Result export and pretty-printing helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+
+def _to_serialisable(value):
+    """Recursively convert NumPy types to plain Python for JSON export."""
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _to_serialisable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_to_serialisable(v) for v in value]
+    return value
+
+
+def results_to_json(results: Dict, path: Union[str, Path, None] = None) -> str:
+    """Serialise an experiment-result dictionary to JSON (optionally to a file)."""
+    payload = json.dumps(_to_serialisable(results), indent=2, sort_keys=True)
+    if path is not None:
+        Path(path).write_text(payload)
+    return payload
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Render a plain-text table (the form in which benches print paper rows)."""
+    str_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if np.isnan(cell):
+            return "n/a"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+__all__ = ["results_to_json", "format_table"]

@@ -1,0 +1,71 @@
+"""Figure 4 — latency breakdown per epoch.
+
+The paper decomposes the average step latency of TF, Median, Multi-Krum and
+Bulyan into (computation + communication) and aggregation, finding the
+aggregation share at roughly 35% (Median), 27% (Multi-Krum) and 52% (Bulyan)
+of the step for the Table-1 CNN, and notes the share only depends on the
+gradient-computation-to-aggregation ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentProfile, ci_profile
+from repro.experiments.export import format_table
+from repro.experiments.runners import run_system
+
+#: The systems of Figure 4, in the paper's x-axis order.
+FIGURE4_SYSTEMS = ("tf", "median", "multi-krum", "bulyan")
+
+
+def run_latency_breakdown(
+    profile: Optional[ExperimentProfile] = None,
+    *,
+    systems: Sequence[str] = FIGURE4_SYSTEMS,
+    max_steps: Optional[int] = None,
+) -> Dict:
+    """Measure the mean per-step latency components for each system."""
+    profile = profile or ci_profile()
+    dataset = profile.make_dataset()
+    steps = max_steps if max_steps is not None else min(profile.max_steps, 20)
+
+    breakdowns: List[Dict] = []
+    for system in systems:
+        history = run_system(profile, system, dataset, max_steps=steps, eval_every=0)
+        parts = history.latency_breakdown()
+        total = parts["total"] or float("nan")
+        breakdowns.append(
+            {
+                "system": system,
+                "compute_comm_time": parts["compute_comm"],
+                "aggregation_time": parts["aggregation"],
+                "update_time": parts["update"],
+                "total_time": total,
+                "aggregation_share": parts["aggregation"] / total if total else float("nan"),
+            }
+        )
+    return {"profile": profile.name, "breakdowns": breakdowns}
+
+
+def format_results(results: Dict) -> str:
+    """Pretty-print the Figure 4 reproduction."""
+    rows = [
+        (
+            b["system"],
+            b["compute_comm_time"],
+            b["aggregation_time"],
+            b["total_time"],
+            b["aggregation_share"],
+        )
+        for b in results["breakdowns"]
+    ]
+    return format_table(
+        ["system", "compute+comm (s)", "aggregation (s)", "total (s)", "agg share"],
+        rows,
+        title="Figure 4 — latency breakdown per step "
+        "(paper shares: Median 35%, Multi-Krum 27%, Bulyan 52%)",
+    )
+
+
+__all__ = ["FIGURE4_SYSTEMS", "run_latency_breakdown", "format_results"]

@@ -1,0 +1,120 @@
+"""Figure 3 — overhead of AggregaThor in a non-Byzantine environment.
+
+The paper trains TF / Average / Median / Multi-Krum(f) / Bulyan(f) / Draco(f)
+with no actual Byzantine workers and reports accuracy versus time (3a, 3c) and
+versus model updates (3b, 3d) for two mini-batch sizes, plus the headline
+overhead numbers: Multi-Krum is 19% and Bulyan 43% slower than vanilla
+TensorFlow to reach 50% of the final accuracy.
+
+:func:`run_overhead` reproduces all four panels; :func:`overhead_summary`
+extracts the headline relative-overhead numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentProfile, ci_profile
+from repro.experiments.export import format_table
+from repro.experiments.runners import SystemResult, run_system
+
+#: The systems of Figure 3, in the paper's legend order.
+FIGURE3_SYSTEMS = ("tf", "average", "median", "multi-krum", "bulyan", "draco")
+
+
+def run_overhead(
+    profile: Optional[ExperimentProfile] = None,
+    *,
+    systems: Sequence[str] = FIGURE3_SYSTEMS,
+    batch_sizes: Optional[Sequence[int]] = None,
+) -> Dict:
+    """Run the Figure 3 grid: every system at every mini-batch size.
+
+    Returns a dictionary ``{"panels": {batch_size: [SystemResult...]},
+    "summaries": [...]}`` with the accuracy-vs-time / vs-updates series stored
+    inside each result's history.
+    """
+    profile = profile or ci_profile()
+    batch_sizes = list(batch_sizes) if batch_sizes is not None else list(profile.alt_batch_sizes)
+    dataset = profile.make_dataset()
+
+    panels: Dict[int, List[SystemResult]] = {}
+    for batch_size in batch_sizes:
+        results: List[SystemResult] = []
+        for system in systems:
+            history = run_system(profile, system, dataset, batch_size=batch_size)
+            results.append(
+                SystemResult(system=system, history=history, f=profile.f, batch_size=batch_size)
+            )
+        panels[batch_size] = results
+
+    return {
+        "profile": profile.name,
+        "batch_sizes": batch_sizes,
+        "panels": panels,
+        "summaries": [r.summary() for results in panels.values() for r in results],
+    }
+
+
+def overhead_summary(results: Dict, *, reference_fraction: float = 0.5) -> List[Dict]:
+    """The headline overhead numbers: time to reach a reference accuracy vs TF.
+
+    For each batch size, the reference accuracy is ``reference_fraction`` of
+    the TF baseline's final accuracy (the paper uses 50%); the overhead of a
+    system is ``time_system / time_tf - 1``.
+    """
+    rows: List[Dict] = []
+    for batch_size, system_results in results["panels"].items():
+        baseline = next((r for r in system_results if r.system == "tf"), None)
+        if baseline is None or not baseline.history.evaluations:
+            continue
+        reference = reference_fraction * baseline.history.final_accuracy
+        baseline_time = baseline.history.time_to_accuracy(reference)
+        for result in system_results:
+            reached = result.history.time_to_accuracy(reference)
+            overhead = (
+                (reached / baseline_time - 1.0)
+                if (reached is not None and baseline_time not in (None, 0))
+                else float("nan")
+            )
+            rows.append(
+                {
+                    "batch_size": batch_size,
+                    "system": result.system,
+                    "reference_accuracy": reference,
+                    "time_to_reference": reached if reached is not None else float("nan"),
+                    "overhead_vs_tf": overhead,
+                    "final_accuracy": result.history.final_accuracy,
+                }
+            )
+    return rows
+
+
+def format_results(results: Dict) -> str:
+    """Pretty-print the Figure 3 reproduction (summary + overhead table)."""
+    summary_rows = [
+        (s["system"], s["batch_size"], s["final_accuracy"], s["total_time"], s["throughput"])
+        for s in results["summaries"]
+    ]
+    out = [
+        format_table(
+            ["system", "batch", "final_acc", "sim_time_s", "throughput"],
+            summary_rows,
+            title="Figure 3 — non-Byzantine overhead (per-system summary)",
+        )
+    ]
+    overhead_rows = [
+        (r["system"], r["batch_size"], r["time_to_reference"], r["overhead_vs_tf"])
+        for r in overhead_summary(results)
+    ]
+    out.append(
+        format_table(
+            ["system", "batch", "time_to_50pct", "overhead_vs_tf"],
+            overhead_rows,
+            title="Headline overheads (paper: Multi-Krum ~19%, Bulyan ~43%)",
+        )
+    )
+    return "\n\n".join(out)
+
+
+__all__ = ["FIGURE3_SYSTEMS", "run_overhead", "overhead_summary", "format_results"]

@@ -1,0 +1,27 @@
+"""NumPy neural-network substrate.
+
+A small, dependency-free deep-learning stack sufficient to train the models
+of the paper's evaluation: Table 1's CIFAR CNN, MLPs, logistic regression and
+a larger residual network standing in for ResNet-50.  Everything is expressed
+with vectorised NumPy operations (no per-sample Python loops).
+
+The central abstractions are :class:`repro.nn.parameter.Parameter` (a value
+array plus its gradient) and :class:`repro.nn.model.Sequential` (an ordered
+stack of layers exposing flat get/set of parameters and gradients, which is
+what the parameter-server protocol exchanges).
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.model import Sequential
+from repro.nn.losses import SoftmaxCrossEntropy, MeanSquaredError
+from repro.nn import initializers, layers, models
+
+__all__ = [
+    "Parameter",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "initializers",
+    "layers",
+    "models",
+]

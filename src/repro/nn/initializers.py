@@ -1,0 +1,91 @@
+"""Weight initialisation schemes.
+
+Deterministic given a :class:`numpy.random.Generator`, so distributed
+experiments can hand every worker the same initial model (the parameter
+server broadcasts the model, but tests also rely on reproducible inits).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.random import SeedLike, as_rng
+
+
+def zeros(shape: Sequence[int], rng: SeedLike = None) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def constant(shape: Sequence[int], value: float, rng: SeedLike = None) -> np.ndarray:
+    """Constant initialisation."""
+    return np.full(shape, float(value), dtype=np.float64)
+
+
+def normal(shape: Sequence[int], rng: SeedLike = None, *, std: float = 0.05) -> np.ndarray:
+    """Gaussian initialisation with the given standard deviation."""
+    if std < 0:
+        raise ConfigurationError(f"std must be non-negative, got {std}")
+    return as_rng(rng).normal(0.0, std, size=shape)
+
+
+def _fan_in_out(shape: Sequence[int]) -> tuple[int, int]:
+    """Fan-in / fan-out of a dense ``(in, out)`` or conv ``(out, in, kh, kw)`` kernel."""
+    shape = tuple(int(s) for s in shape)
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    raise ConfigurationError(f"unsupported parameter shape for fan computation: {shape}")
+
+
+def glorot_uniform(shape: Sequence[int], rng: SeedLike = None) -> np.ndarray:
+    """Glorot / Xavier uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = math.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return as_rng(rng).uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Sequence[int], rng: SeedLike = None) -> np.ndarray:
+    """He (Kaiming) normal initialisation, appropriate for ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = math.sqrt(2.0 / max(fan_in, 1))
+    return as_rng(rng).normal(0.0, std, size=shape)
+
+
+INITIALIZERS = {
+    "zeros": zeros,
+    "normal": normal,
+    "glorot": glorot_uniform,
+    "glorot_uniform": glorot_uniform,
+    "he": he_normal,
+    "he_normal": he_normal,
+}
+
+
+def get_initializer(name: str):
+    """Look up an initialiser by name."""
+    try:
+        return INITIALIZERS[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown initializer {name!r}; available: {sorted(INITIALIZERS)}"
+        ) from exc
+
+
+__all__ = [
+    "zeros",
+    "constant",
+    "normal",
+    "glorot_uniform",
+    "he_normal",
+    "get_initializer",
+    "INITIALIZERS",
+]

@@ -1,0 +1,95 @@
+"""Element-wise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit: ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        mask = x > 0.0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, 0.0)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        return np.where(self._mask, grad_output, 0.0)
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        if negative_slope < 0:
+            raise ConfigurationError(f"negative_slope must be >= 0, got {negative_slope}")
+        self.negative_slope = float(negative_slope)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        mask = x > 0.0
+        if training:
+            self._mask = mask
+        return np.where(mask, x, self.negative_slope * x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        # Numerically stable piecewise formulation.
+        out = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500))),
+                       np.exp(np.clip(x, -500, 500)) / (1.0 + np.exp(np.clip(x, -500, 500))))
+        if training:
+            self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        out = np.tanh(np.asarray(x, dtype=np.float64))
+        if training:
+            self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        return grad_output * (1.0 - self._output**2)
+
+
+__all__ = ["ReLU", "LeakyReLU", "Sigmoid", "Tanh"]

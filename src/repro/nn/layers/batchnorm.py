@@ -1,0 +1,70 @@
+"""Batch normalisation layer (2-D activations, per-feature statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers.base import Layer
+from repro.utils.validation import check_positive_int, check_probability
+
+
+class BatchNorm(Layer):
+    """Batch normalisation over the batch dimension of ``(N, F)`` inputs.
+
+    During training the batch statistics are used and exponential moving
+    averages are maintained; during evaluation the moving averages are used.
+    For convolutional activations insert a :class:`~repro.nn.layers.reshape.Flatten`
+    first or use this layer after the fully connected stages (which is how the
+    paper's CNN is typically regularised).
+    """
+
+    def __init__(self, num_features: int, *, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = check_positive_int(num_features, "num_features")
+        self.momentum = check_probability(momentum, "momentum")
+        if eps <= 0:
+            raise ConfigurationError(f"eps must be positive, got {eps}")
+        self.eps = float(eps)
+        self.gamma = self.add_parameter(np.ones(self.num_features), "gamma")
+        self.beta = self.add_parameter(np.zeros(self.num_features), "beta")
+        self.running_mean = np.zeros(self.num_features)
+        self.running_var = np.ones(self.num_features)
+        self._cache: tuple | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.num_features:
+            raise ConfigurationError(
+                f"BatchNorm expected input of shape (batch, {self.num_features}), got {x.shape}"
+            )
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+            std = np.sqrt(var + self.eps)
+            x_hat = (x - mean) / std
+            self._cache = (x_hat, std)
+        else:
+            std = np.sqrt(self.running_var + self.eps)
+            x_hat = (x - self.running_mean) / std
+            self._cache = None
+        return self.gamma.data * x_hat + self.beta.data
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        x_hat, std = self._cache
+        n = grad_output.shape[0]
+        self.gamma.grad += (grad_output * x_hat).sum(axis=0)
+        self.beta.grad += grad_output.sum(axis=0)
+        # Standard batch-norm backward (all terms vectorised over the batch).
+        dx_hat = grad_output * self.gamma.data
+        grad_input = (
+            dx_hat - dx_hat.mean(axis=0) - x_hat * (dx_hat * x_hat).mean(axis=0)
+        ) / std
+        return grad_input
+
+
+__all__ = ["BatchNorm"]

@@ -1,0 +1,176 @@
+"""2-D convolution layer (NCHW layout).
+
+The forward/backward passes are vectorised over the batch and spatial
+dimensions; the only Python loop is over the ``kh * kw`` kernel positions
+(25 iterations for the paper's 5x5 kernels), each of which performs a single
+``einsum`` on a strided view of the padded input.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.initializers import get_initializer, zeros
+from repro.nn.layers.base import Layer
+from repro.utils.random import SeedLike, as_rng
+from repro.utils.validation import check_positive_int
+
+
+def _pair(value, name: str) -> Tuple[int, int]:
+    """Normalise an int or 2-tuple into a (height, width) pair of positive ints."""
+    if isinstance(value, (int, np.integer)):
+        value = (int(value), int(value))
+    if len(value) != 2:
+        raise ConfigurationError(f"{name} must be an int or a pair, got {value!r}")
+    return (check_positive_int(int(value[0]), name), check_positive_int(int(value[1]), name))
+
+
+def same_padding(in_size: int, kernel: int, stride: int) -> Tuple[int, int, int]:
+    """TensorFlow-style SAME padding: output size and (before, after) pad amounts."""
+    out_size = -(-in_size // stride)  # ceil division
+    total_pad = max((out_size - 1) * stride + kernel - in_size, 0)
+    before = total_pad // 2
+    after = total_pad - before
+    return out_size, before, after
+
+
+def valid_output(in_size: int, kernel: int, stride: int) -> int:
+    """Output size of a VALID (no padding) convolution/pooling."""
+    if in_size < kernel:
+        raise ConfigurationError(
+            f"input size {in_size} smaller than kernel {kernel} with VALID padding"
+        )
+    return (in_size - kernel) // stride + 1
+
+
+class Conv2D(Layer):
+    """2-D convolution over NCHW inputs.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Kernel height/width (int or pair).
+    stride:
+        Convolution stride (int or pair).
+    padding:
+        ``"same"`` (TensorFlow SAME semantics, used by the Table-1 CNN) or
+        ``"valid"``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size,
+        *,
+        stride=1,
+        padding: str = "same",
+        use_bias: bool = True,
+        weight_init: str = "he",
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = check_positive_int(in_channels, "in_channels")
+        self.out_channels = check_positive_int(out_channels, "out_channels")
+        self.kernel_size = _pair(kernel_size, "kernel_size")
+        self.stride = _pair(stride, "stride")
+        padding = str(padding).lower()
+        if padding not in ("same", "valid"):
+            raise ConfigurationError(f"padding must be 'same' or 'valid', got {padding!r}")
+        self.padding = padding
+
+        init = get_initializer(weight_init)
+        generator = as_rng(rng)
+        kh, kw = self.kernel_size
+        self.weight = self.add_parameter(
+            init((self.out_channels, self.in_channels, kh, kw), generator), "weight"
+        )
+        self.use_bias = bool(use_bias)
+        self.bias = (
+            self.add_parameter(zeros((self.out_channels,)), "bias") if self.use_bias else None
+        )
+        self._cache: tuple | None = None
+
+    # ------------------------------------------------------------------ geometry
+    def _geometry(self, h: int, w: int) -> Tuple[int, int, Tuple[int, int], Tuple[int, int]]:
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        if self.padding == "same":
+            out_h, ph0, ph1 = same_padding(h, kh, sh)
+            out_w, pw0, pw1 = same_padding(w, kw, sw)
+        else:
+            out_h, ph0, ph1 = valid_output(h, kh, sh), 0, 0
+            out_w, pw0, pw1 = valid_output(w, kw, sw), 0, 0
+        return out_h, out_w, (ph0, ph1), (pw0, pw1)
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Output ``(channels, height, width)`` for an input ``(channels, height, width)``."""
+        c, h, w = input_shape
+        if c != self.in_channels:
+            raise ConfigurationError(f"expected {self.in_channels} input channels, got {c}")
+        out_h, out_w, _, _ = self._geometry(h, w)
+        return (self.out_channels, out_h, out_w)
+
+    # ------------------------------------------------------------------ forward
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ConfigurationError(
+                f"Conv2D expected input of shape (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        n, _, h, w = x.shape
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        out_h, out_w, (ph0, ph1), (pw0, pw1) = self._geometry(h, w)
+        self.last_forward_flops = (
+            2.0 * n * self.out_channels * self.in_channels * kh * kw * out_h * out_w
+        )
+        padded = np.pad(x, ((0, 0), (0, 0), (ph0, ph1), (pw0, pw1)))
+        out = np.zeros((n, self.out_channels, out_h, out_w), dtype=np.float64)
+        for i in range(kh):
+            for j in range(kw):
+                patch = padded[:, :, i : i + out_h * sh : sh, j : j + out_w * sw : sw]
+                out += np.einsum("ncyx,oc->noyx", patch, self.weight.data[:, :, i, j],
+                                 optimize=True)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None, None]
+        if training:
+            self._cache = (padded, x.shape, out_h, out_w)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        padded, input_shape, out_h, out_w = self._cache
+        kh, kw = self.kernel_size
+        sh, sw = self.stride
+        grad_padded = np.zeros_like(padded)
+        for i in range(kh):
+            for j in range(kw):
+                patch = padded[:, :, i : i + out_h * sh : sh, j : j + out_w * sw : sw]
+                self.weight.grad[:, :, i, j] += np.einsum(
+                    "ncyx,noyx->oc", patch, grad_output, optimize=True
+                )
+                grad_padded[:, :, i : i + out_h * sh : sh, j : j + out_w * sw : sw] += np.einsum(
+                    "noyx,oc->ncyx", grad_output, self.weight.data[:, :, i, j], optimize=True
+                )
+        if self.bias is not None:
+            self.bias.grad += grad_output.sum(axis=(0, 2, 3))
+        # Strip padding to recover the gradient w.r.t. the original input.
+        _, _, h, w = input_shape
+        _, _, (ph0, _), (pw0, _) = self._geometry(h, w)
+        return grad_padded[:, :, ph0 : ph0 + h, pw0 : pw0 + w]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Conv2D({self.in_channels}, {self.out_channels}, kernel={self.kernel_size}, "
+            f"stride={self.stride}, padding={self.padding!r})"
+        )
+
+
+__all__ = ["Conv2D", "same_padding", "valid_output"]

@@ -1,0 +1,50 @@
+"""Inverted dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers.base import Layer
+from repro.utils.random import SeedLike, as_rng
+from repro.utils.validation import check_probability
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only during training, identity at evaluation.
+
+    Parameters
+    ----------
+    rate:
+        Probability of zeroing each activation.
+    rng:
+        Seed or generator for the dropout masks (deterministic workers need
+        deterministic masks).
+    """
+
+    def __init__(self, rate: float = 0.5, *, rng: SeedLike = None) -> None:
+        super().__init__()
+        self.rate = check_probability(rate, "rate")
+        if self.rate >= 1.0:
+            raise ConfigurationError("dropout rate must be < 1 (rate=1 would zero everything)")
+        self._rng = as_rng(rng)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            # Forward ran in evaluation mode (or rate == 0): identity gradient.
+            return grad_output
+        return grad_output * self._mask
+
+
+__all__ = ["Dropout"]

@@ -1,0 +1,29 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions: ``(N, ...) -> (N, prod(...))``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cache_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if training:
+            self._cache_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_shape is None:
+            raise RuntimeError("backward called before a training-mode forward pass")
+        return grad_output.reshape(self._cache_shape)
+
+
+__all__ = ["Flatten"]

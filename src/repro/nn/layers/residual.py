@@ -1,0 +1,85 @@
+"""Residual block used by the ResNet-like large model of Figure 5(b)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.activations import ReLU
+from repro.nn.parameter import Parameter
+from repro.utils.random import SeedLike, spawn_rngs
+
+
+class ResidualBlock(Layer):
+    """Two 3x3 convolutions with a skip connection: ``y = relu(f(x) + proj(x))``.
+
+    When the channel count changes (or ``stride != 1``) the skip connection is
+    a 1x1 projection convolution, as in standard ResNets.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        *,
+        stride: int = 1,
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        rngs = spawn_rngs(rng, 3)
+        self.conv1 = Conv2D(
+            in_channels, out_channels, 3, stride=stride, padding="same", rng=rngs[0]
+        )
+        self.relu1 = ReLU()
+        self.conv2 = Conv2D(out_channels, out_channels, 3, stride=1, padding="same", rng=rngs[1])
+        self.relu2 = ReLU()
+        self.needs_projection = (in_channels != out_channels) or (stride != 1)
+        self.projection = (
+            Conv2D(in_channels, out_channels, 1, stride=stride, padding="same",
+                   use_bias=False, rng=rngs[2])
+            if self.needs_projection
+            else None
+        )
+        self._cache: tuple | None = None
+
+    def parameters(self) -> List[Parameter]:
+        params = self.conv1.parameters() + self.conv2.parameters()
+        if self.projection is not None:
+            params += self.projection.parameters()
+        return params
+
+    def zero_grad(self) -> None:
+        self.conv1.zero_grad()
+        self.conv2.zero_grad()
+        if self.projection is not None:
+            self.projection.zero_grad()
+
+    def output_shape(self, input_shape):
+        """Output ``(channels, height, width)`` given an input spatial shape."""
+        shape = self.conv1.output_shape(input_shape)
+        return self.conv2.output_shape(shape)
+
+    def forward(self, x: np.ndarray, *, training: bool = True) -> np.ndarray:
+        main = self.conv1(x, training=training)
+        main = self.relu1(main, training=training)
+        main = self.conv2(main, training=training)
+        skip = self.projection(x, training=training) if self.projection is not None else x
+        self.last_forward_flops = self.conv1.last_forward_flops + self.conv2.last_forward_flops
+        if self.projection is not None:
+            self.last_forward_flops += self.projection.last_forward_flops
+        out = main + skip
+        return self.relu2(out, training=training)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.relu2.backward(grad_output)
+        grad_main = self.conv2.backward(grad)
+        grad_main = self.relu1.backward(grad_main)
+        grad_main = self.conv1.backward(grad_main)
+        grad_skip = self.projection.backward(grad) if self.projection is not None else grad
+        return grad_main + grad_skip
+
+
+__all__ = ["ResidualBlock"]

@@ -1,0 +1,90 @@
+"""Loss functions (value + gradient w.r.t. the model output)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable row-wise softmax."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Softmax + cross-entropy for integer class labels.
+
+    ``forward`` returns the mean loss over the batch; ``backward`` returns the
+    gradient of that mean loss with respect to the logits.
+    """
+
+    def __init__(self, l2: float = 0.0) -> None:
+        if l2 < 0:
+            raise ConfigurationError(f"l2 must be non-negative, got {l2}")
+        self.l2 = float(l2)
+        self._cache: Tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels)
+        if logits.ndim != 2:
+            raise ConfigurationError(f"logits must be 2-D (batch, classes), got shape {logits.shape}")
+        if labels.ndim != 1 or labels.shape[0] != logits.shape[0]:
+            raise ConfigurationError(
+                f"labels must be 1-D of length {logits.shape[0]}, got shape {labels.shape}"
+            )
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ConfigurationError(
+                f"labels must lie in [0, {logits.shape[1] - 1}], got range "
+                f"[{labels.min()}, {labels.max()}]"
+            )
+        probs = softmax(logits)
+        self._cache = (probs, labels.astype(np.intp))
+        picked = probs[np.arange(labels.shape[0]), labels]
+        return float(-np.log(np.maximum(picked, 1e-300)).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, labels = self._cache
+        grad = probs.copy()
+        grad[np.arange(labels.shape[0]), labels] -= 1.0
+        return grad / labels.shape[0]
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)
+
+
+class MeanSquaredError:
+    """Mean squared error for regression targets."""
+
+    def __init__(self) -> None:
+        self._cache: Tuple[np.ndarray, np.ndarray] | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        predictions = np.asarray(predictions, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if predictions.shape != targets.shape:
+            raise ConfigurationError(
+                f"prediction shape {predictions.shape} != target shape {targets.shape}"
+            )
+        self._cache = (predictions, targets)
+        return float(np.mean((predictions - targets) ** 2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        predictions, targets = self._cache
+        return 2.0 * (predictions - targets) / predictions.size
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+__all__ = ["softmax", "SoftmaxCrossEntropy", "MeanSquaredError"]

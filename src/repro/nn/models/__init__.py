@@ -1,0 +1,24 @@
+"""Model zoo: the architectures used in the paper's evaluation.
+
+Models are registered by name (mirroring AggregaThor's ``--experiment`` flag)
+so experiment drivers can instantiate them from configuration strings via
+:func:`make_model`.
+"""
+
+from repro.nn.models.registry import MODEL_REGISTRY, available_models, make_model, register_model
+from repro.nn.models.logistic import logistic_regression
+from repro.nn.models.mlp import mlp
+from repro.nn.models.cifar_cnn import cifar_cnn, small_cnn
+from repro.nn.models.resnet_like import resnet_like
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "available_models",
+    "make_model",
+    "register_model",
+    "logistic_regression",
+    "mlp",
+    "cifar_cnn",
+    "small_cnn",
+    "resnet_like",
+]

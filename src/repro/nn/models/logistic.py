@@ -1,0 +1,27 @@
+"""Multinomial logistic regression (a single Dense layer)."""
+
+from __future__ import annotations
+
+from repro.nn.layers import Dense
+from repro.nn.model import Sequential
+from repro.nn.models.registry import register_model
+from repro.utils.random import SeedLike
+
+
+@register_model("logistic")
+def logistic_regression(
+    *, input_dim: int = 32, num_classes: int = 10, l2: float = 0.0, rng: SeedLike = None
+) -> Sequential:
+    """A convex softmax classifier.
+
+    Useful for fast unit tests and for verifying convergence behaviour where
+    the optimum is unique (so every GAR must reach the same loss).
+    """
+    return Sequential(
+        [Dense(input_dim, num_classes, rng=rng)],
+        l2=l2,
+        name=f"logistic-{input_dim}x{num_classes}",
+    )
+
+
+__all__ = ["logistic_regression"]

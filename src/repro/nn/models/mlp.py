@@ -1,0 +1,50 @@
+"""Multi-layer perceptron factory."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Dense, Dropout, ReLU
+from repro.nn.model import Sequential
+from repro.nn.models.registry import register_model
+from repro.utils.random import SeedLike, spawn_rngs
+
+
+@register_model("mlp")
+def mlp(
+    *,
+    input_dim: int = 64,
+    hidden: Sequence[int] = (64, 32),
+    num_classes: int = 10,
+    dropout: float = 0.0,
+    l2: float = 0.0,
+    rng: SeedLike = None,
+) -> Sequential:
+    """Fully connected ReLU network.
+
+    The default size is the scaled-down stand-in for the paper's CNN used by
+    the fast ("ci") experiment profile; the hidden widths and input size are
+    fully configurable for the paper-scale profile.
+    """
+    # A single int is accepted as shorthand for one hidden layer (convenient
+    # for command-line usage: --experiment-args "hidden:32").
+    if isinstance(hidden, (int,)):
+        hidden = [hidden]
+    hidden = list(hidden)
+    if any(h < 1 for h in hidden):
+        raise ConfigurationError(f"hidden sizes must be positive, got {hidden}")
+    rngs = spawn_rngs(rng, len(hidden) + 1)
+    layers = []
+    previous = input_dim
+    for width, layer_rng in zip(hidden, rngs):
+        layers.append(Dense(previous, width, weight_init="he", rng=layer_rng))
+        layers.append(ReLU())
+        if dropout > 0:
+            layers.append(Dropout(dropout, rng=layer_rng))
+        previous = width
+    layers.append(Dense(previous, num_classes, rng=rngs[-1]))
+    return Sequential(layers, l2=l2, name=f"mlp-{input_dim}-{'x'.join(map(str, hidden))}-{num_classes}")
+
+
+__all__ = ["mlp"]

@@ -1,0 +1,68 @@
+"""A residual network standing in for ResNet-50 in the Figure 5(b) experiment.
+
+The paper uses ResNet-50 only to show that when gradient *computation* is much
+more expensive than gradient *aggregation*, the robust GARs scale as well as
+averaging.  What matters for that experiment is the compute-to-aggregation
+ratio, not the exact architecture, so this factory builds a configurable-depth
+residual CNN whose default instantiation is an order of magnitude more
+expensive per gradient than the Table-1 CNN.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Conv2D, Dense, Flatten, GlobalAvgPool2D, ReLU, ResidualBlock
+from repro.nn.model import Sequential
+from repro.nn.models.registry import register_model
+from repro.utils.random import SeedLike, spawn_rngs
+
+
+@register_model("resnet-like")
+def resnet_like(
+    *,
+    image_size: int = 32,
+    channels: int = 3,
+    num_classes: int = 10,
+    stage_channels: Sequence[int] = (32, 64, 128),
+    blocks_per_stage: int = 2,
+    l2: float = 0.0,
+    rng: SeedLike = None,
+) -> Sequential:
+    """Residual CNN: a stem convolution, several residual stages, global pooling.
+
+    Each stage halves the spatial resolution (stride-2 first block) and uses
+    ``blocks_per_stage`` residual blocks.
+    """
+    stage_channels = list(stage_channels)
+    if len(stage_channels) == 0:
+        raise ConfigurationError("stage_channels must be non-empty")
+    if blocks_per_stage < 1:
+        raise ConfigurationError(f"blocks_per_stage must be >= 1, got {blocks_per_stage}")
+    n_rngs = 2 + len(stage_channels) * blocks_per_stage
+    rngs = spawn_rngs(rng, n_rngs)
+    rng_iter = iter(rngs)
+
+    layers = [
+        Conv2D(channels, stage_channels[0], 3, stride=1, padding="same", rng=next(rng_iter)),
+        ReLU(),
+    ]
+    in_channels = stage_channels[0]
+    for stage_idx, out_channels in enumerate(stage_channels):
+        for block_idx in range(blocks_per_stage):
+            stride = 2 if (block_idx == 0 and stage_idx > 0) else 1
+            layers.append(
+                ResidualBlock(in_channels, out_channels, stride=stride, rng=next(rng_iter))
+            )
+            in_channels = out_channels
+    layers.append(GlobalAvgPool2D())
+    layers.append(Dense(in_channels, num_classes, rng=next(rng_iter)))
+    return Sequential(
+        layers,
+        l2=l2,
+        name=f"resnet-like-{len(stage_channels)}x{blocks_per_stage}",
+    )
+
+
+__all__ = ["resnet_like"]

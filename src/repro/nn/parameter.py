@@ -1,0 +1,40 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A named trainable tensor and its accumulated gradient.
+
+    Layers own their parameters; the model gathers them to expose the flat
+    parameter / gradient vectors exchanged with the parameter server.
+    """
+
+    __slots__ = ("name", "data", "grad")
+
+    def __init__(self, data: np.ndarray, name: str = "param") -> None:
+        self.name = str(name)
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Parameter(name={self.name!r}, shape={self.shape})"
+
+
+__all__ = ["Parameter"]

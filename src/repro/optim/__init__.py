@@ -1,0 +1,39 @@
+"""Optimizers and learning-rate schedules (server-side update rules).
+
+Mirrors the ``--optimizer`` / ``--learning-rate`` flags of AggregaThor's
+runner: the parameter server applies the aggregated gradient to the flat model
+vector through one of these update rules.
+"""
+
+from repro.optim.base import Optimizer, OPTIMIZER_REGISTRY, make_optimizer, register_optimizer
+from repro.optim.sgd import SGD, MomentumSGD
+from repro.optim.adaptive import Adam, RMSprop, Adagrad, Adadelta
+from repro.optim.schedules import (
+    LearningRateSchedule,
+    FixedSchedule,
+    PolynomialDecay,
+    ExponentialDecay,
+    StepDecay,
+    InverseTimeDecay,
+    make_schedule,
+)
+
+__all__ = [
+    "Optimizer",
+    "OPTIMIZER_REGISTRY",
+    "make_optimizer",
+    "register_optimizer",
+    "SGD",
+    "MomentumSGD",
+    "Adam",
+    "RMSprop",
+    "Adagrad",
+    "Adadelta",
+    "LearningRateSchedule",
+    "FixedSchedule",
+    "PolynomialDecay",
+    "ExponentialDecay",
+    "StepDecay",
+    "InverseTimeDecay",
+    "make_schedule",
+]

@@ -1,0 +1,136 @@
+"""Learning-rate schedules (``--learning-rate`` analogue).
+
+The paper's runner exposes fixed, polynomial-decay and exponential-decay
+schedules (mapping to ``tf.constant``, ``tf.train.polynomial_decay`` and
+``tf.train.exponential_decay``); step decay and inverse-time decay are added
+for completeness.  The inverse-time schedule also satisfies the
+``sum(gamma_t) = inf, sum(gamma_t^2) < inf`` condition of the convergence
+proof (Lemma 2).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict
+
+from repro.exceptions import ConfigurationError
+
+
+class LearningRateSchedule(abc.ABC):
+    """Maps a step index to a learning rate."""
+
+    @abc.abstractmethod
+    def __call__(self, step: int) -> float:
+        """Learning rate at *step* (0-based)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def _check_positive(value: float, name: str) -> float:
+    value = float(value)
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return value
+
+
+class FixedSchedule(LearningRateSchedule):
+    """Constant learning rate (the paper's default: 1e-3)."""
+
+    def __init__(self, learning_rate: float) -> None:
+        self.learning_rate = _check_positive(learning_rate, "learning_rate")
+
+    def __call__(self, step: int) -> float:
+        return self.learning_rate
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedSchedule({self.learning_rate})"
+
+
+class PolynomialDecay(LearningRateSchedule):
+    """Polynomial decay from ``initial`` to ``final`` over ``decay_steps`` steps."""
+
+    def __init__(self, initial: float, final: float, decay_steps: int, power: float = 1.0) -> None:
+        self.initial = _check_positive(initial, "initial")
+        self.final = float(final)
+        if self.final < 0:
+            raise ConfigurationError(f"final must be non-negative, got {final}")
+        if decay_steps < 1:
+            raise ConfigurationError(f"decay_steps must be >= 1, got {decay_steps}")
+        self.decay_steps = int(decay_steps)
+        self.power = _check_positive(power, "power")
+
+    def __call__(self, step: int) -> float:
+        progress = min(max(step, 0), self.decay_steps) / self.decay_steps
+        return (self.initial - self.final) * (1.0 - progress) ** self.power + self.final
+
+
+class ExponentialDecay(LearningRateSchedule):
+    """``initial * decay_rate ** (step / decay_steps)``."""
+
+    def __init__(self, initial: float, decay_rate: float, decay_steps: int) -> None:
+        self.initial = _check_positive(initial, "initial")
+        self.decay_rate = _check_positive(decay_rate, "decay_rate")
+        if decay_steps < 1:
+            raise ConfigurationError(f"decay_steps must be >= 1, got {decay_steps}")
+        self.decay_steps = int(decay_steps)
+
+    def __call__(self, step: int) -> float:
+        return self.initial * self.decay_rate ** (max(step, 0) / self.decay_steps)
+
+
+class StepDecay(LearningRateSchedule):
+    """Multiply the rate by ``factor`` every ``every`` steps."""
+
+    def __init__(self, initial: float, factor: float = 0.5, every: int = 1000) -> None:
+        self.initial = _check_positive(initial, "initial")
+        self.factor = _check_positive(factor, "factor")
+        if every < 1:
+            raise ConfigurationError(f"every must be >= 1, got {every}")
+        self.every = int(every)
+
+    def __call__(self, step: int) -> float:
+        return self.initial * self.factor ** (max(step, 0) // self.every)
+
+
+class InverseTimeDecay(LearningRateSchedule):
+    """``initial / (1 + decay_rate * step)`` — satisfies the SGD convergence conditions."""
+
+    def __init__(self, initial: float, decay_rate: float = 0.01) -> None:
+        self.initial = _check_positive(initial, "initial")
+        self.decay_rate = _check_positive(decay_rate, "decay_rate")
+
+    def __call__(self, step: int) -> float:
+        return self.initial / (1.0 + self.decay_rate * max(step, 0))
+
+
+SCHEDULE_REGISTRY: Dict[str, Callable[..., LearningRateSchedule]] = {
+    "fixed": FixedSchedule,
+    "polynomial": PolynomialDecay,
+    "exponential": ExponentialDecay,
+    "step": StepDecay,
+    "inverse-time": InverseTimeDecay,
+}
+
+
+def make_schedule(name: str, **kwargs) -> LearningRateSchedule:
+    """Instantiate a schedule by name (``--learning-rate`` analogue)."""
+    try:
+        factory = SCHEDULE_REGISTRY[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown schedule {name!r}; available: {sorted(SCHEDULE_REGISTRY)}"
+        ) from exc
+    return factory(**kwargs)
+
+
+__all__ = [
+    "LearningRateSchedule",
+    "FixedSchedule",
+    "PolynomialDecay",
+    "ExponentialDecay",
+    "StepDecay",
+    "InverseTimeDecay",
+    "SCHEDULE_REGISTRY",
+    "make_schedule",
+]

@@ -1,0 +1,74 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component of the library (datasets, workers, channels,
+attacks) accepts either a seed, an existing :class:`numpy.random.Generator`,
+or ``None``.  Centralising the coercion here keeps experiments reproducible:
+an experiment seeded once can deterministically derive independent streams for
+each worker and each channel through :func:`spawn_rngs`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce *seed* into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, a ``SeedSequence`` or an
+        existing ``Generator`` (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive *count* independent generators from a single seed.
+
+    Independence is provided by :class:`numpy.random.SeedSequence` spawning,
+    so each worker / channel in a simulated cluster observes its own stream
+    while the whole experiment stays reproducible from one integer.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing fresh seed material from the generator.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in ss.spawn(count)]
+
+
+def derive_seed(seed: SeedLike, *tags: Union[int, str]) -> int:
+    """Derive a stable integer sub-seed from *seed* and a sequence of tags.
+
+    Useful when a component needs a scalar seed (rather than a Generator),
+    e.g. to label an experiment run.
+    """
+    material: Sequence[int] = []
+    if isinstance(seed, np.random.Generator):
+        base = int(seed.integers(0, 2**32 - 1))
+    elif isinstance(seed, np.random.SeedSequence):
+        base = int(seed.generate_state(1)[0])
+    elif seed is None:
+        base = int(np.random.SeedSequence().generate_state(1)[0])
+    else:
+        base = int(seed)
+    material = [base]
+    for tag in tags:
+        if isinstance(tag, str):
+            material.append(sum(ord(c) * (31**i % 97) for i, c in enumerate(tag)) & 0xFFFFFFFF)
+        else:
+            material.append(int(tag) & 0xFFFFFFFF)
+    return int(np.random.SeedSequence(material).generate_state(1)[0])
+
+
+__all__ = ["SeedLike", "as_rng", "spawn_rngs", "derive_seed"]

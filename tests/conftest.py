@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import gaussian_blobs
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def honest_gradients(rng) -> np.ndarray:
+    """11 honest gradient estimates of a common true gradient (d=20)."""
+    true_gradient = np.linspace(-1.0, 1.0, 20)
+    return true_gradient[None, :] + 0.1 * rng.standard_normal((11, 20))
+
+
+@pytest.fixture
+def true_gradient() -> np.ndarray:
+    """The underlying true gradient matching :func:`honest_gradients`."""
+    return np.linspace(-1.0, 1.0, 20)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A small, easily learnable classification dataset."""
+    return gaussian_blobs(
+        num_train=300, num_test=80, num_classes=3, dim=8, separation=3.0, noise=0.8, rng=0
+    )
+
+
+@pytest.fixture
+def tiny_model_kwargs():
+    """Model kwargs matching :func:`tiny_dataset` for the 'mlp' factory."""
+    return {"input_dim": 8, "hidden": (12,), "num_classes": 3}

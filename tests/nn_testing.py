@@ -1,0 +1,59 @@
+"""Numerical gradient-checking helpers shared by the nn tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_gradient(func, x: np.ndarray, epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        plus = func(x)
+        flat[i] = original - epsilon
+        minus = func(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * epsilon)
+    return grad
+
+
+def check_layer_gradients(layer, input_shape, *, rng=None, atol=1e-5, rtol=1e-4) -> None:
+    """Check a layer's backward pass (input and parameter gradients) numerically.
+
+    Uses the scalar objective ``sum(weights * layer(x))`` with fixed random
+    weights so every output coordinate contributes.
+    """
+    generator = rng if rng is not None else np.random.default_rng(0)
+    x = generator.standard_normal(input_shape)
+    out = layer.forward(x, training=True)
+    weights = generator.standard_normal(out.shape)
+
+    def objective_of_input(x_value):
+        return float(np.sum(weights * layer.forward(x_value, training=True)))
+
+    # Analytic gradients from one forward/backward pass.
+    layer.zero_grad()
+    layer.forward(x, training=True)
+    grad_input = layer.backward(weights)
+
+    numeric_input = numerical_gradient(objective_of_input, x.copy())
+    np.testing.assert_allclose(grad_input, numeric_input, atol=atol, rtol=rtol)
+
+    for param in layer.parameters():
+        def objective_of_param(value, _param=param):
+            backup = _param.data.copy()
+            _param.data[...] = value
+            result = float(np.sum(weights * layer.forward(x, training=True)))
+            _param.data[...] = backup
+            return result
+
+        # Recompute analytic parameter gradient against the original data.
+        layer.zero_grad()
+        layer.forward(x, training=True)
+        layer.backward(weights)
+        numeric = numerical_gradient(objective_of_param, param.data.copy())
+        np.testing.assert_allclose(param.grad, numeric, atol=atol, rtol=rtol)

@@ -1,0 +1,169 @@
+"""Tests for the Byzantine attack implementations."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    ATTACK_REGISTRY,
+    LittleIsEnoughAttack,
+    NonFiniteAttack,
+    OmniscientKrumAttack,
+    RandomGradientAttack,
+    ReversedGradientAttack,
+    ScaledNoiseAttack,
+    SignFlipAttack,
+    ZeroGradientAttack,
+    ConstantGradientAttack,
+    make_attack,
+)
+from repro.core import Bulyan, MultiKrum
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def honest(rng):
+    return np.ones(30)[None, :] + 0.05 * rng.standard_normal((10, 30))
+
+
+class TestRegistry:
+    def test_expected_attacks_registered(self):
+        assert {
+            "random", "scaled-noise", "reversed-gradient", "sign-flip",
+            "zero", "constant", "non-finite", "little-is-enough", "omniscient",
+        } <= set(ATTACK_REGISTRY)
+
+    def test_make_attack(self):
+        attack = make_attack("reversed-gradient", scale=5.0)
+        assert isinstance(attack, ReversedGradientAttack)
+        with pytest.raises(ConfigurationError):
+            make_attack("ddos")
+
+
+class TestCraftInterface:
+    def test_output_shape(self, honest):
+        crafted = RandomGradientAttack().craft(np.zeros(30), honest, num_byzantine=3, rng=0)
+        assert crafted.shape == (3, 30)
+
+    def test_invalid_num_byzantine(self, honest):
+        with pytest.raises(ConfigurationError):
+            RandomGradientAttack().craft(np.zeros(30), honest, num_byzantine=0, rng=0)
+
+    def test_dimension_from_parameters_when_no_honest(self):
+        crafted = RandomGradientAttack().craft(np.zeros(12), np.zeros((0, 12)), 2, rng=0)
+        assert crafted.shape == (2, 12)
+
+
+class TestSimpleAttacks:
+    def test_random_large_scale(self, honest):
+        crafted = RandomGradientAttack(scale=100.0).craft(np.zeros(30), honest, 1, rng=0)
+        assert np.abs(crafted).mean() > 10
+
+    def test_scaled_noise_tracks_honest_spread(self, honest):
+        crafted = ScaledNoiseAttack(multiplier=1.0).craft(np.zeros(30), honest, 1, rng=0)
+        assert np.abs(crafted).std() < 10 * np.abs(honest).std() + 1
+
+    def test_reversed_gradient_direction(self, honest):
+        crafted = ReversedGradientAttack(scale=10.0).craft(np.zeros(30), honest, 2, rng=0)
+        mean = honest.mean(axis=0)
+        np.testing.assert_allclose(crafted[0], -10.0 * mean)
+        np.testing.assert_allclose(crafted[0], crafted[1])
+
+    def test_sign_flip_magnitude_preserved(self, honest):
+        crafted = SignFlipAttack().craft(np.zeros(30), honest, 1, rng=0)
+        np.testing.assert_allclose(crafted[0], -honest.mean(axis=0))
+
+    def test_zero_and_constant(self, honest):
+        zero = ZeroGradientAttack().craft(np.zeros(30), honest, 2, rng=0)
+        np.testing.assert_allclose(zero, 0.0)
+        const = ConstantGradientAttack(value=3.0).craft(np.zeros(30), honest, 2, rng=0)
+        np.testing.assert_allclose(const, 3.0)
+
+    def test_invalid_scales(self):
+        with pytest.raises(ConfigurationError):
+            RandomGradientAttack(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            ReversedGradientAttack(scale=-1.0)
+
+
+class TestNonFiniteAttack:
+    @pytest.mark.parametrize("kind,checker", [
+        ("nan", np.isnan),
+        ("posinf", np.isposinf),
+        ("neginf", np.isneginf),
+    ])
+    def test_kinds(self, honest, kind, checker):
+        crafted = NonFiniteAttack(kind=kind, fraction=0.5).craft(np.zeros(30), honest, 1, rng=0)
+        assert checker(crafted).sum() == 15
+
+    def test_mixed_kind(self, honest):
+        crafted = NonFiniteAttack(kind="mixed", fraction=1.0).craft(np.zeros(30), honest, 2, rng=0)
+        assert (~np.isfinite(crafted)).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            NonFiniteAttack(kind="zero")
+        with pytest.raises(ConfigurationError):
+            NonFiniteAttack(fraction=0.0)
+
+
+class TestLittleIsEnough:
+    def test_stays_within_z_std(self, honest):
+        crafted = LittleIsEnoughAttack(z=1.0).craft(np.zeros(30), honest, 1, rng=0)
+        mean, std = honest.mean(axis=0), honest.std(axis=0)
+        assert (np.abs(crafted[0] - mean) <= 1.0 * std + 1e-12).all()
+
+    def test_evades_multikrum_selection(self, rng):
+        # The crafted gradient is close enough to be selected by Multi-Krum.
+        honest = np.ones(50)[None, :] + 0.5 * rng.standard_normal((9, 50))
+        crafted = LittleIsEnoughAttack(z=0.5).craft(np.zeros(50), honest, 2, rng=0)
+        matrix = np.vstack([honest, crafted])
+        result = MultiKrum(f=2).aggregate_detailed(matrix)
+        assert set(result.selected_indices.tolist()) & {9, 10}
+
+    def test_invalid_z(self):
+        with pytest.raises(ConfigurationError):
+            LittleIsEnoughAttack(z=0.0)
+
+
+class TestOmniscientAttack:
+    def test_crafted_vector_is_selected_by_multikrum(self, rng):
+        honest = np.ones(40)[None, :] + 0.3 * rng.standard_normal((9, 40))
+        attack = OmniscientKrumAttack(f=2, iterations=15)
+        crafted = attack.craft(np.zeros(40), honest, 2, rng=0)
+        matrix = np.vstack([honest, crafted])
+        result = MultiKrum(f=2).aggregate_detailed(matrix)
+        assert set(result.selected_indices.tolist()) & {9, 10}
+
+    def test_crafted_vector_opposes_honest_mean(self, rng):
+        honest = np.ones(40)[None, :] + 0.3 * rng.standard_normal((9, 40))
+        crafted = OmniscientKrumAttack(f=2).craft(np.zeros(40), honest, 1, rng=0)
+        mean = honest.mean(axis=0)
+        # The crafted vector moved from the mean towards -mean.
+        assert crafted[0] @ mean < mean @ mean
+
+    def test_robust_rules_resist_little_is_enough_better_than_averaging(self):
+        """Under the dimension-aware (little-is-enough) attack, the bias of the
+        robust rules along the attack direction is much smaller than plain
+        averaging's, and Bulyan's output never leaves the per-coordinate range
+        spanned by the submitted gradients (strong-resilience bound)."""
+        avg_bias, mk_bias = [], []
+        for seed in range(6):
+            generator = np.random.default_rng(seed)
+            honest = np.ones(60)[None, :] + 0.4 * generator.standard_normal((15, 60))
+            crafted = LittleIsEnoughAttack(z=1.5).craft(np.zeros(60), honest, 4, rng=seed)
+            matrix = np.vstack([honest, crafted])  # n = 19, f = 4
+            honest_mean = honest.mean(axis=0)
+            direction = crafted[0] - honest_mean
+            direction /= np.linalg.norm(direction)
+            avg_bias.append(float((matrix.mean(axis=0) - honest_mean) @ direction))
+            mk_bias.append(float((MultiKrum(f=4).aggregate(matrix) - honest_mean) @ direction))
+            bulyan_out = Bulyan(f=4).aggregate(matrix)
+            assert (bulyan_out >= matrix.min(axis=0) - 1e-9).all()
+            assert (bulyan_out <= matrix.max(axis=0) + 1e-9).all()
+        assert np.mean(mk_bias) < 0.5 * np.mean(avg_bias)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            OmniscientKrumAttack(f=-1)
+        with pytest.raises(ConfigurationError):
+            OmniscientKrumAttack(f=1, max_lambda=0)

@@ -1,0 +1,77 @@
+"""Tests for the inner-product-manipulation and mimic attacks."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import InnerProductManipulationAttack, MimicAttack, make_attack
+from repro.core import Average, MultiKrum
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def honest(rng):
+    return np.ones(25)[None, :] + 0.1 * rng.standard_normal((9, 25))
+
+
+class TestInnerProductManipulation:
+    def test_registered(self):
+        assert isinstance(make_attack("inner-product", epsilon=0.3),
+                          InnerProductManipulationAttack)
+
+    def test_crafted_opposes_mean(self, honest):
+        crafted = InnerProductManipulationAttack(epsilon=0.5).craft(np.zeros(25), honest, 2, rng=0)
+        mean = honest.mean(axis=0)
+        np.testing.assert_allclose(crafted[0], -0.5 * mean)
+        assert crafted[0] @ mean < 0
+
+    def test_small_epsilon_stays_within_honest_scale(self, honest):
+        crafted = InnerProductManipulationAttack(epsilon=0.2).craft(np.zeros(25), honest, 1, rng=0)
+        assert np.linalg.norm(crafted[0]) < np.linalg.norm(honest, axis=1).max()
+
+    def test_drives_average_inner_product_down(self, honest):
+        """Enough IPM workers make the plain average anti-correlated with the
+        honest mean while each crafted vector stays small."""
+        crafted = InnerProductManipulationAttack(epsilon=3.0).craft(np.zeros(25), honest, 5, rng=0)
+        matrix = np.vstack([honest, crafted])
+        aggregated = Average().aggregate(matrix)
+        assert aggregated @ honest.mean(axis=0) < 0
+
+    def test_multikrum_not_fooled(self, honest):
+        crafted = InnerProductManipulationAttack(epsilon=3.0).craft(np.zeros(25), honest, 2, rng=0)
+        matrix = np.vstack([honest, crafted])
+        aggregated = MultiKrum(f=2).aggregate(matrix)
+        assert aggregated @ honest.mean(axis=0) > 0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ConfigurationError):
+            InnerProductManipulationAttack(epsilon=0.0)
+
+
+class TestMimic:
+    def test_copies_target(self, honest):
+        crafted = MimicAttack(target_index=3).craft(np.zeros(25), honest, 2, rng=0)
+        np.testing.assert_allclose(crafted[0], honest[3])
+        np.testing.assert_allclose(crafted[1], honest[3])
+
+    def test_out_of_range_target_clamped(self, honest):
+        crafted = MimicAttack(target_index=99).craft(np.zeros(25), honest, 1, rng=0)
+        np.testing.assert_allclose(crafted[0], honest[-1])
+
+    def test_no_honest_gradients_gives_zeros(self):
+        crafted = MimicAttack().craft(np.zeros(7), np.zeros((0, 7)), 2, rng=0)
+        np.testing.assert_allclose(crafted, 0.0)
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MimicAttack(target_index=-1)
+
+    def test_training_survives_mimic_with_robust_gar(self, tiny_dataset, tiny_model_kwargs):
+        from repro.cluster import TrainerConfig, build_trainer
+
+        history = build_trainer(
+            model="mlp", model_kwargs=tiny_model_kwargs, dataset=tiny_dataset,
+            gar="multi-krum", num_workers=9, num_byzantine=2, declared_f=2,
+            attack="mimic", batch_size=16, learning_rate=5e-3, seed=0,
+        ).run(TrainerConfig(max_steps=40, eval_every=10))
+        assert not history.diverged
+        assert history.final_accuracy > 0.8

@@ -1,0 +1,103 @@
+"""Tests for checkpointing and summary export."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    load_checkpoint,
+    save_checkpoint,
+    write_history_json,
+    write_summary_csv,
+)
+from repro.cluster.telemetry import EvalRecord, StepRecord, TrainingHistory
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def history():
+    history = TrainingHistory()
+    history.record_step(StepRecord(0, 0.1, 1.0, 0.06, 0.03, 0.01, 10))
+    history.record_evaluation(EvalRecord(step=1, sim_time=0.1, accuracy=0.5))
+    history.record_evaluation(EvalRecord(step=2, sim_time=0.2, accuracy=0.75))
+    return history
+
+
+class TestCheckpoint:
+    def test_roundtrip(self, tmp_path, rng):
+        checkpoint = Checkpoint(step=7, sim_time=1.5, parameters=rng.standard_normal(20))
+        path = save_checkpoint(checkpoint, tmp_path / "state")
+        assert path.suffix == ".npz"
+        loaded = load_checkpoint(path)
+        assert loaded.step == 7
+        assert loaded.sim_time == pytest.approx(1.5)
+        np.testing.assert_allclose(loaded.parameters, checkpoint.parameters)
+
+    def test_invalid_checkpoint_values(self):
+        with pytest.raises(ConfigurationError):
+            Checkpoint(step=-1, sim_time=0.0, parameters=np.ones(3))
+        with pytest.raises(ConfigurationError):
+            Checkpoint(step=0, sim_time=0.0, parameters=np.ones((2, 2)))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_corrupt_archive_rejected(self, tmp_path, rng):
+        path = tmp_path / "bad.npz"
+        np.savez(path, something_else=np.ones(3))
+        with pytest.raises(ConfigurationError):
+            load_checkpoint(path)
+
+
+class TestCheckpointManager:
+    def test_keeps_only_latest(self, tmp_path, rng):
+        manager = CheckpointManager(tmp_path, max_to_keep=2)
+        for step in (1, 2, 3):
+            manager.save(Checkpoint(step=step, sim_time=float(step), parameters=rng.standard_normal(4)))
+        assert len(manager.existing()) == 2
+        latest = manager.latest()
+        assert latest.step == 3
+
+    def test_latest_empty(self, tmp_path):
+        assert CheckpointManager(tmp_path).latest() is None
+
+    def test_invalid_max_to_keep(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointManager(tmp_path, max_to_keep=0)
+
+    def test_resume_from_checkpoint_restores_training_state(self, tmp_path, tiny_dataset,
+                                                            tiny_model_kwargs):
+        from repro.cluster import TrainerConfig, build_trainer
+
+        trainer = build_trainer(
+            model="mlp", model_kwargs=tiny_model_kwargs, dataset=tiny_dataset,
+            gar="average", num_workers=5, batch_size=16, seed=0,
+        )
+        trainer.run(TrainerConfig(max_steps=5, eval_every=0))
+        manager = CheckpointManager(tmp_path)
+        manager.save(Checkpoint(step=trainer.server.step, sim_time=trainer.clock.now,
+                                parameters=trainer.server.parameters))
+        restored = manager.latest()
+        assert restored.step == 5
+        np.testing.assert_allclose(restored.parameters, trainer.server.parameters)
+
+
+class TestSummaries:
+    def test_summary_csv(self, tmp_path, history):
+        path = write_summary_csv(history, tmp_path / "summary.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["step", "sim_time", "accuracy"]
+        assert len(rows) == 3
+        assert float(rows[2][2]) == pytest.approx(0.75)
+
+    def test_history_json(self, tmp_path, history):
+        path = write_history_json(history, tmp_path / "history.json")
+        payload = json.loads(path.read_text())
+        assert payload["num_updates"] == 1
+        assert len(payload["evaluations"]) == 2

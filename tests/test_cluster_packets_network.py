@@ -1,0 +1,169 @@
+"""Tests for gradient packetization and the simulated transports."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CostModel, LossyChannel, Packetizer, RecoveryPolicy, ReliableChannel
+from repro.exceptions import ConfigurationError, NetworkError
+
+
+class TestPacketizer:
+    def test_split_covers_all_coordinates(self, rng):
+        gradient = rng.standard_normal(1000)
+        packets = Packetizer(256).split(gradient)
+        assert len(packets) == 4
+        reassembled = np.concatenate([p.payload for p in packets])
+        np.testing.assert_array_equal(reassembled, gradient)
+
+    def test_num_packets(self):
+        packetizer = Packetizer(256)
+        assert packetizer.num_packets(256) == 1
+        assert packetizer.num_packets(257) == 2
+        assert packetizer.num_packets(1) == 1
+
+    def test_roundtrip_no_loss(self, rng):
+        gradient = rng.standard_normal(700)
+        for policy in RecoveryPolicy:
+            packetizer = Packetizer(256, policy=policy, rng=0)
+            packets = packetizer.split(gradient)
+            restored = packetizer.reassemble(packets, 700)
+            np.testing.assert_array_equal(restored, gradient)
+
+    def test_drop_gradient_policy_returns_none_on_loss(self, rng):
+        gradient = rng.standard_normal(700)
+        packetizer = Packetizer(256, policy=RecoveryPolicy.DROP_GRADIENT)
+        packets = packetizer.split(gradient)[:-1]
+        assert packetizer.reassemble(packets, 700) is None
+
+    def test_nan_fill_marks_lost_coordinates(self, rng):
+        gradient = rng.standard_normal(700)
+        packetizer = Packetizer(256, policy=RecoveryPolicy.NAN_FILL)
+        packets = packetizer.split(gradient)
+        survivors = [p for p in packets if p.sequence != 1]
+        restored = packetizer.reassemble(survivors, 700)
+        assert np.isnan(restored[256:512]).all()
+        np.testing.assert_array_equal(restored[:256], gradient[:256])
+        np.testing.assert_array_equal(restored[512:], gradient[512:])
+
+    def test_nan_fill_tolerates_reordering(self, rng):
+        gradient = rng.standard_normal(700)
+        packetizer = Packetizer(256, policy=RecoveryPolicy.NAN_FILL)
+        packets = list(reversed(packetizer.split(gradient)))
+        restored = packetizer.reassemble(packets, 700)
+        np.testing.assert_array_equal(restored, gradient)
+
+    def test_random_fill_replaces_lost_coordinates_with_garbage(self, rng):
+        gradient = rng.standard_normal(700)
+        packetizer = Packetizer(256, policy=RecoveryPolicy.RANDOM_FILL, rng=1)
+        packets = packetizer.split(gradient)
+        survivors = packets[:-1]
+        restored = packetizer.reassemble(survivors, 700)
+        assert restored is not None
+        assert np.isfinite(restored).all()
+        np.testing.assert_array_equal(restored[:512], gradient[:512])
+        assert not np.allclose(restored[512:], gradient[512:])
+
+    def test_random_fill_out_of_order_scrambles(self, rng):
+        gradient = rng.standard_normal(512)
+        packetizer = Packetizer(256, policy=RecoveryPolicy.RANDOM_FILL, rng=1)
+        packets = list(reversed(packetizer.split(gradient)))
+        restored = packetizer.reassemble(packets, 512, in_order=False)
+        # Written back-to-back in arrival order: halves are swapped.
+        np.testing.assert_array_equal(restored[:256], gradient[256:])
+        np.testing.assert_array_equal(restored[256:], gradient[:256])
+
+    def test_too_many_packets_rejected(self, rng):
+        packetizer = Packetizer(256)
+        packets = packetizer.split(rng.standard_normal(700))
+        with pytest.raises(NetworkError):
+            packetizer.reassemble(packets + packets, 700)
+
+    def test_empty_gradient_rejected(self):
+        with pytest.raises(NetworkError):
+            Packetizer(10).split(np.zeros(0))
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Packetizer(10, policy="retransmit")
+
+
+class TestReliableChannel:
+    def test_payload_delivered_intact(self, rng):
+        payload = rng.standard_normal(500)
+        delivered, seconds = ReliableChannel().transfer(payload, CostModel())
+        np.testing.assert_array_equal(delivered, payload)
+        assert seconds > 0
+
+    def test_loss_free_uses_link_bandwidth(self):
+        channel = ReliableChannel(drop_rate=0.0)
+        assert channel.effective_bandwidth_gbps(CostModel(bandwidth_gbps=10)) == 10
+
+    def test_packet_loss_slows_transfer_down(self, rng):
+        payload = rng.standard_normal(100_000)
+        cost_model = CostModel()
+        _, clean = ReliableChannel(drop_rate=0.0).transfer(payload, cost_model)
+        _, lossy = ReliableChannel(drop_rate=0.10).transfer(payload, cost_model)
+        assert lossy > 2 * clean
+
+    def test_higher_loss_is_slower(self, rng):
+        payload = rng.standard_normal(50_000)
+        cost_model = CostModel()
+        _, mild = ReliableChannel(drop_rate=0.01).transfer(payload, cost_model)
+        _, severe = ReliableChannel(drop_rate=0.20).transfer(payload, cost_model)
+        assert severe > mild
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(drop_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            ReliableChannel(rtt_s=0.0)
+
+
+class TestLossyChannel:
+    def test_no_loss_is_transparent(self, rng):
+        payload = rng.standard_normal(600)
+        delivered, _ = LossyChannel(drop_rate=0.0, rng=0).transfer(payload, CostModel())
+        np.testing.assert_array_equal(delivered, payload)
+
+    def test_transfer_time_unaffected_by_loss(self, rng):
+        payload = rng.standard_normal(100_000)
+        cost_model = CostModel()
+        _, clean = LossyChannel(drop_rate=0.0, rng=0).transfer(payload, cost_model)
+        _, lossy = LossyChannel(drop_rate=0.3, rng=0).transfer(payload, cost_model)
+        assert lossy == pytest.approx(clean)
+
+    def test_random_fill_corrupts_some_coordinates(self, rng):
+        payload = rng.standard_normal(10_000)
+        channel = LossyChannel(drop_rate=0.3, policy="random-fill", rng=3)
+        delivered, _ = channel.transfer(payload, CostModel())
+        assert delivered is not None
+        assert not np.allclose(delivered, payload)
+
+    def test_nan_fill_marks_losses(self, rng):
+        payload = rng.standard_normal(10_000)
+        channel = LossyChannel(drop_rate=0.3, policy="nan-fill", rng=3)
+        delivered, _ = channel.transfer(payload, CostModel())
+        assert np.isnan(delivered).any()
+        finite = np.isfinite(delivered)
+        np.testing.assert_array_equal(delivered[finite], payload[finite])
+
+    def test_drop_gradient_policy_can_return_none(self, rng):
+        payload = rng.standard_normal(10_000)
+        channel = LossyChannel(drop_rate=0.9, policy="drop-gradient", rng=3)
+        delivered, _ = channel.transfer(payload, CostModel())
+        assert delivered is None
+
+    def test_reordering_with_random_fill(self, rng):
+        payload = rng.standard_normal(2048)
+        channel = LossyChannel(drop_rate=0.0, reorder_rate=1.0, policy="random-fill", rng=5)
+        delivered, _ = channel.transfer(payload, CostModel())
+        # All coordinates arrive but possibly at the wrong offsets.
+        assert delivered is not None
+        assert sorted(delivered.tolist()) == pytest.approx(sorted(payload.tolist()))
+
+    def test_statistical_loss_rate(self, rng):
+        payload = rng.standard_normal(256 * 200)  # 200 packets
+        channel = LossyChannel(drop_rate=0.25, policy="nan-fill", rng=7)
+        delivered, _ = channel.transfer(payload, CostModel())
+        lost_fraction = np.isnan(delivered).mean()
+        assert 0.15 < lost_fraction < 0.35

@@ -1,0 +1,45 @@
+"""Exception hierarchy tests."""
+
+import pytest
+
+from repro.exceptions import (
+    AggregationError,
+    ConfigurationError,
+    ExperimentError,
+    NetworkError,
+    ReproError,
+    ResilienceConditionError,
+    TrainingError,
+)
+
+
+def test_all_exceptions_derive_from_repro_error():
+    for exc_type in (
+        ConfigurationError,
+        ResilienceConditionError,
+        AggregationError,
+        NetworkError,
+        TrainingError,
+        ExperimentError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_configuration_error_is_value_error():
+    assert issubclass(ConfigurationError, ValueError)
+
+
+def test_resilience_error_is_configuration_error():
+    assert issubclass(ResilienceConditionError, ConfigurationError)
+
+
+def test_runtime_style_errors_are_runtime_errors():
+    for exc_type in (AggregationError, NetworkError, TrainingError, ExperimentError):
+        assert issubclass(exc_type, RuntimeError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise ResilienceConditionError("nope")
+    with pytest.raises(ReproError):
+        raise TrainingError("nope")

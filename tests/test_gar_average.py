@@ -1,0 +1,63 @@
+"""Tests for plain and selective averaging."""
+
+import numpy as np
+import pytest
+
+from repro.core import Average, SelectiveAverage
+from repro.exceptions import AggregationError
+
+
+class TestAverage:
+    def test_matches_numpy_mean(self, honest_gradients):
+        np.testing.assert_allclose(
+            Average().aggregate(honest_gradients), honest_gradients.mean(axis=0)
+        )
+
+    def test_single_gradient_identity(self):
+        gradient = np.arange(5, dtype=float)
+        np.testing.assert_allclose(Average().aggregate([gradient]), gradient)
+
+    def test_not_byzantine_resilient(self, honest_gradients, true_gradient):
+        # One enormous outlier drags the mean arbitrarily far.
+        poisoned = np.vstack([honest_gradients, 1e6 * np.ones(honest_gradients.shape[1])])
+        aggregated = Average().aggregate(poisoned)
+        assert np.linalg.norm(aggregated - true_gradient) > 1e4
+
+    def test_resilience_metadata(self):
+        assert Average.resilience == "none"
+        assert Average.minimum_workers(3) == 4
+
+    def test_empty_input_raises(self):
+        with pytest.raises(AggregationError):
+            Average().aggregate([])
+
+
+class TestSelectiveAverage:
+    def test_equals_average_when_all_finite(self, honest_gradients):
+        np.testing.assert_allclose(
+            SelectiveAverage().aggregate(honest_gradients),
+            Average().aggregate(honest_gradients),
+        )
+
+    def test_ignores_nan_coordinates(self):
+        gradients = np.array([[1.0, np.nan, 3.0], [3.0, 4.0, np.nan], [5.0, 6.0, 9.0]])
+        aggregated = SelectiveAverage().aggregate(gradients)
+        np.testing.assert_allclose(aggregated, [3.0, 5.0, 6.0])
+
+    def test_coordinate_lost_everywhere_falls_back_to_zero(self):
+        gradients = np.array([[np.nan, 1.0], [np.nan, 3.0]])
+        aggregated = SelectiveAverage().aggregate(gradients)
+        np.testing.assert_allclose(aggregated, [0.0, 2.0])
+
+    def test_all_nan_raises(self):
+        with pytest.raises(AggregationError):
+            SelectiveAverage().aggregate(np.full((3, 4), np.nan))
+
+    def test_infinities_are_ignored_like_nan(self):
+        gradients = np.array([[np.inf, 1.0], [2.0, 1.0]])
+        aggregated = SelectiveAverage().aggregate(gradients)
+        np.testing.assert_allclose(aggregated, [2.0, 1.0])
+
+    def test_supports_non_finite_flag(self):
+        assert SelectiveAverage.supports_non_finite is True
+        assert Average.supports_non_finite is False

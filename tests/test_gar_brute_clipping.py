@@ -1,0 +1,109 @@
+"""Tests for the Brute (minimum-diameter averaging) and clipping GARs."""
+
+import numpy as np
+import pytest
+
+from repro.core import Average, Brute, CenteredClipping, MultiKrum, NormClippedMean, make_gar
+from repro.exceptions import AggregationError, ConfigurationError
+
+
+class TestBrute:
+    def test_registered(self):
+        assert isinstance(make_gar("brute", f=1), Brute)
+
+    def test_no_byzantine_is_plain_average(self, honest_gradients):
+        np.testing.assert_allclose(
+            Brute(f=0).aggregate(honest_gradients), honest_gradients.mean(axis=0)
+        )
+
+    def test_excludes_the_outlier(self, honest_gradients, true_gradient):
+        poisoned = np.vstack([honest_gradients, 1e5 * np.ones(20)])
+        result = Brute(f=1).aggregate_detailed(poisoned)
+        assert poisoned.shape[0] - 1 not in result.selected_indices.tolist()
+        assert np.linalg.norm(result.gradient - true_gradient) < 0.5
+
+    def test_selects_the_tightest_cluster(self):
+        # A tight cluster of 4 identical vectors plus 3 spread-out vectors; with
+        # f=3 (subset size 4) the rule must return the tight cluster's value.
+        tight = np.zeros((4, 4))
+        loose = np.ones((3, 4)) * 5 + np.arange(3)[:, None]
+        matrix = np.vstack([tight, loose])
+        result = Brute(f=3).aggregate_detailed(matrix)
+        np.testing.assert_allclose(result.gradient, 0.0)
+        assert sorted(result.selected_indices.tolist()) == [0, 1, 2, 3]
+
+    def test_nan_rows_never_selected(self, honest_gradients):
+        poisoned = np.vstack([honest_gradients, np.full((1, 20), np.nan)])
+        result = Brute(f=1).aggregate_detailed(poisoned)
+        assert np.isfinite(result.gradient).all()
+
+    def test_worker_cap(self, rng):
+        gar = Brute(f=1, max_workers=5)
+        with pytest.raises(AggregationError):
+            gar.aggregate(rng.standard_normal((6, 3)))
+
+    def test_agrees_with_multikrum_on_clean_clustered_data(self, rng):
+        # With a single far outlier, both rules should return something close
+        # to the honest mean (sanity cross-check between two selection rules).
+        honest = rng.standard_normal((8, 10)) * 0.01 + 1.0
+        poisoned = np.vstack([honest, 50 * np.ones(10)])
+        brute_out = Brute(f=1).aggregate(poisoned)
+        mk_out = MultiKrum(f=1).aggregate(poisoned)
+        assert np.linalg.norm(brute_out - mk_out) < 0.1
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            Brute(f=1, max_workers=0)
+
+
+class TestCenteredClipping:
+    def test_clean_data_close_to_mean(self, honest_gradients):
+        aggregated = CenteredClipping(f=2).aggregate(honest_gradients)
+        assert np.linalg.norm(aggregated - honest_gradients.mean(axis=0)) < 0.2
+
+    def test_resists_large_outliers(self, honest_gradients, true_gradient):
+        poisoned = np.vstack([honest_gradients, 1e6 * np.ones((2, 20))])
+        aggregated = CenteredClipping(f=2).aggregate(poisoned)
+        assert np.linalg.norm(aggregated - true_gradient) < 1.0
+
+    def test_reference_carries_across_calls(self, honest_gradients):
+        gar = CenteredClipping(f=2)
+        first = gar.aggregate(honest_gradients)
+        assert gar._reference is not None
+        gar.reset()
+        assert gar._reference is None
+        np.testing.assert_allclose(gar.aggregate(honest_gradients), first)
+
+    def test_ignores_nan_rows(self, honest_gradients):
+        poisoned = np.vstack([honest_gradients, np.full((1, 20), np.nan)])
+        assert np.isfinite(CenteredClipping(f=1).aggregate(poisoned)).all()
+
+    def test_explicit_tau(self, honest_gradients):
+        aggregated = CenteredClipping(f=2, tau=10.0).aggregate(honest_gradients)
+        assert np.isfinite(aggregated).all()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            CenteredClipping(tau=0.0)
+        with pytest.raises(ConfigurationError):
+            CenteredClipping(iterations=0)
+
+
+class TestNormClippedMean:
+    def test_clean_data_close_to_mean(self, honest_gradients):
+        aggregated = NormClippedMean().aggregate(honest_gradients)
+        mean = honest_gradients.mean(axis=0)
+        assert np.linalg.norm(aggregated - mean) < 0.5 * np.linalg.norm(mean) + 0.5
+
+    def test_magnitude_attack_neutralised(self, honest_gradients, true_gradient):
+        poisoned = np.vstack([honest_gradients, 1e6 * true_gradient[None, :]])
+        aggregated = NormClippedMean().aggregate(poisoned)
+        # The outlier's contribution is clipped to the median norm: bounded influence.
+        assert np.linalg.norm(aggregated) < 2 * np.linalg.norm(true_gradient)
+
+    def test_direction_attack_not_filtered(self, honest_gradients):
+        # Norm clipping is not Byzantine resilient: a within-norm adversary biases it.
+        mean = honest_gradients.mean(axis=0)
+        poisoned = np.vstack([honest_gradients, np.tile(-mean, (11, 1))])
+        aggregated = NormClippedMean().aggregate(poisoned)
+        assert np.linalg.norm(aggregated) < 0.6 * np.linalg.norm(mean)

@@ -1,0 +1,98 @@
+"""Tests for Bulyan (optimised and reference implementations)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Bulyan, CoordinateWiseMedian, MultiKrum, NaiveBulyan
+from repro.exceptions import AggregationError, ResilienceConditionError
+
+
+@pytest.fixture
+def bulyan_gradients(rng):
+    """19 honest gradients (enough for f=4) around a known true gradient."""
+    true_gradient = np.linspace(-1.0, 1.0, 30)
+    return true_gradient[None, :] + 0.1 * rng.standard_normal((19, 30)), true_gradient
+
+
+class TestBulyan:
+    def test_requires_4f_plus_3(self):
+        assert Bulyan.minimum_workers(4) == 19
+        with pytest.raises(ResilienceConditionError):
+            Bulyan(f=4).aggregate(np.ones((18, 5)))
+
+    def test_matches_naive_reference(self, rng):
+        for n, f in [(7, 1), (11, 2), (19, 4)]:
+            matrix = rng.standard_normal((n, 25))
+            np.testing.assert_allclose(
+                Bulyan(f=f).aggregate(matrix), NaiveBulyan(f=f).aggregate(matrix), atol=1e-12
+            )
+
+    def test_close_to_true_gradient_without_byzantine(self, bulyan_gradients):
+        gradients, true_gradient = bulyan_gradients
+        aggregated = Bulyan(f=4).aggregate(gradients)
+        assert np.linalg.norm(aggregated - true_gradient) < 0.5
+
+    def test_resists_f_large_outliers(self, bulyan_gradients):
+        gradients, true_gradient = bulyan_gradients
+        byzantine = 1e4 * np.ones((4, 30))
+        poisoned = np.vstack([gradients[:15], byzantine])  # n=19, f=4 actual
+        aggregated = Bulyan(f=4).aggregate(poisoned)
+        assert np.linalg.norm(aggregated - true_gradient) < 1.0
+
+    def test_byzantine_rows_never_selected(self, bulyan_gradients):
+        gradients, _ = bulyan_gradients
+        byzantine = 1e4 * np.ones((4, 30))
+        poisoned = np.vstack([gradients[:15], byzantine])
+        result = Bulyan(f=4).aggregate_detailed(poisoned)
+        assert not (set(result.selected_indices.tolist()) & {15, 16, 17, 18})
+
+    def test_selection_set_size_is_theta(self, bulyan_gradients):
+        gradients, _ = bulyan_gradients
+        result = Bulyan(f=4).aggregate_detailed(gradients)
+        assert result.selected_indices.shape == (19 - 2 * 4,)
+
+    def test_selection_indices_unique(self, bulyan_gradients):
+        gradients, _ = bulyan_gradients
+        result = Bulyan(f=4).aggregate_detailed(gradients)
+        indices = result.selected_indices.tolist()
+        assert len(indices) == len(set(indices))
+
+    def test_nan_submissions_tolerated(self, bulyan_gradients):
+        gradients, _ = bulyan_gradients
+        poisoned = np.vstack([gradients[:15], np.full((4, 30), np.nan)])
+        aggregated = Bulyan(f=4).aggregate(poisoned)
+        assert np.isfinite(aggregated).all()
+
+    def test_all_identical_inputs(self):
+        matrix = np.tile(np.arange(5, dtype=float), (7, 1))
+        np.testing.assert_allclose(Bulyan(f=1).aggregate(matrix), np.arange(5, dtype=float))
+
+    def test_coordinates_within_selected_range(self, bulyan_gradients):
+        gradients, _ = bulyan_gradients
+        result = Bulyan(f=4).aggregate_detailed(gradients)
+        selected = gradients[result.selected_indices]
+        assert (result.gradient <= selected.max(axis=0) + 1e-12).all()
+        assert (result.gradient >= selected.min(axis=0) - 1e-12).all()
+
+    def test_f_zero_behaves_like_trimmed_average(self, rng):
+        # With f=0, theta = n and beta = n: Bulyan degenerates to plain averaging.
+        matrix = rng.standard_normal((6, 8))
+        np.testing.assert_allclose(Bulyan(f=0).aggregate(matrix), matrix.mean(axis=0), atol=1e-12)
+
+    def test_resilience_metadata(self):
+        assert Bulyan.resilience == "strong"
+        assert MultiKrum.resilience == "weak"
+        assert CoordinateWiseMedian.resilience == "weak"
+
+    def test_little_is_enough_bounded_per_coordinate(self, bulyan_gradients, rng):
+        # A dimensional-leeway attack: Byzantine gradients stay within ~1.5 std
+        # of the honest mean per coordinate.  Bulyan's output must stay within
+        # the honest per-coordinate envelope (strong resilience property).
+        gradients, _ = bulyan_gradients
+        honest = gradients[:15]
+        mean, std = honest.mean(axis=0), honest.std(axis=0)
+        byzantine = np.tile(mean - 1.5 * std, (4, 1))
+        poisoned = np.vstack([honest, byzantine])
+        aggregated = Bulyan(f=4).aggregate(poisoned)
+        assert (aggregated >= honest.min(axis=0) - 1e-9).all()
+        assert (aggregated <= honest.max(axis=0) + 1e-9).all()

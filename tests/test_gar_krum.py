@@ -1,0 +1,159 @@
+"""Tests for Krum and Multi-Krum."""
+
+import numpy as np
+import pytest
+
+from repro.core import Krum, MultiKrum
+from repro.core.krum import krum_scores, pairwise_squared_distances
+from repro.exceptions import AggregationError, ConfigurationError, ResilienceConditionError
+
+
+class TestPairwiseDistances:
+    def test_matches_reference_loop(self, rng):
+        matrix = rng.standard_normal((7, 12))
+        dist = pairwise_squared_distances(matrix)
+        for i in range(7):
+            for j in range(7):
+                expected = np.sum((matrix[i] - matrix[j]) ** 2)
+                assert dist[i, j] == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    def test_diagonal_zero(self, rng):
+        dist = pairwise_squared_distances(rng.standard_normal((5, 3)))
+        np.testing.assert_allclose(np.diag(dist), 0.0)
+
+    def test_symmetric(self, rng):
+        dist = pairwise_squared_distances(rng.standard_normal((6, 4)))
+        np.testing.assert_allclose(dist, dist.T, atol=1e-9)
+
+    def test_non_finite_rows_pushed_to_infinity(self, rng):
+        matrix = rng.standard_normal((5, 4))
+        matrix[2, 1] = np.nan
+        dist = pairwise_squared_distances(matrix)
+        assert np.isinf(dist[2, [0, 1, 3, 4]]).all()
+        assert np.isinf(dist[[0, 1, 3, 4], 2]).all()
+        assert dist[2, 2] == 0.0
+
+    def test_never_negative(self, rng):
+        # Near-identical rows can produce tiny negative values via round-off.
+        base = rng.standard_normal(30)
+        matrix = np.tile(base, (6, 1)) + 1e-12 * rng.standard_normal((6, 30))
+        assert (pairwise_squared_distances(matrix) >= 0).all()
+
+
+class TestKrumScores:
+    def test_scores_shape(self, honest_gradients):
+        dist = pairwise_squared_distances(honest_gradients)
+        scores = krum_scores(dist, f=2)
+        assert scores.shape == (honest_gradients.shape[0],)
+
+    def test_outlier_gets_highest_score(self, honest_gradients):
+        poisoned = np.vstack([honest_gradients, 100.0 * np.ones(20)])
+        dist = pairwise_squared_distances(poisoned)
+        scores = krum_scores(dist, f=1)
+        assert np.argmax(scores) == poisoned.shape[0] - 1
+
+    def test_too_few_neighbours_raises(self):
+        dist = pairwise_squared_distances(np.ones((4, 3)))
+        with pytest.raises(ResilienceConditionError):
+            krum_scores(dist, f=3)
+
+    def test_scores_exclude_self_distance(self):
+        # Three identical points plus one far away: each identical point's
+        # score with one neighbour is 0 (its twin), not its self-distance.
+        matrix = np.array([[0.0], [0.0], [0.0], [10.0]])
+        scores = krum_scores(pairwise_squared_distances(matrix), f=0)
+        # n - f - 2 = 2 neighbours: the two other identical points for rows 0-2.
+        np.testing.assert_allclose(scores[:3], 0.0)
+        assert scores[3] == pytest.approx(200.0)
+
+
+class TestKrum:
+    def test_selects_single_gradient(self, honest_gradients):
+        result = Krum(f=2).aggregate_detailed(honest_gradients)
+        assert result.selected_indices.shape == (1,)
+        selected = int(result.selected_indices[0])
+        np.testing.assert_allclose(result.gradient, honest_gradients[selected])
+
+    def test_never_selects_large_outlier(self, honest_gradients):
+        poisoned = np.vstack([honest_gradients, 1e4 * np.ones(20)])
+        result = Krum(f=1).aggregate_detailed(poisoned)
+        assert int(result.selected_indices[0]) != poisoned.shape[0] - 1
+
+    def test_output_is_one_of_the_inputs(self, honest_gradients):
+        aggregated = Krum(f=2).aggregate(honest_gradients)
+        assert any(np.allclose(aggregated, row) for row in honest_gradients)
+
+
+class TestMultiKrum:
+    def test_default_m_is_n_minus_f_minus_2(self, honest_gradients):
+        gar = MultiKrum(f=2)
+        assert gar.effective_m(11) == 7
+        result = gar.aggregate_detailed(honest_gradients)
+        assert result.selected_indices.shape == (7,)
+
+    def test_explicit_m_respected(self, honest_gradients):
+        result = MultiKrum(f=2, m=3).aggregate_detailed(honest_gradients)
+        assert result.selected_indices.shape == (3,)
+
+    def test_m_too_large_rejected(self, honest_gradients):
+        with pytest.raises(ResilienceConditionError):
+            MultiKrum(f=2, m=8).aggregate(honest_gradients)
+
+    def test_invalid_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiKrum(f=1, m=0)
+        with pytest.raises(ConfigurationError):
+            MultiKrum(f=1, m=-2)
+
+    def test_output_is_mean_of_selected(self, honest_gradients):
+        result = MultiKrum(f=2).aggregate_detailed(honest_gradients)
+        np.testing.assert_allclose(
+            result.gradient, honest_gradients[result.selected_indices].mean(axis=0)
+        )
+
+    def test_close_to_true_gradient_despite_byzantine(self, honest_gradients, true_gradient):
+        byzantine = np.vstack([1e3 * np.ones(20), -1e3 * np.ones(20)])
+        poisoned = np.vstack([honest_gradients, byzantine])
+        aggregated = MultiKrum(f=2).aggregate(poisoned)
+        assert np.linalg.norm(aggregated - true_gradient) < 0.5
+
+    def test_byzantine_rows_not_selected(self, honest_gradients):
+        byzantine = 500.0 * np.ones((2, 20))
+        poisoned = np.vstack([honest_gradients, byzantine])
+        result = MultiKrum(f=2).aggregate_detailed(poisoned)
+        assert not (set(result.selected_indices.tolist()) & {11, 12})
+
+    def test_nan_gradients_never_selected(self, honest_gradients):
+        nan_rows = np.full((2, 20), np.nan)
+        poisoned = np.vstack([honest_gradients, nan_rows])
+        result = MultiKrum(f=2).aggregate_detailed(poisoned)
+        assert np.isfinite(result.gradient).all()
+        assert not (set(result.selected_indices.tolist()) & {11, 12})
+
+    def test_all_nan_raises(self):
+        with pytest.raises(AggregationError):
+            MultiKrum(f=1).aggregate(np.full((6, 4), np.nan))
+
+    def test_m_equals_n_when_f_zero_minus_two(self, rng):
+        # With f=0, the default m is n-2: almost averaging, never the 2 outliers.
+        matrix = rng.standard_normal((10, 5))
+        result = MultiKrum(f=0).aggregate_detailed(matrix)
+        assert result.selected_indices.shape == (8,)
+
+    def test_krum_is_multikrum_with_m_1(self, honest_gradients):
+        np.testing.assert_allclose(
+            Krum(f=2).aggregate(honest_gradients),
+            MultiKrum(f=2, m=1).aggregate(honest_gradients),
+        )
+
+    def test_minimum_workers_condition(self):
+        assert MultiKrum.minimum_workers(4) == 11
+        with pytest.raises(ResilienceConditionError):
+            MultiKrum(f=4).aggregate(np.ones((10, 3)))
+
+    def test_permutation_of_workers_does_not_change_output(self, honest_gradients, rng):
+        gar = MultiKrum(f=2)
+        baseline = gar.aggregate(honest_gradients)
+        perm = rng.permutation(honest_gradients.shape[0])
+        permuted = gar.aggregate(honest_gradients[perm])
+        np.testing.assert_allclose(baseline, permuted, atol=1e-9)

@@ -1,0 +1,74 @@
+"""Tests for coordinate-wise median and trimmed mean."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoordinateWiseMedian, TrimmedMean
+from repro.exceptions import ResilienceConditionError
+
+
+class TestCoordinateWiseMedian:
+    def test_matches_numpy_median(self, honest_gradients):
+        np.testing.assert_allclose(
+            CoordinateWiseMedian(f=2).aggregate(honest_gradients),
+            np.median(honest_gradients, axis=0),
+        )
+
+    def test_resists_f_outliers(self, honest_gradients, true_gradient):
+        outliers = 1e6 * np.ones((3, honest_gradients.shape[1]))
+        poisoned = np.vstack([honest_gradients, outliers])
+        aggregated = CoordinateWiseMedian(f=3).aggregate(poisoned)
+        assert np.linalg.norm(aggregated - true_gradient) < 1.0
+
+    def test_nan_submission_does_not_poison_output(self, honest_gradients):
+        poisoned = np.vstack([honest_gradients, np.full(honest_gradients.shape[1], np.nan)])
+        aggregated = CoordinateWiseMedian(f=1).aggregate(poisoned)
+        assert np.isfinite(aggregated).all()
+
+    def test_inf_submission_does_not_poison_output(self, honest_gradients):
+        row = np.full(honest_gradients.shape[1], np.inf)
+        row[::2] = -np.inf
+        poisoned = np.vstack([honest_gradients, row])
+        aggregated = CoordinateWiseMedian(f=1).aggregate(poisoned)
+        assert np.isfinite(aggregated).all()
+
+    def test_minimum_workers(self):
+        assert CoordinateWiseMedian.minimum_workers(4) == 9
+        with pytest.raises(ResilienceConditionError):
+            CoordinateWiseMedian(f=4).aggregate(np.ones((8, 3)))
+
+    def test_resilience_level(self):
+        assert CoordinateWiseMedian.resilience == "weak"
+
+
+class TestTrimmedMean:
+    def test_f_zero_equals_mean(self, honest_gradients):
+        np.testing.assert_allclose(
+            TrimmedMean(f=0).aggregate(honest_gradients), honest_gradients.mean(axis=0)
+        )
+
+    def test_trims_extremes_per_coordinate(self):
+        gradients = np.array([[0.0], [1.0], [2.0], [3.0], [100.0]])
+        aggregated = TrimmedMean(f=1).aggregate(gradients)
+        np.testing.assert_allclose(aggregated, [(1.0 + 2.0 + 3.0) / 3.0])
+
+    def test_resists_f_outliers(self, honest_gradients, true_gradient):
+        outliers = np.vstack([1e6 * np.ones(20), -1e6 * np.ones(20)])
+        poisoned = np.vstack([honest_gradients, outliers])
+        aggregated = TrimmedMean(f=2).aggregate(poisoned)
+        assert np.linalg.norm(aggregated - true_gradient) < 1.0
+
+    def test_handles_nan_submissions(self, honest_gradients):
+        poisoned = np.vstack([honest_gradients, np.full(20, np.nan)])
+        aggregated = TrimmedMean(f=1).aggregate(poisoned)
+        assert np.isfinite(aggregated).all()
+
+    def test_minimum_workers(self):
+        with pytest.raises(ResilienceConditionError):
+            TrimmedMean(f=3).aggregate(np.ones((6, 2)))
+
+    def test_output_within_input_range(self, rng):
+        matrix = rng.standard_normal((9, 15))
+        aggregated = TrimmedMean(f=2).aggregate(matrix)
+        assert (aggregated <= matrix.max(axis=0) + 1e-12).all()
+        assert (aggregated >= matrix.min(axis=0) - 1e-12).all()

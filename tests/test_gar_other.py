@@ -1,0 +1,83 @@
+"""Tests for the geometric median, MeaMed and Phocas rules."""
+
+import numpy as np
+import pytest
+
+from repro.core import GeometricMedian, MeaMed, Phocas
+from repro.exceptions import ConfigurationError, ResilienceConditionError
+
+
+class TestGeometricMedian:
+    def test_single_point(self):
+        point = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(GeometricMedian().aggregate([point]), point, atol=1e-6)
+
+    def test_symmetric_points_give_centroid(self):
+        matrix = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        np.testing.assert_allclose(GeometricMedian().aggregate(matrix), [0.0, 0.0], atol=1e-6)
+
+    def test_resists_outlier(self, honest_gradients, true_gradient):
+        poisoned = np.vstack([honest_gradients, 1e5 * np.ones(20)])
+        aggregated = GeometricMedian(f=1).aggregate(poisoned)
+        assert np.linalg.norm(aggregated - true_gradient) < 1.0
+
+    def test_ignores_non_finite_rows(self, honest_gradients):
+        poisoned = np.vstack([honest_gradients, np.full(20, np.nan)])
+        aggregated = GeometricMedian(f=1).aggregate(poisoned)
+        assert np.isfinite(aggregated).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            GeometricMedian(max_iter=0)
+        with pytest.raises(ConfigurationError):
+            GeometricMedian(tol=0.0)
+
+    def test_minimises_sum_of_distances_better_than_mean(self, rng):
+        matrix = rng.standard_normal((9, 6))
+        matrix[0] += 50.0  # one outlier
+        geo = GeometricMedian().aggregate(matrix)
+        mean = matrix.mean(axis=0)
+        cost = lambda center: np.linalg.norm(matrix - center, axis=1).sum()
+        assert cost(geo) <= cost(mean) + 1e-9
+
+
+class TestMeaMed:
+    def test_f_zero_equals_mean(self, honest_gradients):
+        np.testing.assert_allclose(
+            MeaMed(f=0).aggregate(honest_gradients), honest_gradients.mean(axis=0)
+        )
+
+    def test_resists_f_outliers(self, honest_gradients, true_gradient):
+        poisoned = np.vstack([honest_gradients, 1e6 * np.ones((2, 20))])
+        aggregated = MeaMed(f=2).aggregate(poisoned)
+        assert np.linalg.norm(aggregated - true_gradient) < 1.0
+
+    def test_minimum_workers(self):
+        with pytest.raises(ResilienceConditionError):
+            MeaMed(f=3).aggregate(np.ones((6, 4)))
+
+    def test_handles_nan(self, honest_gradients):
+        poisoned = np.vstack([honest_gradients, np.full(20, np.nan)])
+        assert np.isfinite(MeaMed(f=1).aggregate(poisoned)).all()
+
+
+class TestPhocas:
+    def test_f_zero_equals_mean(self, honest_gradients):
+        np.testing.assert_allclose(
+            Phocas(f=0).aggregate(honest_gradients), honest_gradients.mean(axis=0)
+        )
+
+    def test_resists_f_outliers(self, honest_gradients, true_gradient):
+        poisoned = np.vstack([honest_gradients, -1e6 * np.ones((2, 20))])
+        aggregated = Phocas(f=2).aggregate(poisoned)
+        assert np.linalg.norm(aggregated - true_gradient) < 1.0
+
+    def test_minimum_workers(self):
+        with pytest.raises(ResilienceConditionError):
+            Phocas(f=4).aggregate(np.ones((8, 4)))
+
+    def test_output_within_honest_range_under_attack(self, honest_gradients):
+        poisoned = np.vstack([honest_gradients, 1e6 * np.ones((2, 20))])
+        aggregated = Phocas(f=2).aggregate(poisoned)
+        assert (aggregated <= honest_gradients.max(axis=0) + 1e-9).all()
+        assert (aggregated >= honest_gradients.min(axis=0) - 1e-9).all()

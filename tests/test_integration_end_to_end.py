@@ -1,0 +1,115 @@
+"""Integration tests: full distributed training runs reproducing the paper's claims
+at miniature scale (every piece of the stack exercised together)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import TrainerConfig, build_trainer
+from repro.data import gaussian_blobs, synthetic_cifar
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return gaussian_blobs(num_train=600, num_test=150, num_classes=4, dim=16,
+                          separation=2.5, noise=1.0, rng=0)
+
+
+COMMON = dict(
+    model="mlp",
+    model_kwargs={"input_dim": 16, "hidden": (24,), "num_classes": 4},
+    num_workers=11,
+    batch_size=32,
+    learning_rate=5e-3,
+    seed=1,
+)
+CONFIG = TrainerConfig(max_steps=60, eval_every=20)
+
+
+def run(dataset, **overrides):
+    kwargs = dict(COMMON, dataset=dataset)
+    kwargs.update(overrides)
+    return build_trainer(**kwargs).run(CONFIG)
+
+
+class TestByzantineResilienceClaims:
+    """The central qualitative claims of the paper, end to end."""
+
+    def test_all_gars_converge_without_byzantine(self, dataset):
+        for gar in ("average", "median", "multi-krum", "bulyan"):
+            history = run(dataset, gar=gar, declared_f=2)
+            assert not history.diverged, gar
+            assert history.final_accuracy > 0.85, gar
+
+    def test_averaging_breaks_under_each_attack(self, dataset):
+        for attack in ("reversed-gradient", "random", "non-finite"):
+            history = run(dataset, gar="average", num_byzantine=2, declared_f=2, attack=attack)
+            assert history.diverged or history.final_accuracy < 0.7, attack
+
+    @pytest.mark.parametrize("gar", ["multi-krum", "bulyan"])
+    @pytest.mark.parametrize("attack", ["reversed-gradient", "random", "non-finite", "little-is-enough"])
+    def test_robust_gars_survive_attacks(self, dataset, gar, attack):
+        history = run(dataset, gar=gar, num_byzantine=2, declared_f=2, attack=attack)
+        assert not history.diverged
+        assert history.final_accuracy > 0.8
+
+    def test_multikrum_handles_max_f(self, dataset):
+        # n = 11 workers tolerate up to f = 4 (weak resilience).
+        history = run(dataset, gar="multi-krum", num_byzantine=4, declared_f=4,
+                      attack="reversed-gradient")
+        assert history.final_accuracy > 0.8
+
+    def test_overhead_ordering_without_byzantine(self, dataset):
+        """Robust aggregation costs simulated time: TF <= Multi-Krum <= Bulyan."""
+        times = {}
+        for gar in ("average", "multi-krum", "bulyan"):
+            history = run(dataset, gar=gar, declared_f=2)
+            times[gar] = history.total_time
+        assert times["average"] < times["multi-krum"] < times["bulyan"]
+
+
+class TestLossyTransportClaims:
+    def test_robust_gar_tolerates_lossy_links(self, dataset):
+        history = run(
+            dataset, gar="multi-krum", declared_f=4,
+            lossy_links=4, lossy_drop_rate=0.10, lossy_policy="random-fill",
+        )
+        assert not history.diverged
+        assert history.final_accuracy > 0.8
+
+    def test_selective_average_tolerates_nan_fill(self, dataset):
+        history = run(
+            dataset, gar="selective-average", declared_f=0,
+            lossy_links=4, lossy_drop_rate=0.10, lossy_policy="nan-fill",
+        )
+        assert not history.diverged
+        assert history.final_accuracy > 0.8
+
+    def test_plain_average_degrades_with_garbage_fill(self, dataset):
+        clean = run(dataset, gar="average")
+        lossy = run(
+            dataset, gar="average",
+            lossy_links=4, lossy_drop_rate=0.10, lossy_policy="random-fill",
+        )
+        assert lossy.diverged or lossy.final_accuracy < clean.final_accuracy
+
+
+class TestCNNOnSyntheticImages:
+    def test_small_cnn_distributed_training(self):
+        """The full stack with the (scaled-down) Table-1 CNN on synthetic CIFAR."""
+        dataset = synthetic_cifar(num_train=300, num_test=80, image_size=8, num_classes=4, rng=0)
+        trainer = build_trainer(
+            model="small-cnn",
+            model_kwargs={"image_size": 8, "num_classes": 4},
+            dataset=dataset,
+            gar="multi-krum",
+            num_workers=7,
+            num_byzantine=1,
+            declared_f=1,
+            attack="reversed-gradient",
+            batch_size=16,
+            learning_rate=2e-3,
+            seed=0,
+        )
+        history = trainer.run(TrainerConfig(max_steps=25, eval_every=25))
+        assert not history.diverged
+        assert history.final_accuracy > 0.3  # well above the 0.25 chance level

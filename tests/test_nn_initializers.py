@@ -1,0 +1,58 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn import initializers
+
+
+def test_zeros():
+    np.testing.assert_array_equal(initializers.zeros((3, 4)), np.zeros((3, 4)))
+
+
+def test_constant():
+    np.testing.assert_array_equal(initializers.constant((2, 2), 3.5), np.full((2, 2), 3.5))
+
+
+def test_normal_std(rng):
+    weights = initializers.normal((2000,), rng, std=0.1)
+    assert np.std(weights) == pytest.approx(0.1, rel=0.1)
+
+
+def test_normal_negative_std_rejected():
+    with pytest.raises(ConfigurationError):
+        initializers.normal((3,), 0, std=-1.0)
+
+
+def test_glorot_uniform_bounds():
+    weights = initializers.glorot_uniform((100, 100), 0)
+    limit = np.sqrt(6.0 / 200)
+    assert np.abs(weights).max() <= limit
+
+
+def test_he_normal_scale():
+    weights = initializers.he_normal((400, 100), 0)
+    assert np.std(weights) == pytest.approx(np.sqrt(2.0 / 400), rel=0.15)
+
+
+def test_fan_computation_for_conv_kernels():
+    weights = initializers.he_normal((64, 3, 5, 5), 0)
+    assert np.std(weights) == pytest.approx(np.sqrt(2.0 / (3 * 25)), rel=0.15)
+
+
+def test_unsupported_shape_rejected():
+    with pytest.raises(ConfigurationError):
+        initializers.glorot_uniform((2, 3, 4), 0)
+
+
+def test_get_initializer_lookup():
+    assert initializers.get_initializer("he") is initializers.he_normal
+    with pytest.raises(ConfigurationError):
+        initializers.get_initializer("unknown")
+
+
+def test_deterministic_given_seed():
+    np.testing.assert_array_equal(
+        initializers.glorot_uniform((4, 4), 7), initializers.glorot_uniform((4, 4), 7)
+    )

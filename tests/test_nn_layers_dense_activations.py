@@ -1,0 +1,117 @@
+"""Tests for Dense and activation layers (shapes, semantics, gradients)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.nn.layers import Dense, LeakyReLU, ReLU, Sigmoid, Tanh
+
+from tests.nn_testing import check_layer_gradients
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(6, 4, rng=rng)
+        out = layer.forward(rng.standard_normal((5, 6)))
+        assert out.shape == (5, 4)
+
+    def test_forward_matches_matmul(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.standard_normal((4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_no_bias_option(self, rng):
+        layer = Dense(3, 2, use_bias=False, rng=rng)
+        assert layer.bias is None
+        assert layer.num_parameters == 6
+
+    def test_parameter_count(self):
+        assert Dense(10, 7).num_parameters == 10 * 7 + 7
+
+    def test_wrong_input_dim_raises(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        with pytest.raises(ConfigurationError):
+            layer.forward(rng.standard_normal((4, 5)))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((4, 2)))
+
+    def test_gradients_numerically(self, rng):
+        check_layer_gradients(Dense(4, 3, rng=rng), (3, 4), rng=rng)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            Dense(0, 3)
+        with pytest.raises(ConfigurationError):
+            Dense(3, 0)
+
+    def test_eval_mode_does_not_cache(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        layer.forward(rng.standard_normal((2, 3)), training=False)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((2, 2)))
+
+
+class TestActivations:
+    def test_relu_semantics(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_gradient_mask(self):
+        layer = ReLU()
+        layer.forward(np.array([[-1.0, 3.0]]))
+        grad = layer.backward(np.array([[5.0, 5.0]]))
+        np.testing.assert_allclose(grad, [[0.0, 5.0]])
+
+    def test_leaky_relu_negative_slope(self):
+        layer = LeakyReLU(0.1)
+        out = layer.forward(np.array([[-2.0, 4.0]]))
+        np.testing.assert_allclose(out, [[-0.2, 4.0]])
+
+    def test_leaky_relu_invalid_slope(self):
+        with pytest.raises(ConfigurationError):
+            LeakyReLU(-0.5)
+
+    def test_sigmoid_range_and_midpoint(self, rng):
+        out = Sigmoid().forward(rng.standard_normal((3, 4)) * 10)
+        assert ((out > 0) & (out < 1)).all()
+        np.testing.assert_allclose(Sigmoid().forward(np.zeros((1, 1))), [[0.5]])
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.isfinite(out).all()
+
+    def test_tanh_matches_numpy(self, rng):
+        x = rng.standard_normal((2, 5))
+        np.testing.assert_allclose(Tanh().forward(x), np.tanh(x))
+
+    @pytest.mark.parametrize("layer_cls", [ReLU, Sigmoid, Tanh, LeakyReLU])
+    def test_gradients_numerically(self, layer_cls, rng):
+        # Shift inputs away from the ReLU kink to keep finite differences valid.
+        layer = layer_cls()
+        generator = np.random.default_rng(3)
+        x = generator.standard_normal((4, 5)) + 0.05
+        x[np.abs(x) < 1e-3] = 0.5
+        out = layer.forward(x, training=True)
+        weights = generator.standard_normal(out.shape)
+        grad = layer.backward(weights)
+
+        from tests.nn_testing import numerical_gradient
+
+        numeric = numerical_gradient(
+            lambda value: float(np.sum(weights * layer.forward(value, training=True))), x.copy()
+        )
+        np.testing.assert_allclose(grad, numeric, atol=1e-5, rtol=1e-4)
+
+    @pytest.mark.parametrize("layer_cls", [ReLU, Sigmoid, Tanh, LeakyReLU])
+    def test_backward_before_forward_raises(self, layer_cls):
+        with pytest.raises(RuntimeError):
+            layer_cls().backward(np.ones((2, 2)))
+
+    def test_activations_have_no_parameters(self):
+        for layer in (ReLU(), Sigmoid(), Tanh(), LeakyReLU()):
+            assert layer.parameters() == []
+            assert layer.num_parameters == 0

@@ -1,0 +1,155 @@
+"""Property-based tests (hypothesis) on the gradient aggregation rules.
+
+These check structural invariants that must hold for *any* input:
+
+* permutation invariance — the order in which workers' gradients arrive must
+  not change the aggregate;
+* translation equivariance — shifting every gradient by a constant vector
+  shifts the aggregate by the same vector (holds for all built-in rules);
+* coordinate-range containment — selection/median-based rules produce
+  coordinates inside the range spanned by the inputs;
+* Byzantine resilience — with at most ``f`` arbitrary rows, the output of a
+  robust rule stays within the envelope of the honest rows.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import Average, Bulyan, CoordinateWiseMedian, MeaMed, MultiKrum, TrimmedMean
+
+# Small, well-conditioned float strategy (avoid overflow-scale values).
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def gradient_matrices(min_rows: int, max_rows: int = 15, max_cols: int = 12):
+    """Strategy producing (n, d) float matrices with n in [min_rows, max_rows]."""
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=st.tuples(
+            st.integers(min_value=min_rows, max_value=max_rows),
+            st.integers(min_value=1, max_value=max_cols),
+        ),
+        elements=finite_floats,
+    )
+
+
+RULES = [
+    ("average", lambda: Average(), 1),
+    ("median", lambda: CoordinateWiseMedian(f=1), 3),
+    ("trimmed-mean", lambda: TrimmedMean(f=1), 3),
+    ("meamed", lambda: MeaMed(f=1), 3),
+    ("multi-krum", lambda: MultiKrum(f=1), 5),
+    ("bulyan", lambda: Bulyan(f=1), 7),
+]
+
+
+def generic_matrix(data, min_rows: int, max_rows: int = 15, max_cols: int = 12) -> np.ndarray:
+    """A generic (tie-free, continuous) random matrix parameterised by hypothesis.
+
+    Selection-based rules break exact ties by worker index, so inputs with
+    duplicated rows or symmetric deviations are legitimately order-dependent;
+    the invariance properties below are about *generic* inputs, which we
+    obtain by sampling a continuous distribution whose shape, scale and seed
+    hypothesis controls.
+    """
+    n = data.draw(st.integers(min_value=min_rows, max_value=max_rows))
+    d = data.draw(st.integers(min_value=1, max_value=max_cols))
+    seed = data.draw(st.integers(min_value=0, max_value=2**31))
+    scale = data.draw(st.floats(min_value=1e-3, max_value=1e3))
+    offset = data.draw(st.floats(min_value=-1e3, max_value=1e3))
+    rng = np.random.default_rng(seed)
+    return offset + scale * rng.standard_normal((n, d))
+
+
+@pytest.mark.parametrize("name,factory,min_rows", RULES)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_permutation_invariance(name, factory, min_rows, data):
+    matrix = generic_matrix(data, min_rows)
+    gar = factory()
+    baseline = gar.aggregate(matrix)
+    perm = data.draw(st.permutations(range(matrix.shape[0])))
+    permuted = gar.aggregate(matrix[np.array(perm)])
+    np.testing.assert_allclose(baseline, permuted, rtol=1e-9, atol=1e-9)
+
+
+@pytest.mark.parametrize("name,factory,min_rows", RULES)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_translation_equivariance(name, factory, min_rows, data):
+    matrix = generic_matrix(data, min_rows)
+    shift = data.draw(
+        hnp.arrays(np.float64, shape=matrix.shape[1],
+                   elements=st.floats(min_value=-100, max_value=100, allow_nan=False))
+    )
+    gar = factory()
+    baseline = gar.aggregate(matrix)
+    shifted = gar.aggregate(matrix + shift[None, :])
+    np.testing.assert_allclose(shifted, baseline + shift, rtol=1e-6, atol=1e-4)
+
+
+@pytest.mark.parametrize(
+    "name,factory,min_rows",
+    [r for r in RULES if r[0] != "average"],
+)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_output_within_input_coordinate_range(name, factory, min_rows, data):
+    matrix = data.draw(gradient_matrices(min_rows))
+    aggregated = factory().aggregate(matrix)
+    low = matrix.min(axis=0) - 1e-6 - 1e-9 * np.abs(matrix).max()
+    high = matrix.max(axis=0) + 1e-6 + 1e-9 * np.abs(matrix).max()
+    assert (aggregated >= low).all()
+    assert (aggregated <= high).all()
+
+
+@pytest.mark.parametrize(
+    "factory,min_honest",
+    [
+        (lambda: CoordinateWiseMedian(f=1), 5),
+        (lambda: TrimmedMean(f=1), 5),
+        (lambda: MultiKrum(f=1), 5),
+        (lambda: Bulyan(f=1), 7),
+    ],
+)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_byzantine_row_cannot_escape_honest_envelope(factory, min_honest, data):
+    """With one arbitrary row among tightly clustered honest rows, the robust
+    aggregate must stay within (a small margin of) the honest coordinate range."""
+    d = data.draw(st.integers(min_value=1, max_value=8))
+    n_honest = data.draw(st.integers(min_value=min_honest, max_value=12))
+    center = data.draw(
+        hnp.arrays(np.float64, shape=d, elements=st.floats(min_value=-10, max_value=10,
+                                                           allow_nan=False))
+    )
+    rng = np.random.default_rng(data.draw(st.integers(min_value=0, max_value=2**31)))
+    honest = center[None, :] + 0.01 * rng.standard_normal((n_honest, d))
+    byzantine = data.draw(
+        hnp.arrays(np.float64, shape=(1, d), elements=finite_floats)
+    )
+    matrix = np.vstack([honest, byzantine])
+    aggregated = factory().aggregate(matrix)
+    spread = honest.max(axis=0) - honest.min(axis=0) + 1e-9
+    assert (aggregated >= honest.min(axis=0) - spread).all()
+    assert (aggregated <= honest.max(axis=0) + spread).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_average_is_exact_mean(data):
+    matrix = data.draw(gradient_matrices(1))
+    np.testing.assert_allclose(Average().aggregate(matrix), matrix.mean(axis=0), rtol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_multikrum_selection_count_matches_m(data):
+    matrix = data.draw(gradient_matrices(5))
+    n = matrix.shape[0]
+    m = data.draw(st.integers(min_value=1, max_value=n - 1 - 2))
+    result = MultiKrum(f=1, m=m).aggregate_detailed(matrix)
+    assert result.selected_indices.shape == (m,)
+    assert len(set(result.selected_indices.tolist())) == m

@@ -1,0 +1,109 @@
+"""Tests for the replicated parameter server (the §6 untrusted-server extension)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.message import GradientMessage
+from repro.cluster.replicated_server import ReplicatedParameterServer, majority_model
+from repro.core import MultiKrum
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.optim import SGD
+
+
+class TestMajorityModel:
+    def test_unanimous(self):
+        model = np.arange(4.0)
+        np.testing.assert_allclose(majority_model([model, model, model]), model)
+
+    def test_majority_beats_liar(self):
+        model = np.ones(5)
+        garbage = 100.0 * np.ones(5)
+        np.testing.assert_allclose(majority_model([model, model, model, garbage]), model)
+
+    def test_no_quorum_raises(self):
+        proposals = [np.zeros(3), np.ones(3), 2 * np.ones(3)]
+        with pytest.raises(TrainingError):
+            majority_model(proposals)
+
+    def test_empty_raises(self):
+        with pytest.raises(TrainingError):
+            majority_model([])
+
+    def test_custom_quorum(self):
+        proposals = [np.zeros(3), np.zeros(3), np.ones(3)]
+        np.testing.assert_allclose(majority_model(proposals, quorum=2), np.zeros(3))
+        with pytest.raises(ConfigurationError):
+            majority_model(proposals, quorum=5)
+
+
+def make_replicated(num_replicas=4, byzantine=0, dim=6):
+    return ReplicatedParameterServer(
+        np.zeros(dim),
+        MultiKrum(f=1),
+        lambda: SGD(learning_rate=0.1),
+        num_replicas=num_replicas,
+        byzantine_replicas=byzantine,
+        rng=0,
+    )
+
+
+def honest_round(dim=6, n=6, step=0, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        GradientMessage(worker_id=i, step=step, gradient=np.ones(dim) + 0.01 * rng.standard_normal(dim))
+        for i in range(n)
+    ]
+
+
+class TestReplicatedParameterServer:
+    def test_bft_requirement(self):
+        with pytest.raises(ConfigurationError):
+            make_replicated(num_replicas=3, byzantine=1)
+        make_replicated(num_replicas=4, byzantine=1)
+
+    def test_correct_replicas_stay_in_agreement(self):
+        server = make_replicated()
+        for step in range(3):
+            server.apply_round(honest_round(step=step, seed=step))
+        models = [replica.parameters for replica in server.replicas]
+        for model in models[1:]:
+            np.testing.assert_allclose(model, models[0])
+
+    def test_quorum_model_ignores_byzantine_replica(self):
+        clean = make_replicated(num_replicas=4, byzantine=0)
+        compromised = make_replicated(num_replicas=4, byzantine=1)
+        messages = honest_round()
+        clean_model = clean.apply_round(messages)
+        compromised_model = compromised.apply_round(messages)
+        np.testing.assert_allclose(compromised_model, clean_model)
+
+    def test_worker_view_matches_parameters(self):
+        server = make_replicated(byzantine=1)
+        server.apply_round(honest_round())
+        np.testing.assert_allclose(server.worker_view(), server.parameters)
+
+    def test_broadcast_contains_garbage_from_byzantine_replica(self):
+        server = make_replicated(num_replicas=4, byzantine=1)
+        proposals = server.broadcast()
+        # The first replica lies; its proposal is far from the (zero) true model.
+        assert np.abs(proposals[0]).max() > 10
+        np.testing.assert_allclose(proposals[1], 0.0)
+
+    def test_too_many_byzantine_replicas_break_the_quorum(self):
+        # Constructing such a deployment is refused up-front...
+        with pytest.raises(ConfigurationError):
+            make_replicated(num_replicas=4, byzantine=2)
+
+    def test_step_and_dim(self):
+        server = make_replicated()
+        assert server.dim == 6
+        assert server.step == 0
+        server.apply_round(honest_round())
+        assert server.step == 1
+
+    def test_descends_towards_gradient_direction(self):
+        server = make_replicated(byzantine=1)
+        model_before = server.parameters
+        model_after = server.apply_round(honest_round())
+        # One SGD step against an all-ones gradient moves every coordinate down.
+        assert (model_after < model_before).all()

@@ -1,0 +1,142 @@
+"""Tests for the command-line runner (repro.runner)."""
+
+import io
+import json
+
+import pytest
+
+from repro import runner
+from repro.exceptions import ConfigurationError
+
+
+BASE_ARGS = [
+    "--experiment", "mlp",
+    "--experiment-args", "input_dim:8 num_classes:3 hidden:12",
+    "--dataset", "blobs",
+    "--dataset-args", "num_train:200 num_test:50 num_classes:3 dim:8",
+    "--nb-workers", "5",
+    "--batch-size", "16",
+    "--max-step", "10",
+    "--evaluation-delta", "5",
+    "--learning-rate", "5e-3",
+    "--seed", "0",
+]
+
+
+class TestParser:
+    def test_defaults(self):
+        args = runner.build_parser().parse_args([])
+        assert args.aggregator == "multi-krum"
+        assert args.nb_workers == 11
+        assert args.optimizer == "rmsprop"
+
+    def test_unknown_optimizer_rejected(self):
+        with pytest.raises(SystemExit):
+            runner.build_parser().parse_args(["--optimizer", "lbfgs"])
+
+    def test_kv_parsing(self):
+        parsed = runner._parse_kv_args("a:1 b:2.5 c:hello")
+        assert parsed == {"a": 1, "b": 2.5, "c": "hello"}
+
+    def test_kv_parsing_malformed(self):
+        with pytest.raises(ConfigurationError):
+            runner._parse_kv_args("novalue")
+
+    def test_kv_parsing_empty(self):
+        assert runner._parse_kv_args("") == {}
+
+
+class TestListings:
+    def test_empty_aggregator_lists_options(self):
+        stream = io.StringIO()
+        result = runner.run(["--aggregator", ""], stream=stream)
+        assert result == {"listed": "aggregators"}
+        assert "multi-krum" in stream.getvalue()
+
+    def test_empty_experiment_lists_models(self):
+        stream = io.StringIO()
+        result = runner.run(["--experiment", ""], stream=stream)
+        assert result == {"listed": "experiments"}
+        assert "cifar-cnn" in stream.getvalue()
+
+    def test_empty_dataset_lists_datasets(self):
+        stream = io.StringIO()
+        result = runner.run(["--dataset", ""], stream=stream)
+        assert result == {"listed": "datasets"}
+        assert "blobs" in stream.getvalue()
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ConfigurationError):
+            runner.run(BASE_ARGS + ["--attack", "ddos"], stream=io.StringIO())
+
+
+class TestEndToEnd:
+    def test_average_run(self, tmp_path):
+        stream = io.StringIO()
+        output = tmp_path / "result.json"
+        summary = runner.run(
+            BASE_ARGS + ["--aggregator", "average", "--output", str(output)], stream=stream
+        )
+        assert summary["num_updates"] == 10
+        assert not summary["diverged"]
+        assert json.loads(output.read_text())["configuration"]["aggregator"] == "average"
+        assert "final accuracy" in stream.getvalue()
+
+    def test_byzantine_run_with_multikrum(self):
+        stream = io.StringIO()
+        summary = runner.run(
+            BASE_ARGS
+            + [
+                "--aggregator", "multi-krum",
+                "--nb-workers", "9",
+                "--nb-real-byz", "2",
+                "--nb-decl-byz", "2",
+                "--attack", "reversed-gradient",
+            ],
+            stream=stream,
+        )
+        assert not summary["diverged"]
+        assert summary["configuration"]["attack"] == "reversed-gradient"
+
+    def test_checkpointing_run(self, tmp_path):
+        checkpoint_dir = tmp_path / "ckpts"
+        summary = runner.run(
+            BASE_ARGS
+            + [
+                "--aggregator", "average",
+                "--checkpoint-delta", "5",
+                "--checkpoint-dir", str(checkpoint_dir),
+            ],
+            stream=io.StringIO(),
+        )
+        assert summary["num_updates"] == 10
+        checkpoints = sorted(checkpoint_dir.glob("*.npz"))
+        assert len(checkpoints) == 2
+
+    def test_summary_csv_export(self, tmp_path):
+        csv_path = tmp_path / "series.csv"
+        runner.run(
+            BASE_ARGS + ["--aggregator", "average", "--summary-csv", str(csv_path)],
+            stream=io.StringIO(),
+        )
+        assert csv_path.exists()
+        assert "accuracy" in csv_path.read_text().splitlines()[0]
+
+    def test_lossy_run(self):
+        summary = runner.run(
+            BASE_ARGS
+            + [
+                "--aggregator", "multi-krum",
+                "--nb-workers", "9",
+                "--nb-decl-byz", "2",
+                "--lossy-links", "2",
+                "--drop-rate", "0.1",
+                "--recovery-policy", "random-fill",
+            ],
+            stream=io.StringIO(),
+        )
+        assert not summary["diverged"]
+
+    def test_main_returns_error_code_on_bad_configuration(self, monkeypatch):
+        monkeypatch.setattr("sys.argv", ["repro.runner", "--attack", "ddos"])
+        assert runner.main() == 1

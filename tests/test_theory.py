@@ -1,0 +1,141 @@
+"""Tests for the analytic results of Appendix B (repro.core.theory)."""
+
+import math
+
+import pytest
+
+from repro.core import theory
+from repro.exceptions import ResilienceConditionError
+
+
+class TestResilienceConditions:
+    def test_multi_krum_min_workers(self):
+        assert theory.multi_krum_min_workers(0) == 3
+        assert theory.multi_krum_min_workers(4) == 11
+        assert theory.multi_krum_min_workers(8) == 19
+
+    def test_bulyan_min_workers(self):
+        assert theory.bulyan_min_workers(0) == 3
+        assert theory.bulyan_min_workers(4) == 19
+
+    def test_max_byzantine_weak_matches_paper_deployment(self):
+        # 19 workers: up to 8 for Multi-Krum (the Figure 8 setting).
+        assert theory.max_byzantine_weak(19) == 8
+
+    def test_max_byzantine_strong_matches_paper_deployment(self):
+        # 19 workers: up to 4 for Bulyan (the default f of the evaluation).
+        assert theory.max_byzantine_strong(19) == 4
+
+    def test_max_selection_weak(self):
+        # m_tilde = n - f - 2.
+        assert theory.max_selection_weak(19, 4) == 13
+        assert theory.max_selection_weak(11, 2) == 7
+
+    def test_max_selection_strong(self):
+        # m_tilde = n - 2f - 2.
+        assert theory.max_selection_strong(19, 4) == 9
+
+    def test_max_selection_invalid_raises(self):
+        with pytest.raises(ResilienceConditionError):
+            theory.max_selection_weak(4, 3)
+        with pytest.raises(ResilienceConditionError):
+            theory.max_selection_strong(7, 3)
+
+    def test_check_deployment(self):
+        theory.check_deployment(19, 4, strong=True)
+        theory.check_deployment(11, 4, strong=False)
+        with pytest.raises(ResilienceConditionError):
+            theory.check_deployment(10, 4, strong=False)
+        with pytest.raises(ResilienceConditionError):
+            theory.check_deployment(18, 4, strong=True)
+
+    def test_bulyan_iterations_and_beta(self):
+        assert theory.bulyan_iterations(19, 4) == 11
+        assert theory.bulyan_beta(19, 4) == 3
+        assert theory.bulyan_beta(7, 1) == 3
+
+
+class TestEtaAndAlpha:
+    def test_eta_positive_and_growing_with_f(self):
+        base = theory.eta(19, 0)
+        assert base > 0
+        assert theory.eta(19, 4) > base
+
+    def test_eta_formula_matches_manual_computation(self):
+        n, f = 19, 4
+        m = n - f - 2
+        expected = math.sqrt(2 * (n - f + (f * m + f * f * (m + 1)) / (n - 2 * f - 2)))
+        assert theory.eta(n, f) == pytest.approx(expected)
+
+    def test_eta_requires_n_greater_than_2f_plus_2(self):
+        with pytest.raises(ResilienceConditionError):
+            theory.eta(10, 4)
+
+    def test_alpha_bound_valid_case(self):
+        alpha = theory.alpha_bound(19, 4, d=100, sigma=0.001, gradient_norm=1.0)
+        assert 0 <= alpha < math.pi / 2
+
+    def test_alpha_bound_violated_variance(self):
+        with pytest.raises(ResilienceConditionError):
+            theory.alpha_bound(19, 4, d=10_000, sigma=1.0, gradient_norm=1.0)
+
+    def test_resilience_condition_holds(self):
+        assert theory.resilience_condition_holds(19, 4, 100, 0.001, 1.0)
+        assert not theory.resilience_condition_holds(19, 4, 10_000, 1.0, 1.0)
+
+
+class TestSlowdownAndCosts:
+    def test_slowdown_ratio_weak_vs_strong(self):
+        weak = theory.slowdown_ratio(19, 4, strong=False)
+        strong = theory.slowdown_ratio(19, 4, strong=True)
+        assert 0 < strong < weak <= 1.0
+        assert weak == pytest.approx(math.sqrt(13 / 19))
+        assert strong == pytest.approx(math.sqrt(9 / 19))
+
+    def test_convergence_steps_decrease_with_samples(self):
+        assert theory.convergence_steps_estimate(100) < theory.convergence_steps_estimate(10)
+
+    def test_convergence_steps_invalid(self):
+        with pytest.raises(ResilienceConditionError):
+            theory.convergence_steps_estimate(0)
+
+    def test_aggregation_flops_ordering(self):
+        n, f, d = 19, 4, 1_000_000
+        avg = theory.aggregation_flops_average(n, d)
+        mk = theory.aggregation_flops_multi_krum(n, d)
+        bulyan = theory.aggregation_flops_bulyan(n, f, d)
+        assert avg < mk < bulyan
+
+    def test_aggregation_flops_quadratic_in_n(self):
+        d = 1000
+        assert theory.aggregation_flops_multi_krum(20, d) == pytest.approx(
+            4 * theory.aggregation_flops_multi_krum(10, d)
+        )
+
+    def test_bulyan_flops_decrease_with_f(self):
+        # Larger declared f -> fewer selection iterations -> cheaper Bulyan
+        # (the Figure 5a counter-intuitive observation).
+        d = 100_000
+        assert theory.aggregation_flops_bulyan(19, 4, d) < theory.aggregation_flops_bulyan(19, 1, d)
+
+    def test_attack_cost_regression(self):
+        cost = theory.attack_cost_regression(100, 10**9, 1e-9)
+        assert cost == pytest.approx(1e20)
+        with pytest.raises(ResilienceConditionError):
+            theory.attack_cost_regression(10, 10, 0.0)
+
+
+class TestDeploymentSpec:
+    def test_paper_deployment(self):
+        spec = theory.DeploymentSpec(n=19, f=4, strong=True)
+        assert spec.m_max == 9
+        assert 0 < spec.slowdown < 1
+        assert spec.eta > 0
+
+    def test_invalid_deployment_raises(self):
+        with pytest.raises(ResilienceConditionError):
+            theory.DeploymentSpec(n=10, f=4, strong=True)
+
+    def test_weak_deployment(self):
+        spec = theory.DeploymentSpec(n=11, f=4, strong=False)
+        assert spec.m_max == 5

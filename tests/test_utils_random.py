@@ -1,0 +1,64 @@
+"""Tests for the deterministic RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.random import as_rng, derive_seed, spawn_rngs
+
+
+def test_as_rng_from_int_is_deterministic():
+    a = as_rng(7).standard_normal(5)
+    b = as_rng(7).standard_normal(5)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_as_rng_passes_through_generator():
+    generator = np.random.default_rng(0)
+    assert as_rng(generator) is generator
+
+
+def test_as_rng_none_gives_generator():
+    assert isinstance(as_rng(None), np.random.Generator)
+
+
+def test_spawn_rngs_count():
+    rngs = spawn_rngs(3, 5)
+    assert len(rngs) == 5
+    assert all(isinstance(r, np.random.Generator) for r in rngs)
+
+
+def test_spawn_rngs_streams_are_independent():
+    rngs = spawn_rngs(3, 2)
+    a = rngs[0].standard_normal(100)
+    b = rngs[1].standard_normal(100)
+    assert not np.allclose(a, b)
+
+
+def test_spawn_rngs_deterministic_from_seed():
+    first = [r.standard_normal(4) for r in spawn_rngs(11, 3)]
+    second = [r.standard_normal(4) for r in spawn_rngs(11, 3)]
+    for a, b in zip(first, second):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_spawn_rngs_negative_count_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)
+
+
+def test_spawn_rngs_zero_count():
+    assert spawn_rngs(0, 0) == []
+
+
+def test_spawn_rngs_from_generator():
+    rngs = spawn_rngs(np.random.default_rng(5), 3)
+    assert len(rngs) == 3
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed(42, "worker", 3) == derive_seed(42, "worker", 3)
+
+
+def test_derive_seed_differs_across_tags():
+    assert derive_seed(42, "worker", 3) != derive_seed(42, "worker", 4)
+    assert derive_seed(42, "worker") != derive_seed(42, "channel")
