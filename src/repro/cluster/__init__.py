@@ -10,16 +10,28 @@ Byzantine), with
 * a reliable TCP-like transport and a lossy UDP-like transport (lossyMPI
   analogue) with the three §3.3 recovery policies,
 * honest, data-corrupted and Byzantine (attack-driven) workers,
-* a synchronous trainer that reproduces the paper's metrics: accuracy vs
+* pluggable synchrony policies (full synchrony, quorum, bounded staleness)
+  deciding which gradient arrivals the server waits for each step,
+* a trainer pipeline that reproduces the paper's metrics: accuracy vs
   time, accuracy vs model updates, throughput, and latency breakdowns.
 """
 
 from repro.cluster.clock import SimulatedClock
-from repro.cluster.cost_model import CostModel
+from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec, NodeSpec, allocate_devices
 from repro.cluster.message import GradientMessage, ModelMessage
 from repro.cluster.packets import Packetizer, RecoveryPolicy
-from repro.cluster.network import ReliableChannel, LossyChannel, Channel
+from repro.cluster.network import ReliableChannel, DelayedChannel, LossyChannel, Channel
+from repro.cluster.sync import (
+    ArrivalEvent,
+    BoundedStaleness,
+    FullSync,
+    Quorum,
+    SyncDecision,
+    SyncPolicy,
+    available_sync_policies,
+    make_sync_policy,
+)
 from repro.cluster.worker import HonestWorker, ByzantineWorker, Worker
 from repro.cluster.server import ParameterServer
 from repro.cluster.telemetry import TrainingHistory, StepRecord, EvalRecord
@@ -38,6 +50,16 @@ from repro.cluster.replicated_server import ReplicatedParameterServer, majority_
 __all__ = [
     "SimulatedClock",
     "CostModel",
+    "StragglerModel",
+    "ArrivalEvent",
+    "SyncDecision",
+    "SyncPolicy",
+    "FullSync",
+    "Quorum",
+    "BoundedStaleness",
+    "make_sync_policy",
+    "available_sync_policies",
+    "DelayedChannel",
     "ClusterSpec",
     "NodeSpec",
     "allocate_devices",

@@ -14,11 +14,12 @@ from typing import Callable, Dict, Optional, Union
 import numpy as np
 
 from repro.attacks.base import Attack, make_attack
-from repro.cluster.cost_model import CostModel
+from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec, allocate_devices
-from repro.cluster.network import Channel, LossyChannel, ReliableChannel
+from repro.cluster.network import Channel, DelayedChannel, LossyChannel, ReliableChannel
 from repro.cluster.packets import RecoveryPolicy
 from repro.cluster.server import ParameterServer
+from repro.cluster.sync import SyncPolicy, make_sync_policy
 from repro.cluster.trainer import SynchronousTrainer
 from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker
 from repro.core.base import GradientAggregationRule, make_gar
@@ -55,6 +56,12 @@ def _resolve_attack(attack: Union[None, str, Attack], attack_kwargs: Optional[di
     return make_attack(str(attack), **(attack_kwargs or {}))
 
 
+def _resolve_sync_policy(policy: Union[str, SyncPolicy], sync_kwargs: Optional[dict]) -> SyncPolicy:
+    if isinstance(policy, SyncPolicy):
+        return policy
+    return make_sync_policy(str(policy), **(sync_kwargs or {}))
+
+
 def build_trainer(
     *,
     model: Union[str, Callable[..., Sequential]] = "mlp",
@@ -74,9 +81,14 @@ def build_trainer(
     learning_rate: float = 1e-3,
     cost_model: Optional[CostModel] = None,
     cluster: Optional[ClusterSpec] = None,
+    sync_policy: Union[str, SyncPolicy] = "full-sync",
+    sync_kwargs: Optional[dict] = None,
+    straggler_model: Optional[StragglerModel] = None,
     lossy_links: int = 0,
     lossy_drop_rate: float = 0.0,
     lossy_policy: Union[str, RecoveryPolicy] = RecoveryPolicy.RANDOM_FILL,
+    link_delays: Optional[Dict[int, float]] = None,
+    worker_speeds: Optional[Dict[int, float]] = None,
     uplink_channels: Optional[Dict[int, Channel]] = None,
     seed: SeedLike = 0,
 ) -> SynchronousTrainer:
@@ -110,10 +122,28 @@ def build_trainer(
         (the Figure 7 "corrupted data" behaviour).
     batch_size:
         Mini-batch size ``b`` per worker.
+    sync_policy, sync_kwargs:
+        The synchrony policy (``--sync-policy`` analogue): a registered name
+        (``"full-sync"``, ``"quorum"``, ``"bounded-staleness"``) or an
+        instance.  The default reproduces the paper's fully synchronous
+        protocol bit-identically.
+    straggler_model:
+        Optional heavy-tailed per-step compute slowdown sampling for the
+        honest workers (drawn from a dedicated RNG stream, so enabling it
+        never perturbs the worker / channel / attack streams).
     lossy_links, lossy_drop_rate, lossy_policy:
         Put a lossy UDP-like uplink with the given drop rate and recovery
         policy on this many workers (Figure 8).  Explicit ``uplink_channels``
         entries take precedence.
+    link_delays:
+        Per-worker-id extra one-way uplink delay in seconds: the worker's
+        channel (reliable or lossy) is wrapped in a
+        :class:`~repro.cluster.network.DelayedChannel` — a structurally slow
+        link, the network half of the straggler scenarios.
+    worker_speeds:
+        Per-worker-id relative compute speed (< 1 = persistent compute
+        straggler); applies to honest workers only, the adversary is
+        arbitrarily fast regardless.
     seed:
         Master seed; every worker / channel / attack derives an independent
         stream from it.
@@ -132,18 +162,28 @@ def build_trainer(
         raise ConfigurationError(f"lossy_links must be in [0, num_workers], got {lossy_links}")
     if num_byzantine > 0 and attack is None:
         raise ConfigurationError("num_byzantine > 0 requires an attack")
+    for worker_id in (worker_speeds or {}):
+        if not num_byzantine <= worker_id < num_workers:
+            raise ConfigurationError(
+                f"worker_speeds id {worker_id} does not name an honest worker "
+                f"(honest ids are [{num_byzantine}, {num_workers}); the adversary "
+                "is arbitrarily fast regardless)"
+            )
 
     f = num_byzantine if declared_f is None else int(declared_f)
     gar_instance = _resolve_gar(gar, f, gar_kwargs)
     optimizer_instance = _resolve_optimizer(optimizer, learning_rate, optimizer_kwargs)
     attack_instance = _resolve_attack(attack, attack_kwargs)
+    sync_instance = _resolve_sync_policy(sync_policy, sync_kwargs)
     cost = cost_model if cost_model is not None else CostModel()
 
-    # Independent RNG streams: one per worker, plus channels / corruption / attack.
+    # Independent RNG streams: one per worker, plus channels / corruption /
+    # attack / model init / stragglers (the straggler stream reuses what was
+    # previously a spare slot, so existing seeds reproduce bit-identically).
     rngs = spawn_rngs(seed, num_workers * 2 + 4)
     worker_rngs = rngs[:num_workers]
     channel_rngs = rngs[num_workers : 2 * num_workers]
-    corruption_rng, attack_rng, model_rng, _spare = rngs[2 * num_workers :]
+    corruption_rng, attack_rng, model_rng, straggler_rng = rngs[2 * num_workers :]
 
     def build_model() -> Sequential:
         kwargs = dict(model_kwargs or {})
@@ -176,7 +216,8 @@ def build_trainer(
             features = corrupt_features(features, scale=100.0, rng=corruption_rng)
         sampler = MiniBatchSampler(features, labels, batch_size, rng=worker_rngs[worker_id])
         worker_model = build_model()
-        workers.append(HonestWorker(worker_id, worker_model, sampler))
+        speed = (worker_speeds or {}).get(worker_id, 1.0)
+        workers.append(HonestWorker(worker_id, worker_model, sampler, speed=speed))
 
     server = ParameterServer(
         initial_parameters,
@@ -196,6 +237,18 @@ def build_trainer(
             policy=lossy_policy,
             rng=channel_rngs[worker_id],
         )
+    for worker_id, delay_s in (link_delays or {}).items():
+        if not num_byzantine <= worker_id < num_workers:
+            # Byzantine senders have arbitrarily fast links in the threat
+            # model, so a delay on their uplink would be silently ignored.
+            raise ConfigurationError(
+                f"link_delays id {worker_id} does not name an honest worker "
+                f"(honest ids are [{num_byzantine}, {num_workers}); the adversary "
+                "is arbitrarily fast regardless)"
+            )
+        channels[worker_id] = DelayedChannel(
+            channels.get(worker_id), delay_s=delay_s, rng=channel_rngs[worker_id]
+        )
     if uplink_channels:
         channels.update(uplink_channels)
 
@@ -207,6 +260,9 @@ def build_trainer(
         server,
         workers,
         cost,
+        sync_policy=sync_instance,
+        straggler_model=straggler_model,
+        straggler_rng=straggler_rng,
         uplink_channels=channels,
         cluster=cluster_spec,
         eval_model=eval_model,

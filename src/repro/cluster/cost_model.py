@@ -25,8 +25,9 @@ from typing import Optional
 import numpy as np
 
 from repro.core import theory
-from repro.core.base import GradientAggregationRule
+from repro.core.base import AggregationResult, GradientAggregationRule
 from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_probability, stack_gradients
 
 #: Bytes per gradient coordinate on the wire (float32, as TensorFlow sends).
 BYTES_PER_COORDINATE = 4
@@ -122,32 +123,114 @@ class CostModel:
         # Unknown rule: assume the common O(n^2 d) bound for robust GARs.
         return theory.aggregation_flops_multi_krum(n, d)
 
+    def _analytic_aggregation_seconds(self, gar: GradientAggregationRule, n: int, d: int) -> float:
+        """Analytic-mode duration of one aggregation call."""
+        return self.aggregation_flops(gar, n, d) / (self.server_gflops * 1e9)
+
+    def aggregation_time_detailed(
+        self, gar: GradientAggregationRule, matrix: np.ndarray
+    ) -> tuple[AggregationResult, float]:
+        """Aggregate a pre-validated matrix, keeping the GAR's diagnostics.
+
+        *matrix* must be the float64 ``(n, d)`` matrix produced by
+        :meth:`repro.cluster.server.ParameterServer.stack_submissions` (or an
+        equivalently validated one): the GAR's single-validation fast path is
+        used, and the returned :class:`~repro.core.base.AggregationResult`
+        carries the selection indices / scores for telemetry.  In measured
+        mode the host wall-clock duration of the NumPy call is used directly;
+        in analytic mode (default) the duration comes from the flop model,
+        making simulations machine-independent.
+        """
+        n, d = matrix.shape
+        if self.measured_aggregation:
+            start = time.perf_counter()
+            result = gar.aggregate_validated(matrix)
+            elapsed = time.perf_counter() - start
+            return result, elapsed
+        result = gar.aggregate_validated(matrix)
+        return result, self._analytic_aggregation_seconds(gar, n, d)
+
     def aggregation_time(
-        self,
-        gar: GradientAggregationRule,
-        gradients: np.ndarray,
-        *,
-        precomputed: Optional[np.ndarray] = None,
+        self, gar: GradientAggregationRule, gradients: np.ndarray
     ) -> tuple[np.ndarray, float]:
         """Aggregate *gradients* and return ``(result, simulated_seconds)``.
 
-        In measured mode the host wall-clock duration of the NumPy call is
-        used directly; in analytic mode (default) the duration comes from the
-        flop model, making simulations machine-independent.
+        Convenience wrapper around :meth:`aggregation_time_detailed` that
+        accepts unvalidated input and returns only the gradient.
         """
-        n, d = gradients.shape
-        if self.measured_aggregation:
-            start = time.perf_counter()
-            result = gar.aggregate(gradients)
-            elapsed = time.perf_counter() - start
-            return result, elapsed
-        result = gar.aggregate(gradients) if precomputed is None else precomputed
-        seconds = self.aggregation_flops(gar, n, d) / (self.server_gflops * 1e9)
-        return result, seconds
+        result, seconds = self.aggregation_time_detailed(gar, stack_gradients(gradients))
+        return result.gradient, seconds
 
     def update_time(self, model_dim: int) -> float:
         """Server-side model update (optimizer step): a few passes over ``d`` values."""
         return 5.0 * model_dim / (self.server_gflops * 1e9)
 
 
-__all__ = ["CostModel", "BYTES_PER_COORDINATE"]
+@dataclass
+class StragglerModel:
+    """Per-worker, per-step compute slowdown sampling.
+
+    The seed cost model made every worker deterministic, so the step time was
+    the *maximum* of identical paths and synchrony policies had nothing to
+    exploit.  This model draws an independent slowdown multiplier (>= 1) for
+    each honest worker each step, turning the arrival process into the
+    heavy-tailed distribution real clusters exhibit (GC pauses, co-located
+    jobs, thermal throttling) and giving ``Quorum`` / ``BoundedStaleness``
+    their Figure-8-style advantage over full synchrony.
+
+    Attributes
+    ----------
+    distribution:
+        ``"lognormal"`` — multiplier ``max(1, LogNormal(0, sigma))``;
+        ``"pareto"`` — multiplier ``1 + scale * Pareto(alpha)`` (heavy tail);
+        ``"constant"`` — deterministic multiplier ``scale`` (for tests).
+    prob:
+        Probability that a worker straggles at all in a given step
+        (otherwise its multiplier is exactly 1).
+    sigma:
+        Log-scale spread of the lognormal distribution.
+    alpha:
+        Pareto tail index (smaller = heavier tail; must be > 0).
+    scale:
+        Scale of the Pareto excess / the constant multiplier.
+    """
+
+    distribution: str = "lognormal"
+    prob: float = 1.0
+    sigma: float = 0.75
+    alpha: float = 2.0
+    scale: float = 1.0
+
+    DISTRIBUTIONS = ("lognormal", "pareto", "constant")
+
+    def __post_init__(self) -> None:
+        if self.distribution not in self.DISTRIBUTIONS:
+            raise ConfigurationError(
+                f"distribution must be one of {self.DISTRIBUTIONS}, got {self.distribution!r}"
+            )
+        self.prob = check_probability(self.prob, "prob")
+        if self.sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive, got {self.sigma}")
+        if self.alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha}")
+        if self.scale < 1.0 and self.distribution == "constant":
+            raise ConfigurationError(f"constant slowdown must be >= 1, got {self.scale}")
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {self.scale}")
+
+    def sample(self, num_workers: int, rng: np.random.Generator) -> np.ndarray:
+        """One slowdown multiplier (>= 1) per worker for the current step."""
+        if num_workers < 0:
+            raise ConfigurationError(f"num_workers must be non-negative, got {num_workers}")
+        if self.distribution == "constant":
+            factors = np.full(num_workers, float(self.scale))
+        elif self.distribution == "pareto":
+            factors = 1.0 + self.scale * rng.pareto(self.alpha, size=num_workers)
+        else:
+            factors = np.maximum(1.0, rng.lognormal(0.0, self.sigma, size=num_workers))
+        if self.prob < 1.0:
+            factors = np.where(rng.random(num_workers) < self.prob, factors, 1.0)
+        return factors
+
+
+__all__ = ["CostModel", "StragglerModel", "BYTES_PER_COORDINATE"]

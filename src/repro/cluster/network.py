@@ -96,6 +96,57 @@ class ReliableChannel(Channel):
         return payload.copy(), seconds
 
 
+class DelayedChannel(Channel):
+    """Wrap another channel behind an extra (optionally jittered) delay.
+
+    Models a structurally slow or congested link — a cross-datacenter hop, a
+    saturated top-of-rack switch — independently of the loss behaviour of the
+    wrapped transport.  Together with :class:`~repro.cluster.cost_model.StragglerModel`
+    (slow *compute*) this provides the slow-*network* half of the straggler
+    scenarios the quorum synchrony policies are evaluated under.
+
+    Parameters
+    ----------
+    inner:
+        The transport actually carrying the payload (reliable by default).
+    delay_s:
+        Deterministic extra one-way delay added to every transfer.
+    jitter_s:
+        Upper bound of a uniform random extra delay (0 disables jitter).
+    rng:
+        Randomness source for the jitter.
+    """
+
+    name = "delayed"
+
+    def __init__(
+        self,
+        inner: Optional[Channel] = None,
+        *,
+        delay_s: float = 0.0,
+        jitter_s: float = 0.0,
+        rng: SeedLike = None,
+    ) -> None:
+        if delay_s < 0:
+            raise ConfigurationError(f"delay_s must be non-negative, got {delay_s}")
+        if jitter_s < 0:
+            raise ConfigurationError(f"jitter_s must be non-negative, got {jitter_s}")
+        self.inner = inner if inner is not None else ReliableChannel()
+        self.delay_s = float(delay_s)
+        self.jitter_s = float(jitter_s)
+        self._rng = as_rng(rng)
+
+    def transfer(self, payload: np.ndarray, cost_model: CostModel) -> Tuple[Optional[np.ndarray], float]:
+        delivered, seconds = self.inner.transfer(payload, cost_model)
+        seconds += self.delay_s
+        if self.jitter_s > 0.0:
+            seconds += float(self._rng.uniform(0.0, self.jitter_s))
+        return delivered, seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DelayedChannel({self.inner!r}, delay_s={self.delay_s}, jitter_s={self.jitter_s})"
+
+
 class LossyChannel(Channel):
     """UDP-like transport (lossyMPI analogue): fast, but drops and reorders packets.
 
@@ -163,4 +214,4 @@ class LossyChannel(Channel):
         return delivered, seconds
 
 
-__all__ = ["Channel", "ReliableChannel", "LossyChannel"]
+__all__ = ["Channel", "ReliableChannel", "DelayedChannel", "LossyChannel"]

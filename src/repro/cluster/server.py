@@ -15,7 +15,7 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.cluster.message import GradientMessage
-from repro.core.base import GradientAggregationRule
+from repro.core.base import AggregationResult, GradientAggregationRule
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.optim.base import Optimizer
 
@@ -76,14 +76,31 @@ class ParameterServer:
                 f"gradient dimensionality {message.dim} does not match the model ({self.dim})"
             )
 
-    def aggregate(self, messages: Sequence[GradientMessage]) -> np.ndarray:
-        """Validate and aggregate one round of gradient messages."""
+    def stack_submissions(self, messages: Sequence[GradientMessage]) -> np.ndarray:
+        """Validate one round of messages and stack them into an ``(n, d)`` matrix.
+
+        Each message is validated exactly once; the resulting float64 matrix
+        is ready for :meth:`repro.core.base.GradientAggregationRule.aggregate_validated`,
+        so the GAR does not re-validate or re-stack on the hot path.
+        """
         if len(messages) == 0:
             raise TrainingError("no gradients arrived this step — cannot aggregate")
         for message in messages:
             self.validate_submission(message)
-        matrix = np.stack([m.gradient for m in messages], axis=0)
-        return self.gar.aggregate(matrix)
+        return np.stack([m.gradient for m in messages], axis=0)
+
+    def aggregate_detailed(self, messages: Sequence[GradientMessage]) -> AggregationResult:
+        """Validate once, aggregate, and return the GAR's full diagnostics.
+
+        The returned :class:`~repro.core.base.AggregationResult` carries the
+        selected indices and per-worker scores (for selection-based rules),
+        which the trainer surfaces into telemetry instead of discarding.
+        """
+        return self.gar.aggregate_validated(self.stack_submissions(messages))
+
+    def aggregate(self, messages: Sequence[GradientMessage]) -> np.ndarray:
+        """Validate and aggregate one round of gradient messages."""
+        return self.aggregate_detailed(messages).gradient
 
     def apply_update(self, aggregated_gradient: np.ndarray) -> np.ndarray:
         """Apply the optimizer step and return the new parameters."""

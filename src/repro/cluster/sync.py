@@ -1,0 +1,447 @@
+"""Pluggable synchrony policies for the aggregation pipeline.
+
+The seed trainer was hard-wired fully synchronous: every step blocked on the
+slowest worker's compute + communication path, so straggler- and loss-prone
+deployments (the paper's Figure 8 setting) paid worst-case latency by
+construction.  This module turns that choice into a policy object consumed by
+:class:`~repro.cluster.trainer.SynchronousTrainer`:
+
+``FullSync``
+    The paper's synchronous protocol — wait for every worker, bit-identical
+    to the seed trainer's behaviour.
+
+``Quorum(q)``
+    Aggregate as soon as the first ``q >= n - f`` gradients arrive.  Late
+    ("straggler") gradients are either dropped or carried into the next
+    step's pool with staleness >= 1 and their residual lateness, at the
+    operator's choice.
+
+``BoundedStaleness(tau)``
+    Staleness-bounded (SSP-style) synchrony: the server aggregates once a
+    quorum is present, late gradients are carried — but no gradient may run
+    more than ``tau`` steps behind, so the server waits for any gradient
+    whose staleness would otherwise exceed the bound.
+
+Resilience caveat (documented, deliberate): the adversary is assumed
+arbitrarily fast, so Byzantine gradients arrive at time zero and are always
+inside the quorum.  A quorum of ``q`` gradients containing up to ``f``
+Byzantine ones therefore needs ``q >= minimum_workers(f)`` for the deployed
+GAR, which the server's cardinality check still enforces at every step.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Type
+
+import numpy as np
+
+from repro.cluster.message import GradientMessage
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+#: Event-time tie-break: events are processed in submission order (honest
+#: workers by id, then Byzantine workers), which keeps every policy
+#: deterministic for equal arrival times.
+
+
+@dataclass
+class ArrivalEvent:
+    """One gradient's journey to the server within a step.
+
+    Attributes
+    ----------
+    message:
+        The gradient message as computed/crafted by the worker.  Its ``step``
+        field records the model version the gradient was computed on, which is
+        what staleness is measured against.
+    payload:
+        What survived the uplink channel (``None`` when the transport dropped
+        the whole gradient — the event still carries its timing).
+    arrival_time:
+        Seconds after the step's model broadcast at which the gradient reaches
+        the server.  Byzantine gradients arrive at time zero (the threat model
+        grants the adversary unbounded compute and arbitrarily fast links).
+    honest:
+        Whether the sender is an honest worker (Byzantine arrivals never
+        extend a synchronous step's critical path).
+    staleness:
+        Age of the gradient in steps at admission time; stamped by the policy.
+    order:
+        Submission index within the step (honest workers by id, then
+        Byzantine workers).  Admitted batches are restored to submission
+        order before aggregation so that the GAR's floating-point reduction
+        order — and hence the trajectory — never depends on arrival jitter;
+        carried gradients sort before fresh ones.
+    """
+
+    message: GradientMessage
+    payload: Optional[np.ndarray]
+    arrival_time: float
+    honest: bool
+    staleness: int = 0
+    order: int = 0
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the gradient's payload actually reached the server."""
+        return self.payload is not None
+
+
+@dataclass
+class SyncDecision:
+    """What the policy decided for one step.
+
+    Attributes
+    ----------
+    admitted:
+        Events whose payloads enter the GAR this step, in admission order.
+    wait_time:
+        Simulated seconds between the model broadcast and the moment the
+        server starts aggregating (the step's compute + communication time).
+    dropped_stragglers:
+        Delivered gradients discarded because they missed the quorum.
+    carried:
+        Delivered gradients deferred into the next step's pool.
+    stale_admitted:
+        Admitted gradients with staleness >= 1.
+    max_staleness:
+        Largest staleness among the admitted gradients.
+    """
+
+    admitted: List[ArrivalEvent]
+    wait_time: float
+    dropped_stragglers: int = 0
+    carried: int = 0
+    stale_admitted: int = 0
+    max_staleness: int = 0
+
+
+def _stamp_staleness(events: List[ArrivalEvent], step: int) -> None:
+    for event in events:
+        event.staleness = max(step - event.message.step, 0)
+
+
+def _honest_horizon(events: List[ArrivalEvent], floor: float) -> float:
+    """Latest honest arrival (delivered or not) — the full-synchrony wait."""
+    times = [e.arrival_time for e in events if e.honest]
+    return max(times) if times else floor
+
+
+def _by_arrival(events: List[ArrivalEvent]) -> List[ArrivalEvent]:
+    """Events sorted by arrival time, ties broken by submission order."""
+    return sorted(events, key=lambda e: (e.arrival_time, e.order))
+
+
+def _in_submission_order(events: List[ArrivalEvent]) -> List[ArrivalEvent]:
+    """Restore the deterministic batch order the GAR aggregates in."""
+    return sorted(events, key=lambda e: e.order)
+
+
+def _carry_event(event: ArrivalEvent, wait: float) -> ArrivalEvent:
+    """Defer *event* into the next step's pool.
+
+    A carried gradient keeps its residual lateness: it becomes available
+    ``arrival - wait`` seconds into the next step (clamped at zero), which
+    preserves arrival-rate conservation — the server can never admit
+    gradients faster than the workers produce them.  It also ages by one
+    step and sorts before fresh submissions.
+    """
+    event.arrival_time = max(0.0, event.arrival_time - wait)
+    event.order -= 10**6
+    return event
+
+
+class SyncPolicy(abc.ABC):
+    """Decides, each step, which gradients the server waits for.
+
+    A policy is bound to one trainer via :meth:`bind` (which receives the
+    cluster dimensions and validates the policy's parameters against them)
+    and consumes one list of :class:`ArrivalEvent` per step via
+    :meth:`collect`.  Policies may be stateful (carried gradients); state is
+    cleared by :meth:`reset`.
+    """
+
+    #: Registry name, set by :func:`register_sync_policy`.
+    name: str = "sync"
+
+    def __init__(self) -> None:
+        self._num_workers: Optional[int] = None
+        self._f: int = 0
+
+    def bind(self, *, num_workers: int, f: int) -> None:
+        """Attach the policy to a cluster of *num_workers* tolerating *f*.
+
+        Rebinding clears any carried state: pending gradients belong to the
+        previous trainer's run and must never leak into a new one.
+        """
+        if num_workers < 1:
+            raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
+        if f < 0:
+            raise ConfigurationError(f"f must be non-negative, got {f}")
+        self._num_workers = int(num_workers)
+        self._f = int(f)
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop carried state (e.g. when reusing a policy across runs)."""
+
+    @abc.abstractmethod
+    def collect(self, events: List[ArrivalEvent], step: int, *, floor: float) -> SyncDecision:
+        """Decide which of this step's *events* are admitted and when.
+
+        *floor* is the minimum wait (the model-broadcast time), used when a
+        step has no honest arrivals to wait on.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+#: Global name -> class registry (the ``--sync-policy`` analogue).
+SYNC_POLICY_REGISTRY: Dict[str, Type[SyncPolicy]] = {}
+
+
+def register_sync_policy(name: str) -> Callable[[Type[SyncPolicy]], Type[SyncPolicy]]:
+    """Class decorator registering a synchrony policy under *name*."""
+
+    def decorator(cls: Type[SyncPolicy]) -> Type[SyncPolicy]:
+        existing = SYNC_POLICY_REGISTRY.get(name)
+        if existing is not None and existing is not cls:
+            raise ConfigurationError(
+                f"sync policy name {name!r} already registered by {existing!r}"
+            )
+        cls.name = name
+        SYNC_POLICY_REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def make_sync_policy(name: str, **kwargs) -> SyncPolicy:
+    """Instantiate a registered synchrony policy by name."""
+    try:
+        cls = SYNC_POLICY_REGISTRY[name]
+    except KeyError as exc:
+        available = ", ".join(sorted(SYNC_POLICY_REGISTRY))
+        raise ConfigurationError(
+            f"unknown sync policy {name!r}; available: {available}"
+        ) from exc
+    return cls(**kwargs)
+
+
+def available_sync_policies() -> List[str]:
+    """Names of all registered synchrony policies, sorted."""
+    return sorted(SYNC_POLICY_REGISTRY)
+
+
+@register_sync_policy("full-sync")
+class FullSync(SyncPolicy):
+    """The paper's synchronous protocol: wait for every worker.
+
+    The wait covers every honest compute + communication path — including
+    paths whose payload the transport ultimately dropped, exactly as the seed
+    trainer accounted time — so trajectories are bit-identical to the
+    pre-pipeline implementation.
+    """
+
+    def collect(self, events: List[ArrivalEvent], step: int, *, floor: float) -> SyncDecision:
+        _stamp_staleness(events, step)
+        admitted = [e for e in events if e.delivered]
+        return SyncDecision(admitted=admitted, wait_time=_honest_horizon(events, floor))
+
+
+class QuorumBasedPolicy(SyncPolicy):
+    """Shared plumbing for policies that stop waiting at a quorum of arrivals.
+
+    Handles the quorum argument validation, its bind-time resolution against
+    the cluster's resilience floor ``n - f`` (non-destructively, so one
+    instance can be rebound to clusters of different sizes), the pending-pool
+    bookkeeping for carried gradients, and the per-step pool merge.
+    """
+
+    def __init__(self, quorum: Optional[int] = None) -> None:
+        super().__init__()
+        self.quorum = None if quorum is None else check_positive_int(quorum, "quorum")
+        self._effective_quorum: Optional[int] = None
+        self._pending: List[ArrivalEvent] = []
+
+    @property
+    def effective_quorum(self) -> Optional[int]:
+        """The quorum resolved at bind time (``None`` before binding)."""
+        return self._effective_quorum
+
+    def bind(self, *, num_workers: int, f: int) -> None:
+        super().bind(num_workers=num_workers, f=f)
+        resilience_floor = num_workers - f
+        resolved = max(resilience_floor, 1) if self.quorum is None else self.quorum
+        if resolved < resilience_floor:
+            raise ConfigurationError(
+                f"quorum={resolved} admits fewer than n - f = {resilience_floor} "
+                f"gradients (n={num_workers}, f={f}); stragglers could be outvoted "
+                "by the adversary"
+            )
+        if resolved > num_workers:
+            raise ConfigurationError(
+                f"quorum={resolved} exceeds the cluster size n={num_workers}"
+            )
+        self._effective_quorum = resolved
+
+    def reset(self) -> None:
+        self._pending = []
+
+    def _pool_step(self, events: List[ArrivalEvent], step: int):
+        """Merge pending + fresh events; return ``(pool, delivered, quorum)``."""
+        quorum = self._effective_quorum
+        if quorum is None:
+            raise ConfigurationError(
+                f"{type(self).__name__}.collect called before bind()"
+            )
+        pool = self._pending + list(events)
+        self._pending = []
+        _stamp_staleness(pool, step)
+        delivered = _by_arrival([e for e in pool if e.delivered])
+        return pool, delivered, quorum
+
+
+@register_sync_policy("quorum")
+class Quorum(QuorumBasedPolicy):
+    """Aggregate as soon as the first ``q`` gradients have arrived.
+
+    Parameters
+    ----------
+    quorum:
+        Number of gradients to wait for; ``None`` resolves to the resilience
+        floor ``n - f`` at bind time.  Explicit values below ``n - f`` are
+        rejected — admitting fewer gradients would let ``f`` Byzantine
+        workers dominate the batch.
+    stragglers:
+        What happens to delivered gradients that miss the quorum:
+        ``"drop"`` discards them, ``"carry"`` defers them into the next
+        step's pool, where they arrive with their residual lateness
+        (``arrival - wait``, see :func:`_carry_event`) and staleness >= 1,
+        so a badly late gradient can miss the next quorum too.  The carry
+        queue holds at most one pending gradient per worker — a newer late
+        gradient supersedes a staler pending one, and the superseded
+        gradient counts as dropped — since a quorum of ``q < n`` admits
+        fewer gradients per step than the ``n`` workers produce and an
+        unbounded backlog would otherwise build up.
+    """
+
+    STRAGGLER_MODES = ("drop", "carry")
+
+    def __init__(self, quorum: Optional[int] = None, stragglers: str = "drop") -> None:
+        super().__init__(quorum)
+        if stragglers not in self.STRAGGLER_MODES:
+            raise ConfigurationError(
+                f"stragglers must be one of {self.STRAGGLER_MODES}, got {stragglers!r}"
+            )
+        self.stragglers = stragglers
+
+    def collect(self, events: List[ArrivalEvent], step: int, *, floor: float) -> SyncDecision:
+        pool, delivered, quorum = self._pool_step(events, step)
+
+        if len(delivered) < quorum:
+            # Not enough survivors to fill the quorum: the server waits out
+            # every honest path before concluding nothing more is coming.
+            admitted, late = delivered, []
+            wait = _honest_horizon(pool, floor)
+        else:
+            admitted = delivered[:quorum]
+            wait = max((e.arrival_time for e in admitted), default=floor)
+            late = delivered[quorum:]
+
+        dropped = carried = 0
+        if self.stragglers == "carry":
+            # One pending slot per worker: the newest late gradient wins,
+            # superseded ones are shed as drops (keeps the queue bounded).
+            newest: Dict[int, ArrivalEvent] = {}
+            for event in late:
+                previous = newest.get(event.message.worker_id)
+                if previous is None or event.message.step >= previous.message.step:
+                    if previous is not None:
+                        dropped += 1
+                    newest[event.message.worker_id] = event
+                else:
+                    dropped += 1
+            self._pending = [_carry_event(e, wait) for e in newest.values()]
+            carried = len(self._pending)
+        else:
+            dropped = len(late)
+
+        admitted = _in_submission_order(admitted)
+        stale = [e.staleness for e in admitted if e.staleness > 0]
+        return SyncDecision(
+            admitted=admitted,
+            wait_time=wait,
+            dropped_stragglers=dropped,
+            carried=carried,
+            stale_admitted=len(stale),
+            max_staleness=max(stale, default=0),
+        )
+
+
+@register_sync_policy("bounded-staleness")
+class BoundedStaleness(QuorumBasedPolicy):
+    """Staleness-bounded synchrony (the SSP protocol shape).
+
+    The server aggregates as soon as ``quorum`` gradients (fresh or carried)
+    are present; later gradients are carried into the next step's pool rather
+    than dropped.  The bound: no gradient may be aggregated — or kept
+    waiting — more than ``tau`` steps after the model version it was computed
+    on, so the server explicitly waits for any gradient whose carry would
+    exceed the bound.  ``tau = 0`` degenerates to waiting for every delivered
+    gradient (full synchrony over the delivered set).
+    """
+
+    def __init__(self, tau: int = 1, quorum: Optional[int] = None) -> None:
+        super().__init__(quorum)
+        self.tau = check_non_negative_int(tau, "tau")
+
+    def collect(self, events: List[ArrivalEvent], step: int, *, floor: float) -> SyncDecision:
+        pool, delivered, quorum = self._pool_step(events, step)
+
+        if len(delivered) < quorum:
+            wait = _honest_horizon(pool, floor)
+            admitted, late = delivered, []
+        else:
+            # Natural cutoff: the quorum-th arrival.  The staleness bound can
+            # push the cutoff later: a gradient carried once more would have
+            # staleness (step + 1 - message.step), and if that exceeds tau the
+            # server must absorb it *this* step.
+            wait = delivered[quorum - 1].arrival_time
+            for event in delivered[quorum:]:
+                if step + 1 - event.message.step > self.tau:
+                    wait = max(wait, event.arrival_time)
+            admitted = [e for e in delivered if e.arrival_time <= wait]
+            late = [e for e in delivered if e.arrival_time > wait]
+
+        for event in late:
+            _carry_event(event, wait)
+        self._pending = late
+
+        admitted = _in_submission_order(admitted)
+        stale = [e.staleness for e in admitted if e.staleness > 0]
+        return SyncDecision(
+            admitted=admitted,
+            wait_time=wait,
+            carried=len(late),
+            stale_admitted=len(stale),
+            max_staleness=max(stale, default=0),
+        )
+
+
+__all__ = [
+    "ArrivalEvent",
+    "SyncDecision",
+    "SyncPolicy",
+    "QuorumBasedPolicy",
+    "FullSync",
+    "Quorum",
+    "BoundedStaleness",
+    "SYNC_POLICY_REGISTRY",
+    "register_sync_policy",
+    "make_sync_policy",
+    "available_sync_policies",
+]

@@ -19,7 +19,13 @@ import numpy as np
 
 @dataclass
 class StepRecord:
-    """Timing and loss information for a single model update."""
+    """Timing, loss and aggregation-pipeline information for a single model update.
+
+    The pipeline fields (quorum size, straggler and staleness counters, GAR
+    selection diagnostics) default to the fully-synchronous values so records
+    written by older code — and the seed trainer's trajectories — are
+    unchanged.
+    """
 
     step: int
     sim_time: float
@@ -28,6 +34,18 @@ class StepRecord:
     aggregation_time: float
     update_time: float
     gradients_received: int
+    #: Delivered gradients discarded for missing the quorum this step.
+    dropped_stragglers: int = 0
+    #: Delivered gradients deferred into the next step's pool.
+    carried_gradients: int = 0
+    #: Admitted gradients computed on an older model version.
+    stale_gradients: int = 0
+    #: Largest staleness (in steps) among the admitted gradients.
+    max_staleness: int = 0
+    #: Worker ids whose gradients the GAR selected (selection rules only).
+    selected_workers: Optional[tuple] = None
+    #: Per-admitted-gradient GAR scores, ordered like the aggregated batch.
+    selection_scores: Optional[tuple] = None
 
     @property
     def step_time(self) -> float:
@@ -128,6 +146,34 @@ class TrainingHistory:
         total_gradients = sum(r.gradients_received for r in self.steps)
         return total_gradients / self.total_time
 
+    def sync_summary(self) -> Dict[str, float]:
+        """Aggregate synchrony-policy counters over the run.
+
+        All-zero under ``FullSync`` (every gradient waited for, none stale),
+        which keeps the summary backwards-comparable with seed telemetry.
+        """
+        if not self.steps:
+            return {
+                "dropped_stragglers": 0,
+                "carried_gradients": 0,
+                "stale_gradients": 0,
+                "max_staleness": 0,
+                "mean_admitted": 0.0,
+            }
+        return {
+            "dropped_stragglers": int(sum(r.dropped_stragglers for r in self.steps)),
+            "carried_gradients": int(sum(r.carried_gradients for r in self.steps)),
+            "stale_gradients": int(sum(r.stale_gradients for r in self.steps)),
+            "max_staleness": int(max(r.max_staleness for r in self.steps)),
+            "mean_admitted": float(np.mean([r.gradients_received for r in self.steps])),
+        }
+
+    def mean_step_time(self) -> float:
+        """Mean simulated duration of one model update (time-to-step)."""
+        if not self.steps:
+            return 0.0
+        return float(np.mean([r.step_time for r in self.steps]))
+
     def latency_breakdown(self) -> Dict[str, float]:
         """Mean per-step latency components (Figure 4 metric)."""
         if not self.steps:
@@ -151,6 +197,7 @@ class TrainingHistory:
             "best_accuracy": self.best_accuracy,
             "throughput": self.throughput(),
             "latency_breakdown": self.latency_breakdown(),
+            "sync": self.sync_summary(),
             "diverged": self.diverged,
             "divergence_reason": self.divergence_reason,
             "evaluations": [

@@ -1,39 +1,55 @@
-"""Synchronous distributed training loop (the AggregaThor runner analogue).
+"""The aggregation pipeline (the AggregaThor runner analogue).
 
-One training step follows the paper's synchronous parameter-server protocol:
+One training step flows through four pipeline stages:
 
-1. the server broadcasts the current model to every worker (reliable link);
-2. every honest worker computes a gradient estimate on its own iid mini-batch;
-3. Byzantine workers craft their gradients — possibly as a function of every
-   honest gradient (omniscient adversary);
-4. every gradient travels to the server over that worker's uplink channel
-   (reliable by default; the Figure 8 experiments put the lossy UDP channel
-   on up to ``f`` links);
-5. the server aggregates the received gradients with the configured GAR and
-   applies the optimizer update.
+1. **Broadcast + compute** — the server broadcasts the current model to every
+   worker (reliable link); every honest worker computes a gradient estimate
+   on its own iid mini-batch.  Per-worker compute time accounts for node
+   co-location, the worker's relative speed, and — when a
+   :class:`~repro.cluster.cost_model.StragglerModel` is configured — a
+   per-step heavy-tailed slowdown draw.
+2. **Byzantine crafting** — adversary-controlled workers craft their
+   gradients, possibly as a function of every honest gradient (omniscient
+   adversary), and submit them instantly (unbounded compute, arbitrarily
+   fast links).
+3. **Transfer** — every gradient travels to the server over that worker's
+   uplink channel (reliable by default; the Figure 8 experiments put the
+   lossy UDP channel on up to ``f`` links).  Each gradient becomes an
+   :class:`~repro.cluster.sync.ArrivalEvent` carrying its payload (or the
+   fact it was dropped) and its arrival time.
+4. **Synchrony + aggregation** — the configured
+   :class:`~repro.cluster.sync.SyncPolicy` decides which arrivals the server
+   waits for (all of them under :class:`~repro.cluster.sync.FullSync`, the
+   first ``q`` under :class:`~repro.cluster.sync.Quorum`, a
+   staleness-bounded pool under
+   :class:`~repro.cluster.sync.BoundedStaleness`); the admitted batch is
+   validated once, aggregated by the GAR with full diagnostics, and the
+   optimizer update is applied.
 
-Simulated time advances by the slowest worker's compute + communication path
-plus the server's aggregation and update time (synchronous training: workers
-idle while the server aggregates).
+Simulated time advances by the policy's wait plus the server's aggregation
+and update time.  With the default ``FullSync`` policy the step is
+bit-identical to the seed implementation's lock-step protocol.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.clock import SimulatedClock
-from repro.cluster.cost_model import CostModel
+from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec
 from repro.cluster.message import GradientMessage
 from repro.cluster.network import Channel, ReliableChannel
 from repro.cluster.server import ParameterServer
+from repro.cluster.sync import ArrivalEvent, FullSync, SyncDecision, SyncPolicy
 from repro.cluster.telemetry import EvalRecord, StepRecord, TrainingHistory
 from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.nn.model import Sequential
+from repro.utils.random import SeedLike, as_rng
 
 
 @dataclass
@@ -73,7 +89,7 @@ class TrainerConfig:
 
 
 class SynchronousTrainer:
-    """Drives synchronous Byzantine-resilient distributed SGD.
+    """Drives Byzantine-resilient distributed SGD through the aggregation pipeline.
 
     Parameters
     ----------
@@ -83,6 +99,17 @@ class SynchronousTrainer:
         All workers, honest and Byzantine.
     cost_model:
         Translates compute / communication work into simulated seconds.
+    sync_policy:
+        The synchrony policy deciding which gradient arrivals each step waits
+        for.  Defaults to :class:`~repro.cluster.sync.FullSync` (the paper's
+        synchronous protocol, bit-identical to the seed implementation).
+    straggler_model:
+        Optional per-step heavy-tailed compute slowdown sampling for the
+        honest workers; ``None`` (default) keeps the deterministic seed cost
+        model.
+    straggler_rng:
+        Randomness source for the straggler draws (independent of every
+        worker / channel / attack stream).
     uplink_channels:
         Optional per-worker-id uplink channel; defaults to a loss-free
         reliable channel for every worker.
@@ -103,6 +130,9 @@ class SynchronousTrainer:
         workers: Sequence[Worker],
         cost_model: CostModel,
         *,
+        sync_policy: Optional[SyncPolicy] = None,
+        straggler_model: Optional[StragglerModel] = None,
+        straggler_rng: SeedLike = None,
         uplink_channels: Optional[Dict[int, Channel]] = None,
         cluster: Optional[ClusterSpec] = None,
         eval_model: Optional[Sequential] = None,
@@ -122,6 +152,10 @@ class SynchronousTrainer:
             w.worker_id: (uplink_channels or {}).get(w.worker_id, default_channel)
             for w in self.workers
         }
+        self.sync_policy = sync_policy if sync_policy is not None else FullSync()
+        self.sync_policy.bind(num_workers=len(self.workers), f=server.gar.f)
+        self.straggler_model = straggler_model
+        self._straggler_rng = as_rng(straggler_rng)
         self.cluster = cluster
         self.eval_model = eval_model
         self.test_set = test_set
@@ -158,27 +192,37 @@ class SynchronousTrainer:
         """The adversary-controlled workers."""
         return [w for w in self.workers if isinstance(w, ByzantineWorker)]
 
-    # ------------------------------------------------------------------ step
-    def run_step(self) -> StepRecord:
-        """Execute one synchronous step and return its telemetry record."""
-        parameters = self.server.parameters
-        step = self.server.step
-        dim = self.server.dim
+    # -------------------------------------------------------------- pipeline
+    def _collect_arrivals(
+        self, parameters: np.ndarray, step: int, dim: int
+    ) -> Tuple[List[ArrivalEvent], float, List[float]]:
+        """Pipeline stages 1-3: compute, craft, transfer.
 
-        # Phase 1-2: broadcast + honest gradient computation.
+        Returns the step's arrival events (submission order: honest workers,
+        then Byzantine workers), the wait floor (the model-broadcast time),
+        and the honest losses for the step's mean-loss metric.
+        """
+        honest = self.honest_workers
+        downlink_time = self.cost_model.transfer_time(self.cost_model.gradient_bytes(dim))
+        slowdowns = (
+            self.straggler_model.sample(len(honest), self._straggler_rng)
+            if self.straggler_model is not None
+            else np.ones(len(honest))
+        )
+
+        # Stage 1: broadcast + honest gradient computation.
         honest_messages: List[GradientMessage] = []
         path_times: List[float] = []
-        downlink_time = self.cost_model.transfer_time(self.cost_model.gradient_bytes(dim))
-        for worker in self.honest_workers:
+        for index, worker in enumerate(honest):
             message = worker.compute_gradient(parameters, step)
             honest_messages.append(message)
             compute_time = self.cost_model.gradient_compute_time(
                 dim,
                 worker.batch_size,
-                gflops=self._worker_gflops[worker.worker_id],
+                gflops=self._worker_gflops[worker.worker_id] * worker.speed,
                 flops_per_sample=worker.model.flops_per_sample(),
             )
-            path_times.append(downlink_time + compute_time)
+            path_times.append(downlink_time + compute_time * float(slowdowns[index]))
 
         honest_matrix = (
             np.stack([m.gradient for m in honest_messages], axis=0)
@@ -186,58 +230,102 @@ class SynchronousTrainer:
             else np.zeros((0, dim))
         )
 
-        # Phase 3: Byzantine gradients (crafted with full knowledge of the honest ones).
+        # Stage 2: Byzantine gradients (crafted with full knowledge of the
+        # honest ones; the adversary never extends the step's critical path).
         byzantine_messages: List[GradientMessage] = []
         num_byz = len(self.byzantine_workers)
         for index, worker in enumerate(self.byzantine_workers):
-            message = worker.craft_gradient(
-                parameters, honest_matrix, step, num_byzantine=num_byz, index=index
-            )
-            byzantine_messages.append(message)
-            # The adversary has unbounded compute and arbitrarily fast links,
-            # so Byzantine workers never extend the step's critical path.
-
-        # Phase 4: gradient transfer over each worker's uplink channel.
-        delivered: List[GradientMessage] = []
-        for path_index, message in enumerate(honest_messages + byzantine_messages):
-            channel = self.uplink_channels[message.worker_id]
-            payload, seconds = channel.transfer(message.gradient, self.cost_model)
-            if path_index < len(honest_messages):
-                path_times[path_index] += seconds
-            if payload is None:
-                continue  # drop-gradient policy: the whole gradient is discarded
-            delivered.append(
-                GradientMessage(
-                    worker_id=message.worker_id,
-                    step=message.step,
-                    gradient=payload,
-                    loss=message.loss,
+            byzantine_messages.append(
+                worker.craft_gradient(
+                    parameters, honest_matrix, step, num_byzantine=num_byz, index=index
                 )
             )
 
-        if not delivered:
-            raise TrainingError("every gradient was dropped this step; cannot make progress")
-
-        # Phase 5: aggregation + model update on the server.
-        for message in delivered:
-            self.server.validate_submission(message)
-        matrix = np.stack([m.gradient for m in delivered], axis=0)
-        aggregated, aggregation_time = self.cost_model.aggregation_time(self.server.gar, matrix)
-        self.server.apply_update(aggregated)
-        update_time = self.cost_model.update_time(dim)
-
-        compute_comm_time = max(path_times) if path_times else downlink_time
-        self.clock.advance(compute_comm_time + aggregation_time + update_time)
+        # Stage 3: gradient transfer over each worker's uplink channel.
+        events: List[ArrivalEvent] = []
+        num_honest = len(honest_messages)
+        for order, message in enumerate(honest_messages + byzantine_messages):
+            channel = self.uplink_channels[message.worker_id]
+            payload, seconds = channel.transfer(message.gradient, self.cost_model)
+            is_honest = order < num_honest
+            if is_honest:
+                path_times[order] += seconds
+            events.append(
+                ArrivalEvent(
+                    message=message,
+                    payload=payload,
+                    arrival_time=path_times[order] if is_honest else 0.0,
+                    honest=is_honest,
+                    order=order,
+                )
+            )
 
         losses = [m.loss for m in honest_messages if np.isfinite(m.loss)]
+        return events, downlink_time, losses
+
+    def _aggregate_and_update(
+        self, decision: SyncDecision
+    ) -> Tuple[List[GradientMessage], "StepDiagnostics"]:
+        """Pipeline stage 4: validate once, aggregate with diagnostics, update."""
+        delivered = [
+            GradientMessage(
+                worker_id=e.message.worker_id,
+                step=e.message.step,
+                gradient=e.payload,
+                loss=e.message.loss,
+            )
+            for e in decision.admitted
+        ]
+        if not delivered:
+            raise TrainingError("every gradient was dropped this step; cannot make progress")
+        matrix = self.server.stack_submissions(delivered)
+        result, aggregation_time = self.cost_model.aggregation_time_detailed(
+            self.server.gar, matrix
+        )
+        self.server.apply_update(result.gradient)
+        selected = (
+            tuple(delivered[int(i)].worker_id for i in result.selected_indices)
+            if result.selected_indices is not None
+            else None
+        )
+        scores = (
+            tuple(float(s) for s in result.scores) if result.scores is not None else None
+        )
+        return delivered, StepDiagnostics(
+            aggregation_time=aggregation_time,
+            selected_workers=selected,
+            selection_scores=scores,
+        )
+
+    # ------------------------------------------------------------------ step
+    def run_step(self) -> StepRecord:
+        """Push one step through the aggregation pipeline; return its telemetry."""
+        parameters = self.server.parameters
+        step = self.server.step
+        dim = self.server.dim
+
+        events, floor, losses = self._collect_arrivals(parameters, step, dim)
+        decision = self.sync_policy.collect(events, step, floor=floor)
+        delivered, diagnostics = self._aggregate_and_update(decision)
+        update_time = self.cost_model.update_time(dim)
+
+        compute_comm_time = decision.wait_time
+        self.clock.advance(compute_comm_time + diagnostics.aggregation_time + update_time)
+
         record = StepRecord(
             step=step,
             sim_time=self.clock.now,
             mean_loss=float(np.mean(losses)) if losses else float("nan"),
             compute_comm_time=compute_comm_time,
-            aggregation_time=aggregation_time,
+            aggregation_time=diagnostics.aggregation_time,
             update_time=update_time,
             gradients_received=len(delivered),
+            dropped_stragglers=decision.dropped_stragglers,
+            carried_gradients=decision.carried,
+            stale_gradients=decision.stale_admitted,
+            max_staleness=decision.max_staleness,
+            selected_workers=diagnostics.selected_workers,
+            selection_scores=diagnostics.selection_scores,
         )
         self.history.record_step(record)
         return record
@@ -297,4 +385,13 @@ class SynchronousTrainer:
         return self.history
 
 
-__all__ = ["TrainerConfig", "SynchronousTrainer"]
+@dataclass
+class StepDiagnostics:
+    """Aggregation-stage outputs surfaced into the step's telemetry record."""
+
+    aggregation_time: float
+    selected_workers: Optional[tuple] = None
+    selection_scores: Optional[tuple] = None
+
+
+__all__ = ["TrainerConfig", "SynchronousTrainer", "StepDiagnostics"]

@@ -21,12 +21,27 @@ from repro.utils.random import SeedLike, as_rng
 
 
 class Worker(abc.ABC):
-    """Base class for all workers (honest or Byzantine)."""
+    """Base class for all workers (honest or Byzantine).
 
-    def __init__(self, worker_id: int) -> None:
+    Parameters
+    ----------
+    worker_id:
+        Index of the worker in the cluster.
+    speed:
+        Relative compute-throughput multiplier of this worker (1.0 = the cost
+        model's nominal hardware).  Values below 1 make the worker a
+        *persistent* straggler — as opposed to the transient stragglers drawn
+        by :class:`~repro.cluster.cost_model.StragglerModel` — which the
+        quorum-based synchrony policies are designed to route around.
+    """
+
+    def __init__(self, worker_id: int, *, speed: float = 1.0) -> None:
         if worker_id < 0:
             raise ConfigurationError(f"worker_id must be non-negative, got {worker_id}")
+        if speed <= 0:
+            raise ConfigurationError(f"speed must be positive, got {speed}")
         self.worker_id = int(worker_id)
+        self.speed = float(speed)
 
     @property
     @abc.abstractmethod
@@ -53,8 +68,11 @@ class HonestWorker(Worker):
         copy of the dataset.
     """
 
-    def __init__(self, worker_id: int, model: Sequential, sampler: MiniBatchSampler) -> None:
-        super().__init__(worker_id)
+    def __init__(
+        self, worker_id: int, model: Sequential, sampler: MiniBatchSampler,
+        *, speed: float = 1.0,
+    ) -> None:
+        super().__init__(worker_id, speed=speed)
         self.model = model
         self.sampler = sampler
 
@@ -85,6 +103,8 @@ class ByzantineWorker(Worker):
     """
 
     def __init__(self, worker_id: int, attack, *, rng: SeedLike = None) -> None:
+        # The adversary has unbounded compute, so a Byzantine worker's speed
+        # never matters; it is fixed at the nominal 1.0.
         super().__init__(worker_id)
         if not hasattr(attack, "craft"):
             raise ConfigurationError(

@@ -13,6 +13,7 @@ from repro.core.base import (
     make_gar,
     register_gar,
 )
+from repro.core import kernels
 from repro.core.average import Average, SelectiveAverage
 from repro.core.median import CoordinateWiseMedian, TrimmedMean
 from repro.core.krum import Krum, MultiKrum, krum_scores, pairwise_squared_distances
@@ -46,5 +47,6 @@ __all__ = [
     "NormClippedMean",
     "krum_scores",
     "pairwise_squared_distances",
+    "kernels",
     "theory",
 ]

@@ -16,7 +16,7 @@ from itertools import combinations
 import numpy as np
 
 from repro.core.base import AggregationResult, GradientAggregationRule, register_gar
-from repro.core.krum import pairwise_squared_distances
+from repro.core.kernels import pairwise_squared_distances
 from repro.exceptions import AggregationError, ConfigurationError, ResilienceConditionError
 
 
@@ -36,6 +36,7 @@ class Brute(GradientAggregationRule):
 
     resilience = "strong"
     supports_non_finite = True
+    min_workers_linear = (2, 1)
 
     def __init__(self, f: int = 0, max_workers: int = 25) -> None:
         super().__init__(f=f)

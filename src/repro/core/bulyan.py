@@ -37,7 +37,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import AggregationResult, GradientAggregationRule, register_gar
-from repro.core.krum import pairwise_squared_distances, _HUGE
+from repro.core.kernels import (
+    neighbour_sum_scores,
+    pairwise_squared_distances,
+    trimmed_mean_around_median,
+)
 from repro.exceptions import AggregationError, ResilienceConditionError
 
 
@@ -47,16 +51,13 @@ def _scores_on_active(distances: np.ndarray, active_idx: np.ndarray, n_neighbors
     *n_neighbors* is clamped to the number of available other rows so the
     reduction stays defined late in the selection loop.
     """
-    sub = distances[np.ix_(active_idx, active_idx)].copy()
-    np.fill_diagonal(sub, np.inf)
+    sub = distances[np.ix_(active_idx, active_idx)]
     q = min(n_neighbors, active_idx.size - 1)
     if q < 1:
         raise ResilienceConditionError(
             f"Bulyan selection needs at least 2 remaining gradients, got {active_idx.size}"
         )
-    capped = np.minimum(sub, _HUGE)
-    part = np.partition(capped, q - 1, axis=1)[:, :q]
-    return part.sum(axis=1)
+    return neighbour_sum_scores(sub, q)
 
 
 def _bulyan_selection(matrix: np.ndarray, f: int, theta: int,
@@ -98,25 +99,6 @@ def _bulyan_selection(matrix: np.ndarray, f: int, theta: int,
     return np.asarray(selected, dtype=np.intp)
 
 
-def _trimmed_mean_around_median(selection: np.ndarray, beta: int) -> np.ndarray:
-    """Coordinate-wise average of the *beta* values closest to the median.
-
-    ``selection`` has shape ``(theta, d)``; the result has shape ``(d,)``.
-    Fully vectorised: the *beta* smallest absolute deviations from the median
-    are found per coordinate with ``np.argpartition``.
-    """
-    theta, _ = selection.shape
-    if beta < 1:
-        raise ResilienceConditionError(f"Bulyan trimming needs beta >= 1, got {beta}")
-    if beta >= theta:
-        return selection.mean(axis=0)
-    median = np.median(selection, axis=0)
-    deviation = np.abs(selection - median[None, :])
-    idx = np.argpartition(deviation, beta - 1, axis=0)[:beta, :]
-    closest = np.take_along_axis(selection, idx, axis=0)
-    return closest.mean(axis=0)
-
-
 @register_gar("bulyan")
 class Bulyan(GradientAggregationRule):
     """Bulyan with iterated Krum selection — the strong-resilience GAR of AggregaThor.
@@ -129,6 +111,7 @@ class Bulyan(GradientAggregationRule):
 
     resilience = "strong"
     supports_non_finite = True
+    min_workers_linear = (4, 3)
     #: Whether the selection loop recomputes pairwise distances every round.
     recompute_distances = False
 
@@ -153,7 +136,7 @@ class Bulyan(GradientAggregationRule):
                 "Bulyan selected a non-finite gradient: more than f workers "
                 "submitted invalid values"
             )
-        gradient = _trimmed_mean_around_median(chosen, beta)
+        gradient = trimmed_mean_around_median(chosen, beta)
         return AggregationResult(gradient=gradient, selected_indices=selected)
 
 

@@ -39,6 +39,7 @@ class CenteredClipping(GradientAggregationRule):
 
     resilience = "weak"
     supports_non_finite = True
+    min_workers_linear = (2, 1)
 
     def __init__(self, f: int = 0, tau: Optional[float] = None, iterations: int = 3) -> None:
         super().__init__(f=f)

@@ -1,0 +1,133 @@
+"""Audited numerical kernels shared by the selection-based GARs.
+
+The Krum family (Krum / Multi-Krum), Bulyan, Brute/MDA and the
+mean-around-median rules all reduce to a small set of dense NumPy kernels:
+pairwise squared distances with a non-finite quarantine, neighbour-sum
+(Krum) scoring with the ``HUGE`` capping convention, coordinate-wise
+trimming around a centre, and extreme-outlier filling of non-finite
+entries.  Concentrating them here gives every rule one audited hot path
+(the precondition for caching and sharding the O(n^2 d) distance work)
+instead of the previous web of cross-imports between the rule modules.
+
+Conventions enforced by this module:
+
+* rows containing NaN / ±Inf are *infinitely far* from every other row, so
+  selection rules never pick them — but they still count towards ``n``;
+* infinite distances entering a score reduction saturate at :data:`HUGE`
+  (a float64-safe cap) so orderings stay well defined even when many rows
+  are non-finite;
+* coordinate-wise rules replace non-finite entries by extreme *finite*
+  outliers, letting order statistics discard them naturally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ResilienceConditionError
+
+#: Cap used in place of infinite distances so that score sums stay finite even
+#: when a row has many non-finite neighbours (dividing by 1e6 leaves room to
+#: sum ~1e6 capped terms without overflowing float64).
+HUGE = np.finfo(np.float64).max / 1e6
+
+
+def pairwise_squared_distances(matrix: np.ndarray) -> np.ndarray:
+    """Dense ``(n, n)`` matrix of squared Euclidean distances between rows.
+
+    Rows containing non-finite values are treated as infinitely far from every
+    other row (and from each other), so that selection-based rules never pick
+    them.  The diagonal is zero.
+    """
+    finite_rows = np.isfinite(matrix).all(axis=1)
+    safe = np.where(np.isfinite(matrix), matrix, 0.0)
+    sq_norms = np.einsum("ij,ij->i", safe, safe)
+    dist = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (safe @ safe.T)
+    np.maximum(dist, 0.0, out=dist)  # clip tiny negatives from round-off
+    if not finite_rows.all():
+        bad = ~finite_rows
+        dist[bad, :] = np.inf
+        dist[:, bad] = np.inf
+    np.fill_diagonal(dist, 0.0)
+    return dist
+
+
+def neighbour_sum_scores(distances: np.ndarray, num_neighbours: int) -> np.ndarray:
+    """Sum of each row's ``num_neighbours`` smallest off-diagonal distances.
+
+    This is the Krum score reduction: the diagonal (self-distance) is
+    excluded, infinite distances saturate at :data:`HUGE` so the sum stays
+    finite, and ``np.partition`` keeps the reduction linear per row.
+    """
+    n = distances.shape[0]
+    if not 1 <= num_neighbours <= n - 1:
+        raise ResilienceConditionError(
+            f"neighbour-sum scoring needs 1 <= num_neighbours <= n - 1, "
+            f"got num_neighbours={num_neighbours} for n={n}"
+        )
+    off_diag = distances.copy()
+    np.fill_diagonal(off_diag, np.inf)
+    capped = np.minimum(off_diag, HUGE)
+    part = np.partition(capped, num_neighbours - 1, axis=1)[:, :num_neighbours]
+    return part.sum(axis=1)
+
+
+def trimmed_mean_around_median(selection: np.ndarray, beta: int) -> np.ndarray:
+    """Coordinate-wise average of the *beta* values closest to the median.
+
+    ``selection`` has shape ``(theta, d)``; the result has shape ``(d,)``.
+    Fully vectorised: the *beta* smallest absolute deviations from the median
+    are found per coordinate with ``np.argpartition``.  This is Bulyan's
+    second (trimming) phase.
+    """
+    theta, _ = selection.shape
+    if beta < 1:
+        raise ResilienceConditionError(f"trimming needs beta >= 1, got {beta}")
+    if beta >= theta:
+        return selection.mean(axis=0)
+    median = np.median(selection, axis=0)
+    return mean_around_center(selection, median, beta)
+
+
+def mean_around_center(matrix: np.ndarray, center: np.ndarray, keep: int) -> np.ndarray:
+    """Per-coordinate mean of the *keep* values closest to *center*.
+
+    The common core of MeaMed / Phocas (centre = median / trimmed mean) and
+    of Bulyan's trimming phase (centre = median of the selection set).
+    """
+    n = matrix.shape[0]
+    if keep >= n:
+        return matrix.mean(axis=0)
+    deviation = np.abs(matrix - center[None, :])
+    idx = np.argpartition(deviation, keep - 1, axis=0)[:keep, :]
+    closest = np.take_along_axis(matrix, idx, axis=0)
+    return closest.mean(axis=0)
+
+
+def fill_non_finite_extremes(matrix: np.ndarray) -> np.ndarray:
+    """Replace non-finite entries by extreme finite outliers.
+
+    NaN and +Inf become one more than the largest finite value, -Inf one less
+    than the smallest, so coordinate-wise order statistics (median, trimmed
+    mean, mean-around-median) push them to the trimmed tails.  Returns the
+    input unchanged (no copy) when it is already finite.
+    """
+    if np.isfinite(matrix).all():
+        return matrix
+    finite_vals = matrix[np.isfinite(matrix)]
+    hi = float(finite_vals.max()) + 1.0 if finite_vals.size else 1.0
+    lo = float(finite_vals.min()) - 1.0 if finite_vals.size else -1.0
+    clean = np.where(np.isnan(matrix), hi, matrix)
+    clean = np.where(np.isposinf(clean), hi, clean)
+    clean = np.where(np.isneginf(clean), lo, clean)
+    return clean
+
+
+__all__ = [
+    "HUGE",
+    "pairwise_squared_distances",
+    "neighbour_sum_scores",
+    "trimmed_mean_around_median",
+    "mean_around_center",
+    "fill_non_finite_extremes",
+]

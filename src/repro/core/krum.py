@@ -15,17 +15,11 @@ where ``i -> j`` ranges over the ``n - f - 2`` gradients closest to
 :math:`G_i` (in squared L2 norm).  Multi-Krum returns the average of the ``m``
 smallest-scoring gradients; Krum is the special case ``m = 1``.
 
-Implementation notes (mirroring the paper's "fast, memory scarce"
-implementation):
-
-* the full ``(n, n)`` pairwise squared-distance matrix is computed in one
-  vectorised pass via the expansion
-  :math:`\\lVert a-b \\rVert^2 = \\lVert a\\rVert^2 + \\lVert b\\rVert^2 - 2 a^\\top b`;
-* neighbour selection uses ``np.partition`` (linear time) instead of a full
-  sort;
-* non-finite coordinates (NaN / ±Inf), which an actual malicious worker can
-  send, make the offending gradient's distances infinite so it is never
-  selected — but it still counts towards ``n``.
+The numerical core — the vectorised ``(n, n)`` pairwise squared-distance
+matrix, the ``np.partition``-based neighbour-sum reduction and the capping of
+infinite distances (non-finite gradients are quarantined, never selected, but
+still count towards ``n``) — lives in :mod:`repro.core.kernels` and is shared
+with Bulyan and Brute.
 """
 
 from __future__ import annotations
@@ -35,32 +29,11 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import AggregationResult, GradientAggregationRule, register_gar
+from repro.core.kernels import HUGE, neighbour_sum_scores, pairwise_squared_distances
 from repro.exceptions import AggregationError, ConfigurationError, ResilienceConditionError
 
-# Cap used in place of infinite distances so that score sums stay finite even
-# when a row has many non-finite neighbours (dividing by 1e6 leaves room to sum
-# ~1e6 capped terms without overflowing float64).
-_HUGE = np.finfo(np.float64).max / 1e6
-
-
-def pairwise_squared_distances(matrix: np.ndarray) -> np.ndarray:
-    """Dense ``(n, n)`` matrix of squared Euclidean distances between rows.
-
-    Rows containing non-finite values are treated as infinitely far from every
-    other row (and from each other), so that selection-based rules never pick
-    them.  The diagonal is zero.
-    """
-    finite_rows = np.isfinite(matrix).all(axis=1)
-    safe = np.where(np.isfinite(matrix), matrix, 0.0)
-    sq_norms = np.einsum("ij,ij->i", safe, safe)
-    dist = sq_norms[:, None] + sq_norms[None, :] - 2.0 * (safe @ safe.T)
-    np.maximum(dist, 0.0, out=dist)  # clip tiny negatives from round-off
-    if not finite_rows.all():
-        bad = ~finite_rows
-        dist[bad, :] = np.inf
-        dist[:, bad] = np.inf
-    np.fill_diagonal(dist, 0.0)
-    return dist
+#: Backwards-compatible alias of :data:`repro.core.kernels.HUGE`.
+_HUGE = HUGE
 
 
 def krum_scores(distances: np.ndarray, f: int) -> np.ndarray:
@@ -76,13 +49,7 @@ def krum_scores(distances: np.ndarray, f: int) -> np.ndarray:
         raise ResilienceConditionError(
             f"Krum scoring needs n - f - 2 >= 1 neighbours, got n={n}, f={f}"
         )
-    # Exclude self-distance (diagonal, exactly 0) by taking the n_neighbors
-    # smallest values among the n-1 off-diagonal entries of each row.
-    off_diag = distances.copy()
-    np.fill_diagonal(off_diag, np.inf)
-    capped = np.minimum(off_diag, _HUGE)
-    part = np.partition(capped, n_neighbors - 1, axis=1)[:, :n_neighbors]
-    return part.sum(axis=1)
+    return neighbour_sum_scores(distances, n_neighbors)
 
 
 @register_gar("multi-krum")
@@ -102,6 +69,7 @@ class MultiKrum(GradientAggregationRule):
 
     resilience = "weak"
     supports_non_finite = True
+    min_workers_linear = (2, 3)
 
     def __init__(self, f: int = 0, m: Optional[int] = None) -> None:
         super().__init__(f=f)

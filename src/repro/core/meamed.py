@@ -15,31 +15,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import AggregationResult, GradientAggregationRule, register_gar
+from repro.core.kernels import fill_non_finite_extremes, mean_around_center
 from repro.exceptions import ResilienceConditionError
-
-
-def _fill_non_finite(matrix: np.ndarray) -> np.ndarray:
-    """Replace non-finite entries by extreme finite outliers."""
-    if np.isfinite(matrix).all():
-        return matrix
-    finite_vals = matrix[np.isfinite(matrix)]
-    hi = float(finite_vals.max()) + 1.0 if finite_vals.size else 1.0
-    lo = float(finite_vals.min()) - 1.0 if finite_vals.size else -1.0
-    clean = np.where(np.isnan(matrix), hi, matrix)
-    clean = np.where(np.isposinf(clean), hi, clean)
-    clean = np.where(np.isneginf(clean), lo, clean)
-    return clean
-
-
-def _mean_around_center(matrix: np.ndarray, center: np.ndarray, keep: int) -> np.ndarray:
-    """Per-coordinate mean of the *keep* values closest to *center*."""
-    n = matrix.shape[0]
-    if keep >= n:
-        return matrix.mean(axis=0)
-    deviation = np.abs(matrix - center[None, :])
-    idx = np.argpartition(deviation, keep - 1, axis=0)[:keep, :]
-    closest = np.take_along_axis(matrix, idx, axis=0)
-    return closest.mean(axis=0)
 
 
 @register_gar("meamed")
@@ -48,6 +25,7 @@ class MeaMed(GradientAggregationRule):
 
     resilience = "weak"
     supports_non_finite = True
+    min_workers_linear = (2, 1)
 
     @classmethod
     def minimum_workers(cls, f: int) -> int:
@@ -58,9 +36,9 @@ class MeaMed(GradientAggregationRule):
         keep = n - self.f
         if keep < 1:
             raise ResilienceConditionError(f"MeaMed needs n - f >= 1, got n={n}, f={self.f}")
-        clean = _fill_non_finite(matrix)
+        clean = fill_non_finite_extremes(matrix)
         center = np.median(clean, axis=0)
-        return AggregationResult(gradient=_mean_around_center(clean, center, keep))
+        return AggregationResult(gradient=mean_around_center(clean, center, keep))
 
 
 @register_gar("phocas")
@@ -69,6 +47,7 @@ class Phocas(GradientAggregationRule):
 
     resilience = "weak"
     supports_non_finite = True
+    min_workers_linear = (2, 1)
 
     @classmethod
     def minimum_workers(cls, f: int) -> int:
@@ -80,13 +59,13 @@ class Phocas(GradientAggregationRule):
         keep = n - f
         if keep < 1 or n - 2 * f < 1:
             raise ResilienceConditionError(f"Phocas needs n >= 2f + 1, got n={n}, f={f}")
-        clean = _fill_non_finite(matrix)
+        clean = fill_non_finite_extremes(matrix)
         if f == 0:
             center = clean.mean(axis=0)
         else:
             order = np.sort(clean, axis=0)
             center = order[f : n - f, :].mean(axis=0)
-        return AggregationResult(gradient=_mean_around_center(clean, center, keep))
+        return AggregationResult(gradient=mean_around_center(clean, center, keep))
 
 
 __all__ = ["MeaMed", "Phocas"]

@@ -13,14 +13,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import AggregationResult, GradientAggregationRule, register_gar
+from repro.core.kernels import fill_non_finite_extremes
 from repro.exceptions import ConfigurationError
-
-
-def _finite_filled(matrix: np.ndarray, fill: float) -> np.ndarray:
-    """Replace non-finite entries by *fill* so order statistics stay defined."""
-    if np.isfinite(matrix).all():
-        return matrix
-    return np.where(np.isfinite(matrix), matrix, fill)
 
 
 @register_gar("median")
@@ -35,23 +29,17 @@ class CoordinateWiseMedian(GradientAggregationRule):
 
     resilience = "weak"
     supports_non_finite = True
+    min_workers_linear = (2, 1)
 
     @classmethod
     def minimum_workers(cls, f: int) -> int:
         return 2 * f + 1
 
     def _aggregate(self, matrix: np.ndarray) -> AggregationResult:
-        clean = matrix
-        if not np.isfinite(matrix).all():
-            # Non-finite coordinates are treated as maximally adversarial
-            # outliers: push them beyond the finite range so the median
-            # ignores them as long as a majority of values are finite.
-            finite_vals = matrix[np.isfinite(matrix)]
-            hi = float(finite_vals.max()) + 1.0 if finite_vals.size else 1.0
-            clean = np.where(np.isnan(matrix), hi, matrix)
-            clean = np.where(np.isposinf(clean), hi, clean)
-            lo = float(finite_vals.min()) - 1.0 if finite_vals.size else -1.0
-            clean = np.where(np.isneginf(clean), lo, clean)
+        # Non-finite coordinates are treated as maximally adversarial
+        # outliers: push them beyond the finite range so the median
+        # ignores them as long as a majority of values are finite.
+        clean = fill_non_finite_extremes(matrix)
         return AggregationResult(gradient=np.median(clean, axis=0))
 
 
@@ -66,6 +54,7 @@ class TrimmedMean(GradientAggregationRule):
 
     resilience = "weak"
     supports_non_finite = True
+    min_workers_linear = (2, 1)
 
     @classmethod
     def minimum_workers(cls, f: int) -> int:
@@ -74,14 +63,7 @@ class TrimmedMean(GradientAggregationRule):
     def _aggregate(self, matrix: np.ndarray) -> AggregationResult:
         n = matrix.shape[0]
         f = self.f
-        clean = matrix
-        if not np.isfinite(matrix).all():
-            finite_vals = matrix[np.isfinite(matrix)]
-            hi = float(finite_vals.max()) + 1.0 if finite_vals.size else 1.0
-            lo = float(finite_vals.min()) - 1.0 if finite_vals.size else -1.0
-            clean = np.where(np.isnan(matrix), hi, matrix)
-            clean = np.where(np.isposinf(clean), hi, clean)
-            clean = np.where(np.isneginf(clean), lo, clean)
+        clean = fill_non_finite_extremes(matrix)
         if f == 0:
             return AggregationResult(gradient=clean.mean(axis=0))
         order = np.sort(clean, axis=0)

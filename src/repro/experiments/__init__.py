@@ -20,6 +20,7 @@ from repro.experiments import (
     dropped_packets,
     byzantine_attacks,
     cost_analysis,
+    stragglers,
 )
 from repro.experiments.export import results_to_json, format_table
 
@@ -36,6 +37,7 @@ __all__ = [
     "dropped_packets",
     "byzantine_attacks",
     "cost_analysis",
+    "stragglers",
     "results_to_json",
     "format_table",
 ]

@@ -1,0 +1,177 @@
+"""Straggler resilience — synchrony policies under a heavy-tailed cost model.
+
+This driver extends the paper's unreliable-transport study (Figure 8) along
+the *straggler* axis: instead of dropping packets, workers are slowed down by
+heavy-tailed per-step multipliers (the empirical behaviour of co-located
+jobs, GC pauses and thermal throttling in real clusters).  The fully
+synchronous protocol pays the per-step *maximum* of those slowdowns by
+construction; the quorum and bounded-staleness policies route around the
+slowest workers and pay roughly the ``q``-th order statistic instead.
+
+Three curves per run:
+
+* ``full-sync`` — the paper's protocol, every step waits for every worker;
+* ``quorum`` — aggregate at the first ``n - f`` arrivals, drop stragglers;
+* ``bounded-staleness`` — aggregate at the first ``n - f`` arrivals, carry
+  stragglers (staleness <= tau) into the next step.
+
+The reported metrics are simulated steps/second, mean time-to-step and
+time-to-accuracy — the same quantities behind the paper's overhead numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.builder import build_trainer
+from repro.cluster.cost_model import StragglerModel
+from repro.cluster.telemetry import TrainingHistory
+from repro.cluster.trainer import TrainerConfig
+from repro.experiments.config import ExperimentProfile, ci_profile
+from repro.experiments.export import format_table
+
+#: The default policy line-up: ``(label, policy name, policy kwargs)``.
+DEFAULT_POLICIES: Tuple[Tuple[str, str, dict], ...] = (
+    ("full-sync", "full-sync", {}),
+    ("quorum-drop", "quorum", {"stragglers": "drop"}),
+    ("quorum-carry", "quorum", {"stragglers": "carry"}),
+    ("bounded-staleness", "bounded-staleness", {"tau": 2}),
+)
+
+
+def default_straggler_model(
+    *, distribution: str = "pareto", intensity: float = 1.0, prob: float = 0.3
+) -> StragglerModel:
+    """A heavy-tailed slowdown model: ~30% of workers straggle each step."""
+    if distribution == "lognormal":
+        return StragglerModel(distribution="lognormal", sigma=intensity, prob=prob)
+    return StragglerModel(distribution=distribution, alpha=1.5, scale=intensity, prob=prob)
+
+
+def run_straggler_resilience(
+    profile: Optional[ExperimentProfile] = None,
+    *,
+    straggler_model: Optional[StragglerModel] = None,
+    policies: Optional[Sequence[Tuple[str, str, dict]]] = None,
+    gar: str = "multi-krum",
+    num_byzantine: int = 0,
+    attack: Optional[str] = None,
+    max_steps: Optional[int] = None,
+) -> Dict:
+    """Train one deployment per synchrony policy under identical stragglers.
+
+    Every run shares the profile's seed, so the data, model initialisation
+    and straggler draws are directly comparable across policies.
+    """
+    profile = profile or ci_profile()
+    dataset = profile.make_dataset()
+    model = straggler_model if straggler_model is not None else default_straggler_model()
+    lineup = tuple(policies) if policies is not None else DEFAULT_POLICIES
+    steps = profile.max_steps if max_steps is None else int(max_steps)
+
+    results: List[Dict] = []
+    for label, policy_name, policy_kwargs in lineup:
+        trainer = build_trainer(
+            model=profile.model,
+            model_kwargs=profile.model_kwargs,
+            dataset=dataset,
+            gar=gar,
+            num_workers=profile.num_workers,
+            num_byzantine=num_byzantine,
+            declared_f=profile.f,
+            attack=attack,
+            batch_size=profile.batch_size,
+            optimizer=profile.optimizer,
+            learning_rate=profile.learning_rate,
+            cost_model=profile.cost_model,
+            sync_policy=policy_name,
+            sync_kwargs=dict(policy_kwargs),
+            straggler_model=model,
+            seed=profile.seed,
+        )
+        history = trainer.run(
+            TrainerConfig(max_steps=steps, eval_every=profile.eval_every)
+        )
+        results.append({"label": label, "policy": policy_name, "history": history})
+
+    return {
+        "profile": profile.name,
+        "gar": gar,
+        "f": profile.f,
+        "straggler_model": model,
+        "results": results,
+        "summaries": [_summary(r) for r in results],
+    }
+
+
+def _summary(result: Dict) -> Dict:
+    history: TrainingHistory = result["history"]
+    sync = history.sync_summary()
+    return {
+        "label": result["label"],
+        "policy": result["policy"],
+        "final_accuracy": history.final_accuracy,
+        "total_time": history.total_time,
+        "num_updates": history.num_updates,
+        "mean_step_time": history.mean_step_time(),
+        "throughput": history.throughput(),
+        "dropped_stragglers": sync["dropped_stragglers"],
+        "carried_gradients": sync["carried_gradients"],
+        "stale_gradients": sync["stale_gradients"],
+        "max_staleness": sync["max_staleness"],
+        "diverged": history.diverged,
+    }
+
+
+def speedup_over_full_sync(results: Dict) -> Dict[str, float]:
+    """Mean time-to-step of each policy relative to ``full-sync`` (>1 = faster)."""
+    by_label = {s["label"]: s["mean_step_time"] for s in results["summaries"]}
+    base = by_label.get("full-sync")
+    if base is None or base <= 0:
+        return {}
+    return {
+        label: base / step_time if step_time > 0 else float("inf")
+        for label, step_time in by_label.items()
+    }
+
+
+def time_to_accuracy(results: Dict, threshold: float) -> Dict[str, Optional[float]]:
+    """Earliest simulated time at which each policy reached *threshold*."""
+    return {
+        r["label"]: r["history"].time_to_accuracy(threshold) for r in results["results"]
+    }
+
+
+def format_results(results: Dict) -> str:
+    """Pretty-print the straggler-resilience comparison."""
+    rows = [
+        (
+            s["label"],
+            s["final_accuracy"],
+            s["mean_step_time"],
+            s["total_time"],
+            s["dropped_stragglers"],
+            s["carried_gradients"],
+            s["max_staleness"],
+            s["diverged"],
+        )
+        for s in results["summaries"]
+    ]
+    model = results["straggler_model"]
+    return format_table(
+        ["policy", "final_acc", "step_time_s", "sim_time_s", "dropped", "carried",
+         "max_stale", "diverged"],
+        rows,
+        title=f"Straggler resilience — {results['gar']}, f={results['f']}, "
+        f"{model.distribution} stragglers (prob={model.prob})",
+    )
+
+
+__all__ = [
+    "DEFAULT_POLICIES",
+    "default_straggler_model",
+    "run_straggler_resilience",
+    "speedup_over_full_sync",
+    "time_to_accuracy",
+    "format_results",
+]

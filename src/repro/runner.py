@@ -31,6 +31,8 @@ from repro.cluster.checkpoint import (
     write_history_json,
     write_summary_csv,
 )
+from repro.cluster.cost_model import StragglerModel
+from repro.cluster.sync import available_sync_policies
 from repro.cluster.trainer import TrainerConfig
 from repro.core.base import available_gars
 from repro.data.datasets import available_datasets, load_dataset
@@ -73,6 +75,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint-delta", type=int, default=0,
                         help="save a checkpoint every this many steps (0 disables)")
     parser.add_argument("--checkpoint-dir", default="checkpoints")
+    parser.add_argument("--sync-policy", default="full-sync",
+                        help="synchrony policy (empty string lists the options)")
+    parser.add_argument("--quorum-size", type=int, default=None,
+                        help="gradients to wait for per step (quorum / bounded-staleness "
+                             "policies; defaults to n - f)")
+    parser.add_argument("--straggler-policy", default="drop",
+                        choices=["drop", "carry"],
+                        help="what the quorum policy does with late gradients")
+    parser.add_argument("--staleness-bound", type=int, default=1,
+                        help="maximum gradient staleness tau (bounded-staleness policy)")
+    parser.add_argument("--straggler-model", default="none",
+                        choices=["none", "lognormal", "pareto", "constant"],
+                        help="heavy-tailed per-step compute slowdown distribution")
+    parser.add_argument("--straggler-prob", type=float, default=1.0,
+                        help="probability a worker straggles in a given step")
+    parser.add_argument("--straggler-intensity", type=float, default=None,
+                        help="sigma (lognormal) / scale (pareto, constant) of the slowdown; "
+                             "defaults per distribution (0.75 / 1.0 / 2.0)")
     parser.add_argument("--lossy-links", type=int, default=0,
                         help="number of worker uplinks using the lossy UDP-like transport")
     parser.add_argument("--drop-rate", type=float, default=0.0, help="per-packet drop probability")
@@ -117,9 +137,34 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
     if args.dataset == "":
         print("available datasets: " + ", ".join(available_datasets()), file=out)
         return {"listed": "datasets"}
+    if args.sync_policy == "":
+        print("available sync policies: " + ", ".join(available_sync_policies()), file=out)
+        return {"listed": "sync-policies"}
     if args.attack is not None and args.attack not in ATTACK_REGISTRY:
         raise ConfigurationError(
             f"unknown attack {args.attack!r}; available: {sorted(ATTACK_REGISTRY)}"
+        )
+
+    sync_kwargs: dict = {}
+    if args.sync_policy == "quorum":
+        sync_kwargs = {"quorum": args.quorum_size, "stragglers": args.straggler_policy}
+    elif args.sync_policy == "bounded-staleness":
+        sync_kwargs = {"tau": args.staleness_bound, "quorum": args.quorum_size}
+    straggler_model = None
+    if args.straggler_model != "none":
+        # --straggler-intensity means sigma for lognormal and scale otherwise;
+        # each distribution gets its own sensible default.
+        defaults = {"lognormal": 0.75, "pareto": 1.0, "constant": 2.0}
+        intensity = (
+            args.straggler_intensity
+            if args.straggler_intensity is not None
+            else defaults[args.straggler_model]
+        )
+        straggler_model = StragglerModel(
+            distribution=args.straggler_model,
+            prob=args.straggler_prob,
+            sigma=intensity if args.straggler_model == "lognormal" else 0.75,
+            scale=intensity if args.straggler_model != "lognormal" else 1.0,
         )
 
     dataset = load_dataset(args.dataset, **_parse_kv_args(args.dataset_args), rng=args.seed)
@@ -136,6 +181,9 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
         batch_size=args.batch_size,
         optimizer=args.optimizer,
         learning_rate=args.learning_rate,
+        sync_policy=args.sync_policy,
+        sync_kwargs=sync_kwargs,
+        straggler_model=straggler_model,
         lossy_links=args.lossy_links,
         lossy_drop_rate=args.drop_rate,
         lossy_policy=args.recovery_policy,
@@ -172,6 +220,8 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
         "nb_real_byz": args.nb_real_byz,
         "attack": args.attack,
         "batch_size": args.batch_size,
+        "sync_policy": args.sync_policy,
+        "straggler_model": args.straggler_model,
         "seed": args.seed,
     }
 

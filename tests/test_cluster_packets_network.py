@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.cluster import CostModel, LossyChannel, Packetizer, RecoveryPolicy, ReliableChannel
+from repro.cluster import (
+    CostModel,
+    DelayedChannel,
+    LossyChannel,
+    Packetizer,
+    RecoveryPolicy,
+    ReliableChannel,
+)
 from repro.exceptions import ConfigurationError, NetworkError
 
 
@@ -117,6 +124,45 @@ class TestReliableChannel:
             ReliableChannel(drop_rate=1.5)
         with pytest.raises(ConfigurationError):
             ReliableChannel(rtt_s=0.0)
+
+
+class TestDelayedChannel:
+    def test_adds_fixed_delay_on_top_of_inner_transfer(self, rng):
+        payload = rng.standard_normal(500)
+        cost_model = CostModel()
+        _, base = ReliableChannel().transfer(payload, cost_model)
+        delivered, slowed = DelayedChannel(delay_s=0.25).transfer(payload, cost_model)
+        np.testing.assert_array_equal(delivered, payload)
+        assert slowed == pytest.approx(base + 0.25)
+
+    def test_jitter_is_bounded_and_deterministic_per_seed(self, rng):
+        payload = rng.standard_normal(100)
+        cost_model = CostModel()
+        _, base = ReliableChannel().transfer(payload, cost_model)
+        times_a = [
+            DelayedChannel(jitter_s=0.5, rng=7).transfer(payload, cost_model)[1]
+            for _ in range(3)
+        ]
+        times_b = [
+            DelayedChannel(jitter_s=0.5, rng=7).transfer(payload, cost_model)[1]
+            for _ in range(3)
+        ]
+        assert times_a == times_b
+        assert all(base <= t <= base + 0.5 for t in times_a)
+
+    def test_wraps_lossy_inner_channel(self, rng):
+        inner = LossyChannel(drop_rate=1.0, policy=RecoveryPolicy.DROP_GRADIENT, rng=0)
+        delivered, seconds = DelayedChannel(inner, delay_s=0.1).transfer(
+            rng.standard_normal(600), CostModel()
+        )
+        assert delivered is None  # the inner drop semantics survive the wrapper
+        assert seconds > 0.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DelayedChannel(delay_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            DelayedChannel(jitter_s=-1.0)
 
 
 class TestLossyChannel:
