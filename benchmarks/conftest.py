@@ -17,6 +17,15 @@ import pytest
 from repro.experiments.config import get_profile
 
 
+def pytest_configure(config):
+    # The CI smoke job runs the benchmarks under pytest-timeout; registering
+    # the marker here keeps local runs (without the plugin) warning-free.
+    config.addinivalue_line(
+        "markers", "timeout(seconds): abort the test after this many seconds "
+        "(enforced when pytest-timeout is installed)"
+    )
+
+
 @pytest.fixture(scope="session")
 def profile():
     """The experiment profile used by every benchmark (ci by default)."""

@@ -1,0 +1,93 @@
+"""Event-driven engine versus lock-step quorum — the async headline numbers.
+
+The tentpole claim: with overlapping rounds, the async server actor reaches a
+reference accuracy in less simulated time than the lock-step protocol under a
+heavy-tailed straggler model, while the admitted version lag stays inside the
+``--max-version-lag`` bound.  The determinism benchmark pins the engine's
+other contract: identical seeds produce identical event orderings, telemetry
+and final parameters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cost_model import StragglerModel
+from repro.experiments import async_throughput
+
+from benchmarks.conftest import run_once
+
+
+HEAVY_TAIL = dict(distribution="pareto", alpha=1.5, scale=1.0, prob=0.3)
+MAX_LAG = 3
+
+
+@pytest.mark.timeout(300)
+def test_async_beats_full_sync_time_to_accuracy(benchmark, profile):
+    results = run_once(
+        benchmark,
+        async_throughput.run_async_throughput,
+        profile,
+        straggler_model=StragglerModel(**HEAVY_TAIL),
+        lineup=(
+            ("full-sync", "sync", "full-sync", {}, None),
+            ("async", "async", "quorum", {}, MAX_LAG),
+        ),
+    )
+    print("\n" + async_throughput.format_results(results))
+    threshold = 0.90
+    times = async_throughput.time_to_accuracy(results, threshold)
+    print(f"time to {threshold:.0%} accuracy: "
+          + ", ".join(f"{k}={v if v is not None else 'never'}" for k, v in sorted(times.items())))
+
+    by_label = {s["label"]: s for s in results["summaries"]}
+
+    # Headline: overlapping rounds beat lock-step quorum on simulated
+    # time-to-accuracy under a heavy-tailed straggler model.
+    assert times["full-sync"] is not None
+    assert times["async"] is not None
+    assert times["async"] < times["full-sync"]
+    assert by_label["async"]["mean_step_time"] < by_label["full-sync"]["mean_step_time"]
+
+    # Both modes still train to comparable accuracy.
+    for summary in results["summaries"]:
+        assert not summary["diverged"]
+        assert summary["final_accuracy"] > 0.8
+
+    # The version lag is bounded by --max-version-lag, and staleness > 1
+    # actually emerged (the whole point of the event-driven engine).
+    assert by_label["async"]["max_version_lag_seen"] <= MAX_LAG
+    lag_histogram = by_label["async"]["version_lag_histogram"]
+    assert any(int(lag) >= 1 for lag in lag_histogram)
+
+    # The async server overlaps compute with aggregation: it is busy a
+    # strictly positive fraction of the run.
+    assert 0.0 < by_label["async"]["server_busy_fraction"] <= 1.0
+
+
+@pytest.mark.timeout(300)
+def test_async_engine_is_deterministic(benchmark, profile):
+    lineup = (("async", "async", "bounded-staleness", {"tau": 2}, None),)
+
+    def run_twice():
+        first = async_throughput.run_async_throughput(
+            profile, straggler_model=StragglerModel(**HEAVY_TAIL), lineup=lineup,
+            max_steps=20,
+        )
+        second = async_throughput.run_async_throughput(
+            profile, straggler_model=StragglerModel(**HEAVY_TAIL), lineup=lineup,
+            max_steps=20,
+        )
+        return first, second
+
+    first, second = run_once(benchmark, run_twice)
+    h1 = first["results"][0]["history"]
+    h2 = second["results"][0]["history"]
+
+    assert [r.sim_time for r in h1.steps] == [r.sim_time for r in h2.steps]
+    assert [r.gradients_received for r in h1.steps] == [r.gradients_received for r in h2.steps]
+    assert h1.version_lag_histogram() == h2.version_lag_histogram()
+    assert h1.worker_round_counts() == h2.worker_round_counts()
+    np.testing.assert_array_equal(
+        np.array([e.accuracy for e in h1.evaluations]),
+        np.array([e.accuracy for e in h2.evaluations]),
+    )

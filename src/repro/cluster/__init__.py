@@ -19,10 +19,18 @@ Byzantine), with
 from repro.cluster.clock import SimulatedClock
 from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec, NodeSpec, allocate_devices
+from repro.cluster.events import Event, EventLoop, EventQueue
 from repro.cluster.message import GradientMessage, ModelMessage
 from repro.cluster.packets import Packetizer, RecoveryPolicy
-from repro.cluster.network import ReliableChannel, DelayedChannel, LossyChannel, Channel
+from repro.cluster.network import (
+    ReliableChannel,
+    DelayedChannel,
+    LossyChannel,
+    Channel,
+    build_uplink_map,
+)
 from repro.cluster.sync import (
+    AdmissionPredicate,
     ArrivalEvent,
     BoundedStaleness,
     FullSync,
@@ -33,15 +41,25 @@ from repro.cluster.sync import (
     make_sync_policy,
 )
 from repro.cluster.worker import HonestWorker, ByzantineWorker, Worker
-from repro.cluster.server import ParameterServer
-from repro.cluster.telemetry import TrainingHistory, StepRecord, EvalRecord
-from repro.cluster.trainer import SynchronousTrainer, TrainerConfig
+from repro.cluster.server import ParameterServer, UpdateRecord
+from repro.cluster.telemetry import TrainingHistory, StepRecord, EvalRecord, WorkerTimeline
+from repro.cluster.trainer import (
+    AsyncTrainer,
+    BaseTrainer,
+    SynchronousTrainer,
+    TrainerConfig,
+)
 from repro.cluster.builder import build_trainer
 from repro.cluster.checkpoint import (
     Checkpoint,
     CheckpointManager,
+    TrainingState,
+    capture_training_state,
     load_checkpoint,
+    load_training_state,
+    restore_training_state,
     save_checkpoint,
+    save_training_state,
     write_history_json,
     write_summary_csv,
 )
@@ -51,6 +69,10 @@ __all__ = [
     "SimulatedClock",
     "CostModel",
     "StragglerModel",
+    "Event",
+    "EventLoop",
+    "EventQueue",
+    "AdmissionPredicate",
     "ArrivalEvent",
     "SyncDecision",
     "SyncPolicy",
@@ -70,18 +92,28 @@ __all__ = [
     "Channel",
     "ReliableChannel",
     "LossyChannel",
+    "build_uplink_map",
     "Worker",
     "HonestWorker",
     "ByzantineWorker",
     "ParameterServer",
+    "UpdateRecord",
     "TrainingHistory",
     "StepRecord",
     "EvalRecord",
+    "WorkerTimeline",
+    "BaseTrainer",
     "SynchronousTrainer",
+    "AsyncTrainer",
     "TrainerConfig",
     "build_trainer",
     "Checkpoint",
     "CheckpointManager",
+    "TrainingState",
+    "capture_training_state",
+    "restore_training_state",
+    "save_training_state",
+    "load_training_state",
     "save_checkpoint",
     "load_checkpoint",
     "write_summary_csv",

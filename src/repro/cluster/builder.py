@@ -19,8 +19,8 @@ from repro.cluster.deploy import ClusterSpec, allocate_devices
 from repro.cluster.network import Channel, DelayedChannel, LossyChannel, ReliableChannel
 from repro.cluster.packets import RecoveryPolicy
 from repro.cluster.server import ParameterServer
-from repro.cluster.sync import SyncPolicy, make_sync_policy
-from repro.cluster.trainer import SynchronousTrainer
+from repro.cluster.sync import FullSync, SyncPolicy, make_sync_policy
+from repro.cluster.trainer import AsyncTrainer, BaseTrainer, SynchronousTrainer
 from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker
 from repro.core.base import GradientAggregationRule, make_gar
 from repro.data.corruption import corrupt_features, permute_labels
@@ -81,8 +81,11 @@ def build_trainer(
     learning_rate: float = 1e-3,
     cost_model: Optional[CostModel] = None,
     cluster: Optional[ClusterSpec] = None,
+    mode: str = "sync",
     sync_policy: Union[str, SyncPolicy] = "full-sync",
     sync_kwargs: Optional[dict] = None,
+    max_version_lag: Optional[int] = None,
+    retain_versions: Optional[int] = 64,
     straggler_model: Optional[StragglerModel] = None,
     lossy_links: int = 0,
     lossy_drop_rate: float = 0.0,
@@ -91,7 +94,7 @@ def build_trainer(
     worker_speeds: Optional[Dict[int, float]] = None,
     uplink_channels: Optional[Dict[int, Channel]] = None,
     seed: SeedLike = 0,
-) -> SynchronousTrainer:
+) -> BaseTrainer:
     """Assemble a full simulated deployment and return its trainer.
 
     Parameters
@@ -122,11 +125,26 @@ def build_trainer(
         (the Figure 7 "corrupted data" behaviour).
     batch_size:
         Mini-batch size ``b`` per worker.
+    mode:
+        ``"sync"`` (default) builds the lock-step
+        :class:`~repro.cluster.trainer.SynchronousTrainer`; ``"async"``
+        builds the event-driven :class:`~repro.cluster.trainer.AsyncTrainer`,
+        which requires a quorum-shaped synchrony policy (``full-sync`` has no
+        event-stream form).
     sync_policy, sync_kwargs:
         The synchrony policy (``--sync-policy`` analogue): a registered name
         (``"full-sync"``, ``"quorum"``, ``"bounded-staleness"``) or an
         instance.  The default reproduces the paper's fully synchronous
         protocol bit-identically.
+    max_version_lag:
+        Async mode only: hard bound on the version lag of admitted
+        gradients; ``None`` defers to the policy (``tau`` for bounded
+        staleness, unbounded for plain quorum).
+    retain_versions:
+        How many historical parameter vectors the server's versioned store
+        keeps for :meth:`~repro.cluster.server.ParameterServer.parameters_at`
+        (bounded by default so long runs hold O(retain * d) memory, far more
+        than any realistic staleness bound; ``None`` retains every version).
     straggler_model:
         Optional heavy-tailed per-step compute slowdown sampling for the
         honest workers (drawn from a dedicated RNG stream, so enabling it
@@ -148,6 +166,8 @@ def build_trainer(
         Master seed; every worker / channel / attack derives an independent
         stream from it.
     """
+    if mode not in ("sync", "async"):
+        raise ConfigurationError(f"mode must be 'sync' or 'async', got {mode!r}")
     if num_workers < 1:
         raise ConfigurationError(f"num_workers must be >= 1, got {num_workers}")
     if num_byzantine < 0 or num_byzantine >= num_workers:
@@ -224,6 +244,7 @@ def build_trainer(
         gar_instance,
         optimizer_instance,
         expected_workers=[w.worker_id for w in workers],
+        retain_versions=retain_versions,
     )
 
     # Channels: lossy UDP-like links on the last `lossy_links` workers by
@@ -256,10 +277,7 @@ def build_trainer(
     if cluster_spec is not None and cluster_spec.server_node is None:
         cluster_spec = allocate_devices(cluster_spec, num_workers)
 
-    return SynchronousTrainer(
-        server,
-        workers,
-        cost,
+    common = dict(
         sync_policy=sync_instance,
         straggler_model=straggler_model,
         straggler_rng=straggler_rng,
@@ -268,6 +286,18 @@ def build_trainer(
         eval_model=eval_model,
         test_set=(dataset.test_x, dataset.test_y),
     )
+    if mode == "async":
+        if isinstance(sync_instance, FullSync):
+            raise ConfigurationError(
+                "mode='async' is incompatible with the full-sync policy: the "
+                "lock-step protocol has no event-stream form.  Pick a "
+                "quorum-shaped policy (sync_policy='quorum' or "
+                "'bounded-staleness'), or run mode='sync'."
+            )
+        return AsyncTrainer(
+            server, workers, cost, max_version_lag=max_version_lag, **common
+        )
+    return SynchronousTrainer(server, workers, cost, **common)
 
 
 __all__ = ["build_trainer"]

@@ -5,20 +5,42 @@ flags: the server periodically saves the model and writes scalar summaries.
 The simulated counterpart stores checkpoints as ``.npz`` archives (model
 parameters, optimizer step, simulated time) and summaries as CSV files, so a
 training run can be resumed or analysed offline.
+
+Two checkpoint granularities exist:
+
+* :class:`Checkpoint` — the model-only snapshot (parameters, step, time),
+  enough to evaluate or warm-start a model;
+* :class:`TrainingState` — the *resumable* snapshot: model, optimizer
+  moments, the synchrony policy's carried-gradient pool, and every RNG
+  stream (worker samplers, channels, stragglers), so a resumed run is
+  bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 import csv
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.cluster.telemetry import TrainingHistory
+from repro.cluster.worker import HonestWorker
 from repro.exceptions import ConfigurationError
+
+
+def _reject_async_trainer(trainer, action: str) -> None:
+    """Async engines carry in-flight event state the snapshot cannot hold."""
+    from repro.cluster.trainer import AsyncTrainer
+
+    if isinstance(trainer, AsyncTrainer):
+        raise ConfigurationError(
+            f"cannot {action} an AsyncTrainer: its event queue, admission buffer "
+            "and in-flight aggregation are not part of the training state; "
+            "checkpoint/resume is supported for the synchronous trainer only"
+        )
 
 
 @dataclass
@@ -105,6 +127,176 @@ class CheckpointManager:
         return load_checkpoint(existing[-1])
 
 
+@dataclass
+class TrainingState:
+    """A fully resumable trainer snapshot.
+
+    Beyond the :class:`Checkpoint` trio, this captures the optimizer's
+    mutable state, the synchrony policy's carried-gradient pool and the state
+    of every RNG stream the trainer owns — everything needed for a resumed
+    run to reproduce the uninterrupted trajectory bit for bit.
+    """
+
+    step: int
+    sim_time: float
+    parameters: np.ndarray
+    optimizer_state: Dict = field(default_factory=dict)
+    policy_name: str = ""
+    policy_state: Dict = field(default_factory=dict)
+    rng_states: Dict[str, dict] = field(default_factory=dict)
+
+
+def _channel_rngs(channel, prefix: str) -> List[Tuple[str, np.random.Generator]]:
+    """The RNG streams owned by *channel* (and wrapped channels), labelled."""
+    found: List[Tuple[str, np.random.Generator]] = []
+    rng = getattr(channel, "_rng", None)
+    if isinstance(rng, np.random.Generator):
+        found.append((prefix, rng))
+    inner = getattr(channel, "inner", None)
+    if inner is not None:
+        found.extend(_channel_rngs(inner, prefix + ":inner"))
+    return found
+
+
+def _trainer_rngs(trainer) -> Dict[str, np.random.Generator]:
+    """Every RNG stream of *trainer*, keyed by a stable label.
+
+    Byzantine workers may share one attack generator and workers may share
+    one default channel; labels are per-consumer, so a shared generator is
+    captured (and restored) once per label — restoring the same state twice
+    is idempotent.
+    """
+    rngs: Dict[str, np.random.Generator] = {}
+    for worker in trainer.workers:
+        if isinstance(worker, HonestWorker):
+            rngs[f"sampler:{worker.worker_id}"] = worker.sampler._rng
+        else:
+            rngs[f"attack:{worker.worker_id}"] = worker._rng
+    for worker_id, channel in sorted(trainer.uplink_channels.items()):
+        for label, generator in _channel_rngs(channel, f"channel:{worker_id}"):
+            rngs[label] = generator
+    rngs["straggler"] = trainer._straggler_rng
+    return rngs
+
+
+def capture_training_state(trainer) -> TrainingState:
+    """Snapshot *trainer* into a :class:`TrainingState`.
+
+    Only the lock-step :class:`~repro.cluster.trainer.SynchronousTrainer` is
+    resumable; the async engine's in-flight events have no snapshot form yet.
+    """
+    _reject_async_trainer(trainer, "capture")
+    return TrainingState(
+        step=trainer.server.step,
+        sim_time=trainer.clock.now,
+        parameters=trainer.server.parameters,
+        optimizer_state=trainer.server.optimizer.state_dict(),
+        policy_name=trainer.sync_policy.name,
+        policy_state=trainer.sync_policy.state_dict(),
+        rng_states={
+            label: generator.bit_generator.state
+            for label, generator in _trainer_rngs(trainer).items()
+        },
+    )
+
+
+def restore_training_state(trainer, state: TrainingState) -> None:
+    """Load *state* into a freshly built, identically configured *trainer*.
+
+    The trainer must have been constructed with the same topology (workers,
+    channels, policy, optimizer class) as the one that produced the state;
+    mismatches are rejected rather than silently mis-restored.
+    """
+    _reject_async_trainer(trainer, "restore into")
+    if state.policy_name and state.policy_name != trainer.sync_policy.name:
+        raise ConfigurationError(
+            f"checkpoint was written under sync policy {state.policy_name!r} but the "
+            f"trainer runs {trainer.sync_policy.name!r}"
+        )
+    expected = _trainer_rngs(trainer)
+    missing = sorted(set(state.rng_states) - set(expected))
+    extra = sorted(set(expected) - set(state.rng_states))
+    if missing or extra:
+        raise ConfigurationError(
+            "checkpointed RNG streams do not match the trainer topology "
+            f"(checkpoint-only: {missing}, trainer-only: {extra})"
+        )
+    trainer.server.restore(state.parameters, state.step)
+    trainer.server.optimizer.load_state_dict(state.optimizer_state)
+    trainer.sync_policy.load_state_dict(state.policy_state)
+    for label, rng_state in state.rng_states.items():
+        expected[label].bit_generator.state = rng_state
+    trainer.clock.reset(state.sim_time)
+
+
+def save_training_state(state: TrainingState, path: Union[str, Path]) -> Path:
+    """Write a :class:`TrainingState` to an ``.npz`` archive (no pickling)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays: Dict[str, np.ndarray] = {"parameters": np.asarray(state.parameters, dtype=np.float64)}
+    optimizer_scalars: Dict[str, object] = {}
+    optimizer_arrays: List[str] = []
+    for key, value in state.optimizer_state.items():
+        if isinstance(value, np.ndarray):
+            arrays[f"opt:{key}"] = value
+            optimizer_arrays.append(key)
+        else:
+            optimizer_scalars[key] = value
+
+    pending_meta: List[Dict] = []
+    for index, entry in enumerate(state.policy_state.get("pending", [])):
+        arrays[f"pend:{index}:gradient"] = np.asarray(entry["gradient"], dtype=np.float64)
+        arrays[f"pend:{index}:payload"] = np.asarray(entry["payload"], dtype=np.float64)
+        pending_meta.append({k: v for k, v in entry.items() if k not in ("gradient", "payload")})
+
+    meta = {
+        "step": int(state.step),
+        "sim_time": float(state.sim_time),
+        "policy_name": state.policy_name,
+        "optimizer_scalars": optimizer_scalars,
+        "optimizer_arrays": optimizer_arrays,
+        "pending": pending_meta,
+        "rng_states": state.rng_states,
+    }
+    np.savez_compressed(path, meta=np.asarray(json.dumps(meta)), **arrays)
+    return path
+
+
+def load_training_state(path: Union[str, Path]) -> TrainingState:
+    """Load a :class:`TrainingState` written by :func:`save_training_state`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"training state {path} does not exist")
+    with np.load(path) as archive:
+        if "meta" not in archive:
+            raise ConfigurationError(f"{path} is not a training-state archive (no meta entry)")
+        meta = json.loads(str(archive["meta"]))
+        optimizer_state: Dict[str, object] = dict(meta["optimizer_scalars"])
+        for key in meta["optimizer_arrays"]:
+            optimizer_state[key] = np.asarray(archive[f"opt:{key}"], dtype=np.float64)
+        pending = []
+        for index, entry in enumerate(meta["pending"]):
+            pending.append(
+                dict(
+                    entry,
+                    gradient=np.asarray(archive[f"pend:{index}:gradient"], dtype=np.float64),
+                    payload=np.asarray(archive[f"pend:{index}:payload"], dtype=np.float64),
+                )
+            )
+        return TrainingState(
+            step=int(meta["step"]),
+            sim_time=float(meta["sim_time"]),
+            parameters=np.asarray(archive["parameters"], dtype=np.float64),
+            optimizer_state=optimizer_state,
+            policy_name=meta["policy_name"],
+            policy_state={"pending": pending} if pending else {},
+            rng_states=meta["rng_states"],
+        )
+
+
 def write_summary_csv(history: TrainingHistory, path: Union[str, Path]) -> Path:
     """Export the per-evaluation accuracy series as a CSV summary."""
     path = Path(path)
@@ -130,6 +322,11 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "CheckpointManager",
+    "TrainingState",
+    "capture_training_state",
+    "restore_training_state",
+    "save_training_state",
+    "load_training_state",
     "write_summary_csv",
     "write_history_json",
 ]

@@ -4,6 +4,13 @@ All "time" measurements in the reproduced experiments (accuracy vs time,
 latency breakdowns, throughput) are expressed in simulated seconds advanced by
 the trainer according to the cost model — never by the host's wall clock — so
 experiments are deterministic and independent of the machine running them.
+
+Two advancement styles coexist:
+
+* the lock-step trainer adds per-step durations with :meth:`SimulatedClock.advance`;
+* the event loop (:class:`~repro.cluster.events.EventLoop`) is the clock's
+  authority in async mode and jumps it to each event's absolute timestamp
+  with :meth:`SimulatedClock.advance_to`.
 """
 
 from __future__ import annotations
@@ -30,6 +37,20 @@ class SimulatedClock:
         if seconds < 0:
             raise ConfigurationError(f"cannot advance the clock by a negative amount ({seconds})")
         self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to the absolute *timestamp* (monotone; >= now).
+
+        Jumping to the current time is a no-op; jumping backwards is a
+        configuration error — the event loop must never reorder time.
+        """
+        timestamp = float(timestamp)
+        if timestamp < self._now:
+            raise ConfigurationError(
+                f"cannot move the clock backwards to {timestamp} (now {self._now})"
+            )
+        self._now = timestamp
         return self._now
 
     def reset(self, start: float = 0.0) -> None:

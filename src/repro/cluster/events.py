@@ -1,0 +1,199 @@
+"""Discrete-event simulation core for the cluster layer.
+
+The seed trainer drove the simulation round by round: collect every arrival,
+ask the synchrony policy for one decision, advance the clock once.  That
+lock-step shape makes staleness > 1 impossible by construction and forbids
+any overlap between a worker's compute and the server's aggregation.  This
+module provides the event-driven alternative: a deterministic priority queue
+of timestamped :class:`Event` objects with stable tie-breaking by
+``(time, order)``, and an :class:`EventLoop` that owns the
+:class:`~repro.cluster.clock.SimulatedClock` and advances it monotonically to
+each popped event's timestamp.
+
+Both trainers consume this core:
+
+* :class:`~repro.cluster.trainer.SynchronousTrainer` routes each step's
+  arrivals through one :class:`EventQueue`, so the lock-step protocol is a
+  thin driver over the same engine (and stays bit-identical to the seed);
+* :class:`~repro.cluster.trainer.AsyncTrainer` runs every worker's
+  fetch → compute → transfer loop as chained events against the server's
+  versioned model store, letting staleness and pipelining emerge naturally.
+
+Determinism contract: pushing the same events in the same order always pops
+them in the same order — ties on ``time`` are broken by the queue's monotone
+insertion counter, never by identity or hashing — so two runs with identical
+seeds produce identical event orderings, telemetry and final parameters.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.cluster.clock import SimulatedClock
+from repro.exceptions import ConfigurationError, TrainingError
+
+
+@dataclass
+class Event:
+    """One timestamped occurrence in the simulation.
+
+    Attributes
+    ----------
+    time:
+        Absolute simulated time (seconds) at which the event fires.
+    kind:
+        Dispatch key (e.g. ``"fetch"``, ``"arrive"``); the
+        :class:`EventLoop` routes each kind to its registered handler.
+    worker_id:
+        The worker the event belongs to (``-1`` for server-side events).
+    payload:
+        Arbitrary event data (a gradient message, an arrival record, ...).
+    order:
+        Global insertion index stamped by the queue at push time; the
+        deterministic tie-break for equal timestamps.
+    """
+
+    time: float
+    kind: str
+    worker_id: int = -1
+    payload: Any = None
+    order: int = -1
+
+    def __post_init__(self) -> None:
+        self.time = float(self.time)
+        if not math.isfinite(self.time) or self.time < 0.0:
+            raise ConfigurationError(
+                f"event time must be finite and non-negative, got {self.time}"
+            )
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Events pop in ``(time, order)`` order, where ``order`` is the global
+    insertion counter stamped at push time — so equal-time events always pop
+    in the order they were pushed, independent of payload contents.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._counter = 0
+
+    def push(self, event: Event) -> Event:
+        """Insert *event*, stamping its tie-break ``order``; returns it."""
+        event.order = self._counter
+        heapq.heappush(self._heap, (event.time, event.order, event))
+        self._counter += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (ties by insertion order)."""
+        if not self._heap:
+            raise TrainingError("cannot pop from an empty event queue")
+        return heapq.heappop(self._heap)[2]
+
+    def peek(self) -> Optional[Event]:
+        """The earliest event without removing it (``None`` when empty)."""
+        return self._heap[0][2] if self._heap else None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest event (``None`` when empty)."""
+        return self._heap[0][0] if self._heap else None
+
+    def drain(self) -> Iterator[Event]:
+        """Pop every queued event in deterministic order."""
+        while self._heap:
+            yield self.pop()
+
+    @property
+    def pushed(self) -> int:
+        """Total number of events ever pushed (the insertion counter)."""
+        return self._counter
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventQueue(pending={len(self._heap)}, pushed={self._counter})"
+
+
+@dataclass
+class EventLoop:
+    """Pops events in deterministic order and advances the clock to each.
+
+    The loop is the clock's *authority*: simulated time only moves when an
+    event fires, via :meth:`SimulatedClock.advance_to`, so no handler can
+    observe time running backwards and idle periods cost exactly the gap to
+    the next event.
+
+    Handlers are registered per event kind with :meth:`on`; scheduling an
+    event in the simulated past is a configuration error (the discrete-event
+    contract would silently break).
+    """
+
+    clock: SimulatedClock = field(default_factory=SimulatedClock)
+    queue: EventQueue = field(default_factory=EventQueue)
+
+    def __post_init__(self) -> None:
+        self._handlers: Dict[str, Callable[[Event], None]] = {}
+
+    def on(self, kind: str, handler: Callable[[Event], None]) -> None:
+        """Register *handler* for events of *kind* (one handler per kind)."""
+        existing = self._handlers.get(kind)
+        if existing is not None and existing is not handler:
+            raise ConfigurationError(f"event kind {kind!r} already has a handler")
+        self._handlers[kind] = handler
+
+    def schedule(
+        self, kind: str, time: float, *, worker_id: int = -1, payload: Any = None
+    ) -> Event:
+        """Queue a new event at absolute simulated *time* (>= now)."""
+        if time < self.clock.now:
+            raise ConfigurationError(
+                f"cannot schedule {kind!r} at {time:.9f}, before now ({self.clock.now:.9f})"
+            )
+        return self.queue.push(Event(time=time, kind=kind, worker_id=worker_id, payload=payload))
+
+    def step(self) -> Event:
+        """Pop the next event, advance the clock to it, dispatch its handler."""
+        event = self.queue.pop()
+        self.clock.advance_to(event.time)
+        handler = self._handlers.get(event.kind)
+        if handler is None:
+            raise ConfigurationError(f"no handler registered for event kind {event.kind!r}")
+        handler(event)
+        return event
+
+    def run_until(
+        self, done: Callable[[], bool], *, max_events: Optional[int] = None
+    ) -> int:
+        """Dispatch events until *done()* holds; returns the number dispatched.
+
+        ``max_events`` guards against livelock (an event loop that keeps
+        scheduling work without ever satisfying the predicate — e.g. every
+        gradient dropped by a fully lossy transport).
+        """
+        dispatched = 0
+        while not done():
+            if not self.queue:
+                raise TrainingError(
+                    "event queue drained before the stop condition was met"
+                )
+            if max_events is not None and dispatched >= max_events:
+                raise TrainingError(
+                    f"event loop dispatched {dispatched} events without satisfying the "
+                    "stop condition; the simulation is livelocked (is every gradient "
+                    "being dropped or rejected?)"
+                )
+            self.step()
+            dispatched += 1
+        return dispatched
+
+
+__all__ = ["Event", "EventQueue", "EventLoop"]

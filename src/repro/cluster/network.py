@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -214,4 +214,32 @@ class LossyChannel(Channel):
         return delivered, seconds
 
 
-__all__ = ["Channel", "ReliableChannel", "DelayedChannel", "LossyChannel"]
+def build_uplink_map(
+    worker_ids: Iterable[int],
+    overrides: Optional[Dict[int, Channel]] = None,
+    *,
+    default: Optional[Channel] = None,
+) -> Dict[int, Channel]:
+    """One uplink channel per worker id, with overrides taking precedence.
+
+    Workers without an explicit entry share one *default* channel (a fresh
+    loss-free :class:`ReliableChannel` unless provided) — sharing is safe
+    because the reliable channel is stateless.  Both the lock-step and the
+    event-driven trainer resolve their uplinks through this helper, so the
+    two modes see identical transports for identical configurations.
+    """
+    shared_default = default if default is not None else ReliableChannel()
+    overrides = overrides or {}
+    return {
+        int(worker_id): overrides.get(worker_id, shared_default)
+        for worker_id in worker_ids
+    }
+
+
+__all__ = [
+    "Channel",
+    "ReliableChannel",
+    "DelayedChannel",
+    "LossyChannel",
+    "build_uplink_map",
+]

@@ -1,4 +1,4 @@
-"""The (trusted) parameter server.
+"""The (trusted) parameter server with a versioned model store.
 
 Holds the authoritative model parameters, aggregates the workers' gradient
 messages with the configured GAR, and applies the optimizer update
@@ -6,11 +6,18 @@ messages with the configured GAR, and applies the optimizer update
 in §3.2: only registered workers may submit gradients and nobody but the
 server mutates the shared parameters (the analogue of the TensorFlow patch
 that discards remote graph definitions on the "ps" job).
+
+Every optimizer update bumps the server's **version**; each version's
+parameter vector is retained in a bounded version log (:meth:`ParameterServer.parameters_at`)
+together with an :class:`UpdateRecord` describing the update.  The async
+engine measures gradient staleness against these real model versions instead
+of against lock-step round numbers.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,8 +27,33 @@ from repro.exceptions import ConfigurationError, TrainingError
 from repro.optim.base import Optimizer
 
 
+@dataclass
+class UpdateRecord:
+    """One entry of the server's update log.
+
+    Attributes
+    ----------
+    version:
+        The model version this update *produced* (the version after the bump).
+    sim_time:
+        Simulated time at which the update was applied (NaN when the caller
+        did not provide one — the lock-step trainer applies updates before it
+        advances the clock).
+    num_gradients:
+        Size of the aggregated batch.
+    worker_ids:
+        Ids of the workers whose gradients entered the batch, in aggregation
+        order (``None`` when the caller did not provide them).
+    """
+
+    version: int
+    sim_time: float = float("nan")
+    num_gradients: int = 0
+    worker_ids: Optional[Tuple[int, ...]] = None
+
+
 class ParameterServer:
-    """Synchronous parameter server.
+    """Parameter server with a versioned model store.
 
     Parameters
     ----------
@@ -34,6 +66,10 @@ class ParameterServer:
     expected_workers:
         Worker ids allowed to submit gradients; submissions from unknown ids
         are rejected (the hardened-TensorFlow behaviour).
+    retain_versions:
+        How many historical parameter vectors :meth:`parameters_at` keeps
+        (``None`` retains every version — fine at simulation scale).  The
+        current version is always retained.
     """
 
     def __init__(
@@ -43,14 +79,22 @@ class ParameterServer:
         optimizer: Optimizer,
         *,
         expected_workers: Optional[Iterable[int]] = None,
+        retain_versions: Optional[int] = None,
     ) -> None:
         self._parameters = np.asarray(initial_parameters, dtype=np.float64).copy()
         if self._parameters.ndim != 1 or self._parameters.size == 0:
             raise ConfigurationError("initial parameters must be a non-empty flat vector")
+        if retain_versions is not None and retain_versions < 1:
+            raise ConfigurationError(
+                f"retain_versions must be >= 1 or None, got {retain_versions}"
+            )
         self.gar = gar
         self.optimizer = optimizer
         self._allowed = None if expected_workers is None else set(int(w) for w in expected_workers)
         self.step = 0
+        self.retain_versions = retain_versions
+        self._version_log: Dict[int, np.ndarray] = {0: self._parameters.copy()}
+        self.update_log: List[UpdateRecord] = []
 
     # ------------------------------------------------------------- accessors
     @property
@@ -62,6 +106,35 @@ class ParameterServer:
     def dim(self) -> int:
         """Model dimensionality ``d``."""
         return int(self._parameters.size)
+
+    @property
+    def version(self) -> int:
+        """Current model version (bumped by every applied update)."""
+        return self.step
+
+    def parameters_at(self, version: int) -> np.ndarray:
+        """Copy of the parameters at *version*, if still retained.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` for versions
+        that never existed or were evicted by the ``retain_versions`` bound.
+        """
+        try:
+            return self._version_log[int(version)].copy()
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"model version {version} is not in the store (current version "
+                f"{self.version}, retaining {len(self._version_log)} versions)"
+            ) from exc
+
+    def retained_versions(self) -> List[int]:
+        """Versions currently available through :meth:`parameters_at`, ascending."""
+        return sorted(self._version_log)
+
+    def _record_version(self) -> None:
+        self._version_log[self.step] = self._parameters.copy()
+        if self.retain_versions is not None:
+            while len(self._version_log) > self.retain_versions:
+                del self._version_log[min(self._version_log)]
 
     # ------------------------------------------------------------- protocol
     def validate_submission(self, message: GradientMessage) -> None:
@@ -102,8 +175,18 @@ class ParameterServer:
         """Validate and aggregate one round of gradient messages."""
         return self.aggregate_detailed(messages).gradient
 
-    def apply_update(self, aggregated_gradient: np.ndarray) -> np.ndarray:
-        """Apply the optimizer step and return the new parameters."""
+    def apply_update(
+        self,
+        aggregated_gradient: np.ndarray,
+        *,
+        sim_time: float = float("nan"),
+        worker_ids: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Apply the optimizer step, bump the version, return the new parameters.
+
+        The optional *sim_time* / *worker_ids* metadata lands in the
+        :attr:`update_log` entry for this version.
+        """
         aggregated_gradient = np.asarray(aggregated_gradient, dtype=np.float64)
         if aggregated_gradient.shape != self._parameters.shape:
             raise TrainingError(
@@ -117,10 +200,39 @@ class ParameterServer:
             )
         self._parameters = self.optimizer.step(self._parameters, aggregated_gradient)
         self.step += 1
+        self._record_version()
+        self.update_log.append(
+            UpdateRecord(
+                version=self.step,
+                sim_time=float(sim_time),
+                num_gradients=0 if worker_ids is None else len(worker_ids),
+                worker_ids=None if worker_ids is None else tuple(int(w) for w in worker_ids),
+            )
+        )
         return self.parameters
 
+    def restore(self, parameters: np.ndarray, step: int) -> None:
+        """Reset the server to a checkpointed ``(parameters, step)`` state.
+
+        The version log restarts from the restored version (historical
+        versions belong to the interrupted run, not this one) and the update
+        log is cleared.
+        """
+        parameters = np.asarray(parameters, dtype=np.float64).copy()
+        if parameters.shape != self._parameters.shape:
+            raise ConfigurationError(
+                f"checkpointed parameter shape {parameters.shape} does not match "
+                f"the model shape {self._parameters.shape}"
+            )
+        if step < 0:
+            raise ConfigurationError(f"step must be non-negative, got {step}")
+        self._parameters = parameters
+        self.step = int(step)
+        self._version_log = {self.step: self._parameters.copy()}
+        self.update_log = []
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ParameterServer(d={self.dim}, gar={self.gar!r}, step={self.step})"
+        return f"ParameterServer(d={self.dim}, gar={self.gar!r}, version={self.version})"
 
 
-__all__ = ["ParameterServer"]
+__all__ = ["ParameterServer", "UpdateRecord"]

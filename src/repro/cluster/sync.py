@@ -139,6 +139,51 @@ def _in_submission_order(events: List[ArrivalEvent]) -> List[ArrivalEvent]:
     return sorted(events, key=lambda e: e.order)
 
 
+#: Order offset applied to carried events so they sort before fresh ones.
+CARRY_ORDER_OFFSET = 10**6
+
+
+@dataclass(frozen=True)
+class AdmissionPredicate:
+    """A synchrony policy re-expressed over the live (async) event stream.
+
+    The lock-step protocol asks a policy one question per round ("which of
+    these arrivals do I wait for?").  The event-driven server asks two
+    questions continuously instead, and this object answers both:
+
+    * :meth:`admit` — may a gradient computed ``version_lag`` model versions
+      ago still enter the aggregation buffer?
+    * :meth:`batch_ready` — does the buffer hold enough admitted gradients to
+      aggregate now?
+
+    Attributes
+    ----------
+    quorum:
+        Buffer size that triggers an aggregation.
+    max_version_lag:
+        Largest tolerated version lag (``None`` = unbounded).  Gradients
+        whose lag exceeds the bound are rejected at admission *and* purged
+        from the buffer right before aggregation, so the bound holds against
+        the version the batch is actually applied to.
+    """
+
+    quorum: int
+    max_version_lag: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.quorum, "quorum")
+        if self.max_version_lag is not None:
+            check_non_negative_int(self.max_version_lag, "max_version_lag")
+
+    def admit(self, version_lag: int) -> bool:
+        """Whether a gradient *version_lag* versions old may still be aggregated."""
+        return self.max_version_lag is None or version_lag <= self.max_version_lag
+
+    def batch_ready(self, pending: int) -> bool:
+        """Whether *pending* admitted gradients suffice to aggregate."""
+        return pending >= self.quorum
+
+
 def _carry_event(event: ArrivalEvent, wait: float) -> ArrivalEvent:
     """Defer *event* into the next step's pool.
 
@@ -149,7 +194,7 @@ def _carry_event(event: ArrivalEvent, wait: float) -> ArrivalEvent:
     step and sorts before fresh submissions.
     """
     event.arrival_time = max(0.0, event.arrival_time - wait)
-    event.order -= 10**6
+    event.order -= CARRY_ORDER_OFFSET
     return event
 
 
@@ -186,6 +231,33 @@ class SyncPolicy(abc.ABC):
 
     def reset(self) -> None:
         """Drop carried state (e.g. when reusing a policy across runs)."""
+
+    # -------------------------------------------------------- admission view
+    def admission(self, *, max_version_lag: Optional[int] = None) -> AdmissionPredicate:
+        """This policy as an :class:`AdmissionPredicate` for the async engine.
+
+        Only quorum-shaped policies have an event-stream reading; the
+        lock-step ``full-sync`` protocol raises (run it through the
+        synchronous trainer instead).
+        """
+        raise ConfigurationError(
+            f"sync policy {self.name!r} has no event-stream (async) form; "
+            "use the synchronous trainer, or pick a quorum-based policy "
+            "(quorum / bounded-staleness) for --mode async"
+        )
+
+    # --------------------------------------------------------- checkpointing
+    def state_dict(self) -> Dict:
+        """Serialisable carried state (empty for stateless policies)."""
+        return {}
+
+    def load_state_dict(self, state: Dict) -> None:
+        """Restore carried state captured by :meth:`state_dict`."""
+        if state:
+            raise ConfigurationError(
+                f"sync policy {self.name!r} is stateless but the checkpoint carries "
+                f"pending state ({sorted(state)}); was it written by a different policy?"
+            )
 
     @abc.abstractmethod
     def collect(self, events: List[ArrivalEvent], step: int, *, floor: float) -> SyncDecision:
@@ -248,7 +320,11 @@ class FullSync(SyncPolicy):
 
     def collect(self, events: List[ArrivalEvent], step: int, *, floor: float) -> SyncDecision:
         _stamp_staleness(events, step)
-        admitted = [e for e in events if e.delivered]
+        # The trainer now hands events in deterministic *arrival* order (it
+        # drains them from the event queue); restoring submission order keeps
+        # the aggregation batch — and hence the floating-point trajectory —
+        # bit-identical to the seed protocol.
+        admitted = _in_submission_order([e for e in events if e.delivered])
         return SyncDecision(admitted=admitted, wait_time=_honest_horizon(events, floor))
 
 
@@ -290,6 +366,57 @@ class QuorumBasedPolicy(SyncPolicy):
 
     def reset(self) -> None:
         self._pending = []
+
+    def admission(self, *, max_version_lag: Optional[int] = None) -> AdmissionPredicate:
+        quorum = self._effective_quorum
+        if quorum is None:
+            raise ConfigurationError(
+                f"{type(self).__name__}.admission called before bind()"
+            )
+        return AdmissionPredicate(quorum=quorum, max_version_lag=max_version_lag)
+
+    # --------------------------------------------------------- checkpointing
+    def state_dict(self) -> Dict:
+        """The carried-gradient pool in serialisable form.
+
+        Both the sender's original gradient and the (possibly transport-
+        degraded) delivered payload are kept, so a restored pool aggregates
+        exactly what the interrupted run would have.
+        """
+        return {
+            "pending": [
+                {
+                    "worker_id": e.message.worker_id,
+                    "step": e.message.step,
+                    "loss": e.message.loss,
+                    "gradient": np.asarray(e.message.gradient, dtype=np.float64),
+                    "payload": np.asarray(e.payload, dtype=np.float64),
+                    "arrival_time": e.arrival_time,
+                    "honest": e.honest,
+                    "staleness": e.staleness,
+                    "order": e.order,
+                }
+                for e in self._pending
+            ]
+        }
+
+    def load_state_dict(self, state: Dict) -> None:
+        self._pending = [
+            ArrivalEvent(
+                message=GradientMessage(
+                    worker_id=int(entry["worker_id"]),
+                    step=int(entry["step"]),
+                    gradient=np.asarray(entry["gradient"], dtype=np.float64),
+                    loss=float(entry["loss"]),
+                ),
+                payload=np.asarray(entry["payload"], dtype=np.float64),
+                arrival_time=float(entry["arrival_time"]),
+                honest=bool(entry["honest"]),
+                staleness=int(entry["staleness"]),
+                order=int(entry["order"]),
+            )
+            for entry in state.get("pending", [])
+        ]
 
     def _pool_step(self, events: List[ArrivalEvent], step: int):
         """Merge pending + fresh events; return ``(pool, delivered, quorum)``."""
@@ -399,6 +526,10 @@ class BoundedStaleness(QuorumBasedPolicy):
         super().__init__(quorum)
         self.tau = check_non_negative_int(tau, "tau")
 
+    def admission(self, *, max_version_lag: Optional[int] = None) -> AdmissionPredicate:
+        lag = self.tau if max_version_lag is None else max_version_lag
+        return super().admission(max_version_lag=lag)
+
     def collect(self, events: List[ArrivalEvent], step: int, *, floor: float) -> SyncDecision:
         pool, delivered, quorum = self._pool_step(events, step)
 
@@ -433,6 +564,7 @@ class BoundedStaleness(QuorumBasedPolicy):
 
 
 __all__ = [
+    "AdmissionPredicate",
     "ArrivalEvent",
     "SyncDecision",
     "SyncPolicy",

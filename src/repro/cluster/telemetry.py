@@ -63,6 +63,45 @@ class EvalRecord:
 
 
 @dataclass
+class WorkerTimeline:
+    """Per-worker activity accounting for the event-driven engine.
+
+    Each honest worker runs its own fetch → compute → transfer loop; this
+    record accumulates what happened to its gradients.  Byzantine workers
+    only count submissions (the adversary has no compute/transfer cost).
+    """
+
+    worker_id: int
+    #: Gradients the worker pushed towards the server.
+    rounds_completed: int = 0
+    #: Pushed gradients that entered an aggregation batch.
+    admitted: int = 0
+    #: Pending gradients replaced by a fresher one from the same worker.
+    superseded: int = 0
+    #: Gradients rejected because their version lag exceeded the bound.
+    stale_rejected: int = 0
+    #: Gradients the transport dropped in flight.
+    channel_dropped: int = 0
+    #: Total simulated seconds the worker spent computing.
+    compute_seconds: float = 0.0
+    #: Total simulated seconds the worker's gradients spent on the wire.
+    transfer_seconds: float = 0.0
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form."""
+        return {
+            "worker_id": self.worker_id,
+            "rounds_completed": self.rounds_completed,
+            "admitted": self.admitted,
+            "superseded": self.superseded,
+            "stale_rejected": self.stale_rejected,
+            "channel_dropped": self.channel_dropped,
+            "compute_seconds": self.compute_seconds,
+            "transfer_seconds": self.transfer_seconds,
+        }
+
+
+@dataclass
 class TrainingHistory:
     """Accumulated telemetry for a training run."""
 
@@ -70,6 +109,13 @@ class TrainingHistory:
     evaluations: List[EvalRecord] = field(default_factory=list)
     diverged: bool = False
     divergence_reason: str = ""
+    #: Per-worker activity accounting (populated by the event-driven engine;
+    #: empty for lock-step runs, which keeps seed telemetry unchanged).
+    worker_timelines: Dict[int, WorkerTimeline] = field(default_factory=dict)
+    #: Simulated seconds the server spent aggregating + updating.
+    server_busy_time: float = 0.0
+    #: Histogram of admitted-gradient version lags: ``{lag: count}``.
+    version_lag_counts: Dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------- recording
     def record_step(self, record: StepRecord) -> None:
@@ -84,6 +130,21 @@ class TrainingHistory:
         """Flag the run as diverged (e.g. non-finite aggregated gradient)."""
         self.diverged = True
         self.divergence_reason = reason
+
+    def timeline_for(self, worker_id: int) -> WorkerTimeline:
+        """The (lazily created) activity record of *worker_id*."""
+        if worker_id not in self.worker_timelines:
+            self.worker_timelines[worker_id] = WorkerTimeline(worker_id=worker_id)
+        return self.worker_timelines[worker_id]
+
+    def record_server_busy(self, seconds: float) -> None:
+        """Account *seconds* of server aggregation/update work."""
+        self.server_busy_time += float(seconds)
+
+    def record_version_lag(self, lag: int) -> None:
+        """Count one admitted gradient with the given version *lag*."""
+        lag = int(lag)
+        self.version_lag_counts[lag] = self.version_lag_counts.get(lag, 0) + 1
 
     # --------------------------------------------------------------- metrics
     @property
@@ -168,6 +229,34 @@ class TrainingHistory:
             "mean_admitted": float(np.mean([r.gradients_received for r in self.steps])),
         }
 
+    def server_utilisation(self) -> Dict[str, float]:
+        """Busy / idle split of the server over the run.
+
+        Busy time is the simulated aggregation + update work; everything else
+        up to :attr:`total_time` is idle (waiting for a quorum to fill).  A
+        lock-step run that never called :meth:`record_server_busy` reports
+        zeros rather than pretending to know.
+        """
+        total = self.total_time
+        busy = min(self.server_busy_time, total) if total > 0 else 0.0
+        return {
+            "busy_time": busy,
+            "idle_time": max(total - busy, 0.0),
+            "busy_fraction": busy / total if total > 0 else 0.0,
+            "idle_fraction": (total - busy) / total if total > 0 else 0.0,
+        }
+
+    def version_lag_histogram(self) -> Dict[int, int]:
+        """Admitted-gradient version lags, ``{lag: count}``, sorted by lag."""
+        return {lag: self.version_lag_counts[lag] for lag in sorted(self.version_lag_counts)}
+
+    def worker_round_counts(self) -> Dict[int, int]:
+        """Pushed-gradient counts per worker (empty for lock-step runs)."""
+        return {
+            wid: timeline.rounds_completed
+            for wid, timeline in sorted(self.worker_timelines.items())
+        }
+
     def mean_step_time(self) -> float:
         """Mean simulated duration of one model update (time-to-step)."""
         if not self.steps:
@@ -198,6 +287,14 @@ class TrainingHistory:
             "throughput": self.throughput(),
             "latency_breakdown": self.latency_breakdown(),
             "sync": self.sync_summary(),
+            "server_utilisation": self.server_utilisation(),
+            "version_lag_histogram": {
+                str(lag): count for lag, count in self.version_lag_histogram().items()
+            },
+            "worker_timelines": {
+                str(wid): timeline.to_dict()
+                for wid, timeline in sorted(self.worker_timelines.items())
+            },
             "diverged": self.diverged,
             "divergence_reason": self.divergence_reason,
             "evaluations": [
@@ -207,4 +304,4 @@ class TrainingHistory:
         }
 
 
-__all__ = ["StepRecord", "EvalRecord", "TrainingHistory"]
+__all__ = ["StepRecord", "EvalRecord", "WorkerTimeline", "TrainingHistory"]

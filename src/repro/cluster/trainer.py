@@ -1,34 +1,41 @@
-"""The aggregation pipeline (the AggregaThor runner analogue).
+"""The training engines (the AggregaThor runner analogue).
 
-One training step flows through four pipeline stages:
+Two trainers share one engine core (:mod:`repro.cluster.events`, the
+versioned :class:`~repro.cluster.server.ParameterServer`, the validation +
+aggregation stage and the telemetry layer):
 
-1. **Broadcast + compute** — the server broadcasts the current model to every
-   worker (reliable link); every honest worker computes a gradient estimate
-   on its own iid mini-batch.  Per-worker compute time accounts for node
-   co-location, the worker's relative speed, and — when a
-   :class:`~repro.cluster.cost_model.StragglerModel` is configured — a
-   per-step heavy-tailed slowdown draw.
-2. **Byzantine crafting** — adversary-controlled workers craft their
-   gradients, possibly as a function of every honest gradient (omniscient
-   adversary), and submit them instantly (unbounded compute, arbitrarily
-   fast links).
-3. **Transfer** — every gradient travels to the server over that worker's
-   uplink channel (reliable by default; the Figure 8 experiments put the
-   lossy UDP channel on up to ``f`` links).  Each gradient becomes an
-   :class:`~repro.cluster.sync.ArrivalEvent` carrying its payload (or the
-   fact it was dropped) and its arrival time.
-4. **Synchrony + aggregation** — the configured
-   :class:`~repro.cluster.sync.SyncPolicy` decides which arrivals the server
-   waits for (all of them under :class:`~repro.cluster.sync.FullSync`, the
-   first ``q`` under :class:`~repro.cluster.sync.Quorum`, a
-   staleness-bounded pool under
-   :class:`~repro.cluster.sync.BoundedStaleness`); the admitted batch is
-   validated once, aggregated by the GAR with full diagnostics, and the
-   optimizer update is applied.
+:class:`SynchronousTrainer`
+    The paper's lock-step protocol as a thin driver over the event queue.
+    One training step flows through four pipeline stages:
 
-Simulated time advances by the policy's wait plus the server's aggregation
-and update time.  With the default ``FullSync`` policy the step is
-bit-identical to the seed implementation's lock-step protocol.
+    1. **Broadcast + compute** — the server broadcasts the current model to
+       every worker; every honest worker computes a gradient estimate on its
+       own iid mini-batch, with per-worker compute time accounting for node
+       co-location, relative speed, and optional heavy-tailed straggler
+       draws.
+    2. **Byzantine crafting** — adversary-controlled workers craft their
+       gradients, possibly as a function of every honest gradient
+       (omniscient adversary), and submit them instantly.
+    3. **Transfer** — every gradient travels over that worker's uplink
+       channel and becomes an :class:`~repro.cluster.sync.ArrivalEvent`
+       routed through a deterministic :class:`~repro.cluster.events.EventQueue`.
+    4. **Synchrony + aggregation** — the configured
+       :class:`~repro.cluster.sync.SyncPolicy` decides which arrivals the
+       server waits for; the admitted batch is validated once, aggregated by
+       the GAR with full diagnostics, and the optimizer update is applied.
+
+    With the default ``FullSync`` policy the step is bit-identical to the
+    seed implementation's lock-step protocol.
+
+:class:`AsyncTrainer`
+    The event-driven server actor.  Each worker runs its own
+    fetch → compute → transfer loop as chained events against the server's
+    versioned model store; the synchrony policy acts as an
+    :class:`~repro.cluster.sync.AdmissionPredicate` over the live event
+    stream, staleness is measured against real model versions, Byzantine
+    workers are event sources that observe honest traffic up to their firing
+    time, and rounds overlap — the server aggregates a quorum while slower
+    workers are still computing against older versions.
 """
 
 from __future__ import annotations
@@ -41,8 +48,9 @@ import numpy as np
 from repro.cluster.clock import SimulatedClock
 from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec
+from repro.cluster.events import Event, EventLoop, EventQueue
 from repro.cluster.message import GradientMessage
-from repro.cluster.network import Channel, ReliableChannel
+from repro.cluster.network import Channel, build_uplink_map
 from repro.cluster.server import ParameterServer
 from repro.cluster.sync import ArrivalEvent, FullSync, SyncDecision, SyncPolicy
 from repro.cluster.telemetry import EvalRecord, StepRecord, TrainingHistory
@@ -88,40 +96,24 @@ class TrainerConfig:
             raise ConfigurationError("divergence_threshold must be positive")
 
 
-class SynchronousTrainer:
-    """Drives Byzantine-resilient distributed SGD through the aggregation pipeline.
+@dataclass
+class StepDiagnostics:
+    """Aggregation-stage outputs surfaced into the step's telemetry record."""
 
-    Parameters
-    ----------
-    server:
-        The parameter server (holds the model, GAR and optimizer).
-    workers:
-        All workers, honest and Byzantine.
-    cost_model:
-        Translates compute / communication work into simulated seconds.
-    sync_policy:
-        The synchrony policy deciding which gradient arrivals each step waits
-        for.  Defaults to :class:`~repro.cluster.sync.FullSync` (the paper's
-        synchronous protocol, bit-identical to the seed implementation).
-    straggler_model:
-        Optional per-step heavy-tailed compute slowdown sampling for the
-        honest workers; ``None`` (default) keeps the deterministic seed cost
-        model.
-    straggler_rng:
-        Randomness source for the straggler draws (independent of every
-        worker / channel / attack stream).
-    uplink_channels:
-        Optional per-worker-id uplink channel; defaults to a loss-free
-        reliable channel for every worker.
-    cluster:
-        Optional cluster specification; when given, each worker's compute
-        throughput is taken from its host node (shared equally between
-        co-located workers).
-    eval_model:
-        A model replica used for accuracy evaluation (its parameters are
-        overwritten before each evaluation).
-    test_set:
-        ``(features, labels)`` used for the top-1 cross-accuracy metric.
+    aggregation_time: float
+    selected_workers: Optional[tuple] = None
+    selection_scores: Optional[tuple] = None
+
+
+class BaseTrainer:
+    """Shared engine plumbing for the lock-step and event-driven trainers.
+
+    Owns the server, the workers, the cost model, the simulated clock, the
+    uplink channel map, the per-worker compute-throughput resolution, the
+    validation + aggregation + diagnostics stage, evaluation, divergence
+    detection and the outer :meth:`run` loop.  Subclasses implement
+    :meth:`run_step` — "advance the simulation until one more model update
+    has been applied".
     """
 
     def __init__(
@@ -147,11 +139,7 @@ class SynchronousTrainer:
         self.workers = list(workers)
         self.cost_model = cost_model
         self.clock = SimulatedClock()
-        default_channel = ReliableChannel()
-        self.uplink_channels: Dict[int, Channel] = {
-            w.worker_id: (uplink_channels or {}).get(w.worker_id, default_channel)
-            for w in self.workers
-        }
+        self.uplink_channels = build_uplink_map(ids, uplink_channels)
         self.sync_policy = sync_policy if sync_policy is not None else FullSync()
         self.sync_policy.bind(num_workers=len(self.workers), f=server.gar.f)
         self.straggler_model = straggler_model
@@ -166,10 +154,23 @@ class SynchronousTrainer:
 
     # ----------------------------------------------------------------- setup
     def _resolve_worker_gflops(self) -> Dict[int, float]:
-        """Per-worker compute throughput, accounting for node co-location."""
+        """Per-worker compute throughput, accounting for node co-location.
+
+        Every worker must have a node assignment when a cluster spec with
+        role assignments is provided — a worker silently falling back to the
+        cost-model default would corrupt the timing comparison the spec was
+        written for.
+        """
         if self.cluster is None or not self.cluster.worker_nodes:
             return {w.worker_id: self.cost_model.worker_gflops for w in self.workers}
         assignments = self.cluster.worker_nodes
+        if len(assignments) < len(self.workers):
+            unassigned = [w.worker_id for w in self.workers[len(assignments):]]
+            raise ConfigurationError(
+                f"cluster spec assigns {len(assignments)} worker node(s) but the "
+                f"deployment has {len(self.workers)} workers; workers {unassigned} "
+                "have no node assignment (extend worker_nodes or drop the cluster spec)"
+            )
         counts: Dict[str, int] = {}
         for name in assignments:
             counts[name] = counts.get(name, 0) + 1
@@ -177,9 +178,6 @@ class SynchronousTrainer:
         for worker, node_name in zip(self.workers, assignments):
             node = self.cluster.node(node_name)
             gflops[worker.worker_id] = node.compute_gflops / counts[node_name]
-        # Workers beyond the assignment list fall back to the cost-model default.
-        for worker in self.workers[len(assignments):]:
-            gflops.setdefault(worker.worker_id, self.cost_model.worker_gflops)
         return gflops
 
     @property
@@ -192,81 +190,23 @@ class SynchronousTrainer:
         """The adversary-controlled workers."""
         return [w for w in self.workers if isinstance(w, ByzantineWorker)]
 
-    # -------------------------------------------------------------- pipeline
-    def _collect_arrivals(
-        self, parameters: np.ndarray, step: int, dim: int
-    ) -> Tuple[List[ArrivalEvent], float, List[float]]:
-        """Pipeline stages 1-3: compute, craft, transfer.
+    def _compute_time(self, worker: HonestWorker, dim: int) -> float:
+        """Nominal (pre-straggler) gradient-computation time of *worker*."""
+        return self.cost_model.gradient_compute_time(
+            dim,
+            worker.batch_size,
+            gflops=self._worker_gflops[worker.worker_id] * worker.speed,
+            flops_per_sample=worker.model.flops_per_sample(),
+        )
 
-        Returns the step's arrival events (submission order: honest workers,
-        then Byzantine workers), the wait floor (the model-broadcast time),
-        and the honest losses for the step's mean-loss metric.
+    # ---------------------------------------------------- aggregation stage
+    def _aggregate_batch(self, admitted: Sequence[ArrivalEvent]):
+        """Validate once and aggregate; returns ``(delivered, result, seconds)``.
+
+        Does *not* apply the optimizer update — the lock-step trainer applies
+        it immediately, the event loop applies it when the server's busy
+        period ends.
         """
-        honest = self.honest_workers
-        downlink_time = self.cost_model.transfer_time(self.cost_model.gradient_bytes(dim))
-        slowdowns = (
-            self.straggler_model.sample(len(honest), self._straggler_rng)
-            if self.straggler_model is not None
-            else np.ones(len(honest))
-        )
-
-        # Stage 1: broadcast + honest gradient computation.
-        honest_messages: List[GradientMessage] = []
-        path_times: List[float] = []
-        for index, worker in enumerate(honest):
-            message = worker.compute_gradient(parameters, step)
-            honest_messages.append(message)
-            compute_time = self.cost_model.gradient_compute_time(
-                dim,
-                worker.batch_size,
-                gflops=self._worker_gflops[worker.worker_id] * worker.speed,
-                flops_per_sample=worker.model.flops_per_sample(),
-            )
-            path_times.append(downlink_time + compute_time * float(slowdowns[index]))
-
-        honest_matrix = (
-            np.stack([m.gradient for m in honest_messages], axis=0)
-            if honest_messages
-            else np.zeros((0, dim))
-        )
-
-        # Stage 2: Byzantine gradients (crafted with full knowledge of the
-        # honest ones; the adversary never extends the step's critical path).
-        byzantine_messages: List[GradientMessage] = []
-        num_byz = len(self.byzantine_workers)
-        for index, worker in enumerate(self.byzantine_workers):
-            byzantine_messages.append(
-                worker.craft_gradient(
-                    parameters, honest_matrix, step, num_byzantine=num_byz, index=index
-                )
-            )
-
-        # Stage 3: gradient transfer over each worker's uplink channel.
-        events: List[ArrivalEvent] = []
-        num_honest = len(honest_messages)
-        for order, message in enumerate(honest_messages + byzantine_messages):
-            channel = self.uplink_channels[message.worker_id]
-            payload, seconds = channel.transfer(message.gradient, self.cost_model)
-            is_honest = order < num_honest
-            if is_honest:
-                path_times[order] += seconds
-            events.append(
-                ArrivalEvent(
-                    message=message,
-                    payload=payload,
-                    arrival_time=path_times[order] if is_honest else 0.0,
-                    honest=is_honest,
-                    order=order,
-                )
-            )
-
-        losses = [m.loss for m in honest_messages if np.isfinite(m.loss)]
-        return events, downlink_time, losses
-
-    def _aggregate_and_update(
-        self, decision: SyncDecision
-    ) -> Tuple[List[GradientMessage], "StepDiagnostics"]:
-        """Pipeline stage 4: validate once, aggregate with diagnostics, update."""
         delivered = [
             GradientMessage(
                 worker_id=e.message.worker_id,
@@ -274,7 +214,7 @@ class SynchronousTrainer:
                 gradient=e.payload,
                 loss=e.message.loss,
             )
-            for e in decision.admitted
+            for e in admitted
         ]
         if not delivered:
             raise TrainingError("every gradient was dropped this step; cannot make progress")
@@ -282,7 +222,11 @@ class SynchronousTrainer:
         result, aggregation_time = self.cost_model.aggregation_time_detailed(
             self.server.gar, matrix
         )
-        self.server.apply_update(result.gradient)
+        return delivered, result, aggregation_time
+
+    @staticmethod
+    def _diagnostics(delivered, result, aggregation_time: float) -> StepDiagnostics:
+        """GAR selection diagnostics in telemetry form."""
         selected = (
             tuple(delivered[int(i)].worker_id for i in result.selected_indices)
             if result.selected_indices is not None
@@ -291,7 +235,7 @@ class SynchronousTrainer:
         scores = (
             tuple(float(s) for s in result.scores) if result.scores is not None else None
         )
-        return delivered, StepDiagnostics(
+        return StepDiagnostics(
             aggregation_time=aggregation_time,
             selected_workers=selected,
             selection_scores=scores,
@@ -299,36 +243,8 @@ class SynchronousTrainer:
 
     # ------------------------------------------------------------------ step
     def run_step(self) -> StepRecord:
-        """Push one step through the aggregation pipeline; return its telemetry."""
-        parameters = self.server.parameters
-        step = self.server.step
-        dim = self.server.dim
-
-        events, floor, losses = self._collect_arrivals(parameters, step, dim)
-        decision = self.sync_policy.collect(events, step, floor=floor)
-        delivered, diagnostics = self._aggregate_and_update(decision)
-        update_time = self.cost_model.update_time(dim)
-
-        compute_comm_time = decision.wait_time
-        self.clock.advance(compute_comm_time + diagnostics.aggregation_time + update_time)
-
-        record = StepRecord(
-            step=step,
-            sim_time=self.clock.now,
-            mean_loss=float(np.mean(losses)) if losses else float("nan"),
-            compute_comm_time=compute_comm_time,
-            aggregation_time=diagnostics.aggregation_time,
-            update_time=update_time,
-            gradients_received=len(delivered),
-            dropped_stragglers=decision.dropped_stragglers,
-            carried_gradients=decision.carried,
-            stale_gradients=decision.stale_admitted,
-            max_staleness=decision.max_staleness,
-            selected_workers=diagnostics.selected_workers,
-            selection_scores=diagnostics.selection_scores,
-        )
-        self.history.record_step(record)
-        return record
+        """Advance the simulation by one model update; return its telemetry."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------ eval
     def evaluate(self) -> float:
@@ -385,13 +301,451 @@ class SynchronousTrainer:
         return self.history
 
 
-@dataclass
-class StepDiagnostics:
-    """Aggregation-stage outputs surfaced into the step's telemetry record."""
+class SynchronousTrainer(BaseTrainer):
+    """Drives Byzantine-resilient distributed SGD through the lock-step pipeline.
 
-    aggregation_time: float
-    selected_workers: Optional[tuple] = None
-    selection_scores: Optional[tuple] = None
+    Parameters
+    ----------
+    server:
+        The parameter server (holds the model, GAR and optimizer).
+    workers:
+        All workers, honest and Byzantine.
+    cost_model:
+        Translates compute / communication work into simulated seconds.
+    sync_policy:
+        The synchrony policy deciding which gradient arrivals each step waits
+        for.  Defaults to :class:`~repro.cluster.sync.FullSync` (the paper's
+        synchronous protocol, bit-identical to the seed implementation).
+    straggler_model:
+        Optional per-step heavy-tailed compute slowdown sampling for the
+        honest workers; ``None`` (default) keeps the deterministic seed cost
+        model.
+    straggler_rng:
+        Randomness source for the straggler draws (independent of every
+        worker / channel / attack stream).
+    uplink_channels:
+        Optional per-worker-id uplink channel; defaults to a loss-free
+        reliable channel for every worker.
+    cluster:
+        Optional cluster specification; when given, each worker's compute
+        throughput is taken from its host node (shared equally between
+        co-located workers).
+    eval_model:
+        A model replica used for accuracy evaluation (its parameters are
+        overwritten before each evaluation).
+    test_set:
+        ``(features, labels)`` used for the top-1 cross-accuracy metric.
+    """
+
+    # -------------------------------------------------------------- pipeline
+    def _collect_arrivals(
+        self, parameters: np.ndarray, step: int, dim: int
+    ) -> Tuple[List[ArrivalEvent], float, List[float]]:
+        """Pipeline stages 1-3: compute, craft, transfer.
+
+        Returns the step's arrival events (submission order: honest workers,
+        then Byzantine workers), the wait floor (the model-broadcast time),
+        and the honest losses for the step's mean-loss metric.
+        """
+        honest = self.honest_workers
+        downlink_time = self.cost_model.transfer_time(self.cost_model.gradient_bytes(dim))
+        slowdowns = (
+            self.straggler_model.sample(len(honest), self._straggler_rng)
+            if self.straggler_model is not None
+            else np.ones(len(honest))
+        )
+
+        # Stage 1: broadcast + honest gradient computation.
+        honest_messages: List[GradientMessage] = []
+        path_times: List[float] = []
+        for index, worker in enumerate(honest):
+            message = worker.compute_gradient(parameters, step)
+            honest_messages.append(message)
+            compute_time = self._compute_time(worker, dim)
+            path_times.append(downlink_time + compute_time * float(slowdowns[index]))
+
+        honest_matrix = (
+            np.stack([m.gradient for m in honest_messages], axis=0)
+            if honest_messages
+            else np.zeros((0, dim))
+        )
+
+        # Stage 2: Byzantine gradients (crafted with full knowledge of the
+        # honest ones; the adversary never extends the step's critical path).
+        byzantine_messages: List[GradientMessage] = []
+        num_byz = len(self.byzantine_workers)
+        for index, worker in enumerate(self.byzantine_workers):
+            byzantine_messages.append(
+                worker.craft_gradient(
+                    parameters, honest_matrix, step, num_byzantine=num_byz, index=index
+                )
+            )
+
+        # Stage 3: gradient transfer over each worker's uplink channel.
+        events: List[ArrivalEvent] = []
+        num_honest = len(honest_messages)
+        for order, message in enumerate(honest_messages + byzantine_messages):
+            channel = self.uplink_channels[message.worker_id]
+            payload, seconds = channel.transfer(message.gradient, self.cost_model)
+            is_honest = order < num_honest
+            if is_honest:
+                path_times[order] += seconds
+            events.append(
+                ArrivalEvent(
+                    message=message,
+                    payload=payload,
+                    arrival_time=path_times[order] if is_honest else 0.0,
+                    honest=is_honest,
+                    order=order,
+                )
+            )
+
+        losses = [m.loss for m in honest_messages if np.isfinite(m.loss)]
+        return events, downlink_time, losses
+
+    def _aggregate_and_update(
+        self, decision: SyncDecision
+    ) -> Tuple[List[GradientMessage], StepDiagnostics]:
+        """Pipeline stage 4: validate once, aggregate with diagnostics, update."""
+        delivered, result, aggregation_time = self._aggregate_batch(decision.admitted)
+        self.server.apply_update(
+            result.gradient, worker_ids=[m.worker_id for m in delivered]
+        )
+        return delivered, self._diagnostics(delivered, result, aggregation_time)
+
+    # ------------------------------------------------------------------ step
+    def run_step(self) -> StepRecord:
+        """Push one step through the aggregation pipeline; return its telemetry."""
+        parameters = self.server.parameters
+        step = self.server.step
+        dim = self.server.dim
+
+        arrivals, floor, losses = self._collect_arrivals(parameters, step, dim)
+
+        # Thin driver over the event engine: the step's arrivals are routed
+        # through one deterministic event queue and handed to the policy in
+        # arrival order (ties broken by submission order, which is exactly
+        # the order they are pushed in).
+        queue = EventQueue()
+        for arrival in arrivals:
+            queue.push(Event(time=arrival.arrival_time, kind="arrive",
+                             worker_id=arrival.message.worker_id, payload=arrival))
+        drained = [event.payload for event in queue.drain()]
+
+        decision = self.sync_policy.collect(drained, step, floor=floor)
+        delivered, diagnostics = self._aggregate_and_update(decision)
+        update_time = self.cost_model.update_time(dim)
+
+        compute_comm_time = decision.wait_time
+        self.clock.advance(compute_comm_time + diagnostics.aggregation_time + update_time)
+        self.history.record_server_busy(diagnostics.aggregation_time + update_time)
+        for event in decision.admitted:
+            self.history.record_version_lag(event.staleness)
+
+        record = StepRecord(
+            step=step,
+            sim_time=self.clock.now,
+            mean_loss=float(np.mean(losses)) if losses else float("nan"),
+            compute_comm_time=compute_comm_time,
+            aggregation_time=diagnostics.aggregation_time,
+            update_time=update_time,
+            gradients_received=len(delivered),
+            dropped_stragglers=decision.dropped_stragglers,
+            carried_gradients=decision.carried,
+            stale_gradients=decision.stale_admitted,
+            max_staleness=decision.max_staleness,
+            selected_workers=diagnostics.selected_workers,
+            selection_scores=diagnostics.selection_scores,
+        )
+        self.history.record_step(record)
+        return record
 
 
-__all__ = ["TrainerConfig", "SynchronousTrainer", "StepDiagnostics"]
+class AsyncTrainer(BaseTrainer):
+    """The event-driven async server actor.
+
+    Every honest worker runs an independent fetch → compute → transfer loop
+    as chained events; the server is a pure event consumer that buffers
+    admitted arrivals and aggregates whenever the admission predicate's
+    quorum fills, while its versioned model store measures each gradient's
+    staleness against real model versions.  Rounds overlap: a worker fetches
+    the next model the moment it hands its gradient to the transport, so
+    slow workers lag behind the version frontier instead of stalling it.
+
+    Parameters (beyond :class:`BaseTrainer`)
+    ----------
+    sync_policy:
+        A quorum-shaped policy (``quorum`` / ``bounded-staleness``) —
+        re-expressed as an :class:`~repro.cluster.sync.AdmissionPredicate`
+        over the live event stream.  ``full-sync`` has no event-stream form
+        and is rejected (run it through :class:`SynchronousTrainer`).
+    max_version_lag:
+        Hard bound on the admitted version lag; ``None`` defers to the
+        policy (``tau`` for bounded staleness, unbounded for plain quorum).
+    max_events_per_update:
+        Livelock guard: the per-update event budget after which the engine
+        declares the run stuck (e.g. a fully lossy transport dropping every
+        gradient forever).
+    """
+
+    #: Event kinds of the worker round-trip state machine.
+    FETCH, COMPUTE, PUSH, ARRIVE, UPDATE_DONE = (
+        "fetch", "compute", "push", "arrive", "update-done",
+    )
+
+    def __init__(
+        self,
+        server: ParameterServer,
+        workers: Sequence[Worker],
+        cost_model: CostModel,
+        *,
+        sync_policy: Optional[SyncPolicy] = None,
+        max_version_lag: Optional[int] = None,
+        max_events_per_update: int = 20_000,
+        **kwargs,
+    ) -> None:
+        if max_version_lag is not None and max_version_lag < 0:
+            raise ConfigurationError(
+                f"max_version_lag must be non-negative, got {max_version_lag}"
+            )
+        if max_events_per_update < 1:
+            raise ConfigurationError(
+                f"max_events_per_update must be >= 1, got {max_events_per_update}"
+            )
+        super().__init__(server, workers, cost_model, sync_policy=sync_policy, **kwargs)
+        self.max_version_lag = max_version_lag
+        self.max_events_per_update = int(max_events_per_update)
+        # Raises ConfigurationError for policies without an async reading
+        # (FullSync): the lock-step protocol cannot drive an event stream.
+        self.admission = self.sync_policy.admission(max_version_lag=max_version_lag)
+        self._workers_by_id = {w.worker_id: w for w in self.workers}
+
+        self._loop = EventLoop(clock=self.clock)
+        self._loop.on(self.FETCH, self._on_fetch)
+        self._loop.on(self.COMPUTE, self._on_compute)
+        self._loop.on(self.PUSH, self._on_push)
+        self._loop.on(self.ARRIVE, self._on_arrive)
+        self._loop.on(self.UPDATE_DONE, self._on_update_done)
+
+        #: Admission buffer: at most one pending gradient per worker (a
+        #: fresher gradient supersedes a staler pending one).
+        self._pending: Dict[int, ArrivalEvent] = {}
+        self._busy = False
+        self._last_update_done = 0.0
+        self._byz_fired_version = -1
+        self._interval = {"superseded": 0, "channel_dropped": 0, "stale_rejected": 0}
+
+        for worker in self.honest_workers:
+            self.history.timeline_for(worker.worker_id)
+            self._loop.schedule(self.FETCH, 0.0, worker_id=worker.worker_id)
+        for worker in self.byzantine_workers:
+            self.history.timeline_for(worker.worker_id)
+
+    # ------------------------------------------------------- worker round-trip
+    def _on_fetch(self, event: Event) -> None:
+        """Worker asks for the model; the reply snapshots the current version."""
+        downlink = self.cost_model.transfer_time(
+            self.cost_model.gradient_bytes(self.server.dim)
+        )
+        self._loop.schedule(
+            self.COMPUTE,
+            event.time + downlink,
+            worker_id=event.worker_id,
+            payload=(self.server.version, self.server.parameters),
+        )
+
+    def _on_compute(self, event: Event) -> None:
+        """Worker received the model; compute a gradient on its own batch."""
+        worker = self._workers_by_id[event.worker_id]
+        version, parameters = event.payload
+        message = worker.compute_gradient(parameters, version)
+        slowdown = (
+            float(self.straggler_model.sample(1, self._straggler_rng)[0])
+            if self.straggler_model is not None
+            else 1.0
+        )
+        compute_time = self._compute_time(worker, self.server.dim) * slowdown
+        self.history.timeline_for(worker.worker_id).compute_seconds += compute_time
+        self._loop.schedule(
+            self.PUSH, event.time + compute_time, worker_id=event.worker_id, payload=message
+        )
+
+    def _on_push(self, event: Event) -> None:
+        """Worker hands the gradient to the transport and starts its next round."""
+        message: GradientMessage = event.payload
+        channel = self.uplink_channels[message.worker_id]
+        payload, seconds = channel.transfer(message.gradient, self.cost_model)
+        timeline = self.history.timeline_for(message.worker_id)
+        timeline.rounds_completed += 1
+        timeline.transfer_seconds += seconds
+        self._loop.schedule(
+            self.ARRIVE, event.time + seconds,
+            worker_id=message.worker_id, payload=(message, payload),
+        )
+        # The push is asynchronous: the worker fetches the next model
+        # immediately, overlapping its next downlink with this uplink.
+        self._loop.schedule(self.FETCH, event.time, worker_id=message.worker_id)
+
+    # ------------------------------------------------------------ server side
+    def _on_arrive(self, event: Event) -> None:
+        """Admission control over the live stream, then a quorum check."""
+        message, payload = event.payload
+        timeline = self.history.timeline_for(message.worker_id)
+        if payload is None:
+            timeline.channel_dropped += 1
+            self._interval["channel_dropped"] += 1
+            return
+        lag = self.server.version - message.step
+        if not self.admission.admit(lag):
+            timeline.stale_rejected += 1
+            self._interval["stale_rejected"] += 1
+            return
+        existing = self._pending.get(message.worker_id)
+        if existing is not None:
+            # One buffered gradient per worker: the fresher model version
+            # wins.  A jittered uplink can reorder a worker's rounds in
+            # flight, so an older-version gradient arriving late must never
+            # evict a fresher buffered one.
+            timeline.superseded += 1
+            self._interval["superseded"] += 1
+            if message.step < existing.message.step:
+                return
+        worker = self._workers_by_id[message.worker_id]
+        self._pending[message.worker_id] = ArrivalEvent(
+            message=message,
+            payload=payload,
+            arrival_time=event.time,
+            honest=not worker.is_byzantine,
+            staleness=max(lag, 0),
+            order=event.order,
+        )
+        self._maybe_fire_byzantine(event.time)
+        self._maybe_aggregate(event.time)
+
+    def _maybe_fire_byzantine(self, now: float) -> None:
+        """Byzantine workers inject once enough honest traffic is observable.
+
+        The adversary watches the wire and fires at the last possible moment:
+        as soon as the buffered honest gradients could complete a quorum
+        together with the ``f`` Byzantine submissions, every Byzantine worker
+        crafts a gradient from the honest traffic observed so far and it
+        arrives instantly (unbounded compute, arbitrarily fast links),
+        stamped with the server's current version so it is never stale.
+        """
+        byzantine = self.byzantine_workers
+        if not byzantine or self._byz_fired_version >= self.server.version:
+            return
+        honest_pending = [e for e in self._pending.values() if e.honest]
+        if len(honest_pending) < max(1, self.admission.quorum - len(byzantine)):
+            return
+        self._byz_fired_version = self.server.version
+        observed = np.stack(
+            [e.payload for e in sorted(honest_pending, key=lambda e: e.message.worker_id)],
+            axis=0,
+        )
+        parameters = self.server.parameters
+        for index, worker in enumerate(byzantine):
+            message = worker.craft_gradient(
+                parameters, observed, self.server.version,
+                num_byzantine=len(byzantine), index=index,
+            )
+            self.history.timeline_for(worker.worker_id).rounds_completed += 1
+            self._loop.schedule(
+                self.ARRIVE, now, worker_id=worker.worker_id,
+                payload=(message, message.gradient),
+            )
+
+    def _maybe_aggregate(self, now: float) -> None:
+        """Start an aggregation if the buffer fills a quorum and the server is free."""
+        if self._busy:
+            return
+        # Re-check the lag bound against the version the update will apply
+        # to: gradients admitted earlier may have aged past the bound while
+        # the buffer was filling.
+        for worker_id in list(self._pending):
+            entry = self._pending[worker_id]
+            lag = self.server.version - entry.message.step
+            if not self.admission.admit(lag):
+                del self._pending[worker_id]
+                self.history.timeline_for(worker_id).stale_rejected += 1
+                self._interval["stale_rejected"] += 1
+            else:
+                entry.staleness = max(lag, 0)
+        if not self.admission.batch_ready(len(self._pending)):
+            return
+
+        # Deterministic aggregation order: honest workers by id, then
+        # Byzantine workers by id — the same shape the lock-step batch has.
+        batch = sorted(
+            self._pending.values(), key=lambda e: (not e.honest, e.message.worker_id)
+        )
+        self._pending = {}
+        self._busy = True
+        delivered, result, aggregation_time = self._aggregate_batch(batch)
+        update_time = self.cost_model.update_time(self.server.dim)
+        self._loop.schedule(
+            self.UPDATE_DONE,
+            now + aggregation_time + update_time,
+            payload=(batch, delivered, result, aggregation_time, update_time, now),
+        )
+
+    def _on_update_done(self, event: Event) -> None:
+        """Apply the optimizer update, bump the version, emit telemetry."""
+        batch, delivered, result, aggregation_time, update_time, started = event.payload
+        version = self.server.version
+        self.server.apply_update(
+            result.gradient,
+            sim_time=event.time,
+            worker_ids=[m.worker_id for m in delivered],
+        )
+        self._busy = False
+        diagnostics = self._diagnostics(delivered, result, aggregation_time)
+
+        self.history.record_server_busy(aggregation_time + update_time)
+        for entry in batch:
+            self.history.record_version_lag(entry.staleness)
+            self.history.timeline_for(entry.message.worker_id).admitted += 1
+
+        losses = [e.message.loss for e in batch if e.honest and np.isfinite(e.message.loss)]
+        stale = [e.staleness for e in batch if e.staleness > 0]
+        record = StepRecord(
+            step=version,
+            sim_time=event.time,
+            mean_loss=float(np.mean(losses)) if losses else float("nan"),
+            compute_comm_time=max(started - self._last_update_done, 0.0),
+            aggregation_time=aggregation_time,
+            update_time=update_time,
+            gradients_received=len(batch),
+            dropped_stragglers=self._interval["superseded"]
+            + self._interval["channel_dropped"]
+            + self._interval["stale_rejected"],
+            carried_gradients=len(self._pending),
+            stale_gradients=len(stale),
+            max_staleness=max(stale, default=0),
+            selected_workers=diagnostics.selected_workers,
+            selection_scores=diagnostics.selection_scores,
+        )
+        self.history.record_step(record)
+        self._interval = {"superseded": 0, "channel_dropped": 0, "stale_rejected": 0}
+        self._last_update_done = event.time
+        # Arrivals buffered during the busy period may already fill the next
+        # quorum — the server never idles while work is waiting.
+        self._maybe_aggregate(event.time)
+
+    # ------------------------------------------------------------------ step
+    def run_step(self) -> StepRecord:
+        """Dispatch events until one more model update completes."""
+        target = self.server.step + 1
+        self._loop.run_until(
+            lambda: self.server.step >= target, max_events=self.max_events_per_update
+        )
+        return self.history.steps[-1]
+
+
+__all__ = [
+    "TrainerConfig",
+    "BaseTrainer",
+    "SynchronousTrainer",
+    "AsyncTrainer",
+    "StepDiagnostics",
+]

@@ -131,10 +131,21 @@ class ByzantineWorker(Worker):
 
         *index* selects this worker's row when the attack crafts all
         ``num_byzantine`` Byzantine gradients jointly (colluding adversary).
+        ``step`` is the model version the crafted gradient claims to be
+        computed on — in the event-driven engine the adversary always stamps
+        the server's *current* version, so its gradients are never rejected
+        as stale.
+
+        The event-driven engine can fire a Byzantine worker before any
+        honest traffic exists; an empty observation window degrades to a
+        single zero row so attacks never see a zero-length matrix.
         """
+        honest_gradients = np.asarray(honest_gradients, dtype=np.float64)
+        if honest_gradients.size == 0:
+            honest_gradients = np.zeros((1, np.asarray(parameters).size))
         crafted = self.attack.craft(
             parameters=np.asarray(parameters, dtype=np.float64),
-            honest_gradients=np.asarray(honest_gradients, dtype=np.float64),
+            honest_gradients=honest_gradients,
             num_byzantine=num_byzantine,
             rng=self._rng,
         )

@@ -21,8 +21,9 @@ from repro.experiments import (
     byzantine_attacks,
     cost_analysis,
     stragglers,
+    async_throughput,
 )
-from repro.experiments.export import results_to_json, format_table
+from repro.experiments.export import results_to_json, telemetry_series, format_table
 
 __all__ = [
     "ExperimentProfile",
@@ -38,6 +39,8 @@ __all__ = [
     "byzantine_attacks",
     "cost_analysis",
     "stragglers",
+    "async_throughput",
     "results_to_json",
+    "telemetry_series",
     "format_table",
 ]

@@ -8,6 +8,8 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.cluster.telemetry import TrainingHistory
+
 
 def _to_serialisable(value):
     """Recursively convert NumPy types to plain Python for JSON export."""
@@ -28,6 +30,30 @@ def results_to_json(results: Dict, path: Union[str, Path, None] = None) -> str:
     if path is not None:
         Path(path).write_text(payload)
     return payload
+
+
+def telemetry_series(history: TrainingHistory) -> Dict:
+    """The event-engine telemetry fields the figures plot.
+
+    Server busy/idle fractions, per-worker pushed-round counts and the
+    admitted version-lag histogram, all in plain-Python form ready for
+    :func:`results_to_json`.  Lock-step histories report zero busy time
+    only if they predate the busy accounting; their lag histogram is the
+    policy's staleness distribution (all mass at 0 under full synchrony).
+    """
+    utilisation = history.server_utilisation()
+    return {
+        "server_busy_fraction": utilisation["busy_fraction"],
+        "server_idle_fraction": utilisation["idle_fraction"],
+        "server_busy_time": utilisation["busy_time"],
+        "server_idle_time": utilisation["idle_time"],
+        "worker_round_counts": {
+            str(wid): count for wid, count in history.worker_round_counts().items()
+        },
+        "version_lag_histogram": {
+            str(lag): count for lag, count in history.version_lag_histogram().items()
+        },
+    }
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
@@ -55,4 +81,4 @@ def _format_cell(cell) -> str:
     return str(cell)
 
 
-__all__ = ["results_to_json", "format_table"]
+__all__ = ["results_to_json", "telemetry_series", "format_table"]

@@ -67,6 +67,34 @@ class Optimizer(abc.ABC):
         """Clear all internal state (moments, accumulators, step count)."""
         self.step_count = 0
 
+    # --------------------------------------------------------- checkpointing
+    def state_dict(self) -> Dict[str, object]:
+        """All mutable state (step count, moment vectors) in copyable form.
+
+        Hyper-parameters and the learning-rate schedule are configuration,
+        not state — a restored optimizer is expected to have been constructed
+        with the same configuration.
+        """
+        state: Dict[str, object] = {}
+        for key, value in self.__dict__.items():
+            if key == "schedule":
+                continue
+            if isinstance(value, np.ndarray):
+                state[key] = value.copy()
+            elif value is None or isinstance(value, (bool, int, float, str)):
+                state[key] = value
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        for key, value in state.items():
+            if key == "schedule" or not hasattr(self, key):
+                raise ConfigurationError(
+                    f"{type(self).__name__} has no state slot {key!r}; was the "
+                    "checkpoint written by a different optimizer?"
+                )
+            setattr(self, key, value.copy() if isinstance(value, np.ndarray) else value)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(lr={self.schedule!r})"
 

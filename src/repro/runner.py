@@ -75,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint-delta", type=int, default=0,
                         help="save a checkpoint every this many steps (0 disables)")
     parser.add_argument("--checkpoint-dir", default="checkpoints")
+    parser.add_argument("--mode", default="sync", choices=["sync", "async"],
+                        help="lock-step rounds (sync) or the event-driven server actor (async)")
+    parser.add_argument("--max-version-lag", type=int, default=None,
+                        help="async mode: hard bound on the admitted gradients' model-version "
+                             "lag (defaults to the policy's own bound)")
     parser.add_argument("--sync-policy", default="full-sync",
                         help="synchrony policy (empty string lists the options)")
     parser.add_argument("--quorum-size", type=int, default=None,
@@ -122,6 +127,37 @@ def _parse_kv_args(text: str) -> dict:
     return result
 
 
+def _validate_cluster_flags(args) -> None:
+    """Reject inconsistent synchrony / quorum flag combinations early.
+
+    The builder and policy layers validate again, but the CLI checks produce
+    messages phrased in terms of the flags the operator actually typed.
+    """
+    if args.staleness_bound < 1:
+        raise ConfigurationError(
+            f"--staleness-bound must be >= 1, got {args.staleness_bound}; a bound "
+            "below 1 would forbid every carried gradient (use --sync-policy quorum "
+            "--straggler-policy drop to discard stragglers instead)"
+        )
+    if args.quorum_size is not None:
+        n = args.nb_workers
+        f = args.nb_decl_byz if args.nb_decl_byz is not None else args.nb_real_byz
+        floor = n - f
+        if not floor <= args.quorum_size <= n:
+            raise ConfigurationError(
+                f"--quorum-size {args.quorum_size} is outside [n - f, n] = "
+                f"[{floor}, {n}] (n = --nb-workers = {n}, f = {f}); a quorum below "
+                "n - f could be outvoted by the adversary, and one above n can "
+                "never fill"
+            )
+    if args.mode == "async" and args.sync_policy == "full-sync":
+        raise ConfigurationError(
+            "--mode async is incompatible with --sync-policy full-sync: the "
+            "lock-step protocol has no event-stream form.  Pick --sync-policy "
+            "quorum or bounded-staleness, or drop --mode async."
+        )
+
+
 def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
     """Parse *argv*, run the session, and return the result summary dictionary."""
     out = stream if stream is not None else sys.stdout
@@ -144,6 +180,7 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
         raise ConfigurationError(
             f"unknown attack {args.attack!r}; available: {sorted(ATTACK_REGISTRY)}"
         )
+    _validate_cluster_flags(args)
 
     sync_kwargs: dict = {}
     if args.sync_policy == "quorum":
@@ -181,8 +218,10 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
         batch_size=args.batch_size,
         optimizer=args.optimizer,
         learning_rate=args.learning_rate,
+        mode=args.mode,
         sync_policy=args.sync_policy,
         sync_kwargs=sync_kwargs,
+        max_version_lag=args.max_version_lag,
         straggler_model=straggler_model,
         lossy_links=args.lossy_links,
         lossy_drop_rate=args.drop_rate,
@@ -220,7 +259,9 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
         "nb_real_byz": args.nb_real_byz,
         "attack": args.attack,
         "batch_size": args.batch_size,
+        "mode": args.mode,
         "sync_policy": args.sync_policy,
+        "max_version_lag": args.max_version_lag,
         "straggler_model": args.straggler_model,
         "seed": args.seed,
     }

@@ -1,0 +1,134 @@
+"""Tests for the discrete-event simulation core (repro.cluster.events)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.clock import SimulatedClock
+from repro.cluster.events import Event, EventLoop, EventQueue
+from repro.exceptions import ConfigurationError, TrainingError
+
+
+class TestEvent:
+    def test_rejects_negative_and_non_finite_times(self):
+        with pytest.raises(ConfigurationError):
+            Event(time=-1.0, kind="x")
+        with pytest.raises(ConfigurationError):
+            Event(time=float("nan"), kind="x")
+        with pytest.raises(ConfigurationError):
+            Event(time=float("inf"), kind="x")
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            queue.push(Event(time=t, kind="x"))
+        assert [queue.pop().time for _ in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_equal_times_pop_in_push_order(self):
+        queue = EventQueue()
+        for index in range(50):
+            queue.push(Event(time=1.0, kind="x", payload=index))
+        assert [queue.pop().payload for _ in range(50)] == list(range(50))
+
+    def test_push_stamps_monotone_order(self):
+        queue = EventQueue()
+        first = queue.push(Event(time=5.0, kind="x"))
+        second = queue.push(Event(time=0.0, kind="x"))
+        assert (first.order, second.order) == (0, 1)
+        assert queue.pushed == 2
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(TrainingError):
+            EventQueue().pop()
+
+    def test_peek_and_len(self):
+        queue = EventQueue()
+        assert queue.peek() is None and queue.peek_time() is None
+        assert not queue
+        event = queue.push(Event(time=2.5, kind="x"))
+        assert queue.peek() is event
+        assert queue.peek_time() == 2.5
+        assert len(queue) == 1
+
+    def test_drain_is_deterministic(self):
+        rng = np.random.default_rng(7)
+        times = rng.exponential(1.0, size=40)
+        orders = []
+        for _ in range(2):
+            queue = EventQueue()
+            for index, t in enumerate(times):
+                queue.push(Event(time=float(t), kind="x", payload=index))
+            orders.append([e.payload for e in queue.drain()])
+        assert orders[0] == orders[1]
+
+
+class TestClockAuthority:
+    def test_advance_to_is_monotone(self):
+        clock = SimulatedClock()
+        clock.advance_to(1.5)
+        clock.advance_to(1.5)  # no-op jump to the same instant is fine
+        assert clock.now == 1.5
+        with pytest.raises(ConfigurationError):
+            clock.advance_to(1.0)
+
+    def test_loop_advances_clock_to_each_event(self):
+        loop = EventLoop()
+        seen = []
+        loop.on("tick", lambda e: seen.append(loop.clock.now))
+        loop.schedule("tick", 0.5)
+        loop.schedule("tick", 0.25)
+        loop.step()
+        loop.step()
+        assert seen == [0.25, 0.5]
+        assert loop.clock.now == 0.5
+
+    def test_schedule_in_the_past_rejected(self):
+        loop = EventLoop()
+        loop.on("tick", lambda e: None)
+        loop.schedule("tick", 1.0)
+        loop.step()
+        with pytest.raises(ConfigurationError):
+            loop.schedule("tick", 0.5)
+
+    def test_unhandled_kind_rejected(self):
+        loop = EventLoop()
+        loop.queue.push(Event(time=0.0, kind="mystery"))
+        with pytest.raises(ConfigurationError, match="no handler"):
+            loop.step()
+
+    def test_duplicate_handler_rejected(self):
+        loop = EventLoop()
+        loop.on("tick", lambda e: None)
+        with pytest.raises(ConfigurationError, match="already has a handler"):
+            loop.on("tick", lambda e: 1)
+
+
+class TestRunUntil:
+    def test_runs_until_predicate(self):
+        loop = EventLoop()
+        counter = {"n": 0}
+
+        def tick(event):
+            counter["n"] += 1
+            loop.schedule("tick", event.time + 1.0)
+
+        loop.on("tick", tick)
+        loop.schedule("tick", 0.0)
+        dispatched = loop.run_until(lambda: counter["n"] >= 5)
+        assert dispatched == 5
+        assert loop.clock.now == 4.0
+
+    def test_drained_queue_raises(self):
+        loop = EventLoop()
+        loop.on("tick", lambda e: None)
+        loop.schedule("tick", 0.0)
+        with pytest.raises(TrainingError, match="drained"):
+            loop.run_until(lambda: False)
+
+    def test_livelock_guard(self):
+        loop = EventLoop()
+        loop.on("tick", lambda e: loop.schedule("tick", e.time))
+        loop.schedule("tick", 0.0)
+        with pytest.raises(TrainingError, match="livelock"):
+            loop.run_until(lambda: False, max_events=100)

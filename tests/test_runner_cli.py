@@ -70,6 +70,56 @@ class TestListings:
             runner.run(BASE_ARGS + ["--attack", "ddos"], stream=io.StringIO())
 
 
+class TestClusterFlagHardening:
+    def test_staleness_bound_below_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="--staleness-bound"):
+            runner.run(
+                BASE_ARGS + ["--sync-policy", "bounded-staleness", "--staleness-bound", "0"],
+                stream=io.StringIO(),
+            )
+
+    def test_negative_staleness_bound_rejected(self):
+        with pytest.raises(ConfigurationError, match="--staleness-bound"):
+            runner.run(BASE_ARGS + ["--staleness-bound", "-3"], stream=io.StringIO())
+
+    def test_quorum_size_below_resilience_floor_rejected(self):
+        # n=5, f=1 -> the quorum must stay within [4, 5].
+        with pytest.raises(ConfigurationError, match=r"outside \[n - f, n\]"):
+            runner.run(
+                BASE_ARGS + ["--nb-decl-byz", "1", "--sync-policy", "quorum",
+                             "--quorum-size", "3"],
+                stream=io.StringIO(),
+            )
+
+    def test_quorum_size_above_cluster_size_rejected(self):
+        with pytest.raises(ConfigurationError, match=r"outside \[n - f, n\]"):
+            runner.run(
+                BASE_ARGS + ["--sync-policy", "quorum", "--quorum-size", "6"],
+                stream=io.StringIO(),
+            )
+
+    def test_quorum_size_in_range_accepted(self):
+        summary = runner.run(
+            BASE_ARGS + ["--aggregator", "average", "--sync-policy", "quorum",
+                         "--quorum-size", "5"],
+            stream=io.StringIO(),
+        )
+        assert not summary["diverged"]
+
+    def test_async_mode_with_full_sync_rejected(self):
+        with pytest.raises(ConfigurationError, match="--mode async"):
+            runner.run(BASE_ARGS + ["--mode", "async"], stream=io.StringIO())
+
+    def test_flag_validation_happens_before_building(self):
+        # The mode/policy conflict must be reported even when other arguments
+        # (an unknown dataset here) would also fail later.
+        with pytest.raises(ConfigurationError, match="--mode async"):
+            runner.run(
+                BASE_ARGS + ["--mode", "async", "--dataset", "imagenet-64k"],
+                stream=io.StringIO(),
+            )
+
+
 class TestEndToEnd:
     def test_average_run(self, tmp_path):
         stream = io.StringIO()
@@ -121,6 +171,29 @@ class TestEndToEnd:
         )
         assert csv_path.exists()
         assert "accuracy" in csv_path.read_text().splitlines()[0]
+
+    def test_async_mode_run(self, tmp_path):
+        output = tmp_path / "async.json"
+        summary = runner.run(
+            BASE_ARGS
+            + [
+                "--aggregator", "multi-krum",
+                "--nb-workers", "9",
+                "--nb-decl-byz", "2",
+                "--mode", "async",
+                "--sync-policy", "quorum",
+                "--max-version-lag", "3",
+                "--straggler-model", "pareto",
+                "--output", str(output),
+            ],
+            stream=io.StringIO(),
+        )
+        assert not summary["diverged"]
+        assert summary["configuration"]["mode"] == "async"
+        assert summary["configuration"]["max_version_lag"] == 3
+        payload = json.loads(output.read_text())
+        assert payload["server_utilisation"]["busy_fraction"] > 0
+        assert all(int(lag) <= 3 for lag in payload["version_lag_histogram"])
 
     def test_lossy_run(self):
         summary = runner.run(
