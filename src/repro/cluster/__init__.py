@@ -17,9 +17,22 @@ Byzantine), with
 """
 
 from repro.cluster.clock import SimulatedClock
+from repro.cluster.codec import (
+    CODEC_REGISTRY,
+    IdentityCodec,
+    QSGDCodec,
+    RandomKCodec,
+    TopKCodec,
+    WireCodec,
+    WireFrame,
+    available_codecs,
+    decode_frame,
+    make_codec,
+)
 from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec, NodeSpec, allocate_devices
 from repro.cluster.events import Event, EventLoop, EventQueue
+from repro.cluster.link import SHARING_MODES, LinkScheduler, LinkSession
 from repro.cluster.message import GradientMessage, ModelMessage
 from repro.cluster.packets import Packetizer, RecoveryPolicy
 from repro.cluster.network import (
@@ -69,6 +82,19 @@ __all__ = [
     "SimulatedClock",
     "CostModel",
     "StragglerModel",
+    "WireCodec",
+    "WireFrame",
+    "IdentityCodec",
+    "TopKCodec",
+    "RandomKCodec",
+    "QSGDCodec",
+    "CODEC_REGISTRY",
+    "available_codecs",
+    "decode_frame",
+    "make_codec",
+    "LinkScheduler",
+    "LinkSession",
+    "SHARING_MODES",
     "Event",
     "EventLoop",
     "EventQueue",

@@ -14,8 +14,10 @@ from typing import Callable, Dict, Optional, Union
 import numpy as np
 
 from repro.attacks.base import Attack, make_attack
+from repro.cluster.codec import WireCodec, make_codec
 from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec, allocate_devices
+from repro.cluster.link import SHARING_MODES
 from repro.cluster.network import Channel, DelayedChannel, LossyChannel, ReliableChannel
 from repro.cluster.packets import RecoveryPolicy
 from repro.cluster.server import ParameterServer
@@ -87,6 +89,11 @@ def build_trainer(
     max_version_lag: Optional[int] = None,
     retain_versions: Optional[int] = 64,
     straggler_model: Optional[StragglerModel] = None,
+    codec: Union[str, WireCodec] = "identity",
+    codec_k: Optional[int] = None,
+    quantize_bits: Optional[int] = None,
+    error_feedback: bool = True,
+    link_sharing: str = "none",
     lossy_links: int = 0,
     lossy_drop_rate: float = 0.0,
     lossy_policy: Union[str, RecoveryPolicy] = RecoveryPolicy.RANDOM_FILL,
@@ -149,6 +156,25 @@ def build_trainer(
         Optional heavy-tailed per-step compute slowdown sampling for the
         honest workers (drawn from a dedicated RNG stream, so enabling it
         never perturbs the worker / channel / attack streams).
+    codec, codec_k, quantize_bits:
+        The wire codec encoding honest gradients before the uplink
+        (``--codec`` analogue): a registered name (``"identity"``,
+        ``"top-k"``, ``"random-k"``, ``"qsgd"``) or an instance.  ``codec_k``
+        configures the sparsifiers (required for them, rejected elsewhere);
+        ``quantize_bits`` configures ``qsgd``.  Codecs built by name draw
+        from their own dedicated RNG stream derived from *seed*; a codec
+        *instance* is used as given — construct stochastic instances with an
+        explicit ``rng`` or the run is not reproducible from *seed* alone.
+        The default identity codec is bit-identical to the seed wire.
+    error_feedback:
+        Whether honest workers carry their codec residual into the next
+        round (EF-SGD memory compensation; default on, a no-op under the
+        identity codec).
+    link_sharing:
+        Sharing discipline of the server's shared ingress/egress link:
+        ``"none"`` (seed semantics, infinite capacity), ``"fair"``
+        (processor sharing — N concurrent transfers each see 1/N of the
+        pipe) or ``"fifo"`` (store-and-forward queueing).
     lossy_links, lossy_drop_rate, lossy_policy:
         Put a lossy UDP-like uplink with the given drop rate and recovery
         policy on this many workers (Figure 8).  Explicit ``uplink_channels``
@@ -190,6 +216,10 @@ def build_trainer(
                 "is arbitrarily fast regardless)"
             )
 
+    if link_sharing not in SHARING_MODES:
+        raise ConfigurationError(
+            f"link_sharing must be one of {SHARING_MODES}, got {link_sharing!r}"
+        )
     f = num_byzantine if declared_f is None else int(declared_f)
     gar_instance = _resolve_gar(gar, f, gar_kwargs)
     optimizer_instance = _resolve_optimizer(optimizer, learning_rate, optimizer_kwargs)
@@ -198,12 +228,26 @@ def build_trainer(
     cost = cost_model if cost_model is not None else CostModel()
 
     # Independent RNG streams: one per worker, plus channels / corruption /
-    # attack / model init / stragglers (the straggler stream reuses what was
-    # previously a spare slot, so existing seeds reproduce bit-identically).
-    rngs = spawn_rngs(seed, num_workers * 2 + 4)
+    # attack / model init / stragglers / codec.  New streams are appended at
+    # the end of the spawn, so existing seeds reproduce bit-identically —
+    # and wire randomness (channel drops, codec draws) can never perturb the
+    # training streams (model init, batch order, attacks).
+    rngs = spawn_rngs(seed, num_workers * 2 + 5)
     worker_rngs = rngs[:num_workers]
     channel_rngs = rngs[num_workers : 2 * num_workers]
-    corruption_rng, attack_rng, model_rng, straggler_rng = rngs[2 * num_workers :]
+    corruption_rng, attack_rng, model_rng, straggler_rng, codec_rng = rngs[2 * num_workers :]
+
+    if isinstance(codec, WireCodec):
+        if codec_k is not None or quantize_bits is not None:
+            raise ConfigurationError(
+                "codec_k / quantize_bits only apply when the codec is given by "
+                "name; configure a codec instance directly instead"
+            )
+        codec_instance = codec
+    else:
+        codec_instance = make_codec(
+            codec, k=codec_k, bits=quantize_bits, rng=codec_rng
+        )
 
     def build_model() -> Sequential:
         kwargs = dict(model_kwargs or {})
@@ -283,6 +327,9 @@ def build_trainer(
         straggler_rng=straggler_rng,
         uplink_channels=channels,
         cluster=cluster_spec,
+        codec=codec_instance,
+        link_sharing=link_sharing,
+        error_feedback=error_feedback,
         eval_model=eval_model,
         test_set=(dataset.test_x, dataset.test_y),
     )

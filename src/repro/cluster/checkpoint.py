@@ -144,14 +144,29 @@ class TrainingState:
     policy_name: str = ""
     policy_state: Dict = field(default_factory=dict)
     rng_states: Dict[str, dict] = field(default_factory=dict)
+    #: Per-worker error-feedback residuals of the wire codec (empty under
+    #: the identity codec or with error feedback disabled).
+    codec_memory: Dict[int, np.ndarray] = field(default_factory=dict)
 
 
 def _channel_rngs(channel, prefix: str) -> List[Tuple[str, np.random.Generator]]:
-    """The RNG streams owned by *channel* (and wrapped channels), labelled."""
+    """The RNG streams owned by *channel* (and wrapped channels), labelled.
+
+    A lossy channel owns two named wire streams — its drop/reorder stream
+    and its packetizer's garbage-fill stream — both captured so a resumed
+    run replays the exact same wire damage.
+    """
     found: List[Tuple[str, np.random.Generator]] = []
     rng = getattr(channel, "_rng", None)
     if isinstance(rng, np.random.Generator):
         found.append((prefix, rng))
+    wire_rng = getattr(channel, "_wire_rng", None)
+    if isinstance(wire_rng, np.random.Generator):
+        found.append((prefix + ":wire", wire_rng))
+    packetizer = getattr(channel, "packetizer", None)
+    fill_rng = getattr(packetizer, "_rng", None)
+    if isinstance(fill_rng, np.random.Generator):
+        found.append((prefix + ":fill", fill_rng))
     inner = getattr(channel, "inner", None)
     if inner is not None:
         found.extend(_channel_rngs(inner, prefix + ":inner"))
@@ -176,6 +191,9 @@ def _trainer_rngs(trainer) -> Dict[str, np.random.Generator]:
         for label, generator in _channel_rngs(channel, f"channel:{worker_id}"):
             rngs[label] = generator
     rngs["straggler"] = trainer._straggler_rng
+    codec_rng = getattr(getattr(trainer, "codec", None), "_rng", None)
+    if isinstance(codec_rng, np.random.Generator):
+        rngs["codec"] = codec_rng
     return rngs
 
 
@@ -196,6 +214,10 @@ def capture_training_state(trainer) -> TrainingState:
         rng_states={
             label: generator.bit_generator.state
             for label, generator in _trainer_rngs(trainer).items()
+        },
+        codec_memory={
+            int(worker_id): residual.copy()
+            for worker_id, residual in getattr(trainer, "_codec_memory", {}).items()
         },
     )
 
@@ -226,6 +248,10 @@ def restore_training_state(trainer, state: TrainingState) -> None:
     trainer.sync_policy.load_state_dict(state.policy_state)
     for label, rng_state in state.rng_states.items():
         expected[label].bit_generator.state = rng_state
+    trainer._codec_memory = {
+        int(worker_id): np.asarray(residual, dtype=np.float64).copy()
+        for worker_id, residual in state.codec_memory.items()
+    }
     trainer.clock.reset(state.sim_time)
 
 
@@ -252,6 +278,9 @@ def save_training_state(state: TrainingState, path: Union[str, Path]) -> Path:
         arrays[f"pend:{index}:payload"] = np.asarray(entry["payload"], dtype=np.float64)
         pending_meta.append({k: v for k, v in entry.items() if k not in ("gradient", "payload")})
 
+    for worker_id, residual in state.codec_memory.items():
+        arrays[f"efmem:{int(worker_id)}"] = np.asarray(residual, dtype=np.float64)
+
     meta = {
         "step": int(state.step),
         "sim_time": float(state.sim_time),
@@ -260,6 +289,7 @@ def save_training_state(state: TrainingState, path: Union[str, Path]) -> Path:
         "optimizer_arrays": optimizer_arrays,
         "pending": pending_meta,
         "rng_states": state.rng_states,
+        "codec_memory_workers": sorted(int(w) for w in state.codec_memory),
     }
     np.savez_compressed(path, meta=np.asarray(json.dumps(meta)), **arrays)
     return path
@@ -294,6 +324,10 @@ def load_training_state(path: Union[str, Path]) -> TrainingState:
             policy_name=meta["policy_name"],
             policy_state={"pending": pending} if pending else {},
             rng_states=meta["rng_states"],
+            codec_memory={
+                int(worker_id): np.asarray(archive[f"efmem:{worker_id}"], dtype=np.float64)
+                for worker_id in meta.get("codec_memory_workers", [])
+            },
         )
 
 

@@ -1,0 +1,381 @@
+"""Pluggable wire codecs: what a gradient looks like as bytes on the wire.
+
+The paper's transport trades delivered bytes against time and lets the robust
+GAR absorb the damage; this module makes the *byte* side of that trade-off a
+first-class, pluggable stage.  A :class:`WireCodec` sits between the worker
+and its channel: ``encode`` turns a flat gradient into a :class:`WireFrame`
+(the exact float payload that crosses the wire plus its priced byte count),
+``decode`` reconstructs a gradient estimate at the server.  Transfer time is
+always priced on the *encoded* bytes, and the lossy transport packetizes the
+encoded payload — so drops, reordering and garbage fill hit compressed
+frames, exactly as they would on a real UDP wire.
+
+Implemented codecs
+------------------
+``identity``
+    Raw float32 framing, ``4 * d`` bytes — bit-identical to the seed wire.
+``top-k``
+    Magnitude sparsification: the ``k`` largest-magnitude coordinates travel
+    as ``(index, value)`` pairs (8 bytes per kept coordinate).  Biased but
+    very effective in practice; the dropped mass is simply zero at decode.
+``random-k``
+    Uniform-support sparsification with the shared-seed trick: sender and
+    receiver derive the support from a common PRNG, so only the ``k`` values
+    (plus one 8-byte seed tag) cross the wire.  Kept values are scaled by
+    ``d / k`` so the decoded gradient stays an unbiased estimate.
+``qsgd``
+    QSGD-style stochastic quantisation (Alistarh et al.): coordinates are
+    randomly rounded to ``2^bits - 1`` levels of ``|g_i| / ||g||_2``, so the
+    wire carries small signed integers (``bits + 1`` bits per coordinate)
+    plus one float32 norm.  Stochastic rounding keeps the estimate unbiased:
+    the mean of many encode/decode draws converges to the input gradient.
+
+Every codec owns its byte pricing through :meth:`WireCodec.frame_bytes`,
+which is the single source of truth for bytes-per-gradient — the transport
+layer never re-derives wire sizes from a shared constant.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.cluster.cost_model import BYTES_PER_COORDINATE
+from repro.exceptions import ConfigurationError
+from repro.utils.random import SeedLike, as_rng
+
+
+@dataclass
+class WireFrame:
+    """One encoded gradient as it crosses the wire.
+
+    Attributes
+    ----------
+    dim:
+        Dimensionality of the *original* gradient (the decode target).
+    values:
+        The float payload that actually travels (and that the lossy
+        transport packetizes) — raw coordinates for ``identity``, kept
+        values for the sparsifiers, signed quantisation levels for ``qsgd``.
+    indices:
+        Coordinate indices of ``values`` for sparse codecs (``None`` for
+        dense framings).
+    scale:
+        Dequantisation scale (``qsgd``: ``||g||_2 / s``; sparsifiers use it
+        for the unbiasedness correction; 1.0 for identity).
+    nbytes:
+        Priced wire size of the frame in bytes (the codec's
+        :meth:`~WireCodec.frame_bytes` for this ``dim``).
+    codec:
+        Name of the codec that produced the frame.
+    """
+
+    dim: int
+    values: np.ndarray
+    indices: Optional[np.ndarray] = None
+    scale: float = 1.0
+    nbytes: float = 0.0
+    codec: str = "identity"
+
+    def degraded(self, values: Optional[np.ndarray]) -> Optional["WireFrame"]:
+        """The same frame with its wire payload replaced by *values*.
+
+        Channels call this after packet loss / reordering mangled the
+        payload; ``None`` propagates a whole-frame drop.
+        """
+        if values is None:
+            return None
+        return WireFrame(
+            dim=self.dim, values=np.asarray(values, dtype=np.float64),
+            indices=self.indices, scale=self.scale, nbytes=self.nbytes,
+            codec=self.codec,
+        )
+
+
+class WireCodec(abc.ABC):
+    """Encode a flat gradient into a wire frame and back."""
+
+    #: Registered codec name.
+    name: str = "codec"
+    #: Whether the codec transmits a strict subset of coordinates.
+    sparsifying: bool = False
+
+    @abc.abstractmethod
+    def encode(self, gradient: np.ndarray) -> WireFrame:
+        """Produce the wire frame for *gradient* (a flat float vector)."""
+
+    def decode(self, frame: WireFrame) -> np.ndarray:
+        """Reconstruct a ``frame.dim``-dimensional gradient estimate.
+
+        Frames are self-describing, so decoding is codec-independent: this
+        delegates to :func:`decode_frame`, the same function the receiving
+        endpoint uses — the tested decode *is* the production decode.
+        """
+        return decode_frame(frame)
+
+    @abc.abstractmethod
+    def frame_bytes(self, dim: int) -> float:
+        """Wire size in bytes of one encoded *dim*-dimensional gradient.
+
+        The single source of truth for byte pricing: transfer time, the
+        telemetry byte counters and the cost analyses all derive from it.
+        """
+
+    def compression_ratio(self, dim: int) -> float:
+        """Raw bytes over encoded bytes (>= 1 for anything useful)."""
+        return (dim * BYTES_PER_COORDINATE) / self.frame_bytes(dim)
+
+    @staticmethod
+    def _flat(gradient: np.ndarray) -> np.ndarray:
+        gradient = np.asarray(gradient, dtype=np.float64).ravel()
+        if gradient.size == 0:
+            raise ConfigurationError("cannot encode an empty gradient")
+        return gradient
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class IdentityCodec(WireCodec):
+    """Raw float32 framing — the seed wire format, 4 bytes per coordinate."""
+
+    name = "identity"
+
+    def encode(self, gradient: np.ndarray) -> WireFrame:
+        values = self._flat(gradient)
+        return WireFrame(
+            dim=values.size, values=values, nbytes=self.frame_bytes(values.size),
+            codec=self.name,
+        )
+
+
+    def frame_bytes(self, dim: int) -> float:
+        return float(dim) * BYTES_PER_COORDINATE
+
+
+def _check_k(k: Optional[int]) -> int:
+    if k is None or k < 1:
+        raise ConfigurationError(f"sparsifying codecs need k >= 1, got {k}")
+    return int(k)
+
+
+class TopKCodec(WireCodec):
+    """Magnitude sparsification: keep the ``k`` largest-|g_i|, send (index, value).
+
+    Each kept coordinate costs 8 bytes on the wire (a 4-byte index plus a
+    float32 value).  Decoding scatters the survivors and zero-fills the rest,
+    so the estimate is biased towards zero but concentrates the budget on the
+    heavy coordinates — the classic bytes-for-accuracy trade.
+    """
+
+    name = "top-k"
+    sparsifying = True
+
+    def __init__(self, k: int) -> None:
+        self.k = _check_k(k)
+
+    def _effective_k(self, dim: int) -> int:
+        return min(self.k, int(dim))
+
+    def encode(self, gradient: np.ndarray) -> WireFrame:
+        values = self._flat(gradient)
+        k = self._effective_k(values.size)
+        if k >= values.size:
+            indices = np.arange(values.size)
+        else:
+            indices = np.argpartition(np.abs(values), values.size - k)[-k:]
+            indices = np.sort(indices)
+        return WireFrame(
+            dim=values.size, values=values[indices].copy(), indices=indices,
+            nbytes=self.frame_bytes(values.size), codec=self.name,
+        )
+
+
+    def frame_bytes(self, dim: int) -> float:
+        # 4-byte index + float32 value per kept coordinate.
+        return float(self._effective_k(dim)) * (4.0 + BYTES_PER_COORDINATE)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TopKCodec(k={self.k})"
+
+
+class RandomKCodec(WireCodec):
+    """Uniform-support sparsification with shared-seed index elision.
+
+    The support is drawn uniformly without replacement from a PRNG whose seed
+    both endpoints share, so indices never cross the wire — only the ``k``
+    float32 values plus an 8-byte seed tag.  Kept values are scaled by
+    ``d / k``, making the decoded gradient an unbiased estimate of the input.
+    """
+
+    name = "random-k"
+    sparsifying = True
+
+    def __init__(self, k: int, *, rng: SeedLike = None) -> None:
+        self.k = _check_k(k)
+        self._rng = as_rng(rng)
+
+    def _effective_k(self, dim: int) -> int:
+        return min(self.k, int(dim))
+
+    def encode(self, gradient: np.ndarray) -> WireFrame:
+        values = self._flat(gradient)
+        k = self._effective_k(values.size)
+        indices = np.sort(self._rng.choice(values.size, size=k, replace=False))
+        scale = values.size / k
+        return WireFrame(
+            dim=values.size, values=values[indices] * scale, indices=indices,
+            scale=scale, nbytes=self.frame_bytes(values.size), codec=self.name,
+        )
+
+
+    def frame_bytes(self, dim: int) -> float:
+        # Shared-seed support: k float32 values + one 8-byte seed tag.
+        return float(self._effective_k(dim)) * BYTES_PER_COORDINATE + 8.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RandomKCodec(k={self.k})"
+
+
+class QSGDCodec(WireCodec):
+    """QSGD-style unbiased stochastic quantisation to ``2^bits - 1`` levels.
+
+    Each coordinate's magnitude relative to the gradient's L2 norm is
+    stochastically rounded to one of ``s = 2^bits - 1`` levels, so the wire
+    carries signed integer levels (``bits + 1`` bits per coordinate, sign
+    included) plus one float32 norm.  Rounding up with probability equal to
+    the fractional part keeps ``E[decode(encode(g))] = g`` exactly.
+    """
+
+    name = "qsgd"
+
+    #: Accepted quantisation widths (1 bit degenerates to sign-of-coordinate).
+    MIN_BITS, MAX_BITS = 1, 16
+
+    def __init__(self, bits: int = 4, *, rng: SeedLike = None) -> None:
+        if not self.MIN_BITS <= int(bits) <= self.MAX_BITS:
+            raise ConfigurationError(
+                f"quantize_bits must be in [{self.MIN_BITS}, {self.MAX_BITS}], got {bits}"
+            )
+        self.bits = int(bits)
+        self.levels = 2 ** self.bits - 1
+        self._rng = as_rng(rng)
+
+    def encode(self, gradient: np.ndarray) -> WireFrame:
+        values = self._flat(gradient)
+        norm = float(np.linalg.norm(values))
+        if norm == 0.0 or not np.isfinite(norm):
+            # Zero (or non-finite) gradients carry zero levels; the scale
+            # keeps decode finite and the frame priced like any other.
+            return WireFrame(
+                dim=values.size, values=np.zeros(values.size), scale=0.0,
+                nbytes=self.frame_bytes(values.size), codec=self.name,
+            )
+        ratio = np.abs(values) / norm * self.levels
+        low = np.floor(ratio)
+        level = low + (self._rng.random(values.size) < (ratio - low))
+        return WireFrame(
+            dim=values.size, values=np.sign(values) * level,
+            scale=norm / self.levels, nbytes=self.frame_bytes(values.size),
+            codec=self.name,
+        )
+
+
+    def frame_bytes(self, dim: int) -> float:
+        # (bits + sign) per coordinate, plus one float32 norm.
+        return float(dim) * (self.bits + 1) / 8.0 + 4.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QSGDCodec(bits={self.bits})"
+
+
+def decode_frame(frame: WireFrame) -> np.ndarray:
+    """Reconstruct a gradient estimate from any wire frame, however degraded.
+
+    Frames are self-describing (dim, indices, scale), so the receiving
+    endpoint never needs the encoder instance: sparse frames scatter their
+    surviving values (garbage or NaN fill lands at the frame's indices,
+    which is exactly what a real receiver would reconstruct), and dense
+    frames rescale their payload by ``frame.scale`` — the quantised-levels
+    contract any dense codec (built-in or custom) can rely on.  The identity
+    framing carries ``scale=1.0``, and multiplying by exactly 1.0 is
+    bit-preserving for every IEEE value, so raw frames decode unchanged.
+    """
+    values = np.asarray(frame.values, dtype=np.float64)
+    if frame.indices is not None:
+        gradient = np.zeros(frame.dim, dtype=np.float64)
+        gradient[frame.indices] = values
+        return gradient
+    return values * frame.scale
+
+
+#: Registered codec factories, keyed by name.
+CODEC_REGISTRY: Dict[str, Callable[..., WireCodec]] = {
+    IdentityCodec.name: IdentityCodec,
+    TopKCodec.name: TopKCodec,
+    RandomKCodec.name: RandomKCodec,
+    QSGDCodec.name: QSGDCodec,
+}
+
+
+def available_codecs() -> list[str]:
+    """Registered codec names, sorted."""
+    return sorted(CODEC_REGISTRY)
+
+
+def make_codec(
+    name: str,
+    *,
+    k: Optional[int] = None,
+    bits: Optional[int] = None,
+    rng: SeedLike = None,
+) -> WireCodec:
+    """Instantiate a registered codec from declarative arguments.
+
+    ``k`` configures the sparsifiers (required for ``top-k`` / ``random-k``,
+    rejected elsewhere); ``bits`` configures ``qsgd`` (rejected elsewhere).
+    """
+    name = str(name).lower()
+    if name not in CODEC_REGISTRY:
+        raise ConfigurationError(
+            f"unknown codec {name!r}; available: {available_codecs()}"
+        )
+    if name == IdentityCodec.name:
+        if k is not None:
+            raise ConfigurationError("codec_k only applies to sparsifying codecs (top-k, random-k)")
+        if bits is not None:
+            raise ConfigurationError("quantize_bits only applies to the qsgd codec")
+        return IdentityCodec()
+    if name == TopKCodec.name:
+        if bits is not None:
+            raise ConfigurationError("quantize_bits only applies to the qsgd codec")
+        if k is None:
+            raise ConfigurationError("the top-k codec requires codec_k")
+        return TopKCodec(k)
+    if name == RandomKCodec.name:
+        if bits is not None:
+            raise ConfigurationError("quantize_bits only applies to the qsgd codec")
+        if k is None:
+            raise ConfigurationError("the random-k codec requires codec_k")
+        return RandomKCodec(k, rng=rng)
+    # qsgd
+    if k is not None:
+        raise ConfigurationError("codec_k only applies to sparsifying codecs (top-k, random-k)")
+    return QSGDCodec(bits if bits is not None else 4, rng=rng)
+
+
+__all__ = [
+    "WireFrame",
+    "WireCodec",
+    "IdentityCodec",
+    "TopKCodec",
+    "RandomKCodec",
+    "QSGDCodec",
+    "CODEC_REGISTRY",
+    "available_codecs",
+    "decode_frame",
+    "make_codec",
+]

@@ -29,7 +29,11 @@ from repro.core.base import AggregationResult, GradientAggregationRule
 from repro.exceptions import ConfigurationError
 from repro.utils.validation import check_probability, stack_gradients
 
-#: Bytes per gradient coordinate on the wire (float32, as TensorFlow sends).
+#: Bytes per *raw* gradient coordinate on the wire (float32, as TensorFlow
+#: sends).  This is the identity framing only: encoded wire sizes are owned
+#: by the codec that produced the frame (:meth:`repro.cluster.codec.WireCodec.frame_bytes`
+#: is the single source of truth for byte pricing), and the transport layer
+#: prices transfers on ``frame.nbytes`` — never on this constant.
 BYTES_PER_COORDINATE = 4
 
 
@@ -102,7 +106,13 @@ class CostModel:
         return num_bytes / bandwidth + self.latency_s
 
     def gradient_bytes(self, model_dim: int) -> float:
-        """Wire size of one gradient (or one model broadcast)."""
+        """Wire size of one *raw* gradient (or one model broadcast).
+
+        This is the identity framing used for model broadcasts (the server
+        always sends the full parameter vector); encoded gradient uploads
+        are priced by the codec's own
+        :meth:`~repro.cluster.codec.WireCodec.frame_bytes` instead.
+        """
         return float(model_dim) * BYTES_PER_COORDINATE
 
     def round_trip_time(self, model_dim: int, *, bandwidth_gbps: Optional[float] = None) -> float:

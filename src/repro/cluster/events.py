@@ -54,6 +54,12 @@ class Event:
     order:
         Global insertion index stamped by the queue at push time; the
         deterministic tie-break for equal timestamps.
+    cancelled:
+        Tombstone flag set by :meth:`cancel`.  Cancelled events stay in the
+        heap (removal would be O(n)) but are silently skipped at dispatch —
+        the mechanism behind reschedulable link-busy events, whose
+        provisional completion times move every time the shared link's
+        membership changes.
     """
 
     time: float
@@ -61,6 +67,7 @@ class Event:
     worker_id: int = -1
     payload: Any = None
     order: int = -1
+    cancelled: bool = False
 
     def __post_init__(self) -> None:
         self.time = float(self.time)
@@ -68,6 +75,10 @@ class Event:
             raise ConfigurationError(
                 f"event time must be finite and non-negative, got {self.time}"
             )
+
+    def cancel(self) -> None:
+        """Mark the event as a tombstone: it will never dispatch."""
+        self.cancelled = True
 
 
 class EventQueue:
@@ -90,22 +101,31 @@ class EventQueue:
         return event
 
     def pop(self) -> Event:
-        """Remove and return the earliest event (ties by insertion order)."""
-        if not self._heap:
-            raise TrainingError("cannot pop from an empty event queue")
-        return heapq.heappop(self._heap)[2]
+        """Remove and return the earliest live event (ties by insertion order).
+
+        Cancelled tombstones are discarded on the way; popping a queue that
+        holds only tombstones (or nothing) is a :class:`TrainingError`.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)[2]
+            if not event.cancelled:
+                return event
+        raise TrainingError("cannot pop from an empty event queue")
 
     def peek(self) -> Optional[Event]:
-        """The earliest event without removing it (``None`` when empty)."""
+        """The earliest live event without removing it (``None`` when empty)."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
         return self._heap[0][2] if self._heap else None
 
     def peek_time(self) -> Optional[float]:
-        """Timestamp of the earliest event (``None`` when empty)."""
-        return self._heap[0][0] if self._heap else None
+        """Timestamp of the earliest live event (``None`` when empty)."""
+        event = self.peek()
+        return event.time if event is not None else None
 
     def drain(self) -> Iterator[Event]:
-        """Pop every queued event in deterministic order."""
-        while self._heap:
+        """Pop every queued live event in deterministic order."""
+        while self.peek() is not None:
             yield self.pop()
 
     @property
@@ -117,7 +137,8 @@ class EventQueue:
         return len(self._heap)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        # Truthiness means "something will dispatch": tombstones don't count.
+        return self.peek() is not None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"EventQueue(pending={len(self._heap)}, pushed={self._counter})"

@@ -1,0 +1,312 @@
+"""Event-scheduled link contention: the server's shared ingress/egress pipes.
+
+The seed transport priced every transfer with a closed-form per-transfer
+formula, so N concurrent model fetches each saw the *full* downlink — the
+server's pipe had infinite capacity.  This module models the link as a shared
+resource: a :class:`LinkScheduler` owns one direction of the server's
+bandwidth, admits byte-sized :class:`LinkSession` objects, and drains them
+under a configurable sharing discipline, so a transfer's completion time
+*emerges from contention* instead of a formula.
+
+Sharing disciplines
+-------------------
+``none``
+    The seed semantics: every session drains at the full link rate
+    regardless of concurrency (infinite capacity).  Completion times are
+    bit-identical to the closed-form ``bytes / bandwidth + latency``.
+``fair``
+    Processor sharing (the fluid limit of per-flow fair queueing): the
+    ``n`` active sessions each drain at ``capacity / n``, recomputed at
+    every arrival and departure.  A full-sync model broadcast to ``n``
+    workers therefore costs ``n`` times the solo transfer — the pipelined
+    broadcast cost the ROADMAP calls for.
+``fifo``
+    Strict store-and-forward: sessions drain one at a time in admission
+    order at the full rate; later sessions queue.
+
+All disciplines add the propagation ``latency`` once per session *after* its
+bytes finish draining, so ``none`` reproduces the seed formula exactly.
+Time only moves through :meth:`LinkScheduler.advance`, which drains
+piecewise between membership changes — the discrete-event contract of
+:mod:`repro.cluster.events` holds (the event loop advances the scheduler at
+every open and completion, never mid-interval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Accepted link-sharing discipline names.
+SHARING_MODES = ("none", "fair", "fifo")
+
+#: Byte tolerance below which a session's remaining payload counts as drained
+#: (guards the piecewise drain against float round-off).
+_DRAIN_EPS = 1e-6
+
+
+@dataclass
+class LinkSession:
+    """One transfer occupying the link.
+
+    Attributes
+    ----------
+    session_id:
+        Monotone admission index (the FIFO order and the deterministic
+        tie-break for simultaneous completions).
+    worker_id:
+        The worker on the other end of the pipe (``-1`` when unknown).
+    nbytes:
+        Total wire size of the transfer (the codec's encoded frame bytes).
+    start_time:
+        Simulated time the session was admitted.
+    solo_seconds:
+        What the transfer would cost on an uncontended link
+        (``nbytes / capacity + latency`` — the seed closed form).
+    remaining:
+        Bytes still to drain (mutated by the scheduler).
+    drain_done:
+        Time the last byte left the sender (set on completion).
+    done_time:
+        Time the transfer completed at the receiver (``drain_done`` plus the
+        propagation latency).
+    payload:
+        Opaque continuation data the caller wants back at completion (e.g.
+        the in-flight message + frame).
+    """
+
+    session_id: int
+    worker_id: int
+    nbytes: float
+    start_time: float
+    solo_seconds: float
+    remaining: float = 0.0
+    drain_done: Optional[float] = None
+    done_time: Optional[float] = None
+    payload: object = None
+
+    @property
+    def queueing_delay(self) -> float:
+        """Extra seconds contention added on top of the solo transfer time."""
+        if self.done_time is None:
+            raise ConfigurationError("session has not completed yet")
+        return max(self.done_time - self.start_time - self.solo_seconds, 0.0)
+
+
+class LinkScheduler:
+    """One direction of the server's link as a schedulable shared resource.
+
+    Parameters
+    ----------
+    bandwidth_gbps:
+        Link capacity in Gbit/s (the same figure the cost model prices
+        transfers with).
+    latency_s:
+        One-way propagation latency, paid once per session after its bytes
+        drain.
+    sharing:
+        The sharing discipline — one of :data:`SHARING_MODES`.
+    """
+
+    def __init__(
+        self, *, bandwidth_gbps: float, latency_s: float, sharing: str = "none"
+    ) -> None:
+        if bandwidth_gbps <= 0:
+            raise ConfigurationError(f"bandwidth_gbps must be positive, got {bandwidth_gbps}")
+        if latency_s < 0:
+            raise ConfigurationError(f"latency_s must be non-negative, got {latency_s}")
+        if sharing not in SHARING_MODES:
+            raise ConfigurationError(
+                f"link sharing must be one of {SHARING_MODES}, got {sharing!r}"
+            )
+        self.bandwidth_gbps = float(bandwidth_gbps)
+        self.latency_s = float(latency_s)
+        self.sharing = sharing
+        self.capacity = bandwidth_gbps * 1e9 / 8.0  # bytes per second
+        self._now = 0.0
+        #: Sessions still draining bytes, in admission order.
+        self._draining: List[LinkSession] = []
+        #: Sessions whose bytes drained, waiting out the propagation latency.
+        self._in_flight: List[LinkSession] = []
+        self._counter = 0
+        #: Total sessions admitted / completed and bytes carried (telemetry).
+        self.sessions_opened = 0
+        self.sessions_completed = 0
+        self.bytes_carried = 0.0
+
+    # --------------------------------------------------------------- admission
+    def open(
+        self, now: float, nbytes: float, *, worker_id: int = -1, payload: object = None
+    ) -> LinkSession:
+        """Admit a transfer of *nbytes* starting at *now*; returns its session."""
+        if nbytes < 0:
+            raise ConfigurationError(f"nbytes must be non-negative, got {nbytes}")
+        self.advance(now)
+        session = LinkSession(
+            session_id=self._counter,
+            worker_id=int(worker_id),
+            nbytes=float(nbytes),
+            start_time=float(now),
+            solo_seconds=float(nbytes) / self.capacity + self.latency_s,
+            remaining=float(nbytes),
+            payload=payload,
+        )
+        self._counter += 1
+        self.sessions_opened += 1
+        self.bytes_carried += float(nbytes)
+        if session.remaining <= _DRAIN_EPS:
+            session.remaining = 0.0
+            session.drain_done = float(now)
+            self._in_flight.append(session)
+        else:
+            self._draining.append(session)
+        return session
+
+    # ------------------------------------------------------------------ drain
+    def _rates(self) -> List[float]:
+        """Current drain rate (bytes/s) of each session in ``self._draining``."""
+        n = len(self._draining)
+        if n == 0:
+            return []
+        if self.sharing == "fair":
+            share = self.capacity / n
+            return [share] * n
+        if self.sharing == "fifo":
+            return [self.capacity] + [0.0] * (n - 1)
+        # "none": infinite capacity — every session sees the full rate.
+        return [self.capacity] * n
+
+    def advance(self, now: float) -> None:
+        """Drain bytes piecewise up to *now*, honouring membership changes.
+
+        Between two consecutive completions the active set (and therefore
+        every session's rate) is constant, so the drain is exact: the loop
+        jumps from completion to completion until *now* is reached.
+        """
+        if now < self._now - 1e-12:
+            raise ConfigurationError(
+                f"link scheduler cannot move backwards: now={now:.9f} < {self._now:.9f}"
+            )
+        while self._draining and self._now < now:
+            rates = self._rates()
+            # Earliest drain completion under the current membership.
+            horizon = min(
+                self._now + s.remaining / r
+                for s, r in zip(self._draining, rates)
+                if r > 0.0
+            )
+            step_end = min(horizon, now)
+            elapsed = step_end - self._now
+            finished: List[LinkSession] = []
+            for session, rate in zip(self._draining, rates):
+                session.remaining -= rate * elapsed
+                if session.remaining <= max(_DRAIN_EPS, 1e-12 * session.nbytes):
+                    session.remaining = 0.0
+                    session.drain_done = step_end
+                    finished.append(session)
+            if not finished and step_end <= self._now and horizon <= now:
+                # A residue so small that remaining / rate underflows below
+                # the clock's ulp: time cannot advance, but the session is
+                # due within float noise — snap it closed to keep the
+                # piecewise loop making progress.
+                session = min(
+                    (s for s, r in zip(self._draining, rates) if r > 0.0),
+                    key=lambda s: (s.remaining, s.session_id),
+                )
+                session.remaining = 0.0
+                session.drain_done = self._now
+                finished.append(session)
+            for session in finished:
+                self._draining.remove(session)
+                self._in_flight.append(session)
+            self._now = max(self._now, step_end)
+            if not finished and step_end >= now:
+                break
+        self._now = max(self._now, now)
+
+    # ------------------------------------------------------------ completions
+    def next_completion(self) -> Optional[float]:
+        """Earliest time a session completes at the receiver (``None`` if idle).
+
+        Exact under the current membership; any later :meth:`open` can only
+        *delay* completions (fair/fifo) or leave them unchanged (none), so
+        callers re-query and reschedule after every admission.
+        """
+        candidates = [s.drain_done + self.latency_s for s in self._in_flight]
+        rates = self._rates()
+        candidates.extend(
+            self._now + s.remaining / r + self.latency_s
+            for s, r in zip(self._draining, rates)
+            if r > 0.0
+        )
+        if self.sharing == "fifo" and len(self._draining) > 1:
+            # Queued sessions complete after everything ahead of them drains.
+            backlog = self._now + self._draining[0].remaining / self.capacity
+            for session in self._draining[1:]:
+                backlog += session.remaining / self.capacity
+                candidates.append(backlog + self.latency_s)
+        return min(candidates) if candidates else None
+
+    def pop_completed(self, now: float) -> List[LinkSession]:
+        """Advance to *now* and return the sessions completed by then.
+
+        Completed sessions get their ``done_time`` stamped and leave the
+        scheduler; ties resolve by admission order (deterministic).
+        """
+        self.advance(now)
+        done: List[LinkSession] = []
+        still: List[LinkSession] = []
+        for session in self._in_flight:
+            if session.drain_done + self.latency_s <= now + 1e-9:
+                session.done_time = session.drain_done + self.latency_s
+                done.append(session)
+            else:
+                still.append(session)
+        self._in_flight = still
+        done.sort(key=lambda s: (s.done_time, s.session_id))
+        self.sessions_completed += len(done)
+        return done
+
+    @property
+    def active_sessions(self) -> int:
+        """Sessions currently draining or in latency flight."""
+        return len(self._draining) + len(self._in_flight)
+
+    # ------------------------------------------------------------- batch mode
+    def simulate(
+        self, jobs: Sequence[Tuple[float, float]]
+    ) -> List[Tuple[float, float]]:
+        """Run ``(start_time, nbytes)`` *jobs* to completion on a fresh link.
+
+        The lock-step trainer uses this closed-world form: all of a step's
+        transfers are known up front, so the whole contention schedule can be
+        resolved at once.  Returns ``(completion_time, queueing_delay)`` per
+        job, in input order.
+        """
+        sim = LinkScheduler(
+            bandwidth_gbps=self.bandwidth_gbps,
+            latency_s=self.latency_s,
+            sharing=self.sharing,
+        )
+        order = sorted(range(len(jobs)), key=lambda i: (jobs[i][0], i))
+        sessions: List[Optional[LinkSession]] = [None] * len(jobs)
+        for i in order:
+            start, nbytes = jobs[i]
+            sessions[i] = sim.open(float(start), float(nbytes), worker_id=i)
+        while sim.active_sessions:
+            target = sim.next_completion()
+            if target is None:  # pragma: no cover - all sessions zero-rate
+                raise ConfigurationError("link simulation stalled with active sessions")
+            sim.pop_completed(target)
+        return [(s.done_time, s.queueing_delay) for s in sessions]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LinkScheduler(sharing={self.sharing!r}, "
+            f"bandwidth_gbps={self.bandwidth_gbps}, active={self.active_sessions})"
+        )
+
+
+__all__ = ["LinkScheduler", "LinkSession", "SHARING_MODES"]

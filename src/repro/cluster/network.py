@@ -1,11 +1,17 @@
 """Simulated transports: reliable (TCP/gRPC-like) and lossy (UDP/lossyMPI-like).
 
-A channel transfers one gradient (or model) between a worker and the server
-and reports two things: the (possibly degraded) payload that arrives and the
-simulated transfer time.
+A channel carries one *wire frame* (an encoded gradient, see
+:mod:`repro.cluster.codec`) between a worker and the server and reports two
+things: the (possibly degraded) frame that arrives and the *solo* transfer
+time — what the transfer costs on an uncontended link.  Contention between
+concurrent transfers is not the channel's business: the
+:class:`~repro.cluster.link.LinkScheduler` owns the shared pipe, and the
+trainers compose ``scheduler drain time + channel penalty`` so loss
+behaviour (retransmission stalls, structural delays, jitter) survives
+unchanged under any sharing discipline.
 
 ``ReliableChannel``
-    Models TCP semantics: the payload always arrives intact, but packet loss
+    Models TCP semantics: the frame always arrives intact, but packet loss
     costs time — retransmissions and congestion-window backoff reduce the
     effective throughput.  We use the standard Mathis throughput model
     (``rate ∝ MSS / (RTT * sqrt(p))``) capped at the link bandwidth, which
@@ -17,6 +23,19 @@ simulated transfer time.
     probability ``drop_rate`` (and optionally reordered); whatever arrives is
     delivered immediately at full link speed.  The receiving endpoint applies
     one of the §3.3 recovery policies via :class:`~repro.cluster.packets.Packetizer`.
+    Packetization operates on the frame's *encoded* payload, so drops and
+    garbage fill hit compressed frames — a lost packet of a top-k frame
+    loses (index, value) pairs, exactly as on a real wire.
+
+Every transfer is priced on the frame's **encoded** byte count
+(``frame.nbytes``, owned by the codec that built it) — the transport layer
+never re-derives wire sizes from a bytes-per-coordinate constant.
+
+Wire randomness is isolated by construction: a channel spawns two named child
+streams from the seed it is given — one for its own drop/reorder draws, one
+for the packetizer's garbage fill — so wire events can never perturb each
+other's streams, let alone the training streams (model init, batch order,
+attacks), which the builder derives from entirely separate spawns.
 """
 
 from __future__ import annotations
@@ -27,22 +46,49 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.cluster.cost_model import BYTES_PER_COORDINATE, CostModel
+from repro.cluster.codec import IdentityCodec, WireFrame
+from repro.cluster.cost_model import CostModel
 from repro.cluster.packets import Packetizer, RecoveryPolicy
 from repro.exceptions import ConfigurationError
-from repro.utils.random import SeedLike, as_rng
+from repro.utils.random import SeedLike, as_rng, spawn_rngs
 from repro.utils.validation import check_probability
+
+#: Shared raw framing used by the payload-level compatibility API.
+_RAW = IdentityCodec()
 
 
 class Channel(abc.ABC):
-    """A unidirectional transport for flat vectors."""
+    """A unidirectional transport for wire frames."""
 
     #: Human-readable transport name used in experiment reports.
     name: str = "channel"
 
     @abc.abstractmethod
-    def transfer(self, payload: np.ndarray, cost_model: CostModel) -> Tuple[Optional[np.ndarray], float]:
-        """Send *payload*; return ``(delivered_payload_or_None, simulated_seconds)``."""
+    def transfer_frame(
+        self, frame: WireFrame, cost_model: CostModel
+    ) -> Tuple[Optional[WireFrame], float]:
+        """Send *frame*; return ``(delivered_frame_or_None, solo_seconds)``.
+
+        ``solo_seconds`` is the uncontended transfer time for the frame's
+        encoded bytes, including any channel-specific penalty (congestion
+        backoff, structural delay, jitter) — the
+        :class:`~repro.cluster.link.LinkScheduler` adds contention on top.
+        """
+
+    def transfer(
+        self, payload: np.ndarray, cost_model: CostModel
+    ) -> Tuple[Optional[np.ndarray], float]:
+        """Payload-level compatibility API: raw (identity) framing.
+
+        Wraps *payload* in an identity frame, runs :meth:`transfer_frame`,
+        and unwraps — so a bare float vector still travels exactly as it did
+        before codecs existed (same bytes, same RNG draws, same degradation).
+        """
+        frame = _RAW.encode(payload)
+        delivered, seconds = self.transfer_frame(frame, cost_model)
+        if delivered is None:
+            return None, seconds
+        return np.asarray(delivered.values, dtype=np.float64).copy(), seconds
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
@@ -82,9 +128,10 @@ class ReliableChannel(Channel):
         mathis_bps = (self.mss_bytes * 8.0 / self.rtt_s) / math.sqrt(2.0 * self.drop_rate / 3.0)
         return min(link, mathis_bps / 1e9)
 
-    def transfer(self, payload: np.ndarray, cost_model: CostModel) -> Tuple[np.ndarray, float]:
-        payload = np.asarray(payload, dtype=np.float64)
-        num_bytes = payload.size * BYTES_PER_COORDINATE
+    def transfer_frame(
+        self, frame: WireFrame, cost_model: CostModel
+    ) -> Tuple[WireFrame, float]:
+        num_bytes = frame.nbytes
         seconds = cost_model.transfer_time(
             num_bytes, bandwidth_gbps=self.effective_bandwidth_gbps(cost_model)
         )
@@ -93,7 +140,7 @@ class ReliableChannel(Channel):
             # (fast-retransmit); expected number of loss events per transfer.
             packets = max(1, math.ceil(num_bytes / self.mss_bytes))
             seconds += packets * self.drop_rate * self.rtt_s
-        return payload.copy(), seconds
+        return frame, seconds
 
 
 class DelayedChannel(Channel):
@@ -108,7 +155,7 @@ class DelayedChannel(Channel):
     Parameters
     ----------
     inner:
-        The transport actually carrying the payload (reliable by default).
+        The transport actually carrying the frame (reliable by default).
     delay_s:
         Deterministic extra one-way delay added to every transfer.
     jitter_s:
@@ -136,8 +183,10 @@ class DelayedChannel(Channel):
         self.jitter_s = float(jitter_s)
         self._rng = as_rng(rng)
 
-    def transfer(self, payload: np.ndarray, cost_model: CostModel) -> Tuple[Optional[np.ndarray], float]:
-        delivered, seconds = self.inner.transfer(payload, cost_model)
+    def transfer_frame(
+        self, frame: WireFrame, cost_model: CostModel
+    ) -> Tuple[Optional[WireFrame], float]:
+        delivered, seconds = self.inner.transfer_frame(frame, cost_model)
         seconds += self.delay_s
         if self.jitter_s > 0.0:
             seconds += float(self._rng.uniform(0.0, self.jitter_s))
@@ -163,7 +212,11 @@ class LossyChannel(Channel):
     coordinates_per_packet:
         Packet payload size.
     rng:
-        Randomness source for drops, reordering and garbage fill.
+        Seed for the channel's wire randomness.  Two named child streams are
+        spawned from it: the channel's own drop/reorder stream and the
+        packetizer's garbage-fill stream — so how many packets drop can
+        never perturb what the garbage looks like, and neither stream is
+        shared with any training randomness.
     """
 
     name = "udp"
@@ -179,9 +232,9 @@ class LossyChannel(Channel):
     ) -> None:
         self.drop_rate = check_probability(drop_rate, "drop_rate")
         self.reorder_rate = check_probability(reorder_rate, "reorder_rate")
-        self._rng = as_rng(rng)
+        self._wire_rng, fill_rng = spawn_rngs(rng, 2)
         self.packetizer = Packetizer(
-            coordinates_per_packet, policy=policy, rng=self._rng
+            coordinates_per_packet, policy=policy, rng=fill_rng
         )
 
     @property
@@ -189,29 +242,30 @@ class LossyChannel(Channel):
         """The recovery policy applied at the receiving endpoint."""
         return self.packetizer.policy
 
-    def transfer(self, payload: np.ndarray, cost_model: CostModel) -> Tuple[Optional[np.ndarray], float]:
-        payload = np.asarray(payload, dtype=np.float64).ravel()
-        packets = self.packetizer.split(payload)
+    def transfer_frame(
+        self, frame: WireFrame, cost_model: CostModel
+    ) -> Tuple[Optional[WireFrame], float]:
+        wire = np.asarray(frame.values, dtype=np.float64).ravel()
+        packets = self.packetizer.split(wire)
         # UDP pays the wire time for every packet sent, regardless of drops —
         # there are no retransmissions and no congestion backoff.
-        num_bytes = payload.size * BYTES_PER_COORDINATE
-        seconds = cost_model.transfer_time(num_bytes)
+        seconds = cost_model.transfer_time(frame.nbytes)
 
         if self.drop_rate > 0.0:
-            keep_mask = self._rng.random(len(packets)) >= self.drop_rate
+            keep_mask = self._wire_rng.random(len(packets)) >= self.drop_rate
             survivors = [p for p, keep in zip(packets, keep_mask) if keep]
         else:
             survivors = packets
 
         in_order = True
         if self.reorder_rate > 0.0 and len(survivors) > 1:
-            if self._rng.random() < self.reorder_rate:
-                order = self._rng.permutation(len(survivors))
+            if self._wire_rng.random() < self.reorder_rate:
+                order = self._wire_rng.permutation(len(survivors))
                 survivors = [survivors[i] for i in order]
                 in_order = False
 
-        delivered = self.packetizer.reassemble(survivors, payload.size, in_order=in_order)
-        return delivered, seconds
+        delivered = self.packetizer.reassemble(survivors, wire.size, in_order=in_order)
+        return frame.degraded(delivered), seconds
 
 
 def build_uplink_map(

@@ -137,8 +137,13 @@ class Packetizer:
         # The garbage models raw bytes reinterpreted as floats (what a real
         # receiver sees for a lost/garbled UDP payload): magnitudes are spread
         # over many orders of magnitude, far outside the honest gradient range.
-        magnitudes = 10.0 ** self._rng.uniform(0.0, 8.0, size=dim)
-        gradient = self._rng.normal(0.0, 1.0, size=dim) * magnitudes
+        # A complete delivery overwrites every coordinate, so it draws no
+        # garbage at all — a loss-free wire consumes zero fill randomness.
+        if missing == 0:
+            gradient = np.empty(dim, dtype=np.float64)
+        else:
+            magnitudes = 10.0 ** self._rng.uniform(0.0, 8.0, size=dim)
+            gradient = self._rng.normal(0.0, 1.0, size=dim) * magnitudes
         if in_order:
             for packet in packets:
                 end = min(packet.offset + packet.payload.size, dim)

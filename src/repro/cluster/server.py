@@ -44,12 +44,16 @@ class UpdateRecord:
     worker_ids:
         Ids of the workers whose gradients entered the batch, in aggregation
         order (``None`` when the caller did not provide them).
+    wire_bytes:
+        Encoded uplink bytes of the admitted gradients (0 when the caller
+        did not account for the wire — e.g. histories predating codecs).
     """
 
     version: int
     sim_time: float = float("nan")
     num_gradients: int = 0
     worker_ids: Optional[Tuple[int, ...]] = None
+    wire_bytes: float = 0.0
 
 
 class ParameterServer:
@@ -181,11 +185,12 @@ class ParameterServer:
         *,
         sim_time: float = float("nan"),
         worker_ids: Optional[Sequence[int]] = None,
+        wire_bytes: float = 0.0,
     ) -> np.ndarray:
         """Apply the optimizer step, bump the version, return the new parameters.
 
-        The optional *sim_time* / *worker_ids* metadata lands in the
-        :attr:`update_log` entry for this version.
+        The optional *sim_time* / *worker_ids* / *wire_bytes* metadata lands
+        in the :attr:`update_log` entry for this version.
         """
         aggregated_gradient = np.asarray(aggregated_gradient, dtype=np.float64)
         if aggregated_gradient.shape != self._parameters.shape:
@@ -207,6 +212,7 @@ class ParameterServer:
                 sim_time=float(sim_time),
                 num_gradients=0 if worker_ids is None else len(worker_ids),
                 worker_ids=None if worker_ids is None else tuple(int(w) for w in worker_ids),
+                wire_bytes=float(wire_bytes),
             )
         )
         return self.parameters

@@ -74,6 +74,10 @@ class ArrivalEvent:
         order before aggregation so that the GAR's floating-point reduction
         order — and hence the trajectory — never depends on arrival jitter;
         carried gradients sort before fresh ones.
+    wire_bytes:
+        Encoded uplink bytes the gradient cost on the wire (0 for Byzantine
+        submissions — the threat model's adversary pays nothing — and for
+        events recorded before the codec stage existed).
     """
 
     message: GradientMessage
@@ -82,6 +86,7 @@ class ArrivalEvent:
     honest: bool
     staleness: int = 0
     order: int = 0
+    wire_bytes: float = 0.0
 
     @property
     def delivered(self) -> bool:

@@ -46,6 +46,8 @@ class StepRecord:
     selected_workers: Optional[tuple] = None
     #: Per-admitted-gradient GAR scores, ordered like the aggregated batch.
     selection_scores: Optional[tuple] = None
+    #: Encoded uplink bytes of the gradients admitted into this update.
+    wire_bytes: float = 0.0
 
     @property
     def step_time(self) -> float:
@@ -86,6 +88,16 @@ class WorkerTimeline:
     compute_seconds: float = 0.0
     #: Total simulated seconds the worker's gradients spent on the wire.
     transfer_seconds: float = 0.0
+    #: Encoded bytes the worker pushed onto the uplink.
+    bytes_sent: float = 0.0
+    #: Bytes of model broadcasts the worker pulled off the downlink.
+    bytes_received: float = 0.0
+    #: Extra seconds the worker's transfers spent waiting for the shared
+    #: link (zero unless a contention-aware sharing discipline is active).
+    queueing_delay_seconds: float = 0.0
+    #: Accumulated L2 norm of the codec's compression error (zero for the
+    #: identity codec).
+    compression_error: float = 0.0
 
     def to_dict(self) -> Dict:
         """JSON-serialisable form."""
@@ -98,6 +110,10 @@ class WorkerTimeline:
             "channel_dropped": self.channel_dropped,
             "compute_seconds": self.compute_seconds,
             "transfer_seconds": self.transfer_seconds,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "queueing_delay_seconds": self.queueing_delay_seconds,
+            "compression_error": self.compression_error,
         }
 
 
@@ -109,8 +125,10 @@ class TrainingHistory:
     evaluations: List[EvalRecord] = field(default_factory=list)
     diverged: bool = False
     divergence_reason: str = ""
-    #: Per-worker activity accounting (populated by the event-driven engine;
-    #: empty for lock-step runs, which keeps seed telemetry unchanged).
+    #: Per-worker activity accounting.  The event-driven engine populates the
+    #: full round-trip counters; lock-step runs record the wire fields only
+    #: (bytes, queueing delay, compression error) — their round counters
+    #: stay zero, which keeps seed-era telemetry comparable.
     worker_timelines: Dict[int, WorkerTimeline] = field(default_factory=dict)
     #: Simulated seconds the server spent aggregating + updating.
     server_busy_time: float = 0.0
@@ -140,6 +158,22 @@ class TrainingHistory:
     def record_server_busy(self, seconds: float) -> None:
         """Account *seconds* of server aggregation/update work."""
         self.server_busy_time += float(seconds)
+
+    def record_wire(
+        self,
+        worker_id: int,
+        *,
+        bytes_sent: float = 0.0,
+        bytes_received: float = 0.0,
+        queueing_delay: float = 0.0,
+        compression_error: float = 0.0,
+    ) -> None:
+        """Account one worker's wire activity (bytes, queueing, codec error)."""
+        timeline = self.timeline_for(worker_id)
+        timeline.bytes_sent += float(bytes_sent)
+        timeline.bytes_received += float(bytes_received)
+        timeline.queueing_delay_seconds += float(queueing_delay)
+        timeline.compression_error += float(compression_error)
 
     def record_version_lag(self, lag: int) -> None:
         """Count one admitted gradient with the given version *lag*."""
@@ -180,6 +214,43 @@ class TrainingHistory:
         steps = np.array([e.step for e in self.evaluations])
         accs = np.array([e.accuracy for e in self.evaluations])
         return steps, accs
+
+    @property
+    def total_wire_bytes(self) -> float:
+        """Encoded uplink bytes admitted into updates over the whole run."""
+        return float(sum(r.wire_bytes for r in self.steps))
+
+    def bytes_to_accuracy(self, threshold: float) -> Optional[float]:
+        """Admitted uplink bytes spent before *threshold* accuracy was reached.
+
+        The wire-efficiency counterpart of :meth:`time_to_accuracy`: at equal
+        simulated time-to-accuracy, a sparsifying codec should reach the
+        target with several-fold fewer bytes than the identity framing.
+        Returns ``None`` when the run never reached the threshold.
+        """
+        reached = self.time_to_accuracy(threshold)
+        if reached is None:
+            return None
+        return float(
+            sum(r.wire_bytes for r in self.steps if r.sim_time <= reached)
+        )
+
+    def wire_summary(self) -> Dict[str, float]:
+        """Aggregate wire-substrate counters over the run.
+
+        All-zero byte/queueing figures for histories written before the wire
+        substrate existed, which keeps older telemetry comparable.
+        """
+        timelines = self.worker_timelines.values()
+        return {
+            "wire_bytes": self.total_wire_bytes,
+            "bytes_sent": float(sum(t.bytes_sent for t in timelines)),
+            "bytes_received": float(sum(t.bytes_received for t in timelines)),
+            "queueing_delay_seconds": float(
+                sum(t.queueing_delay_seconds for t in timelines)
+            ),
+            "compression_error": float(sum(t.compression_error for t in timelines)),
+        }
 
     def time_to_accuracy(self, threshold: float) -> Optional[float]:
         """Earliest simulated time at which *threshold* accuracy was reached.
@@ -287,6 +358,7 @@ class TrainingHistory:
             "throughput": self.throughput(),
             "latency_breakdown": self.latency_breakdown(),
             "sync": self.sync_summary(),
+            "wire": self.wire_summary(),
             "server_utilisation": self.server_utilisation(),
             "version_lag_histogram": {
                 str(lag): count for lag, count in self.version_lag_histogram().items()

@@ -46,9 +46,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.clock import SimulatedClock
+from repro.cluster.codec import IdentityCodec, WireCodec, WireFrame, decode_frame
 from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec
 from repro.cluster.events import Event, EventLoop, EventQueue
+from repro.cluster.link import SHARING_MODES, LinkScheduler
 from repro.cluster.message import GradientMessage
 from repro.cluster.network import Channel, build_uplink_map
 from repro.cluster.server import ParameterServer
@@ -127,6 +129,9 @@ class BaseTrainer:
         straggler_rng: SeedLike = None,
         uplink_channels: Optional[Dict[int, Channel]] = None,
         cluster: Optional[ClusterSpec] = None,
+        codec: Optional[WireCodec] = None,
+        link_sharing: str = "none",
+        error_feedback: bool = True,
         eval_model: Optional[Sequential] = None,
         test_set: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
@@ -135,6 +140,10 @@ class BaseTrainer:
         ids = [w.worker_id for w in workers]
         if len(set(ids)) != len(ids):
             raise ConfigurationError(f"duplicate worker ids: {ids}")
+        if link_sharing not in SHARING_MODES:
+            raise ConfigurationError(
+                f"link_sharing must be one of {SHARING_MODES}, got {link_sharing!r}"
+            )
         self.server = server
         self.workers = list(workers)
         self.cost_model = cost_model
@@ -145,6 +154,22 @@ class BaseTrainer:
         self.straggler_model = straggler_model
         self._straggler_rng = as_rng(straggler_rng)
         self.cluster = cluster
+        self.codec = codec if codec is not None else IdentityCodec()
+        self.link_sharing = link_sharing
+        #: Whether the server's link is a contended shared resource.
+        self._contended = link_sharing != "none"
+        #: Byzantine submissions bypass the codec: the adversary crafts the
+        #: exact vector that reaches the server (arbitrary wire contents).
+        self._raw_codec = IdentityCodec()
+        #: Error feedback (EF-SGD): each honest worker carries its codec
+        #: residual into the next round, so the signal a lossy codec dropped
+        #: is re-offered instead of lost — the standard memory-compensation
+        #: that lets aggressive sparsification match uncompressed update
+        #: counts.  A no-op for the identity codec (zero residual).
+        self.error_feedback = bool(error_feedback) and not isinstance(
+            self.codec, IdentityCodec
+        )
+        self._codec_memory: Dict[int, np.ndarray] = {}
         self.eval_model = eval_model
         self.test_set = test_set
         if (eval_model is None) != (test_set is None):
@@ -198,6 +223,50 @@ class BaseTrainer:
             gflops=self._worker_gflops[worker.worker_id] * worker.speed,
             flops_per_sample=worker.model.flops_per_sample(),
         )
+
+    # ------------------------------------------------------- wire substrate
+    def _link_scheduler(self) -> LinkScheduler:
+        """A fresh scheduler for one direction of the server's shared link."""
+        return LinkScheduler(
+            bandwidth_gbps=self.cost_model.bandwidth_gbps,
+            latency_s=self.cost_model.latency_s,
+            sharing=self.link_sharing,
+        )
+
+    def _encode(
+        self, gradient: np.ndarray, *, honest: bool, worker_id: Optional[int] = None
+    ) -> Tuple[WireFrame, float]:
+        """Codec stage of the uplink: returns ``(frame, compression_error)``.
+
+        Byzantine gradients take the raw framing — the adversary controls
+        its wire bytes outright, so no codec stands between it and the
+        server — and report zero compression error.  With error feedback
+        the worker's carried residual is added before encoding and the new
+        residual (what this frame failed to express) replaces it.
+        """
+        if not honest:
+            return self._raw_codec.encode(gradient), 0.0
+        signal = np.asarray(gradient, dtype=np.float64).ravel()
+        if self.error_feedback and worker_id is not None:
+            memory = self._codec_memory.get(worker_id)
+            if memory is not None:
+                signal = signal + memory
+        frame = self.codec.encode(signal)
+        if isinstance(self.codec, IdentityCodec):
+            return frame, 0.0
+        residual = signal - decode_frame(frame)
+        if self.error_feedback and worker_id is not None:
+            self._codec_memory[worker_id] = residual
+        return frame, float(np.linalg.norm(residual))
+
+    @staticmethod
+    def _decode(wire) -> Optional[np.ndarray]:
+        """Server-side decode: frames decode, raw arrays pass through."""
+        if wire is None:
+            return None
+        if isinstance(wire, WireFrame):
+            return decode_frame(wire)
+        return np.asarray(wire, dtype=np.float64)
 
     # ---------------------------------------------------- aggregation stage
     def _aggregate_batch(self, admitted: Sequence[ArrivalEvent]):
@@ -341,14 +410,34 @@ class SynchronousTrainer(BaseTrainer):
     def _collect_arrivals(
         self, parameters: np.ndarray, step: int, dim: int
     ) -> Tuple[List[ArrivalEvent], float, List[float]]:
-        """Pipeline stages 1-3: compute, craft, transfer.
+        """Pipeline stages 1-3: compute, craft, encode + transfer.
 
         Returns the step's arrival events (submission order: honest workers,
-        then Byzantine workers), the wait floor (the model-broadcast time),
-        and the honest losses for the step's mean-loss metric.
+        then Byzantine workers), the wait floor (when the model broadcast
+        finished reaching the last worker), and the honest losses for the
+        step's mean-loss metric.
+
+        With ``link_sharing="none"`` every transfer sees the full link and
+        the closed-form seed arithmetic is used verbatim (bit-identical
+        trajectories); under a contention-aware discipline the step's
+        broadcasts and pushes are resolved as link sessions on the shared
+        egress/ingress, and each worker's queueing delay is recorded.
         """
         honest = self.honest_workers
-        downlink_time = self.cost_model.transfer_time(self.cost_model.gradient_bytes(dim))
+        model_bytes = self.cost_model.gradient_bytes(dim)
+        solo_downlink = self.cost_model.transfer_time(model_bytes)
+        if self._contended and honest:
+            # The broadcast is n concurrent sessions on the shared egress.
+            schedule = self._link_scheduler().simulate(
+                [(0.0, model_bytes)] * len(honest)
+            )
+            downlink_times = [finish for finish, _ in schedule]
+            downlink_delays = [delay for _, delay in schedule]
+            floor = max(downlink_times)
+        else:
+            downlink_times = [solo_downlink] * len(honest)
+            downlink_delays = [0.0] * len(honest)
+            floor = solo_downlink
         slowdowns = (
             self.straggler_model.sample(len(honest), self._straggler_rng)
             if self.straggler_model is not None
@@ -362,7 +451,7 @@ class SynchronousTrainer(BaseTrainer):
             message = worker.compute_gradient(parameters, step)
             honest_messages.append(message)
             compute_time = self._compute_time(worker, dim)
-            path_times.append(downlink_time + compute_time * float(slowdowns[index]))
+            path_times.append(downlink_times[index] + compute_time * float(slowdowns[index]))
 
         honest_matrix = (
             np.stack([m.gradient for m in honest_messages], axis=0)
@@ -381,37 +470,78 @@ class SynchronousTrainer(BaseTrainer):
                 )
             )
 
-        # Stage 3: gradient transfer over each worker's uplink channel.
-        events: List[ArrivalEvent] = []
+        # Stage 3: encode, then transfer over each worker's uplink channel.
+        # The channel reports the *solo* seconds for the encoded frame; under
+        # contention the shared-ingress drain replaces the solo wire time and
+        # the channel's extra penalty (backoff, delays, jitter) rides on top.
         num_honest = len(honest_messages)
+        frames: List[Optional[WireFrame]] = []
+        delivered: List[Optional[WireFrame]] = []
+        solo_seconds: List[float] = []
+        errors: List[float] = []
         for order, message in enumerate(honest_messages + byzantine_messages):
             channel = self.uplink_channels[message.worker_id]
-            payload, seconds = channel.transfer(message.gradient, self.cost_model)
+            frame, error = self._encode(
+                message.gradient, honest=order < num_honest,
+                worker_id=message.worker_id,
+            )
+            arrived, seconds = channel.transfer_frame(frame, self.cost_model)
+            frames.append(frame)
+            delivered.append(arrived)
+            solo_seconds.append(seconds)
+            errors.append(error)
+
+        uplink_delays = [0.0] * num_honest
+        if self._contended and num_honest:
+            schedule = self._link_scheduler().simulate(
+                [(path_times[i], frames[i].nbytes) for i in range(num_honest)]
+            )
+            for i, (finish, delay) in enumerate(schedule):
+                ideal = self.cost_model.transfer_time(frames[i].nbytes)
+                penalty = solo_seconds[i] - ideal
+                path_times[i] = finish + penalty
+                uplink_delays[i] = delay
+        else:
+            for i in range(num_honest):
+                path_times[i] += solo_seconds[i]
+
+        events: List[ArrivalEvent] = []
+        for order, message in enumerate(honest_messages + byzantine_messages):
             is_honest = order < num_honest
-            if is_honest:
-                path_times[order] += seconds
             events.append(
                 ArrivalEvent(
                     message=message,
-                    payload=payload,
+                    payload=self._decode(delivered[order]),
                     arrival_time=path_times[order] if is_honest else 0.0,
                     honest=is_honest,
                     order=order,
+                    wire_bytes=frames[order].nbytes if is_honest else 0.0,
                 )
             )
+            if is_honest:
+                self.history.record_wire(
+                    message.worker_id,
+                    bytes_sent=frames[order].nbytes,
+                    bytes_received=model_bytes,
+                    queueing_delay=downlink_delays[order] + uplink_delays[order],
+                    compression_error=errors[order],
+                )
 
         losses = [m.loss for m in honest_messages if np.isfinite(m.loss)]
-        return events, downlink_time, losses
+        return events, floor, losses
 
     def _aggregate_and_update(
         self, decision: SyncDecision
-    ) -> Tuple[List[GradientMessage], StepDiagnostics]:
+    ) -> Tuple[List[GradientMessage], StepDiagnostics, float]:
         """Pipeline stage 4: validate once, aggregate with diagnostics, update."""
         delivered, result, aggregation_time = self._aggregate_batch(decision.admitted)
+        wire_bytes = float(sum(e.wire_bytes for e in decision.admitted))
         self.server.apply_update(
-            result.gradient, worker_ids=[m.worker_id for m in delivered]
+            result.gradient,
+            worker_ids=[m.worker_id for m in delivered],
+            wire_bytes=wire_bytes,
         )
-        return delivered, self._diagnostics(delivered, result, aggregation_time)
+        return delivered, self._diagnostics(delivered, result, aggregation_time), wire_bytes
 
     # ------------------------------------------------------------------ step
     def run_step(self) -> StepRecord:
@@ -433,7 +563,7 @@ class SynchronousTrainer(BaseTrainer):
         drained = [event.payload for event in queue.drain()]
 
         decision = self.sync_policy.collect(drained, step, floor=floor)
-        delivered, diagnostics = self._aggregate_and_update(decision)
+        delivered, diagnostics, wire_bytes = self._aggregate_and_update(decision)
         update_time = self.cost_model.update_time(dim)
 
         compute_comm_time = decision.wait_time
@@ -456,6 +586,7 @@ class SynchronousTrainer(BaseTrainer):
             max_staleness=decision.max_staleness,
             selected_workers=diagnostics.selected_workers,
             selection_scores=diagnostics.selection_scores,
+            wire_bytes=wire_bytes,
         )
         self.history.record_step(record)
         return record
@@ -492,6 +623,10 @@ class AsyncTrainer(BaseTrainer):
     FETCH, COMPUTE, PUSH, ARRIVE, UPDATE_DONE = (
         "fetch", "compute", "push", "arrive", "update-done",
     )
+    #: Link-busy event: a provisional completion on one of the server's
+    #: shared pipes.  Rescheduled (old event tombstoned) whenever an
+    #: admission changes the contention picture.
+    LINK = "link"
 
     def __init__(
         self,
@@ -526,6 +661,16 @@ class AsyncTrainer(BaseTrainer):
         self._loop.on(self.PUSH, self._on_push)
         self._loop.on(self.ARRIVE, self._on_arrive)
         self._loop.on(self.UPDATE_DONE, self._on_update_done)
+        self._loop.on(self.LINK, self._on_link)
+
+        #: Shared-link schedulers (downlink = model broadcasts, uplink =
+        #: gradient pushes) and their pending provisional completion events.
+        self._links: Dict[str, LinkScheduler] = (
+            {"down": self._link_scheduler(), "up": self._link_scheduler()}
+            if self._contended
+            else {}
+        )
+        self._link_events: Dict[str, Optional[Event]] = {"down": None, "up": None}
 
         #: Admission buffer: at most one pending gradient per worker (a
         #: fresher gradient supersedes a staler pending one).
@@ -541,17 +686,64 @@ class AsyncTrainer(BaseTrainer):
         for worker in self.byzantine_workers:
             self.history.timeline_for(worker.worker_id)
 
+    # --------------------------------------------------------- shared links
+    def _reschedule_link(self, direction: str) -> None:
+        """Refresh the provisional completion event of one link direction.
+
+        Contention changes every projected completion time, so the previous
+        event (if any) is tombstoned and a fresh one is scheduled at the
+        scheduler's earliest completion under the current membership.
+        """
+        pending = self._link_events[direction]
+        if pending is not None:
+            pending.cancel()
+            self._link_events[direction] = None
+        target = self._links[direction].next_completion()
+        if target is not None:
+            self._link_events[direction] = self._loop.schedule(
+                self.LINK, max(target, self.clock.now), payload=direction
+            )
+
+    def _on_link(self, event: Event) -> None:
+        """A link session completed: hand its payload to the next stage."""
+        direction = event.payload
+        self._link_events[direction] = None
+        for session in self._links[direction].pop_completed(event.time):
+            self.history.record_wire(
+                session.worker_id, queueing_delay=session.queueing_delay
+            )
+            kind, data = session.payload
+            if kind == self.COMPUTE:
+                self._loop.schedule(
+                    self.COMPUTE, event.time, worker_id=session.worker_id, payload=data
+                )
+            else:  # an uplink push: the channel penalty rides on top
+                message, wire, penalty = data
+                self._loop.schedule(
+                    self.ARRIVE, event.time + penalty,
+                    worker_id=session.worker_id, payload=(message, wire),
+                )
+        self._reschedule_link(direction)
+
     # ------------------------------------------------------- worker round-trip
     def _on_fetch(self, event: Event) -> None:
         """Worker asks for the model; the reply snapshots the current version."""
-        downlink = self.cost_model.transfer_time(
-            self.cost_model.gradient_bytes(self.server.dim)
-        )
+        model_bytes = self.cost_model.gradient_bytes(self.server.dim)
+        snapshot = (self.server.version, self.server.parameters)
+        self.history.record_wire(event.worker_id, bytes_received=model_bytes)
+        if self._contended:
+            self._links["down"].open(
+                event.time, model_bytes, worker_id=event.worker_id,
+                payload=(self.COMPUTE, snapshot),
+            )
+            self._reschedule_link("down")
+            return
+        downlink = self.cost_model.transfer_time(model_bytes)
         self._loop.schedule(
             self.COMPUTE,
             event.time + downlink,
             worker_id=event.worker_id,
-            payload=(self.server.version, self.server.parameters),
+            payload=snapshot,
         )
 
     def _on_compute(self, event: Event) -> None:
@@ -571,17 +763,33 @@ class AsyncTrainer(BaseTrainer):
         )
 
     def _on_push(self, event: Event) -> None:
-        """Worker hands the gradient to the transport and starts its next round."""
+        """Worker encodes + hands the gradient to the wire, starts its next round."""
         message: GradientMessage = event.payload
         channel = self.uplink_channels[message.worker_id]
-        payload, seconds = channel.transfer(message.gradient, self.cost_model)
+        frame, error = self._encode(
+            message.gradient, honest=True, worker_id=message.worker_id
+        )
+        wire, seconds = channel.transfer_frame(frame, self.cost_model)
         timeline = self.history.timeline_for(message.worker_id)
         timeline.rounds_completed += 1
         timeline.transfer_seconds += seconds
-        self._loop.schedule(
-            self.ARRIVE, event.time + seconds,
-            worker_id=message.worker_id, payload=(message, payload),
+        self.history.record_wire(
+            message.worker_id, bytes_sent=frame.nbytes, compression_error=error
         )
+        if self._contended:
+            # The session's drain time replaces the solo wire time; the
+            # channel's extra penalty (backoff, delays, jitter) rides on top.
+            penalty = seconds - self.cost_model.transfer_time(frame.nbytes)
+            self._links["up"].open(
+                event.time, frame.nbytes, worker_id=message.worker_id,
+                payload=(self.ARRIVE, (message, wire, penalty)),
+            )
+            self._reschedule_link("up")
+        else:
+            self._loop.schedule(
+                self.ARRIVE, event.time + seconds,
+                worker_id=message.worker_id, payload=(message, wire),
+            )
         # The push is asynchronous: the worker fetches the next model
         # immediately, overlapping its next downlink with this uplink.
         self._loop.schedule(self.FETCH, event.time, worker_id=message.worker_id)
@@ -589,7 +797,9 @@ class AsyncTrainer(BaseTrainer):
     # ------------------------------------------------------------ server side
     def _on_arrive(self, event: Event) -> None:
         """Admission control over the live stream, then a quorum check."""
-        message, payload = event.payload
+        message, wire = event.payload
+        wire_bytes = wire.nbytes if isinstance(wire, WireFrame) else 0.0
+        payload = self._decode(wire)
         timeline = self.history.timeline_for(message.worker_id)
         if payload is None:
             timeline.channel_dropped += 1
@@ -618,6 +828,7 @@ class AsyncTrainer(BaseTrainer):
             honest=not worker.is_byzantine,
             staleness=max(lag, 0),
             order=event.order,
+            wire_bytes=wire_bytes if not worker.is_byzantine else 0.0,
         )
         self._maybe_fire_byzantine(event.time)
         self._maybe_aggregate(event.time)
@@ -693,10 +904,12 @@ class AsyncTrainer(BaseTrainer):
         """Apply the optimizer update, bump the version, emit telemetry."""
         batch, delivered, result, aggregation_time, update_time, started = event.payload
         version = self.server.version
+        wire_bytes = float(sum(e.wire_bytes for e in batch))
         self.server.apply_update(
             result.gradient,
             sim_time=event.time,
             worker_ids=[m.worker_id for m in delivered],
+            wire_bytes=wire_bytes,
         )
         self._busy = False
         diagnostics = self._diagnostics(delivered, result, aggregation_time)
@@ -724,6 +937,7 @@ class AsyncTrainer(BaseTrainer):
             max_staleness=max(stale, default=0),
             selected_workers=diagnostics.selected_workers,
             selection_scores=diagnostics.selection_scores,
+            wire_bytes=wire_bytes,
         )
         self.history.record_step(record)
         self._interval = {"superseded": 0, "channel_dropped": 0, "stale_rejected": 0}

@@ -42,6 +42,7 @@ def telemetry_series(history: TrainingHistory) -> Dict:
     policy's staleness distribution (all mass at 0 under full synchrony).
     """
     utilisation = history.server_utilisation()
+    wire = history.wire_summary()
     return {
         "server_busy_fraction": utilisation["busy_fraction"],
         "server_idle_fraction": utilisation["idle_fraction"],
@@ -53,6 +54,11 @@ def telemetry_series(history: TrainingHistory) -> Dict:
         "version_lag_histogram": {
             str(lag): count for lag, count in history.version_lag_histogram().items()
         },
+        "wire_bytes": wire["wire_bytes"],
+        "bytes_sent": wire["bytes_sent"],
+        "bytes_received": wire["bytes_received"],
+        "queueing_delay_seconds": wire["queueing_delay_seconds"],
+        "compression_error": wire["compression_error"],
     }
 
 

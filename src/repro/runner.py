@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 
 from repro.attacks.base import ATTACK_REGISTRY
 from repro.cluster.builder import build_trainer
+from repro.cluster.codec import CODEC_REGISTRY, QSGDCodec, available_codecs
 from repro.cluster.checkpoint import (
     Checkpoint,
     CheckpointManager,
@@ -98,6 +99,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--straggler-intensity", type=float, default=None,
                         help="sigma (lognormal) / scale (pareto, constant) of the slowdown; "
                              "defaults per distribution (0.75 / 1.0 / 2.0)")
+    parser.add_argument("--codec", default="identity",
+                        help="wire codec encoding gradients before the uplink "
+                             "(empty string lists the options)")
+    parser.add_argument("--codec-k", type=int, default=None,
+                        help="coordinates kept per gradient (top-k / random-k codecs)")
+    parser.add_argument("--quantize-bits", type=int, default=None,
+                        help="quantisation width in bits (qsgd codec, 1-16)")
+    parser.add_argument("--no-error-feedback", action="store_true",
+                        help="disable the EF-SGD residual carry for lossy codecs")
+    parser.add_argument("--link-sharing", default="none",
+                        choices=["none", "fair", "fifo"],
+                        help="how concurrent transfers share the server's link: "
+                             "none (infinite capacity, the seed semantics), fair "
+                             "(processor sharing) or fifo (store-and-forward)")
     parser.add_argument("--lossy-links", type=int, default=0,
                         help="number of worker uplinks using the lossy UDP-like transport")
     parser.add_argument("--drop-rate", type=float, default=0.0, help="per-packet drop probability")
@@ -156,6 +171,43 @@ def _validate_cluster_flags(args) -> None:
             "lock-step protocol has no event-stream form.  Pick --sync-policy "
             "quorum or bounded-staleness, or drop --mode async."
         )
+    _validate_codec_flags(args)
+
+
+def _validate_codec_flags(args) -> None:
+    """Reject inconsistent wire-codec flag combinations early."""
+    codec_class = CODEC_REGISTRY.get(args.codec)
+    if codec_class is None:
+        raise ConfigurationError(
+            f"unknown codec {args.codec!r}; available: {available_codecs()}"
+        )
+    sparsifying = bool(getattr(codec_class, "sparsifying", False))
+    sparsifier_names = sorted(
+        name for name, cls in CODEC_REGISTRY.items()
+        if getattr(cls, "sparsifying", False)
+    )
+    if args.codec_k is not None and not sparsifying:
+        raise ConfigurationError(
+            f"--codec-k only applies to the sparsifying codecs "
+            f"({', '.join(sparsifier_names)}); --codec is {args.codec!r}"
+        )
+    if sparsifying and args.codec_k is None:
+        raise ConfigurationError(
+            f"--codec {args.codec} requires --codec-k (coordinates kept per gradient)"
+        )
+    if args.codec_k is not None and args.codec_k < 1:
+        raise ConfigurationError(f"--codec-k must be >= 1, got {args.codec_k}")
+    if args.quantize_bits is not None and args.codec != "qsgd":
+        raise ConfigurationError(
+            f"--quantize-bits only applies to the qsgd codec; --codec is {args.codec!r}"
+        )
+    if args.quantize_bits is not None and not (
+        QSGDCodec.MIN_BITS <= args.quantize_bits <= QSGDCodec.MAX_BITS
+    ):
+        raise ConfigurationError(
+            f"--quantize-bits must be in [{QSGDCodec.MIN_BITS}, "
+            f"{QSGDCodec.MAX_BITS}], got {args.quantize_bits}"
+        )
 
 
 def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
@@ -176,6 +228,9 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
     if args.sync_policy == "":
         print("available sync policies: " + ", ".join(available_sync_policies()), file=out)
         return {"listed": "sync-policies"}
+    if args.codec == "":
+        print("available codecs: " + ", ".join(available_codecs()), file=out)
+        return {"listed": "codecs"}
     if args.attack is not None and args.attack not in ATTACK_REGISTRY:
         raise ConfigurationError(
             f"unknown attack {args.attack!r}; available: {sorted(ATTACK_REGISTRY)}"
@@ -223,6 +278,11 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
         sync_kwargs=sync_kwargs,
         max_version_lag=args.max_version_lag,
         straggler_model=straggler_model,
+        codec=args.codec,
+        codec_k=args.codec_k,
+        quantize_bits=args.quantize_bits,
+        error_feedback=not args.no_error_feedback,
+        link_sharing=args.link_sharing,
         lossy_links=args.lossy_links,
         lossy_drop_rate=args.drop_rate,
         lossy_policy=args.recovery_policy,
@@ -263,6 +323,10 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
         "sync_policy": args.sync_policy,
         "max_version_lag": args.max_version_lag,
         "straggler_model": args.straggler_model,
+        "codec": args.codec,
+        "codec_k": args.codec_k,
+        "quantize_bits": args.quantize_bits,
+        "link_sharing": args.link_sharing,
         "seed": args.seed,
     }
 

@@ -1,0 +1,150 @@
+"""Tests for the shared-link contention scheduler (cluster/link.py)."""
+
+import pytest
+
+from repro.cluster.link import SHARING_MODES, LinkScheduler
+from repro.exceptions import ConfigurationError
+
+#: 8 Gbit/s => 1e9 bytes/s: byte counts translate to seconds directly.
+GBPS = 8.0
+CAP = 1e9
+
+
+def make(sharing, latency=0.0):
+    return LinkScheduler(bandwidth_gbps=GBPS, latency_s=latency, sharing=sharing)
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LinkScheduler(bandwidth_gbps=0, latency_s=0, sharing="none")
+        with pytest.raises(ConfigurationError):
+            LinkScheduler(bandwidth_gbps=1, latency_s=-1, sharing="none")
+        with pytest.raises(ConfigurationError):
+            LinkScheduler(bandwidth_gbps=1, latency_s=0, sharing="round-robin")
+
+    def test_sharing_modes_exported(self):
+        assert SHARING_MODES == ("none", "fair", "fifo")
+
+
+class TestNoneSharing:
+    """Infinite capacity: the seed closed form, contention-free."""
+
+    def test_solo_transfer_matches_formula(self):
+        link = make("none", latency=0.5)
+        [(finish, delay)] = link.simulate([(0.0, CAP)])  # 1 second of bytes
+        assert finish == pytest.approx(1.5)
+        assert delay == 0.0
+
+    def test_concurrent_transfers_do_not_interact(self):
+        link = make("none")
+        schedule = link.simulate([(0.0, CAP), (0.0, CAP), (0.0, 2 * CAP)])
+        assert [f for f, _ in schedule] == pytest.approx([1.0, 1.0, 2.0])
+        assert all(d == 0.0 for _, d in schedule)
+
+
+class TestFairSharing:
+    def test_two_equal_transfers_each_take_twice_as_long(self):
+        link = make("fair")
+        schedule = link.simulate([(0.0, CAP), (0.0, CAP)])
+        assert [f for f, _ in schedule] == pytest.approx([2.0, 2.0])
+        assert [d for _, d in schedule] == pytest.approx([1.0, 1.0])
+
+    def test_n_way_broadcast_scales_with_n(self):
+        for n in (2, 4, 8):
+            link = make("fair")
+            schedule = link.simulate([(0.0, CAP)] * n)
+            assert [f for f, _ in schedule] == pytest.approx([float(n)] * n)
+
+    def test_short_transfer_finishing_frees_bandwidth(self):
+        # A 1s and a 3s job: share until the short one drains at t=2
+        # (1s of bytes at half rate), then the long one runs alone:
+        # remaining 2e9 bytes at full rate -> finishes at t=4.
+        link = make("fair")
+        schedule = link.simulate([(0.0, CAP), (0.0, 3 * CAP)])
+        assert [f for f, _ in schedule] == pytest.approx([2.0, 4.0])
+
+    def test_staggered_arrival(self):
+        # Job A (2s of bytes) alone for 1s, then shares with job B (1s of
+        # bytes): A has 1e9 left, B 1e9, both at half rate -> both end t=3.
+        link = make("fair")
+        schedule = link.simulate([(0.0, 2 * CAP), (1.0, CAP)])
+        assert [f for f, _ in schedule] == pytest.approx([3.0, 3.0])
+        # A ideally took 2s, took 3: one second of queueing; B ideally 1s,
+        # took 2: one second of queueing.
+        assert [d for _, d in schedule] == pytest.approx([1.0, 1.0])
+
+    def test_latency_rides_on_top_once(self):
+        link = make("fair", latency=0.25)
+        schedule = link.simulate([(0.0, CAP), (0.0, CAP)])
+        assert [f for f, _ in schedule] == pytest.approx([2.25, 2.25])
+        assert [d for _, d in schedule] == pytest.approx([1.0, 1.0])
+
+
+class TestFifoSharing:
+    def test_sessions_serialise_in_admission_order(self):
+        link = make("fifo")
+        schedule = link.simulate([(0.0, CAP), (0.0, CAP), (0.0, CAP)])
+        assert [f for f, _ in schedule] == pytest.approx([1.0, 2.0, 3.0])
+        assert [d for _, d in schedule] == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_later_arrival_waits_for_backlog(self):
+        link = make("fifo")
+        schedule = link.simulate([(0.0, 2 * CAP), (0.5, CAP)])
+        assert [f for f, _ in schedule] == pytest.approx([2.0, 3.0])
+        # The second job started at 0.5 and would solo-finish at 1.5.
+        assert schedule[1][1] == pytest.approx(1.5)
+
+
+class TestEventDrivenApi:
+    def test_open_advance_pop_cycle(self):
+        link = make("fair")
+        a = link.open(0.0, CAP, worker_id=1)
+        b = link.open(0.0, CAP, worker_id=2)
+        target = link.next_completion()
+        assert target == pytest.approx(2.0)
+        done = link.pop_completed(target)
+        assert {s.worker_id for s in done} == {1, 2}
+        assert a.done_time == pytest.approx(2.0)
+        assert b.queueing_delay == pytest.approx(1.0)
+        assert link.next_completion() is None
+        assert link.active_sessions == 0
+
+    def test_admission_delays_projected_completion(self):
+        link = make("fair")
+        link.open(0.0, CAP)
+        assert link.next_completion() == pytest.approx(1.0)
+        link.open(0.5, CAP)
+        # First session drained half its bytes alone; the rest at half rate.
+        assert link.next_completion() == pytest.approx(1.5)
+
+    def test_time_cannot_move_backwards(self):
+        link = make("fair")
+        link.open(1.0, CAP)
+        with pytest.raises(ConfigurationError):
+            link.advance(0.5)
+
+    def test_zero_byte_session_completes_after_latency_only(self):
+        link = make("fifo", latency=0.125)
+        session = link.open(2.0, 0.0)
+        [done] = link.pop_completed(link.next_completion())
+        assert done is session
+        assert done.done_time == pytest.approx(2.125)
+
+    def test_determinism_ties_resolve_by_admission_order(self):
+        link = make("none")
+        first = link.open(0.0, CAP, worker_id=7)
+        second = link.open(0.0, CAP, worker_id=3)
+        done = link.pop_completed(link.next_completion())
+        assert [s.worker_id for s in done] == [7, 3]
+        assert first.session_id < second.session_id
+
+    def test_telemetry_counters(self):
+        link = make("fair")
+        link.open(0.0, CAP)
+        link.open(0.0, 3 * CAP)
+        while link.active_sessions:
+            link.pop_completed(link.next_completion())
+        assert link.sessions_opened == 2
+        assert link.sessions_completed == 2
+        assert link.bytes_carried == pytest.approx(4 * CAP)

@@ -120,6 +120,82 @@ class TestClusterFlagHardening:
             )
 
 
+class TestCodecFlagValidation:
+    """The --codec / --codec-k / --quantize-bits / --link-sharing matrix."""
+
+    def test_codec_listing(self):
+        stream = io.StringIO()
+        result = runner.run(["--codec", ""], stream=stream)
+        assert result == {"listed": "codecs"}
+        assert "top-k" in stream.getvalue()
+        assert "qsgd" in stream.getvalue()
+
+    def test_codec_k_without_sparsifying_codec_rejected(self):
+        with pytest.raises(ConfigurationError, match="--codec-k"):
+            runner.run(BASE_ARGS + ["--codec-k", "10"], stream=io.StringIO())
+
+    def test_codec_k_with_qsgd_rejected(self):
+        with pytest.raises(ConfigurationError, match="--codec-k"):
+            runner.run(
+                BASE_ARGS + ["--codec", "qsgd", "--codec-k", "10"],
+                stream=io.StringIO(),
+            )
+
+    def test_topk_without_codec_k_rejected(self):
+        with pytest.raises(ConfigurationError, match="requires --codec-k"):
+            runner.run(BASE_ARGS + ["--codec", "top-k"], stream=io.StringIO())
+
+    def test_non_positive_codec_k_rejected(self):
+        with pytest.raises(ConfigurationError, match="--codec-k"):
+            runner.run(
+                BASE_ARGS + ["--codec", "top-k", "--codec-k", "0"],
+                stream=io.StringIO(),
+            )
+
+    def test_quantize_bits_without_qsgd_rejected(self):
+        with pytest.raises(ConfigurationError, match="--quantize-bits"):
+            runner.run(BASE_ARGS + ["--quantize-bits", "4"], stream=io.StringIO())
+        with pytest.raises(ConfigurationError, match="--quantize-bits"):
+            runner.run(
+                BASE_ARGS + ["--codec", "top-k", "--codec-k", "5",
+                             "--quantize-bits", "4"],
+                stream=io.StringIO(),
+            )
+
+    def test_quantize_bits_out_of_range_rejected(self):
+        for bits in ("0", "17", "-3"):
+            with pytest.raises(ConfigurationError, match=r"\[1, 16\]"):
+                runner.run(
+                    BASE_ARGS + ["--codec", "qsgd", "--quantize-bits", bits],
+                    stream=io.StringIO(),
+                )
+
+    def test_unknown_link_sharing_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            runner.build_parser().parse_args(["--link-sharing", "weighted"])
+
+    def test_topk_run_with_fair_sharing(self):
+        summary = runner.run(
+            BASE_ARGS + ["--aggregator", "average", "--codec", "top-k",
+                         "--codec-k", "10", "--link-sharing", "fair"],
+            stream=io.StringIO(),
+        )
+        assert not summary["diverged"]
+        assert summary["configuration"]["codec"] == "top-k"
+        assert summary["configuration"]["link_sharing"] == "fair"
+        assert summary["wire"]["wire_bytes"] > 0
+        assert summary["wire"]["queueing_delay_seconds"] > 0
+
+    def test_qsgd_run(self):
+        summary = runner.run(
+            BASE_ARGS + ["--aggregator", "average", "--codec", "qsgd",
+                         "--quantize-bits", "6"],
+            stream=io.StringIO(),
+        )
+        assert not summary["diverged"]
+        assert summary["configuration"]["quantize_bits"] == 6
+
+
 class TestEndToEnd:
     def test_average_run(self, tmp_path):
         stream = io.StringIO()

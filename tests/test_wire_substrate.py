@@ -1,0 +1,296 @@
+"""Integration tests for the wire substrate: codecs + link contention + RNG isolation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CostModel, LossyChannel, RecoveryPolicy, build_trainer
+from repro.cluster.trainer import TrainerConfig
+from repro.exceptions import ConfigurationError
+
+
+def _build(tiny_dataset, tiny_model_kwargs, **overrides):
+    kwargs = dict(
+        model="mlp",
+        model_kwargs=tiny_model_kwargs,
+        dataset=tiny_dataset,
+        gar="average",
+        num_workers=4,
+        batch_size=16,
+        learning_rate=5e-3,
+        seed=123,
+    )
+    kwargs.update(overrides)
+    return build_trainer(**kwargs)
+
+
+class TestWireRngIsolation:
+    """Satellite regression: wire randomness cannot perturb training streams."""
+
+    def test_drop_rate_does_not_perturb_model_init_or_batch_order(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        clean = _build(tiny_dataset, tiny_model_kwargs,
+                       lossy_links=2, lossy_drop_rate=0.0)
+        lossy = _build(tiny_dataset, tiny_model_kwargs,
+                       lossy_links=2, lossy_drop_rate=0.7)
+        # Model initialisation is bit-identical regardless of the drop rate.
+        np.testing.assert_array_equal(clean.server.parameters, lossy.server.parameters)
+        # Every worker's first mini-batch is bit-identical too.
+        for a, b in zip(clean.honest_workers, lossy.honest_workers):
+            ax, ay = a.sampler.sample()
+            bx, by = b.sampler.sample()
+            np.testing.assert_array_equal(ax, bx)
+            np.testing.assert_array_equal(ay, by)
+
+    def test_first_step_losses_identical_under_different_drop_rates(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        # The first step's honest gradients are computed before any wire
+        # damage can feed back into the model, so the mean loss must match.
+        histories = []
+        for drop in (0.0, 0.5):
+            trainer = _build(tiny_dataset, tiny_model_kwargs,
+                             lossy_links=1, lossy_drop_rate=drop,
+                             lossy_policy=RecoveryPolicy.NAN_FILL,
+                             gar="selective-average")
+            histories.append(trainer.run(TrainerConfig(max_steps=1, eval_every=0)))
+        assert histories[0].steps[0].mean_loss == histories[1].steps[0].mean_loss
+
+    def test_codec_choice_does_not_perturb_model_init(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        identity = _build(tiny_dataset, tiny_model_kwargs)
+        qsgd = _build(tiny_dataset, tiny_model_kwargs, codec="qsgd", quantize_bits=6)
+        np.testing.assert_array_equal(identity.server.parameters, qsgd.server.parameters)
+
+    def test_loss_free_lossy_channel_consumes_no_wire_randomness(self, rng):
+        channel = LossyChannel(drop_rate=0.0, policy="random-fill", rng=9)
+        before_wire = channel._wire_rng.bit_generator.state
+        before_fill = channel.packetizer._rng.bit_generator.state
+        channel.transfer(rng.standard_normal(1000), CostModel())
+        assert channel._wire_rng.bit_generator.state == before_wire
+        assert channel.packetizer._rng.bit_generator.state == before_fill
+
+    def test_drop_draws_do_not_perturb_fill_stream(self, rng):
+        # Channels with the same seed but different drop rates consume
+        # different *amounts* of drop randomness; because the garbage fill
+        # lives on its own named stream, both channels' fill streams start
+        # from the identical state — and the drop stream's consumption never
+        # advances the fill stream.
+        fresh_a = LossyChannel(drop_rate=0.2, rng=4)
+        fresh_b = LossyChannel(drop_rate=0.9, rng=4)
+        assert (
+            fresh_a.packetizer._rng.bit_generator.state
+            == fresh_b.packetizer._rng.bit_generator.state
+        )
+        payload = rng.standard_normal(2048)
+        fill_before = fresh_a.packetizer._rng.bit_generator.state
+        nan_fill = LossyChannel(drop_rate=0.5, policy="nan-fill", rng=4)
+        nan_fill.transfer(payload, CostModel())
+        # NaN fill never draws garbage: only the drop stream advanced.
+        assert nan_fill.packetizer._rng.bit_generator.state == fill_before
+        assert nan_fill._wire_rng.bit_generator.state != fresh_a._wire_rng.bit_generator.state
+
+
+class TestIdentityNoneParity:
+    """codec=identity + link_sharing=none is the seed wire, bit for bit."""
+
+    def test_explicit_defaults_match_implicit_defaults(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        implicit = _build(tiny_dataset, tiny_model_kwargs)
+        explicit = _build(tiny_dataset, tiny_model_kwargs,
+                          codec="identity", link_sharing="none")
+        h_implicit = implicit.run(TrainerConfig(max_steps=5, eval_every=0))
+        h_explicit = explicit.run(TrainerConfig(max_steps=5, eval_every=0))
+        np.testing.assert_array_equal(
+            implicit.server.parameters, explicit.server.parameters
+        )
+        assert h_implicit.total_time == h_explicit.total_time
+
+    def test_fair_sharing_changes_time_not_trajectory(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        base = _build(tiny_dataset, tiny_model_kwargs)
+        contended = _build(tiny_dataset, tiny_model_kwargs, link_sharing="fair")
+        h_base = base.run(TrainerConfig(max_steps=5, eval_every=0))
+        h_contended = contended.run(TrainerConfig(max_steps=5, eval_every=0))
+        # Full synchrony admits every gradient either way: same parameters.
+        np.testing.assert_array_equal(base.server.parameters, contended.server.parameters)
+        # But the shared link makes the broadcast + pushes contend: slower.
+        assert h_contended.total_time > h_base.total_time
+
+    def test_contention_records_per_worker_queueing_delay(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        trainer = _build(tiny_dataset, tiny_model_kwargs, link_sharing="fair")
+        history = trainer.run(TrainerConfig(max_steps=3, eval_every=0))
+        delays = [
+            t.queueing_delay_seconds for t in history.worker_timelines.values()
+        ]
+        assert len(delays) == 4
+        assert all(d > 0 for d in delays)
+        assert history.wire_summary()["queueing_delay_seconds"] > 0
+
+    def test_uncontended_run_records_zero_queueing_delay(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        trainer = _build(tiny_dataset, tiny_model_kwargs)
+        history = trainer.run(TrainerConfig(max_steps=3, eval_every=0))
+        assert history.wire_summary()["queueing_delay_seconds"] == 0.0
+        assert history.wire_summary()["bytes_sent"] > 0
+
+
+class TestCodecTraining:
+    def test_topk_moves_fewer_bytes(self, tiny_dataset, tiny_model_kwargs):
+        identity = _build(tiny_dataset, tiny_model_kwargs)
+        sparse = _build(tiny_dataset, tiny_model_kwargs, codec="top-k", codec_k=10)
+        h_identity = identity.run(TrainerConfig(max_steps=5, eval_every=0))
+        h_sparse = sparse.run(TrainerConfig(max_steps=5, eval_every=0))
+        assert h_sparse.total_wire_bytes < h_identity.total_wire_bytes / 4
+        # Compressed frames are cheaper to move: simulated time shrinks too.
+        assert h_sparse.total_time <= h_identity.total_time
+
+    def test_qsgd_training_converges(self, tiny_dataset, tiny_model_kwargs):
+        trainer = _build(tiny_dataset, tiny_model_kwargs, codec="qsgd",
+                         quantize_bits=8)
+        history = trainer.run(TrainerConfig(max_steps=30, eval_every=10))
+        assert not history.diverged
+        assert history.final_accuracy > 0.5
+
+    def test_compression_error_is_recorded(self, tiny_dataset, tiny_model_kwargs):
+        trainer = _build(tiny_dataset, tiny_model_kwargs, codec="top-k", codec_k=10)
+        history = trainer.run(TrainerConfig(max_steps=2, eval_every=0))
+        assert history.wire_summary()["compression_error"] > 0
+
+    def test_codec_composes_with_lossy_transport(self, tiny_dataset, tiny_model_kwargs):
+        # Drops hit the *compressed* frames; the robust GAR absorbs them.
+        trainer = _build(tiny_dataset, tiny_model_kwargs,
+                         gar="median", declared_f=1,
+                         codec="top-k", codec_k=20,
+                         lossy_links=1, lossy_drop_rate=0.3)
+        history = trainer.run(TrainerConfig(max_steps=10, eval_every=0))
+        assert not history.diverged
+
+    def test_wire_bytes_recorded_per_update(self, tiny_dataset, tiny_model_kwargs):
+        trainer = _build(tiny_dataset, tiny_model_kwargs, codec="top-k", codec_k=10)
+        trainer.run(TrainerConfig(max_steps=2, eval_every=0))
+        per_update = trainer.codec.frame_bytes(trainer.server.dim) * 4
+        for record in trainer.history.steps:
+            assert record.wire_bytes == pytest.approx(per_update)
+        for entry in trainer.server.update_log:
+            assert entry.wire_bytes == pytest.approx(per_update)
+
+
+class TestAsyncWireSubstrate:
+    def _build_async(self, tiny_dataset, tiny_model_kwargs, **overrides):
+        return _build(
+            tiny_dataset, tiny_model_kwargs,
+            mode="async", sync_policy="quorum", gar="average",
+            num_workers=4, max_version_lag=3,
+            **overrides,
+        )
+
+    def test_async_fair_sharing_records_queueing_delay(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        trainer = self._build_async(tiny_dataset, tiny_model_kwargs,
+                                    link_sharing="fair")
+        history = trainer.run(TrainerConfig(max_steps=5, eval_every=0))
+        assert history.wire_summary()["queueing_delay_seconds"] > 0
+        assert not history.diverged
+
+    def test_async_contended_run_is_deterministic(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        params = []
+        for _ in range(2):
+            trainer = self._build_async(tiny_dataset, tiny_model_kwargs,
+                                        link_sharing="fair", codec="qsgd",
+                                        quantize_bits=6)
+            trainer.run(TrainerConfig(max_steps=5, eval_every=0))
+            params.append(trainer.server.parameters)
+        np.testing.assert_array_equal(params[0], params[1])
+
+    def test_async_codec_counts_bytes(self, tiny_dataset, tiny_model_kwargs):
+        trainer = self._build_async(tiny_dataset, tiny_model_kwargs,
+                                    codec="top-k", codec_k=15)
+        history = trainer.run(TrainerConfig(max_steps=4, eval_every=0))
+        frame_bytes = trainer.codec.frame_bytes(trainer.server.dim)
+        sent = history.wire_summary()["bytes_sent"]
+        assert sent > 0
+        assert sent == pytest.approx(
+            frame_bytes * sum(t.rounds_completed for t in history.worker_timelines.values())
+        )
+
+
+class TestErrorFeedback:
+    def test_residuals_are_carried_per_worker(self, tiny_dataset, tiny_model_kwargs):
+        trainer = _build(tiny_dataset, tiny_model_kwargs, codec="top-k", codec_k=10)
+        assert trainer.error_feedback
+        trainer.run(TrainerConfig(max_steps=2, eval_every=0))
+        assert sorted(trainer._codec_memory) == [w.worker_id for w in trainer.honest_workers]
+        assert all(np.linalg.norm(m) > 0 for m in trainer._codec_memory.values())
+
+    def test_identity_codec_disables_error_feedback(self, tiny_dataset, tiny_model_kwargs):
+        trainer = _build(tiny_dataset, tiny_model_kwargs)
+        assert not trainer.error_feedback
+        trainer.run(TrainerConfig(max_steps=2, eval_every=0))
+        assert trainer._codec_memory == {}
+
+    def test_error_feedback_improves_aggressive_sparsification(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        histories = {}
+        for ef in (True, False):
+            trainer = _build(tiny_dataset, tiny_model_kwargs, codec="top-k",
+                             codec_k=5, error_feedback=ef)
+            histories[ef] = trainer.run(TrainerConfig(max_steps=40, eval_every=10))
+        assert histories[True].final_accuracy >= histories[False].final_accuracy
+
+    def test_resume_with_topk_codec_is_bit_identical(
+        self, tiny_dataset, tiny_model_kwargs, tmp_path
+    ):
+        from repro.cluster.checkpoint import (
+            capture_training_state,
+            load_training_state,
+            restore_training_state,
+            save_training_state,
+        )
+
+        build = lambda: _build(tiny_dataset, tiny_model_kwargs,
+                               codec="top-k", codec_k=10)
+        uninterrupted = build()
+        uninterrupted.run(TrainerConfig(max_steps=6, eval_every=0))
+
+        first = build()
+        first.run(TrainerConfig(max_steps=3, eval_every=0))
+        path = save_training_state(capture_training_state(first), tmp_path / "state.npz")
+
+        resumed = build()
+        restore_training_state(resumed, load_training_state(path))
+        resumed.run(TrainerConfig(max_steps=3, eval_every=0))
+        np.testing.assert_array_equal(
+            resumed.server.parameters, uninterrupted.server.parameters
+        )
+
+
+class TestBuilderValidation:
+    def test_codec_k_rejected_for_identity(self, tiny_dataset, tiny_model_kwargs):
+        with pytest.raises(ConfigurationError, match="codec_k"):
+            _build(tiny_dataset, tiny_model_kwargs, codec="identity", codec_k=5)
+
+    def test_quantize_bits_rejected_for_topk(self, tiny_dataset, tiny_model_kwargs):
+        with pytest.raises(ConfigurationError, match="quantize_bits"):
+            _build(tiny_dataset, tiny_model_kwargs, codec="top-k", codec_k=5,
+                   quantize_bits=4)
+
+    def test_unknown_link_sharing_rejected(self, tiny_dataset, tiny_model_kwargs):
+        with pytest.raises(ConfigurationError, match="link_sharing"):
+            _build(tiny_dataset, tiny_model_kwargs, link_sharing="weighted")
+
+    def test_codec_instance_with_kwargs_rejected(self, tiny_dataset, tiny_model_kwargs):
+        from repro.cluster.codec import TopKCodec
+
+        with pytest.raises(ConfigurationError):
+            _build(tiny_dataset, tiny_model_kwargs, codec=TopKCodec(5), codec_k=5)
