@@ -27,12 +27,22 @@ from repro.cluster.codec import (
     WireFrame,
     available_codecs,
     decode_frame,
+    encode_delta,
     make_codec,
 )
 from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec, NodeSpec, allocate_devices
 from repro.cluster.events import Event, EventLoop, EventQueue
-from repro.cluster.link import SHARING_MODES, LinkScheduler, LinkSession
+from repro.cluster.link import (
+    DEFAULT_REGION,
+    SHARING_MODES,
+    LinkFabric,
+    LinkScheduler,
+    LinkSession,
+    LinkTopology,
+    RegionLink,
+    parse_link_profile,
+)
 from repro.cluster.message import GradientMessage, ModelMessage
 from repro.cluster.packets import Packetizer, RecoveryPolicy
 from repro.cluster.network import (
@@ -59,6 +69,7 @@ from repro.cluster.telemetry import TrainingHistory, StepRecord, EvalRecord, Wor
 from repro.cluster.trainer import (
     AsyncTrainer,
     BaseTrainer,
+    DownlinkSession,
     SynchronousTrainer,
     TrainerConfig,
 )
@@ -91,9 +102,15 @@ __all__ = [
     "CODEC_REGISTRY",
     "available_codecs",
     "decode_frame",
+    "encode_delta",
     "make_codec",
     "LinkScheduler",
     "LinkSession",
+    "LinkFabric",
+    "LinkTopology",
+    "RegionLink",
+    "DEFAULT_REGION",
+    "parse_link_profile",
     "SHARING_MODES",
     "Event",
     "EventLoop",
@@ -132,6 +149,7 @@ __all__ = [
     "SynchronousTrainer",
     "AsyncTrainer",
     "TrainerConfig",
+    "DownlinkSession",
     "build_trainer",
     "Checkpoint",
     "CheckpointManager",

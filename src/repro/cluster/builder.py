@@ -17,7 +17,7 @@ from repro.attacks.base import Attack, make_attack
 from repro.cluster.codec import WireCodec, make_codec
 from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec, allocate_devices
-from repro.cluster.link import SHARING_MODES
+from repro.cluster.link import SHARING_MODES, LinkTopology, parse_link_profile
 from repro.cluster.network import Channel, DelayedChannel, LossyChannel, ReliableChannel
 from repro.cluster.packets import RecoveryPolicy
 from repro.cluster.server import ParameterServer
@@ -92,12 +92,18 @@ def build_trainer(
     codec: Union[str, WireCodec] = "identity",
     codec_k: Optional[int] = None,
     quantize_bits: Optional[int] = None,
+    broadcast_codec: Union[None, str, WireCodec] = None,
+    broadcast_k: Optional[int] = None,
+    broadcast_bits: Optional[int] = None,
     error_feedback: bool = True,
     link_sharing: str = "none",
+    link_profile: Optional[str] = None,
+    link_topology: Optional[LinkTopology] = None,
     lossy_links: int = 0,
     lossy_drop_rate: float = 0.0,
     lossy_policy: Union[str, RecoveryPolicy] = RecoveryPolicy.RANDOM_FILL,
     link_delays: Optional[Dict[int, float]] = None,
+    link_jitters: Optional[Dict[int, float]] = None,
     worker_speeds: Optional[Dict[int, float]] = None,
     uplink_channels: Optional[Dict[int, Channel]] = None,
     seed: SeedLike = 0,
@@ -166,6 +172,15 @@ def build_trainer(
         *instance* is used as given — construct stochastic instances with an
         explicit ``rng`` or the run is not reproducible from *seed* alone.
         The default identity codec is bit-identical to the seed wire.
+    broadcast_codec, broadcast_k, broadcast_bits:
+        The downlink codec (``--broadcast-codec`` analogue): when set, model
+        fetches travel as codec-encoded version deltas against each worker's
+        held state (with a full-state resync whenever the held version was
+        evicted past ``retain_versions``).  Any registered codec name or
+        instance composes; ``broadcast_k`` / ``broadcast_bits`` mirror
+        ``codec_k`` / ``quantize_bits``.  ``None`` (default) keeps the raw
+        ``4d`` full-state framing, and the identity broadcast codec stays
+        bit-identical to it in both trajectory and priced bytes.
     error_feedback:
         Whether honest workers carry their codec residual into the next
         round (EF-SGD memory compensation; default on, a no-op under the
@@ -175,6 +190,15 @@ def build_trainer(
         ``"none"`` (seed semantics, infinite capacity), ``"fair"``
         (processor sharing — N concurrent transfers each see 1/N of the
         pipe) or ``"fifo"`` (store-and-forward queueing).
+    link_profile, link_topology:
+        Heterogeneous wire topology: ``link_profile`` is the compact WAN
+        string (``"wan:<regions>x<bandwidth>[/<latency>]"``, e.g.
+        ``"wan:3x10mbit/40ms"`` — workers round-robin across per-region
+        shared bottlenecks), ``link_topology`` an explicit
+        :class:`~repro.cluster.link.LinkTopology` (mutually exclusive with
+        the profile).  A cluster spec's ``link_profile`` field applies when
+        neither is given.  Contention (``link_sharing``) then plays out per
+        region bottleneck instead of on one global pipe.
     lossy_links, lossy_drop_rate, lossy_policy:
         Put a lossy UDP-like uplink with the given drop rate and recovery
         policy on this many workers (Figure 8).  Explicit ``uplink_channels``
@@ -184,6 +208,11 @@ def build_trainer(
         channel (reliable or lossy) is wrapped in a
         :class:`~repro.cluster.network.DelayedChannel` — a structurally slow
         link, the network half of the straggler scenarios.
+    link_jitters:
+        Per-worker-id uniform jitter bound in seconds on the same wrapped
+        channel; the jitter draws live on a named child stream of the
+        worker's channel seed, so they can never perturb training
+        randomness.
     worker_speeds:
         Per-worker-id relative compute speed (< 1 = persistent compute
         straggler); applies to honest workers only, the adversary is
@@ -220,6 +249,19 @@ def build_trainer(
         raise ConfigurationError(
             f"link_sharing must be one of {SHARING_MODES}, got {link_sharing!r}"
         )
+    if link_profile is not None and link_topology is not None:
+        raise ConfigurationError(
+            "link_profile and link_topology are mutually exclusive; pass the "
+            "compact profile string or an explicit topology, not both"
+        )
+    topology = link_topology
+    if topology is None:
+        profile_text = link_profile
+        if profile_text is None and cluster is not None:
+            profile_text = cluster.link_profile
+        topology = parse_link_profile(profile_text, num_workers)
+    if topology is not None:
+        topology.validate_workers(range(num_workers))
     f = num_byzantine if declared_f is None else int(declared_f)
     gar_instance = _resolve_gar(gar, f, gar_kwargs)
     optimizer_instance = _resolve_optimizer(optimizer, learning_rate, optimizer_kwargs)
@@ -228,14 +270,22 @@ def build_trainer(
     cost = cost_model if cost_model is not None else CostModel()
 
     # Independent RNG streams: one per worker, plus channels / corruption /
-    # attack / model init / stragglers / codec.  New streams are appended at
-    # the end of the spawn, so existing seeds reproduce bit-identically —
-    # and wire randomness (channel drops, codec draws) can never perturb the
-    # training streams (model init, batch order, attacks).
-    rngs = spawn_rngs(seed, num_workers * 2 + 5)
+    # attack / model init / stragglers / codec / broadcast codec.  New
+    # streams are appended at the end of the spawn, so existing seeds
+    # reproduce bit-identically — and wire randomness (channel drops, codec
+    # draws) can never perturb the training streams (model init, batch
+    # order, attacks).
+    rngs = spawn_rngs(seed, num_workers * 2 + 6)
     worker_rngs = rngs[:num_workers]
     channel_rngs = rngs[num_workers : 2 * num_workers]
-    corruption_rng, attack_rng, model_rng, straggler_rng, codec_rng = rngs[2 * num_workers :]
+    (
+        corruption_rng,
+        attack_rng,
+        model_rng,
+        straggler_rng,
+        codec_rng,
+        broadcast_rng,
+    ) = rngs[2 * num_workers :]
 
     if isinstance(codec, WireCodec):
         if codec_k is not None or quantize_bits is not None:
@@ -247,6 +297,25 @@ def build_trainer(
     else:
         codec_instance = make_codec(
             codec, k=codec_k, bits=quantize_bits, rng=codec_rng
+        )
+
+    if broadcast_codec is None:
+        if broadcast_k is not None or broadcast_bits is not None:
+            raise ConfigurationError(
+                "broadcast_k / broadcast_bits require a broadcast_codec"
+            )
+        broadcast_instance = None
+    elif isinstance(broadcast_codec, WireCodec):
+        if broadcast_k is not None or broadcast_bits is not None:
+            raise ConfigurationError(
+                "broadcast_k / broadcast_bits only apply when the broadcast "
+                "codec is given by name; configure a codec instance directly "
+                "instead"
+            )
+        broadcast_instance = broadcast_codec
+    else:
+        broadcast_instance = make_codec(
+            broadcast_codec, k=broadcast_k, bits=broadcast_bits, rng=broadcast_rng
         )
 
     def build_model() -> Sequential:
@@ -302,17 +371,27 @@ def build_trainer(
             policy=lossy_policy,
             rng=channel_rngs[worker_id],
         )
-    for worker_id, delay_s in (link_delays or {}).items():
+    for worker_id, jitter_s in (link_jitters or {}).items():
+        if jitter_s < 0:
+            raise ConfigurationError(
+                f"link_jitters values must be non-negative, got {jitter_s} "
+                f"for worker {worker_id}"
+            )
+    delayed_ids = sorted(set(link_delays or {}) | set(link_jitters or {}))
+    for worker_id in delayed_ids:
         if not num_byzantine <= worker_id < num_workers:
             # Byzantine senders have arbitrarily fast links in the threat
             # model, so a delay on their uplink would be silently ignored.
             raise ConfigurationError(
-                f"link_delays id {worker_id} does not name an honest worker "
-                f"(honest ids are [{num_byzantine}, {num_workers}); the adversary "
-                "is arbitrarily fast regardless)"
+                f"link_delays/link_jitters id {worker_id} does not name an "
+                f"honest worker (honest ids are [{num_byzantine}, {num_workers}); "
+                "the adversary is arbitrarily fast regardless)"
             )
         channels[worker_id] = DelayedChannel(
-            channels.get(worker_id), delay_s=delay_s, rng=channel_rngs[worker_id]
+            channels.get(worker_id),
+            delay_s=(link_delays or {}).get(worker_id, 0.0),
+            jitter_s=(link_jitters or {}).get(worker_id, 0.0),
+            rng=channel_rngs[worker_id],
         )
     if uplink_channels:
         channels.update(uplink_channels)
@@ -328,7 +407,9 @@ def build_trainer(
         uplink_channels=channels,
         cluster=cluster_spec,
         codec=codec_instance,
+        broadcast_codec=broadcast_instance,
         link_sharing=link_sharing,
+        link_topology=topology,
         error_feedback=error_feedback,
         eval_model=eval_model,
         test_set=(dataset.test_x, dataset.test_y),

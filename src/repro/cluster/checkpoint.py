@@ -147,6 +147,10 @@ class TrainingState:
     #: Per-worker error-feedback residuals of the wire codec (empty under
     #: the identity codec or with error feedback disabled).
     codec_memory: Dict[int, np.ndarray] = field(default_factory=dict)
+    #: Per-worker downlink sessions for delta broadcasts:
+    #: ``{worker_id: (held_version, replica)}`` (empty without a broadcast
+    #: codec — and in archives written before delta broadcasts existed).
+    downlink_sessions: Dict[int, Tuple[int, np.ndarray]] = field(default_factory=dict)
 
 
 def _channel_rngs(channel, prefix: str) -> List[Tuple[str, np.random.Generator]]:
@@ -194,6 +198,9 @@ def _trainer_rngs(trainer) -> Dict[str, np.random.Generator]:
     codec_rng = getattr(getattr(trainer, "codec", None), "_rng", None)
     if isinstance(codec_rng, np.random.Generator):
         rngs["codec"] = codec_rng
+    broadcast_rng = getattr(getattr(trainer, "broadcast_codec", None), "_rng", None)
+    if isinstance(broadcast_rng, np.random.Generator):
+        rngs["broadcast-codec"] = broadcast_rng
     return rngs
 
 
@@ -218,6 +225,10 @@ def capture_training_state(trainer) -> TrainingState:
         codec_memory={
             int(worker_id): residual.copy()
             for worker_id, residual in getattr(trainer, "_codec_memory", {}).items()
+        },
+        downlink_sessions={
+            int(worker_id): (int(session.version), session.replica.copy())
+            for worker_id, session in getattr(trainer, "_downlink", {}).items()
         },
     )
 
@@ -252,6 +263,21 @@ def restore_training_state(trainer, state: TrainingState) -> None:
         int(worker_id): np.asarray(residual, dtype=np.float64).copy()
         for worker_id, residual in state.codec_memory.items()
     }
+    from repro.cluster.trainer import DownlinkSession
+
+    trainer._downlink = {}
+    for worker_id, (version, replica) in state.downlink_sessions.items():
+        trainer._downlink[int(worker_id)] = DownlinkSession(
+            version=int(version),
+            replica=np.asarray(replica, dtype=np.float64).copy(),
+        )
+        # server.restore restarted the version log from the restored
+        # version alone; re-register each session's held version (with its
+        # replica as the best-known vector) and re-pin it, so resumed runs
+        # keep delta-broadcasting instead of forcing a full-state resync
+        # the uninterrupted run never paid for.
+        trainer.server.track_version(version, replica)
+        trainer.server.pin_version(version)
     trainer.clock.reset(state.sim_time)
 
 
@@ -281,6 +307,11 @@ def save_training_state(state: TrainingState, path: Union[str, Path]) -> Path:
     for worker_id, residual in state.codec_memory.items():
         arrays[f"efmem:{int(worker_id)}"] = np.asarray(residual, dtype=np.float64)
 
+    downlink_versions: Dict[str, int] = {}
+    for worker_id, (version, replica) in state.downlink_sessions.items():
+        arrays[f"dlink:{int(worker_id)}"] = np.asarray(replica, dtype=np.float64)
+        downlink_versions[str(int(worker_id))] = int(version)
+
     meta = {
         "step": int(state.step),
         "sim_time": float(state.sim_time),
@@ -290,6 +321,7 @@ def save_training_state(state: TrainingState, path: Union[str, Path]) -> Path:
         "pending": pending_meta,
         "rng_states": state.rng_states,
         "codec_memory_workers": sorted(int(w) for w in state.codec_memory),
+        "downlink_versions": downlink_versions,
     }
     np.savez_compressed(path, meta=np.asarray(json.dumps(meta)), **arrays)
     return path
@@ -327,6 +359,13 @@ def load_training_state(path: Union[str, Path]) -> TrainingState:
             codec_memory={
                 int(worker_id): np.asarray(archive[f"efmem:{worker_id}"], dtype=np.float64)
                 for worker_id in meta.get("codec_memory_workers", [])
+            },
+            downlink_sessions={
+                int(worker_id): (
+                    int(version),
+                    np.asarray(archive[f"dlink:{worker_id}"], dtype=np.float64),
+                )
+                for worker_id, version in meta.get("downlink_versions", {}).items()
             },
         )
 

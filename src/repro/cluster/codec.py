@@ -47,6 +47,9 @@ from repro.cluster.cost_model import BYTES_PER_COORDINATE
 from repro.exceptions import ConfigurationError
 from repro.utils.random import SeedLike, as_rng
 
+#: Sentinel distinguishing "keep the frame's indices" from an explicit None.
+_KEEP_INDICES = object()
+
 
 @dataclass
 class WireFrame:
@@ -71,6 +74,15 @@ class WireFrame:
         :meth:`~WireCodec.frame_bytes` for this ``dim``).
     codec:
         Name of the codec that produced the frame.
+    shared_support:
+        Whether ``indices`` never crossed the wire (shared-seed elision):
+        the receiver derives them independently, so a lossy transport can
+        attribute lost positions to exact coordinates.
+    base_version / target_version:
+        Set on delta broadcast frames: the payload encodes the parameter
+        change from the worker's held model ``base_version`` to the
+        server's ``target_version`` (``None`` on ordinary gradient frames
+        and full-state broadcasts).
     """
 
     dim: int
@@ -79,19 +91,37 @@ class WireFrame:
     scale: float = 1.0
     nbytes: float = 0.0
     codec: str = "identity"
+    shared_support: bool = False
+    base_version: Optional[int] = None
+    target_version: Optional[int] = None
 
-    def degraded(self, values: Optional[np.ndarray]) -> Optional["WireFrame"]:
+    @property
+    def is_delta(self) -> bool:
+        """Whether this frame carries a version delta rather than a payload."""
+        return self.base_version is not None
+
+    def degraded(
+        self,
+        values: Optional[np.ndarray],
+        *,
+        indices: Optional[np.ndarray] = _KEEP_INDICES,
+    ) -> Optional["WireFrame"]:
         """The same frame with its wire payload replaced by *values*.
 
         Channels call this after packet loss / reordering mangled the
-        payload; ``None`` propagates a whole-frame drop.
+        payload; ``None`` propagates a whole-frame drop.  Sparse frames
+        whose (index, value) pairs were thinned by loss pass the surviving
+        *indices* explicitly; by default the original support is kept.
         """
         if values is None:
             return None
+        if indices is _KEEP_INDICES:
+            indices = self.indices
         return WireFrame(
             dim=self.dim, values=np.asarray(values, dtype=np.float64),
-            indices=self.indices, scale=self.scale, nbytes=self.nbytes,
-            codec=self.codec,
+            indices=indices, scale=self.scale, nbytes=self.nbytes,
+            codec=self.codec, shared_support=self.shared_support,
+            base_version=self.base_version, target_version=self.target_version,
         )
 
 
@@ -102,6 +132,10 @@ class WireCodec(abc.ABC):
     name: str = "codec"
     #: Whether the codec transmits a strict subset of coordinates.
     sparsifying: bool = False
+    #: Whether ``decode(encode(g)) == g`` bit for bit.  Lossless codecs let
+    #: a delta broadcast reconstruct the exact target state (on a real wire
+    #: a lossless float delta is a bitwise diff, which recombines exactly).
+    lossless: bool = False
 
     @abc.abstractmethod
     def encode(self, gradient: np.ndarray) -> WireFrame:
@@ -143,6 +177,7 @@ class IdentityCodec(WireCodec):
     """Raw float32 framing — the seed wire format, 4 bytes per coordinate."""
 
     name = "identity"
+    lossless = True
 
     def encode(self, gradient: np.ndarray) -> WireFrame:
         values = self._flat(gradient)
@@ -229,6 +264,7 @@ class RandomKCodec(WireCodec):
         return WireFrame(
             dim=values.size, values=values[indices] * scale, indices=indices,
             scale=scale, nbytes=self.frame_bytes(values.size), codec=self.name,
+            shared_support=True,
         )
 
 
@@ -290,6 +326,30 @@ class QSGDCodec(WireCodec):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"QSGDCodec(bits={self.bits})"
+
+
+def encode_delta(
+    codec: WireCodec,
+    delta: np.ndarray,
+    *,
+    base_version: int,
+    target_version: int,
+) -> WireFrame:
+    """Encode a ``base → target`` parameter delta as a broadcast frame.
+
+    Any :class:`WireCodec` composes: the delta vector is just the signal the
+    codec encodes, and the frame is stamped with the two version tags so the
+    receiver knows which held state to apply it to.  The tags themselves are
+    not priced — two 4-byte integers disappear into the transport header the
+    cost model already charges as per-transfer latency, so the delta frame
+    costs exactly ``codec.frame_bytes(d)`` (the identity delta is therefore
+    byte-identical to a full ``4d`` broadcast, as it must be: a dense delta
+    saves nothing, only a sparsifying or quantising codec does).
+    """
+    frame = codec.encode(delta)
+    frame.base_version = int(base_version)
+    frame.target_version = int(target_version)
+    return frame
 
 
 def decode_frame(frame: WireFrame) -> np.ndarray:
@@ -377,5 +437,6 @@ __all__ = [
     "CODEC_REGISTRY",
     "available_codecs",
     "decode_frame",
+    "encode_delta",
     "make_codec",
 ]

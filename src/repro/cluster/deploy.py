@@ -52,11 +52,18 @@ class NodeSpec:
 
 @dataclass
 class ClusterSpec:
-    """A named set of nodes plus the role assignment produced by allocation."""
+    """A named set of nodes plus the role assignment produced by allocation.
+
+    ``link_profile`` optionally names a WAN wire topology for the deployment
+    (the :func:`repro.cluster.link.parse_link_profile` grammar, e.g.
+    ``"wan:3x10mbit/40ms"``); the builder resolves it into per-region
+    bottleneck pipes unless an explicit topology overrides it.
+    """
 
     nodes: List[NodeSpec]
     server_node: Optional[str] = None
     worker_nodes: List[str] = field(default_factory=list)
+    link_profile: Optional[str] = None
 
     def __post_init__(self) -> None:
         if len(self.nodes) == 0:
@@ -111,6 +118,7 @@ class ClusterSpec:
             "nodes": [asdict(node) for node in self.nodes],
             "server_node": self.server_node,
             "worker_nodes": list(self.worker_nodes),
+            "link_profile": self.link_profile,
         }
 
     def to_json(self, path: Union[str, Path, None] = None) -> str:
@@ -131,6 +139,7 @@ class ClusterSpec:
             nodes=nodes,
             server_node=data.get("server_node"),
             worker_nodes=list(data.get("worker_nodes", [])),
+            link_profile=data.get("link_profile"),
         )
         known = set(spec.node_map)
         for name in spec.worker_nodes + ([spec.server_node] if spec.server_node else []):
@@ -181,7 +190,12 @@ def allocate_devices(
         server = nodes[0]
     remaining = [node for node in nodes if node.name != server.name] or [server]
     worker_nodes = [remaining[i % len(remaining)].name for i in range(num_workers)]
-    return ClusterSpec(nodes=nodes, server_node=server.name, worker_nodes=worker_nodes)
+    return ClusterSpec(
+        nodes=nodes,
+        server_node=server.name,
+        worker_nodes=worker_nodes,
+        link_profile=spec.link_profile,
+    )
 
 
 __all__ = ["NodeSpec", "ClusterSpec", "allocate_devices"]

@@ -30,12 +30,34 @@ Time only moves through :meth:`LinkScheduler.advance`, which drains
 piecewise between membership changes — the discrete-event contract of
 :mod:`repro.cluster.events` holds (the event loop advances the scheduler at
 every open and completion, never mid-interval).
+
+Heterogeneous links
+-------------------
+The scheduler is no longer restricted to one symmetric pipe.  Each session
+may carry a ``rate_cap`` (its sender's access bandwidth, in bytes/s) and an
+``extra_latency_s`` (its sender's access propagation), so a slow worker
+drains slowly even on an idle backbone.  On top of that, a
+:class:`LinkTopology` groups workers into *regions*, each with its own
+shared bottleneck pipe (a WAN uplink): the :class:`LinkFabric` routes every
+transfer to its region's scheduler, so ``fair``/``fifo`` contention plays
+out per bottleneck instead of on one global pipe.  The server's own NIC is
+assumed provisioned above the sum of the regional bottlenecks (the usual
+WAN setting: the constraint is the region's uplink, not the datacenter
+port), so cross-region transfers never contend with each other.
+
+Topologies are described either programmatically or by a compact profile
+string (``--link-profile``): ``"wan:3x10mbit"`` builds three regions with a
+10 Mbit/s shared bottleneck each (workers assigned round-robin), and an
+optional ``/<latency>`` suffix (``"wan:3x10mbit/40ms"``) adds per-region
+propagation.  ``"symmetric"`` (or an empty string) keeps the seed's single
+shared pipe.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError
 
@@ -72,6 +94,12 @@ class LinkSession:
     done_time:
         Time the transfer completed at the receiver (``drain_done`` plus the
         propagation latency).
+    rate_cap:
+        Optional per-session drain-rate ceiling in bytes/s (the sender's own
+        access bandwidth); ``None`` means only the pipe's capacity applies.
+    extra_latency_s:
+        Additional one-way propagation paid by this session on top of the
+        scheduler's latency (the sender's access-link latency).
     payload:
         Opaque continuation data the caller wants back at completion (e.g.
         the in-flight message + frame).
@@ -85,6 +113,8 @@ class LinkSession:
     remaining: float = 0.0
     drain_done: Optional[float] = None
     done_time: Optional[float] = None
+    rate_cap: Optional[float] = None
+    extra_latency_s: float = 0.0
     payload: object = None
 
     @property
@@ -138,19 +168,41 @@ class LinkScheduler:
 
     # --------------------------------------------------------------- admission
     def open(
-        self, now: float, nbytes: float, *, worker_id: int = -1, payload: object = None
+        self,
+        now: float,
+        nbytes: float,
+        *,
+        worker_id: int = -1,
+        rate_cap: Optional[float] = None,
+        extra_latency_s: float = 0.0,
+        payload: object = None,
     ) -> LinkSession:
-        """Admit a transfer of *nbytes* starting at *now*; returns its session."""
+        """Admit a transfer of *nbytes* starting at *now*; returns its session.
+
+        ``rate_cap`` / ``extra_latency_s`` describe the sender's own access
+        link (bytes/s ceiling and extra one-way propagation); the session's
+        solo time — the contention-free baseline its queueing delay is
+        measured against — accounts for both.
+        """
         if nbytes < 0:
             raise ConfigurationError(f"nbytes must be non-negative, got {nbytes}")
+        if rate_cap is not None and rate_cap <= 0:
+            raise ConfigurationError(f"rate_cap must be positive, got {rate_cap}")
+        if extra_latency_s < 0:
+            raise ConfigurationError(
+                f"extra_latency_s must be non-negative, got {extra_latency_s}"
+            )
         self.advance(now)
+        solo_rate = self.capacity if rate_cap is None else min(self.capacity, rate_cap)
         session = LinkSession(
             session_id=self._counter,
             worker_id=int(worker_id),
             nbytes=float(nbytes),
             start_time=float(now),
-            solo_seconds=float(nbytes) / self.capacity + self.latency_s,
+            solo_seconds=float(nbytes) / solo_rate + self.latency_s + float(extra_latency_s),
             remaining=float(nbytes),
+            rate_cap=rate_cap,
+            extra_latency_s=float(extra_latency_s),
             payload=payload,
         )
         self._counter += 1
@@ -165,18 +217,31 @@ class LinkScheduler:
         return session
 
     # ------------------------------------------------------------------ drain
+    def _capped(self, session: LinkSession, rate: float) -> float:
+        """*rate* limited by the session's own access bandwidth, if any."""
+        if session.rate_cap is None:
+            return rate
+        return min(rate, session.rate_cap)
+
     def _rates(self) -> List[float]:
-        """Current drain rate (bytes/s) of each session in ``self._draining``."""
+        """Current drain rate (bytes/s) of each session in ``self._draining``.
+
+        Per-session rate caps apply on top of the discipline's share.  The
+        cap is not work-conserving: bandwidth a capped session leaves on the
+        table is not redistributed to its peers (the fluid model of a sender
+        whose access link, not the shared pipe, is the constraint).
+        """
         n = len(self._draining)
         if n == 0:
             return []
         if self.sharing == "fair":
             share = self.capacity / n
-            return [share] * n
+            return [self._capped(s, share) for s in self._draining]
         if self.sharing == "fifo":
-            return [self.capacity] + [0.0] * (n - 1)
+            head = self._capped(self._draining[0], self.capacity)
+            return [head] + [0.0] * (n - 1)
         # "none": infinite capacity — every session sees the full rate.
-        return [self.capacity] * n
+        return [self._capped(s, self.capacity) for s in self._draining]
 
     def advance(self, now: float) -> None:
         """Drain bytes piecewise up to *now*, honouring membership changes.
@@ -228,25 +293,35 @@ class LinkScheduler:
 
     # ------------------------------------------------------------ completions
     def next_completion(self) -> Optional[float]:
-        """Earliest time a session completes at the receiver (``None`` if idle).
+        """Earliest time the link's state observably changes (``None`` if idle).
 
-        Exact under the current membership; any later :meth:`open` can only
-        *delay* completions (fair/fifo) or leave them unchanged (none), so
-        callers re-query and reschedule after every admission.
+        Candidates are in-flight arrivals (exact — their drain is done) and
+        the *drain* completions of active sessions.  A drain completion may
+        deliver nothing to :meth:`pop_completed` (the propagation latency is
+        still running), but it is a membership change: every peer's rate —
+        and therefore every projected arrival — shifts at that instant, so
+        callers must re-query and reschedule there.  Projecting arrivals of
+        still-draining sessions at current rates would be unsound under
+        heterogeneous per-session latencies: a high-latency session draining
+        first *accelerates* a peer's arrival past the old projection.
         """
-        candidates = [s.drain_done + self.latency_s for s in self._in_flight]
+        candidates = [
+            s.drain_done + self.latency_s + s.extra_latency_s for s in self._in_flight
+        ]
         rates = self._rates()
         candidates.extend(
-            self._now + s.remaining / r + self.latency_s
+            self._now + s.remaining / r
             for s, r in zip(self._draining, rates)
             if r > 0.0
         )
         if self.sharing == "fifo" and len(self._draining) > 1:
-            # Queued sessions complete after everything ahead of them drains.
-            backlog = self._now + self._draining[0].remaining / self.capacity
+            # Queued sessions complete after everything ahead of them drains
+            # (each at its own capped rate while it holds the head slot).
+            head = self._draining[0]
+            backlog = self._now + head.remaining / self._capped(head, self.capacity)
             for session in self._draining[1:]:
-                backlog += session.remaining / self.capacity
-                candidates.append(backlog + self.latency_s)
+                backlog += session.remaining / self._capped(session, self.capacity)
+                candidates.append(backlog + self.latency_s + session.extra_latency_s)
         return min(candidates) if candidates else None
 
     def pop_completed(self, now: float) -> List[LinkSession]:
@@ -259,8 +334,9 @@ class LinkScheduler:
         done: List[LinkSession] = []
         still: List[LinkSession] = []
         for session in self._in_flight:
-            if session.drain_done + self.latency_s <= now + 1e-9:
-                session.done_time = session.drain_done + self.latency_s
+            arrival = session.drain_done + self.latency_s + session.extra_latency_s
+            if arrival <= now + 1e-9:
+                session.done_time = arrival
                 done.append(session)
             else:
                 still.append(session)
@@ -276,15 +352,24 @@ class LinkScheduler:
 
     # ------------------------------------------------------------- batch mode
     def simulate(
-        self, jobs: Sequence[Tuple[float, float]]
+        self,
+        jobs: Sequence[Tuple[float, float]],
+        *,
+        session_kwargs: Optional[Sequence[dict]] = None,
     ) -> List[Tuple[float, float]]:
         """Run ``(start_time, nbytes)`` *jobs* to completion on a fresh link.
 
         The lock-step trainer uses this closed-world form: all of a step's
         transfers are known up front, so the whole contention schedule can be
         resolved at once.  Returns ``(completion_time, queueing_delay)`` per
-        job, in input order.
+        job, in input order.  ``session_kwargs`` optionally supplies one
+        per-job dict of :meth:`open` extras (``rate_cap`` /
+        ``extra_latency_s``) for heterogeneous senders.
         """
+        if session_kwargs is not None and len(session_kwargs) != len(jobs):
+            raise ConfigurationError(
+                f"session_kwargs must match jobs: {len(session_kwargs)} != {len(jobs)}"
+            )
         sim = LinkScheduler(
             bandwidth_gbps=self.bandwidth_gbps,
             latency_s=self.latency_s,
@@ -294,7 +379,8 @@ class LinkScheduler:
         sessions: List[Optional[LinkSession]] = [None] * len(jobs)
         for i in order:
             start, nbytes = jobs[i]
-            sessions[i] = sim.open(float(start), float(nbytes), worker_id=i)
+            extras = session_kwargs[i] if session_kwargs is not None else {}
+            sessions[i] = sim.open(float(start), float(nbytes), worker_id=i, **extras)
         while sim.active_sessions:
             target = sim.next_completion()
             if target is None:  # pragma: no cover - all sessions zero-rate
@@ -309,4 +395,338 @@ class LinkScheduler:
         )
 
 
-__all__ = ["LinkScheduler", "LinkSession", "SHARING_MODES"]
+# --------------------------------------------------------------------------
+# Heterogeneous link topologies
+# --------------------------------------------------------------------------
+
+#: Default region name when no topology is configured (one symmetric pipe).
+DEFAULT_REGION = "core"
+
+#: Bandwidth-unit suffixes accepted by :func:`parse_link_profile`, in Gbit/s.
+_BANDWIDTH_UNITS = {"kbit": 1e-6, "mbit": 1e-3, "gbit": 1.0}
+
+#: Latency-unit suffixes accepted by :func:`parse_link_profile`, in seconds.
+_LATENCY_UNITS = {"us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def _parse_bandwidth_gbps(text: str) -> float:
+    """``"10mbit"`` → 0.01 (Gbit/s); raises on malformed values."""
+    match = re.fullmatch(r"([0-9]*\.?[0-9]+)(kbit|mbit|gbit)", text.strip().lower())
+    if match is None:
+        raise ConfigurationError(
+            f"malformed bandwidth {text!r}; expected e.g. '10mbit', '100kbit', '1gbit'"
+        )
+    value = float(match.group(1)) * _BANDWIDTH_UNITS[match.group(2)]
+    if value <= 0:
+        raise ConfigurationError(f"bandwidth must be positive, got {text!r}")
+    return value
+
+
+def _parse_latency_s(text: str) -> float:
+    """``"40ms"`` → 0.04 (seconds); raises on malformed values."""
+    match = re.fullmatch(r"([0-9]*\.?[0-9]+)(us|ms|s)", text.strip().lower())
+    if match is None:
+        raise ConfigurationError(
+            f"malformed latency {text!r}; expected e.g. '40ms', '0.1s'"
+        )
+    return float(match.group(1)) * _LATENCY_UNITS[match.group(2)]
+
+
+@dataclass(frozen=True)
+class RegionLink:
+    """One region's shared bottleneck pipe towards the parameter server.
+
+    Attributes
+    ----------
+    name:
+        Region identifier (telemetry key for per-region queueing).
+    bandwidth_gbps:
+        The bottleneck's capacity; ``None`` inherits the cost model's
+        symmetric bandwidth (no regional constraint).
+    latency_s:
+        Extra one-way propagation of the regional hop, added on top of the
+        cost model's base latency.
+    """
+
+    name: str
+    bandwidth_gbps: Optional[float] = None
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("region name must be non-empty")
+        if self.bandwidth_gbps is not None and self.bandwidth_gbps <= 0:
+            raise ConfigurationError(
+                f"region bandwidth_gbps must be positive, got {self.bandwidth_gbps}"
+            )
+        if self.latency_s < 0:
+            raise ConfigurationError(
+                f"region latency_s must be non-negative, got {self.latency_s}"
+            )
+
+
+@dataclass
+class LinkTopology:
+    """Per-worker link characteristics plus per-region shared bottlenecks.
+
+    Attributes
+    ----------
+    regions:
+        The regional bottleneck pipes (at least one).
+    worker_regions:
+        ``worker_id → region name`` for every worker in the deployment.
+    worker_bandwidth_gbps:
+        Optional per-worker access-bandwidth ceilings (a slow NIC / DSL
+        uplink); applied as a rate cap inside the region's scheduler and to
+        solo transfer times.
+    worker_latency_s:
+        Optional per-worker extra one-way access latency.
+    """
+
+    regions: Tuple[RegionLink, ...]
+    worker_regions: Dict[int, str] = field(default_factory=dict)
+    worker_bandwidth_gbps: Dict[int, float] = field(default_factory=dict)
+    worker_latency_s: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.regions = tuple(self.regions)
+        if not self.regions:
+            raise ConfigurationError("a link topology needs at least one region")
+        names = [region.name for region in self.regions]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate region names: {names}")
+        # Built once: region lookups sit on the per-transfer hot path.
+        self._region_map = {region.name: region for region in self.regions}
+        known = set(names)
+        for worker_id, region in self.worker_regions.items():
+            if region not in known:
+                raise ConfigurationError(
+                    f"worker {worker_id} is assigned to unknown region {region!r} "
+                    f"(regions: {sorted(known)})"
+                )
+        for worker_id, bandwidth in self.worker_bandwidth_gbps.items():
+            if bandwidth <= 0:
+                raise ConfigurationError(
+                    f"worker {worker_id} bandwidth_gbps must be positive, got {bandwidth}"
+                )
+        for worker_id, latency in self.worker_latency_s.items():
+            if latency < 0:
+                raise ConfigurationError(
+                    f"worker {worker_id} latency_s must be non-negative, got {latency}"
+                )
+
+    @property
+    def region_map(self) -> Dict[str, RegionLink]:
+        """Mapping from region name to its spec (cached at construction)."""
+        return self._region_map
+
+    def region_of(self, worker_id: int) -> str:
+        """The region *worker_id*'s transfers are routed through."""
+        try:
+            return self.worker_regions[int(worker_id)]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"worker {worker_id} has no region assignment in the link topology"
+            ) from exc
+
+    def validate_workers(self, worker_ids: Sequence[int]) -> None:
+        """Require a region assignment for every deployed worker."""
+        missing = sorted(int(w) for w in worker_ids if int(w) not in self.worker_regions)
+        if missing:
+            raise ConfigurationError(
+                f"link topology assigns no region to workers {missing}; every "
+                "deployed worker needs one (extend worker_regions or drop the topology)"
+            )
+
+
+def parse_link_profile(profile: Optional[str], num_workers: int) -> Optional[LinkTopology]:
+    """Build a :class:`LinkTopology` from a compact ``--link-profile`` string.
+
+    Grammar
+    -------
+    ``"symmetric"`` (or ``None`` / ``""``)
+        No topology: the seed's single symmetric pipe.
+    ``"wan:<R>x<BW>[/<LAT>]"``
+        ``R`` regions named ``region0..region{R-1}``, each a shared
+        bottleneck of bandwidth ``BW`` (``kbit``/``mbit``/``gbit`` suffix)
+        with optional extra one-way latency ``LAT`` (``us``/``ms``/``s``
+        suffix).  Workers are assigned round-robin: worker ``i`` lands in
+        region ``i % R``, so Byzantine ids (which come first) spread across
+        regions the same way honest ids do.
+    """
+    if profile is None:
+        return None
+    text = str(profile).strip().lower()
+    if text in ("", "symmetric"):
+        return None
+    match = re.fullmatch(r"wan:(\d+)x([^/]+)(?:/(.+))?", text)
+    if match is None:
+        raise ConfigurationError(
+            f"malformed link profile {profile!r}; expected 'symmetric' or "
+            "'wan:<regions>x<bandwidth>[/<latency>]', e.g. 'wan:3x10mbit/40ms'"
+        )
+    num_regions = int(match.group(1))
+    if num_regions < 1:
+        raise ConfigurationError(
+            f"link profile {profile!r} needs at least one region"
+        )
+    if num_regions > num_workers:
+        raise ConfigurationError(
+            f"link profile {profile!r} declares {num_regions} regions for only "
+            f"{num_workers} workers; at least one worker per region is required"
+        )
+    bandwidth = _parse_bandwidth_gbps(match.group(2))
+    latency = _parse_latency_s(match.group(3)) if match.group(3) else 0.0
+    regions = tuple(
+        RegionLink(name=f"region{i}", bandwidth_gbps=bandwidth, latency_s=latency)
+        for i in range(num_regions)
+    )
+    worker_regions = {
+        worker_id: f"region{worker_id % num_regions}" for worker_id in range(num_workers)
+    }
+    return LinkTopology(regions=regions, worker_regions=worker_regions)
+
+
+class LinkFabric:
+    """Routes transfers onto the right pipe of a (possibly WAN) topology.
+
+    One fabric serves both trainers: it owns the mapping from a worker to
+    its bottleneck pipe, the per-session access-link parameters, and the
+    closed-world multi-pipe contention resolution the lock-step trainer
+    uses.  Without a topology it degenerates to the single symmetric pipe of
+    the cost model — solo times delegate to
+    :meth:`~repro.cluster.cost_model.CostModel.transfer_time` verbatim, so
+    the seed arithmetic (and its bit-identical trajectories) is preserved.
+    """
+
+    def __init__(self, cost_model, topology: Optional[LinkTopology] = None,
+                 *, sharing: str = "none") -> None:
+        if sharing not in SHARING_MODES:
+            raise ConfigurationError(
+                f"link sharing must be one of {SHARING_MODES}, got {sharing!r}"
+            )
+        self.cost_model = cost_model
+        self.topology = topology
+        self.sharing = sharing
+
+    @property
+    def has_topology(self) -> bool:
+        """Whether per-worker / per-region link characteristics are in play."""
+        return self.topology is not None
+
+    # ------------------------------------------------------------- routing
+    def region_names(self) -> Tuple[str, ...]:
+        """Names of the bottleneck pipes (one per region; ``core`` if none)."""
+        if self.topology is None:
+            return (DEFAULT_REGION,)
+        return tuple(region.name for region in self.topology.regions)
+
+    def region_of(self, worker_id: int) -> str:
+        """The pipe *worker_id*'s transfers contend on."""
+        if self.topology is None:
+            return DEFAULT_REGION
+        return self.topology.region_of(worker_id)
+
+    def session_kwargs(self, worker_id: int) -> dict:
+        """Per-session :meth:`LinkScheduler.open` extras for *worker_id*."""
+        if self.topology is None:
+            return {}
+        cap = self.topology.worker_bandwidth_gbps.get(int(worker_id))
+        extra = self.topology.worker_latency_s.get(int(worker_id), 0.0)
+        return {
+            "rate_cap": None if cap is None else cap * 1e9 / 8.0,
+            "extra_latency_s": float(extra),
+        }
+
+    def scheduler_for(self, region: str) -> LinkScheduler:
+        """A fresh scheduler for one direction of *region*'s bottleneck."""
+        bandwidth = self.cost_model.bandwidth_gbps
+        latency = self.cost_model.latency_s
+        if self.topology is not None:
+            spec = self.topology.region_map.get(region)
+            if spec is None:
+                raise ConfigurationError(f"unknown region {region!r}")
+            if spec.bandwidth_gbps is not None:
+                bandwidth = min(bandwidth, spec.bandwidth_gbps)
+            latency = latency + spec.latency_s
+        return LinkScheduler(
+            bandwidth_gbps=bandwidth, latency_s=latency, sharing=self.sharing
+        )
+
+    # --------------------------------------------------------------- pricing
+    def solo_seconds(self, worker_id: int, nbytes: float) -> float:
+        """Uncontended transfer time for *worker_id*'s path.
+
+        The path bandwidth is the minimum of the symmetric cost-model rate,
+        the region bottleneck and the worker's access cap; latencies add up
+        along the hops.  Without a topology this is exactly
+        ``cost_model.transfer_time`` (same float operations).
+        """
+        if self.topology is None:
+            return self.cost_model.transfer_time(nbytes)
+        region = self.topology.region_map[self.region_of(worker_id)]
+        bandwidth = self.cost_model.bandwidth_gbps
+        if region.bandwidth_gbps is not None:
+            bandwidth = min(bandwidth, region.bandwidth_gbps)
+        cap = self.topology.worker_bandwidth_gbps.get(int(worker_id))
+        if cap is not None:
+            bandwidth = min(bandwidth, cap)
+        latency = (
+            self.cost_model.latency_s
+            + region.latency_s
+            + self.topology.worker_latency_s.get(int(worker_id), 0.0)
+        )
+        return float(nbytes) / (bandwidth * 1e9 / 8.0) + latency
+
+    def uplink_seconds(self, worker_id: int, nbytes: float, channel_seconds: float) -> float:
+        """Compose a channel's transfer report with the worker's path.
+
+        Channels price their behaviour (Mathis backoff, structural delays,
+        jitter) on the symmetric cost model; under a topology the path's
+        solo time replaces the cost-model base while the channel's extra
+        penalty rides on top.  Without a topology the channel's own figure
+        is returned untouched (bit-identical to the seed)."""
+        if self.topology is None:
+            return channel_seconds
+        penalty = channel_seconds - self.cost_model.transfer_time(nbytes)
+        return self.solo_seconds(worker_id, nbytes) + penalty
+
+    # ------------------------------------------------------------ batch mode
+    def simulate(
+        self, jobs: Sequence[Tuple[float, float, int]]
+    ) -> List[Tuple[float, float]]:
+        """Resolve ``(start_time, nbytes, worker_id)`` *jobs* across all pipes.
+
+        Jobs are grouped onto their region's bottleneck scheduler (regions
+        never contend with each other) and each region's schedule is
+        resolved closed-world; results return in input order.
+        """
+        by_region: Dict[str, List[int]] = {}
+        for index, (_, _, worker_id) in enumerate(jobs):
+            by_region.setdefault(self.region_of(worker_id), []).append(index)
+        results: List[Optional[Tuple[float, float]]] = [None] * len(jobs)
+        for region in sorted(by_region):
+            indices = by_region[region]
+            scheduler = self.scheduler_for(region)
+            sub_jobs = [(jobs[i][0], jobs[i][1]) for i in indices]
+            extras = [self.session_kwargs(jobs[i][2]) for i in indices]
+            resolved = scheduler.simulate(sub_jobs, session_kwargs=extras)
+            for i, outcome in zip(indices, resolved):
+                results[i] = outcome
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        regions = ",".join(self.region_names())
+        return f"LinkFabric(sharing={self.sharing!r}, regions=[{regions}])"
+
+
+__all__ = [
+    "LinkScheduler",
+    "LinkSession",
+    "SHARING_MODES",
+    "DEFAULT_REGION",
+    "RegionLink",
+    "LinkTopology",
+    "LinkFabric",
+    "parse_link_profile",
+]

@@ -181,7 +181,11 @@ class DelayedChannel(Channel):
         self.inner = inner if inner is not None else ReliableChannel()
         self.delay_s = float(delay_s)
         self.jitter_s = float(jitter_s)
-        self._rng = as_rng(rng)
+        # The jitter draws live on their own named child stream, exactly like
+        # the lossy channel's wire/fill streams: sharing the raw seed (or a
+        # parent generator) with another component must never let jitter
+        # consumption perturb that component's draws — or any training stream.
+        (self._rng,) = spawn_rngs(rng, 1)
 
     def transfer_frame(
         self, frame: WireFrame, cost_model: CostModel
@@ -251,6 +255,9 @@ class LossyChannel(Channel):
         # there are no retransmissions and no congestion backoff.
         seconds = cost_model.transfer_time(frame.nbytes)
 
+        if frame.indices is not None:
+            return self._transfer_sparse(frame, wire, packets), seconds
+
         if self.drop_rate > 0.0:
             keep_mask = self._wire_rng.random(len(packets)) >= self.drop_rate
             survivors = [p for p, keep in zip(packets, keep_mask) if keep]
@@ -266,6 +273,47 @@ class LossyChannel(Channel):
 
         delivered = self.packetizer.reassemble(survivors, wire.size, in_order=in_order)
         return frame.degraded(delivered), seconds
+
+    def _transfer_sparse(
+        self, frame: WireFrame, wire: np.ndarray, packets
+    ) -> Optional[WireFrame]:
+        """Degrade a sparse frame pair-wise: a lost packet loses its pairs.
+
+        On a real wire a top-k packet interleaves ``(index, value)`` pairs,
+        so a drop removes both halves together — the surviving indices never
+        point at garbage, and coordinates whose pairs died are simply absent
+        from the degraded frame (the receiver cannot attribute lost bytes to
+        coordinates it never learned).  Reordering is a no-op for pair
+        framing: self-describing pairs scatter identically in any order, and
+        shared-support frames recover positions from the packet sequence
+        tags — so no reorder randomness is drawn.
+
+        The one recovery refinement pair framing enables: with ``NAN_FILL``
+        on a *shared-support* frame (random-k) the receiver derives the full
+        support from the shared seed and the sequence numbers tell it which
+        positions died, so exactly those coordinates are NaN-marked and a
+        per-coordinate GAR (``selective-average``) skips them.
+        """
+        if self.drop_rate > 0.0:
+            keep_mask = self._wire_rng.random(len(packets)) >= self.drop_rate
+        else:
+            keep_mask = np.ones(len(packets), dtype=bool)
+        if bool(keep_mask.all()):
+            return frame.degraded(wire)
+        if self.policy is RecoveryPolicy.DROP_GRADIENT:
+            return None
+        if self.policy is RecoveryPolicy.NAN_FILL and frame.shared_support:
+            values = wire.copy()
+            for packet, keep in zip(packets, keep_mask):
+                if not keep:
+                    values[packet.offset : packet.offset + packet.payload.size] = np.nan
+            return frame.degraded(values)
+        keep_pairs = np.zeros(wire.size, dtype=bool)
+        for packet, keep in zip(packets, keep_mask):
+            if keep:
+                keep_pairs[packet.offset : packet.offset + packet.payload.size] = True
+        indices = np.asarray(frame.indices).ravel()
+        return frame.degraded(wire[keep_pairs], indices=indices[keep_pairs])
 
 
 def build_uplink_map(

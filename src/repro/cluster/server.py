@@ -98,6 +98,9 @@ class ParameterServer:
         self.step = 0
         self.retain_versions = retain_versions
         self._version_log: Dict[int, np.ndarray] = {0: self._parameters.copy()}
+        #: Pin counts per version: pinned versions are exempt from the
+        #: ``retain_versions`` eviction (a delta broadcast still targets them).
+        self._pins: Dict[int, int] = {}
         self.update_log: List[UpdateRecord] = []
 
     # ------------------------------------------------------------- accessors
@@ -134,11 +137,96 @@ class ParameterServer:
         """Versions currently available through :meth:`parameters_at`, ascending."""
         return sorted(self._version_log)
 
+    def has_version(self, version: int) -> bool:
+        """Whether *version* is still in the store (delta-broadcast capable)."""
+        return int(version) in self._version_log
+
+    # --------------------------------------------------------- delta broadcasts
+    def pin_version(self, version: int) -> None:
+        """Exempt *version* from eviction while a worker still holds it.
+
+        The downlink keeps each worker's held version pinned so the
+        ``v → v'`` delta it will need next fetch stays computable; pins are
+        counted, so several workers may hold the same version.  Pinning an
+        unretained version is rejected (the delta it protects is already
+        impossible).
+        """
+        version = int(version)
+        if version not in self._version_log:
+            raise ConfigurationError(
+                f"cannot pin version {version}: it is not in the store "
+                f"(retained: {self.retained_versions()})"
+            )
+        self._pins[version] = self._pins.get(version, 0) + 1
+
+    def release_version(self, version: int) -> None:
+        """Drop one pin on *version* (no-op for versions never pinned)."""
+        version = int(version)
+        count = self._pins.get(version, 0)
+        if count <= 1:
+            self._pins.pop(version, None)
+        else:
+            self._pins[version] = count - 1
+
+    def track_version(self, version: int, parameters: np.ndarray) -> None:
+        """Re-register a historical *version* in the store (restore path).
+
+        :meth:`restore` restarts the version log from the restored version
+        alone, which would force every delta-broadcast session back to a
+        full-state resync.  Re-registering a worker's held version keeps its
+        delta path alive; the vector recorded is the caller's best-known
+        reconstruction of that version (exact under lossless broadcast
+        codecs — and never consulted as a delta base, because the downlink
+        always passes the worker's replica as the ``reference``).
+        """
+        version = int(version)
+        if version > self.step:
+            raise ConfigurationError(
+                f"cannot track version {version}: the server is at version {self.step}"
+            )
+        parameters = np.asarray(parameters, dtype=np.float64).copy()
+        if parameters.shape != self._parameters.shape:
+            raise ConfigurationError(
+                f"tracked parameter shape {parameters.shape} does not match "
+                f"the model shape {self._parameters.shape}"
+            )
+        self._version_log.setdefault(version, parameters)
+
+    def delta_since(
+        self, base_version: int, *, reference: Optional[np.ndarray] = None
+    ) -> Optional[np.ndarray]:
+        """The ``base_version → current`` parameter delta, or ``None`` if evicted.
+
+        *reference* optionally substitutes the worker's actual reconstructed
+        state for the logged vector (downlink error feedback: the delta then
+        also re-offers whatever a lossy broadcast codec failed to express
+        last round, so reconstruction error stays one-step instead of
+        accumulating).  Even then the base version must still be retained —
+        an evicted base means the worker's state is no longer tracked and
+        the caller must fall back to a full-state broadcast.
+        """
+        if not self.has_version(base_version):
+            return None
+        base = self._version_log[int(base_version)] if reference is None else reference
+        if base.shape != self._parameters.shape:
+            raise ConfigurationError(
+                f"delta reference shape {base.shape} does not match the model "
+                f"shape {self._parameters.shape}"
+            )
+        return self._parameters - base
+
     def _record_version(self) -> None:
         self._version_log[self.step] = self._parameters.copy()
         if self.retain_versions is not None:
             while len(self._version_log) > self.retain_versions:
-                del self._version_log[min(self._version_log)]
+                evictable = [
+                    version
+                    for version in self._version_log
+                    if version != self.step and self._pins.get(version, 0) == 0
+                ]
+                if not evictable:
+                    break  # every old version is pinned by a live downlink
+                del self._version_log[min(evictable)]
 
     # ------------------------------------------------------------- protocol
     def validate_submission(self, message: GradientMessage) -> None:
@@ -235,6 +323,7 @@ class ParameterServer:
         self._parameters = parameters
         self.step = int(step)
         self._version_log = {self.step: self._parameters.copy()}
+        self._pins = {}
         self.update_log = []
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

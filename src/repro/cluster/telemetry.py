@@ -48,6 +48,10 @@ class StepRecord:
     selection_scores: Optional[tuple] = None
     #: Encoded uplink bytes of the gradients admitted into this update.
     wire_bytes: float = 0.0
+    #: Model-broadcast bytes the server pushed onto the downlink for this
+    #: update (full-state and delta frames alike; 0 for histories predating
+    #: downlink accounting).
+    downlink_bytes: float = 0.0
 
     @property
     def step_time(self) -> float:
@@ -92,6 +96,13 @@ class WorkerTimeline:
     bytes_sent: float = 0.0
     #: Bytes of model broadcasts the worker pulled off the downlink.
     bytes_received: float = 0.0
+    #: Downlink split: raw full-state broadcast bytes versus codec-encoded
+    #: version-delta bytes (they sum to ``bytes_received``).
+    bytes_received_full: float = 0.0
+    bytes_received_delta: float = 0.0
+    #: Downlink fetch counts by framing (full-state resyncs versus deltas).
+    full_fetches: int = 0
+    delta_fetches: int = 0
     #: Extra seconds the worker's transfers spent waiting for the shared
     #: link (zero unless a contention-aware sharing discipline is active).
     queueing_delay_seconds: float = 0.0
@@ -112,6 +123,10 @@ class WorkerTimeline:
             "transfer_seconds": self.transfer_seconds,
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
+            "bytes_received_full": self.bytes_received_full,
+            "bytes_received_delta": self.bytes_received_delta,
+            "full_fetches": self.full_fetches,
+            "delta_fetches": self.delta_fetches,
             "queueing_delay_seconds": self.queueing_delay_seconds,
             "compression_error": self.compression_error,
         }
@@ -134,6 +149,9 @@ class TrainingHistory:
     server_busy_time: float = 0.0
     #: Histogram of admitted-gradient version lags: ``{lag: count}``.
     version_lag_counts: Dict[int, int] = field(default_factory=dict)
+    #: Queueing delay accumulated per link-topology region (``{region: s}``;
+    #: all traffic lands under ``"core"`` on the symmetric single pipe).
+    region_queueing_seconds: Dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------- recording
     def record_step(self, record: StepRecord) -> None:
@@ -167,13 +185,32 @@ class TrainingHistory:
         bytes_received: float = 0.0,
         queueing_delay: float = 0.0,
         compression_error: float = 0.0,
+        downlink_delta: bool = False,
+        region: Optional[str] = None,
     ) -> None:
-        """Account one worker's wire activity (bytes, queueing, codec error)."""
+        """Account one worker's wire activity (bytes, queueing, codec error).
+
+        ``downlink_delta`` classifies received bytes as codec-encoded
+        version-delta frames rather than raw full-state broadcasts;
+        ``region`` attributes the queueing delay to a link-topology
+        bottleneck.
+        """
         timeline = self.timeline_for(worker_id)
         timeline.bytes_sent += float(bytes_sent)
         timeline.bytes_received += float(bytes_received)
+        if bytes_received:
+            if downlink_delta:
+                timeline.bytes_received_delta += float(bytes_received)
+                timeline.delta_fetches += 1
+            else:
+                timeline.bytes_received_full += float(bytes_received)
+                timeline.full_fetches += 1
         timeline.queueing_delay_seconds += float(queueing_delay)
         timeline.compression_error += float(compression_error)
+        if region is not None and queueing_delay:
+            self.region_queueing_seconds[region] = (
+                self.region_queueing_seconds.get(region, 0.0) + float(queueing_delay)
+            )
 
     def record_version_lag(self, lag: int) -> None:
         """Count one admitted gradient with the given version *lag*."""
@@ -220,6 +257,11 @@ class TrainingHistory:
         """Encoded uplink bytes admitted into updates over the whole run."""
         return float(sum(r.wire_bytes for r in self.steps))
 
+    @property
+    def total_downlink_bytes(self) -> float:
+        """Model-broadcast bytes pushed onto the downlink over the whole run."""
+        return float(sum(r.downlink_bytes for r in self.steps))
+
     def bytes_to_accuracy(self, threshold: float) -> Optional[float]:
         """Admitted uplink bytes spent before *threshold* accuracy was reached.
 
@@ -235,21 +277,53 @@ class TrainingHistory:
             sum(r.wire_bytes for r in self.steps if r.sim_time <= reached)
         )
 
+    def downlink_bytes_to_accuracy(self, threshold: float) -> Optional[float]:
+        """Broadcast bytes spent before *threshold* accuracy was reached.
+
+        The downlink mirror of :meth:`bytes_to_accuracy`: delta broadcasts
+        should reach the target having pushed several-fold fewer bytes than
+        raw ``4d`` full-state framing.  Returns ``None`` when the run never
+        reached the threshold.
+        """
+        reached = self.time_to_accuracy(threshold)
+        if reached is None:
+            return None
+        return float(
+            sum(r.downlink_bytes for r in self.steps if r.sim_time <= reached)
+        )
+
     def wire_summary(self) -> Dict[str, float]:
         """Aggregate wire-substrate counters over the run.
 
         All-zero byte/queueing figures for histories written before the wire
-        substrate existed, which keeps older telemetry comparable.
+        substrate existed, which keeps older telemetry comparable.  The
+        downlink totals are reported twice: ``downlink_bytes`` sums the
+        per-update step records while ``bytes_received`` sums the per-worker
+        timelines — the two reconcile whenever both sides were recorded.
         """
         timelines = self.worker_timelines.values()
         return {
             "wire_bytes": self.total_wire_bytes,
+            "downlink_bytes": self.total_downlink_bytes,
             "bytes_sent": float(sum(t.bytes_sent for t in timelines)),
             "bytes_received": float(sum(t.bytes_received for t in timelines)),
+            "bytes_received_full": float(
+                sum(t.bytes_received_full for t in timelines)
+            ),
+            "bytes_received_delta": float(
+                sum(t.bytes_received_delta for t in timelines)
+            ),
             "queueing_delay_seconds": float(
                 sum(t.queueing_delay_seconds for t in timelines)
             ),
             "compression_error": float(sum(t.compression_error for t in timelines)),
+        }
+
+    def region_queueing_summary(self) -> Dict[str, float]:
+        """Per-region queueing delay totals, sorted by region name."""
+        return {
+            region: self.region_queueing_seconds[region]
+            for region in sorted(self.region_queueing_seconds)
         }
 
     def time_to_accuracy(self, threshold: float) -> Optional[float]:
@@ -359,6 +433,7 @@ class TrainingHistory:
             "latency_breakdown": self.latency_breakdown(),
             "sync": self.sync_summary(),
             "wire": self.wire_summary(),
+            "region_queueing": self.region_queueing_summary(),
             "server_utilisation": self.server_utilisation(),
             "version_lag_histogram": {
                 str(lag): count for lag, count in self.version_lag_histogram().items()

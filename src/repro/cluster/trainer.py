@@ -46,11 +46,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.clock import SimulatedClock
-from repro.cluster.codec import IdentityCodec, WireCodec, WireFrame, decode_frame
+from repro.cluster.codec import (
+    IdentityCodec,
+    WireCodec,
+    WireFrame,
+    decode_frame,
+    encode_delta,
+)
 from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec
 from repro.cluster.events import Event, EventLoop, EventQueue
-from repro.cluster.link import SHARING_MODES, LinkScheduler
+from repro.cluster.link import SHARING_MODES, LinkFabric, LinkScheduler, LinkTopology
 from repro.cluster.message import GradientMessage
 from repro.cluster.network import Channel, build_uplink_map
 from repro.cluster.server import ParameterServer
@@ -107,6 +113,30 @@ class StepDiagnostics:
     selection_scores: Optional[tuple] = None
 
 
+@dataclass
+class DownlinkSession:
+    """The server's per-worker downlink state for delta broadcasts.
+
+    Attributes
+    ----------
+    version:
+        The model version the worker currently holds (pinned in the server's
+        version store so the next ``version → current`` delta stays
+        computable).
+    replica:
+        The parameter vector the worker actually reconstructed from the
+        frames sent so far.  Deltas are computed against this replica rather
+        than the logged vector, which is downlink error feedback: whatever a
+        lossy broadcast codec failed to express last fetch is re-offered, so
+        the worker's reconstruction error stays one-step instead of
+        accumulating across rounds.  Lossless codecs keep the replica equal
+        to ``parameters_at(version)`` bit for bit.
+    """
+
+    version: int
+    replica: np.ndarray
+
+
 class BaseTrainer:
     """Shared engine plumbing for the lock-step and event-driven trainers.
 
@@ -130,7 +160,9 @@ class BaseTrainer:
         uplink_channels: Optional[Dict[int, Channel]] = None,
         cluster: Optional[ClusterSpec] = None,
         codec: Optional[WireCodec] = None,
+        broadcast_codec: Optional[WireCodec] = None,
         link_sharing: str = "none",
+        link_topology: Optional[LinkTopology] = None,
         error_feedback: bool = True,
         eval_model: Optional[Sequential] = None,
         test_set: Optional[Tuple[np.ndarray, np.ndarray]] = None,
@@ -158,6 +190,17 @@ class BaseTrainer:
         self.link_sharing = link_sharing
         #: Whether the server's link is a contended shared resource.
         self._contended = link_sharing != "none"
+        #: Optional wire topology (per-worker bandwidth/latency, per-region
+        #: bottlenecks); ``None`` keeps the symmetric cost-model pipe.
+        self.link_topology = link_topology
+        if link_topology is not None:
+            link_topology.validate_workers(ids)
+        self.fabric = LinkFabric(cost_model, link_topology, sharing=link_sharing)
+        #: Optional downlink codec: when set, model fetches travel as
+        #: codec-encoded version deltas against the worker's held state
+        #: (``None`` keeps the raw full-state framing of the seed wire).
+        self.broadcast_codec = broadcast_codec
+        self._downlink: Dict[int, DownlinkSession] = {}
         #: Byzantine submissions bypass the codec: the adversary crafts the
         #: exact vector that reaches the server (arbitrary wire contents).
         self._raw_codec = IdentityCodec()
@@ -225,12 +268,59 @@ class BaseTrainer:
         )
 
     # ------------------------------------------------------- wire substrate
-    def _link_scheduler(self) -> LinkScheduler:
-        """A fresh scheduler for one direction of the server's shared link."""
-        return LinkScheduler(
-            bandwidth_gbps=self.cost_model.bandwidth_gbps,
-            latency_s=self.cost_model.latency_s,
-            sharing=self.link_sharing,
+    def _encode_broadcast(self, worker_id: int) -> Tuple[np.ndarray, float, bool]:
+        """Downlink framing of one model fetch by *worker_id*.
+
+        Returns ``(parameters, wire_bytes, is_delta)``: the parameter vector
+        the worker reconstructs, the priced broadcast bytes, and whether a
+        delta frame (rather than raw full state) crossed the wire.
+
+        Without a broadcast codec this is the seed's raw ``4d`` framing of
+        the current model.  With one, the server consults the worker's
+        :class:`DownlinkSession`: if the held version is still in the
+        versioned store, a ``held → current`` delta is codec-encoded
+        (against the worker's replica — downlink error feedback); if the
+        worker has never fetched or its version was evicted past
+        ``retain_versions``, a full-state resync is sent instead.  Lossless
+        codecs reconstruct the exact target (a lossless float delta is a
+        bitwise diff on a real wire), so the identity broadcast codec stays
+        bit-identical to raw framing in both trajectory and priced bytes.
+        """
+        server = self.server
+        raw_bytes = self.cost_model.gradient_bytes(server.dim)
+        if self.broadcast_codec is None:
+            return server.parameters, raw_bytes, False
+        target = server.version
+        session = self._downlink.get(worker_id)
+        if session is None or not server.has_version(session.version):
+            parameters = server.parameters
+            self._update_downlink(worker_id, target, parameters)
+            return parameters, raw_bytes, False
+        delta = server.delta_since(session.version, reference=session.replica)
+        frame = encode_delta(
+            self.broadcast_codec, delta,
+            base_version=session.version, target_version=target,
+        )
+        if self.broadcast_codec.lossless:
+            reconstruction = server.parameters
+        else:
+            reconstruction = session.replica + decode_frame(frame)
+        self._update_downlink(worker_id, target, reconstruction)
+        return reconstruction, frame.nbytes, True
+
+    def _update_downlink(
+        self, worker_id: int, version: int, replica: np.ndarray
+    ) -> None:
+        """Move *worker_id*'s downlink session to *version*, re-pinning it."""
+        session = self._downlink.get(worker_id)
+        if session is None:
+            self.server.pin_version(version)
+        elif session.version != version:
+            self.server.release_version(session.version)
+            self.server.pin_version(version)
+        self._downlink[worker_id] = DownlinkSession(
+            version=int(version),
+            replica=np.asarray(replica, dtype=np.float64),
         )
 
     def _encode(
@@ -409,46 +499,89 @@ class SynchronousTrainer(BaseTrainer):
     # -------------------------------------------------------------- pipeline
     def _collect_arrivals(
         self, parameters: np.ndarray, step: int, dim: int
-    ) -> Tuple[List[ArrivalEvent], float, List[float]]:
+    ) -> Tuple[List[ArrivalEvent], float, List[float], float]:
         """Pipeline stages 1-3: compute, craft, encode + transfer.
 
         Returns the step's arrival events (submission order: honest workers,
         then Byzantine workers), the wait floor (when the model broadcast
-        finished reaching the last worker), and the honest losses for the
-        step's mean-loss metric.
+        finished reaching the last honest worker), the honest losses for the
+        step's mean-loss metric, and the step's broadcast (downlink) bytes.
 
         With ``link_sharing="none"`` every transfer sees the full link and
         the closed-form seed arithmetic is used verbatim (bit-identical
         trajectories); under a contention-aware discipline the step's
         broadcasts and pushes are resolved as link sessions on the shared
-        egress/ingress, and each worker's queueing delay is recorded.
+        egress/ingress (per region bottleneck when a topology is set), and
+        each worker's queueing delay is recorded.  Byzantine workers fetch
+        the model like everyone else — their gradients are fabricated, their
+        fetches are not — so their broadcast sessions contend on the shared
+        egress, although only honest completions gate the step's wait floor
+        (the adversary never extends the critical path on its own behalf).
         """
         honest = self.honest_workers
-        model_bytes = self.cost_model.gradient_bytes(dim)
-        solo_downlink = self.cost_model.transfer_time(model_bytes)
+        # Downlink framing per fetching worker, in worker-id order (Byzantine
+        # ids come first — the deterministic FIFO egress tie-break).  Without
+        # a broadcast codec every fetch is the same raw full-state frame, so
+        # the step's one parameter snapshot is shared across workers instead
+        # of copied n times.
+        if self.broadcast_codec is None:
+            raw_bytes = self.cost_model.gradient_bytes(dim)
+            fetches: Dict[int, Tuple[np.ndarray, float, bool]] = {
+                worker.worker_id: (parameters, raw_bytes, False)
+                for worker in self.workers
+            }
+        else:
+            fetches = {
+                worker.worker_id: self._encode_broadcast(worker.worker_id)
+                for worker in self.workers
+            }
+        downlink_step_bytes = float(sum(f[1] for f in fetches.values()))
         if self._contended and honest:
             # The broadcast is n concurrent sessions on the shared egress.
-            schedule = self._link_scheduler().simulate(
-                [(0.0, model_bytes)] * len(honest)
-            )
-            downlink_times = [finish for finish, _ in schedule]
-            downlink_delays = [delay for _, delay in schedule]
+            jobs = [
+                (0.0, fetches[worker.worker_id][1], worker.worker_id)
+                for worker in self.workers
+            ]
+            schedule = {
+                worker.worker_id: outcome
+                for worker, outcome in zip(self.workers, self.fabric.simulate(jobs))
+            }
+            downlink_times = [schedule[w.worker_id][0] for w in honest]
+            downlink_delays = [schedule[w.worker_id][1] for w in honest]
+            byz_delays = {w.worker_id: schedule[w.worker_id][1]
+                          for w in self.byzantine_workers}
             floor = max(downlink_times)
         else:
-            downlink_times = [solo_downlink] * len(honest)
+            downlink_times = [
+                self.fabric.solo_seconds(w.worker_id, fetches[w.worker_id][1])
+                for w in honest
+            ]
             downlink_delays = [0.0] * len(honest)
-            floor = solo_downlink
+            byz_delays = {w.worker_id: 0.0 for w in self.byzantine_workers}
+            floor = max(downlink_times) if downlink_times else 0.0
+        for worker in self.byzantine_workers:
+            _, nbytes, is_delta = fetches[worker.worker_id]
+            self.history.record_wire(
+                worker.worker_id,
+                bytes_received=nbytes,
+                queueing_delay=byz_delays[worker.worker_id],
+                downlink_delta=is_delta,
+                region=self.fabric.region_of(worker.worker_id),
+            )
         slowdowns = (
             self.straggler_model.sample(len(honest), self._straggler_rng)
             if self.straggler_model is not None
             else np.ones(len(honest))
         )
 
-        # Stage 1: broadcast + honest gradient computation.
+        # Stage 1: broadcast + honest gradient computation.  Each worker
+        # computes on the parameters it reconstructed from its own downlink
+        # frame (the exact server state unless a lossy broadcast codec is
+        # in play).
         honest_messages: List[GradientMessage] = []
         path_times: List[float] = []
         for index, worker in enumerate(honest):
-            message = worker.compute_gradient(parameters, step)
+            message = worker.compute_gradient(fetches[worker.worker_id][0], step)
             honest_messages.append(message)
             compute_time = self._compute_time(worker, dim)
             path_times.append(downlink_times[index] + compute_time * float(slowdowns[index]))
@@ -493,8 +626,11 @@ class SynchronousTrainer(BaseTrainer):
 
         uplink_delays = [0.0] * num_honest
         if self._contended and num_honest:
-            schedule = self._link_scheduler().simulate(
-                [(path_times[i], frames[i].nbytes) for i in range(num_honest)]
+            schedule = self.fabric.simulate(
+                [
+                    (path_times[i], frames[i].nbytes, honest[i].worker_id)
+                    for i in range(num_honest)
+                ]
             )
             for i, (finish, delay) in enumerate(schedule):
                 ideal = self.cost_model.transfer_time(frames[i].nbytes)
@@ -503,7 +639,9 @@ class SynchronousTrainer(BaseTrainer):
                 uplink_delays[i] = delay
         else:
             for i in range(num_honest):
-                path_times[i] += solo_seconds[i]
+                path_times[i] += self.fabric.uplink_seconds(
+                    honest[i].worker_id, frames[i].nbytes, solo_seconds[i]
+                )
 
         events: List[ArrivalEvent] = []
         for order, message in enumerate(honest_messages + byzantine_messages):
@@ -519,16 +657,19 @@ class SynchronousTrainer(BaseTrainer):
                 )
             )
             if is_honest:
+                _, fetch_bytes, fetch_delta = fetches[message.worker_id]
                 self.history.record_wire(
                     message.worker_id,
                     bytes_sent=frames[order].nbytes,
-                    bytes_received=model_bytes,
+                    bytes_received=fetch_bytes,
                     queueing_delay=downlink_delays[order] + uplink_delays[order],
                     compression_error=errors[order],
+                    downlink_delta=fetch_delta,
+                    region=self.fabric.region_of(message.worker_id),
                 )
 
         losses = [m.loss for m in honest_messages if np.isfinite(m.loss)]
-        return events, floor, losses
+        return events, floor, losses, downlink_step_bytes
 
     def _aggregate_and_update(
         self, decision: SyncDecision
@@ -550,7 +691,9 @@ class SynchronousTrainer(BaseTrainer):
         step = self.server.step
         dim = self.server.dim
 
-        arrivals, floor, losses = self._collect_arrivals(parameters, step, dim)
+        arrivals, floor, losses, downlink_bytes = self._collect_arrivals(
+            parameters, step, dim
+        )
 
         # Thin driver over the event engine: the step's arrivals are routed
         # through one deterministic event queue and handed to the policy in
@@ -587,6 +730,7 @@ class SynchronousTrainer(BaseTrainer):
             selected_workers=diagnostics.selected_workers,
             selection_scores=diagnostics.selection_scores,
             wire_bytes=wire_bytes,
+            downlink_bytes=downlink_bytes,
         )
         self.history.record_step(record)
         return record
@@ -663,14 +807,18 @@ class AsyncTrainer(BaseTrainer):
         self._loop.on(self.UPDATE_DONE, self._on_update_done)
         self._loop.on(self.LINK, self._on_link)
 
-        #: Shared-link schedulers (downlink = model broadcasts, uplink =
-        #: gradient pushes) and their pending provisional completion events.
-        self._links: Dict[str, LinkScheduler] = (
-            {"down": self._link_scheduler(), "up": self._link_scheduler()}
-            if self._contended
-            else {}
-        )
-        self._link_events: Dict[str, Optional[Event]] = {"down": None, "up": None}
+        #: Shared-link schedulers and their pending provisional completion
+        #: events, one pipe per direction *and* region bottleneck (keys
+        #: ``"down:<region>"`` / ``"up:<region>"``; a symmetric deployment
+        #: has the single region ``core``, i.e. exactly the PR-3 pair).
+        self._links: Dict[str, LinkScheduler] = {}
+        self._link_events: Dict[str, Optional[Event]] = {}
+        if self._contended:
+            for region in self.fabric.region_names():
+                for direction in ("down", "up"):
+                    key = f"{direction}:{region}"
+                    self._links[key] = self.fabric.scheduler_for(region)
+                    self._link_events[key] = None
 
         #: Admission buffer: at most one pending gradient per worker (a
         #: fresher gradient supersedes a staler pending one).
@@ -679,6 +827,9 @@ class AsyncTrainer(BaseTrainer):
         self._last_update_done = 0.0
         self._byz_fired_version = -1
         self._interval = {"superseded": 0, "channel_dropped": 0, "stale_rejected": 0}
+        #: Broadcast bytes pushed since the last completed update (lands in
+        #: the next step record's ``downlink_bytes``).
+        self._interval_downlink = 0.0
 
         for worker in self.honest_workers:
             self.history.timeline_for(worker.worker_id)
@@ -687,30 +838,36 @@ class AsyncTrainer(BaseTrainer):
             self.history.timeline_for(worker.worker_id)
 
     # --------------------------------------------------------- shared links
-    def _reschedule_link(self, direction: str) -> None:
-        """Refresh the provisional completion event of one link direction.
+    def _pipe_key(self, direction: str, worker_id: int) -> str:
+        """The pipe a transfer of *worker_id* contends on in *direction*."""
+        return f"{direction}:{self.fabric.region_of(worker_id)}"
+
+    def _reschedule_link(self, key: str) -> None:
+        """Refresh the provisional completion event of one pipe.
 
         Contention changes every projected completion time, so the previous
         event (if any) is tombstoned and a fresh one is scheduled at the
         scheduler's earliest completion under the current membership.
         """
-        pending = self._link_events[direction]
+        pending = self._link_events[key]
         if pending is not None:
             pending.cancel()
-            self._link_events[direction] = None
-        target = self._links[direction].next_completion()
+            self._link_events[key] = None
+        target = self._links[key].next_completion()
         if target is not None:
-            self._link_events[direction] = self._loop.schedule(
-                self.LINK, max(target, self.clock.now), payload=direction
+            self._link_events[key] = self._loop.schedule(
+                self.LINK, max(target, self.clock.now), payload=key
             )
 
     def _on_link(self, event: Event) -> None:
         """A link session completed: hand its payload to the next stage."""
-        direction = event.payload
-        self._link_events[direction] = None
-        for session in self._links[direction].pop_completed(event.time):
+        key = event.payload
+        region = key.split(":", 1)[1]
+        self._link_events[key] = None
+        for session in self._links[key].pop_completed(event.time):
             self.history.record_wire(
-                session.worker_id, queueing_delay=session.queueing_delay
+                session.worker_id, queueing_delay=session.queueing_delay,
+                region=region,
             )
             kind, data = session.payload
             if kind == self.COMPUTE:
@@ -723,22 +880,33 @@ class AsyncTrainer(BaseTrainer):
                     self.ARRIVE, event.time + penalty,
                     worker_id=session.worker_id, payload=(message, wire),
                 )
-        self._reschedule_link(direction)
+        self._reschedule_link(key)
 
     # ------------------------------------------------------- worker round-trip
     def _on_fetch(self, event: Event) -> None:
-        """Worker asks for the model; the reply snapshots the current version."""
-        model_bytes = self.cost_model.gradient_bytes(self.server.dim)
-        snapshot = (self.server.version, self.server.parameters)
-        self.history.record_wire(event.worker_id, bytes_received=model_bytes)
+        """Worker asks for the model; the reply snapshots the current version.
+
+        The reply is the worker's downlink framing — raw full state, or a
+        codec-encoded delta against its held version when a broadcast codec
+        is configured — and travels over the worker's own path (regional
+        bottleneck + access link under a topology).
+        """
+        parameters, nbytes, is_delta = self._encode_broadcast(event.worker_id)
+        snapshot = (self.server.version, parameters)
+        self.history.record_wire(
+            event.worker_id, bytes_received=nbytes, downlink_delta=is_delta
+        )
+        self._interval_downlink += nbytes
         if self._contended:
-            self._links["down"].open(
-                event.time, model_bytes, worker_id=event.worker_id,
+            key = self._pipe_key("down", event.worker_id)
+            self._links[key].open(
+                event.time, nbytes, worker_id=event.worker_id,
                 payload=(self.COMPUTE, snapshot),
+                **self.fabric.session_kwargs(event.worker_id),
             )
-            self._reschedule_link("down")
+            self._reschedule_link(key)
             return
-        downlink = self.cost_model.transfer_time(model_bytes)
+        downlink = self.fabric.solo_seconds(event.worker_id, nbytes)
         self._loop.schedule(
             self.COMPUTE,
             event.time + downlink,
@@ -780,14 +948,18 @@ class AsyncTrainer(BaseTrainer):
             # The session's drain time replaces the solo wire time; the
             # channel's extra penalty (backoff, delays, jitter) rides on top.
             penalty = seconds - self.cost_model.transfer_time(frame.nbytes)
-            self._links["up"].open(
+            key = self._pipe_key("up", message.worker_id)
+            self._links[key].open(
                 event.time, frame.nbytes, worker_id=message.worker_id,
                 payload=(self.ARRIVE, (message, wire, penalty)),
+                **self.fabric.session_kwargs(message.worker_id),
             )
-            self._reschedule_link("up")
+            self._reschedule_link(key)
         else:
             self._loop.schedule(
-                self.ARRIVE, event.time + seconds,
+                self.ARRIVE,
+                event.time
+                + self.fabric.uplink_seconds(message.worker_id, frame.nbytes, seconds),
                 worker_id=message.worker_id, payload=(message, wire),
             )
         # The push is asynchronous: the worker fetches the next model
@@ -938,9 +1110,11 @@ class AsyncTrainer(BaseTrainer):
             selected_workers=diagnostics.selected_workers,
             selection_scores=diagnostics.selection_scores,
             wire_bytes=wire_bytes,
+            downlink_bytes=self._interval_downlink,
         )
         self.history.record_step(record)
         self._interval = {"superseded": 0, "channel_dropped": 0, "stale_rejected": 0}
+        self._interval_downlink = 0.0
         self._last_update_done = event.time
         # Arrivals buffered during the busy period may already fill the next
         # quorum — the server never idles while work is waiting.
@@ -962,4 +1136,5 @@ __all__ = [
     "SynchronousTrainer",
     "AsyncTrainer",
     "StepDiagnostics",
+    "DownlinkSession",
 ]

@@ -22,6 +22,7 @@ from repro.experiments import (
     cost_analysis,
     stragglers,
     async_throughput,
+    broadcast_scaling,
 )
 from repro.experiments.export import results_to_json, telemetry_series, format_table
 
@@ -38,6 +39,7 @@ __all__ = [
     "dropped_packets",
     "byzantine_attacks",
     "cost_analysis",
+    "broadcast_scaling",
     "stragglers",
     "async_throughput",
     "results_to_json",

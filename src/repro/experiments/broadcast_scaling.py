@@ -1,0 +1,318 @@
+"""Delta broadcasts versus raw full-state framing on heterogeneous links.
+
+AggregaThor's central systems claim is that the network, not the GAR, bounds
+Byzantine-resilient SGD throughput.  PR 3 compressed the *uplink* (gradient
+pushes), which makes the raw ``4d`` model broadcast the dominant wire cost
+the moment a sparsifying codec shrinks the pushes several-fold.  This driver
+measures the downlink half of the trade: the same deployment is trained once
+per *broadcast line-up entry* — raw full-state framing, identity deltas
+(byte-identical, trajectory-identical) and sparsifying delta codecs — on a
+bandwidth-bound WAN profile (per-region shared bottlenecks, contention per
+bottleneck), and the comparison reports downlink bytes, downlink
+bytes-to-accuracy, the full/delta framing split and per-region queueing.
+
+Run directly for the CI smoke / determinism checks::
+
+    python -m repro.experiments.broadcast_scaling --smoke
+    python -m repro.experiments.broadcast_scaling --determinism-check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.builder import build_trainer
+from repro.cluster.telemetry import TrainingHistory
+from repro.cluster.trainer import TrainerConfig
+from repro.experiments.config import ExperimentProfile, ci_profile
+from repro.experiments.export import format_table, results_to_json, telemetry_series
+
+#: Default line-up: ``(label, broadcast codec name or None, codec kwargs)``.
+#: ``broadcast_k`` entries may be given as a ``k_fraction`` of the model
+#: dimensionality, resolved at build time.
+DEFAULT_LINEUP: Tuple[Tuple[str, Optional[str], dict], ...] = (
+    ("raw", None, {}),
+    ("delta-identity", "identity", {}),
+    ("delta-top-k/8", "top-k", {"k_fraction": 1 / 8}),
+)
+
+
+def _resolve_broadcast_kwargs(codec_kwargs: dict, dim: int) -> dict:
+    """Turn a ``k_fraction`` into a concrete ``broadcast_k`` for this model."""
+    resolved = dict(codec_kwargs)
+    fraction = resolved.pop("k_fraction", None)
+    if fraction is not None:
+        resolved["broadcast_k"] = max(1, int(dim * fraction))
+    return resolved
+
+
+def run_broadcast_scaling(
+    profile: Optional[ExperimentProfile] = None,
+    *,
+    lineup: Optional[Sequence[Tuple[str, Optional[str], dict]]] = None,
+    gar: str = "multi-krum",
+    num_byzantine: int = 0,
+    attack: Optional[str] = None,
+    mode: str = "sync",
+    sync_policy: str = "full-sync",
+    max_version_lag: Optional[int] = None,
+    link_profile: Optional[str] = "wan:3x100kbit",
+    link_sharing: str = "fair",
+    target_accuracy: Optional[float] = None,
+    max_steps: Optional[int] = None,
+    bandwidth_gbps: Optional[float] = None,
+) -> Dict:
+    """Train one deployment per broadcast framing under identical seeds.
+
+    ``target_accuracy`` selects the threshold for the downlink
+    bytes-to-accuracy comparison (default: 90% of the raw run's final
+    accuracy, so the comparison is meaningful at any profile scale).
+    ``bandwidth_gbps`` overrides the profile cost model's symmetric link
+    bandwidth — the WAN regime where the wire, not compute, bounds the step.
+    """
+    profile = profile or ci_profile()
+    dataset = profile.make_dataset()
+    entries = tuple(lineup) if lineup is not None else DEFAULT_LINEUP
+    steps = profile.max_steps if max_steps is None else int(max_steps)
+    cost_model = profile.cost_model
+    if bandwidth_gbps is not None:
+        cost_model = replace(cost_model, bandwidth_gbps=float(bandwidth_gbps))
+
+    # One probe build resolves the model dimensionality (identical for every
+    # line-up entry) so k_fraction entries can pick a concrete broadcast_k.
+    probe_dim = 0
+    if any("k_fraction" in codec_kwargs for _, _, codec_kwargs in entries):
+        from repro.nn.models.registry import make_model
+
+        probe_dim = make_model(
+            profile.model, rng=0, **dict(profile.model_kwargs)
+        ).num_parameters
+
+    results: List[Dict] = []
+    for label, codec_name, codec_kwargs in entries:
+        resolved = _resolve_broadcast_kwargs(codec_kwargs, probe_dim)
+        trainer = build_trainer(
+            model=profile.model,
+            model_kwargs=profile.model_kwargs,
+            dataset=dataset,
+            gar=gar,
+            num_workers=profile.num_workers,
+            num_byzantine=num_byzantine,
+            declared_f=profile.f,
+            attack=attack,
+            batch_size=profile.batch_size,
+            optimizer=profile.optimizer,
+            learning_rate=profile.learning_rate,
+            cost_model=cost_model,
+            mode=mode,
+            sync_policy=sync_policy,
+            max_version_lag=max_version_lag,
+            broadcast_codec=codec_name,
+            link_profile=link_profile,
+            link_sharing=link_sharing,
+            seed=profile.seed,
+            **resolved,
+        )
+        history = trainer.run(
+            TrainerConfig(max_steps=steps, eval_every=profile.eval_every)
+        )
+        results.append(
+            {
+                "label": label,
+                "broadcast_codec": codec_name,
+                "broadcast_kwargs": resolved,
+                "dim": trainer.server.dim,
+                "history": history,
+            }
+        )
+
+    threshold = target_accuracy
+    if threshold is None:
+        raw_history: TrainingHistory = results[0]["history"]
+        final = raw_history.final_accuracy
+        threshold = 0.9 * final if final == final else None  # NaN-safe
+
+    return {
+        "profile": profile.name,
+        "gar": gar,
+        "f": profile.f,
+        "mode": mode,
+        "link_profile": link_profile,
+        "link_sharing": link_sharing,
+        "target_accuracy": threshold,
+        "results": results,
+        "summaries": [_summary(r, threshold) for r in results],
+    }
+
+
+def _summary(result: Dict, threshold: Optional[float]) -> Dict:
+    history: TrainingHistory = result["history"]
+    wire = history.wire_summary()
+    return {
+        "label": result["label"],
+        "broadcast_codec": result["broadcast_codec"],
+        "final_accuracy": history.final_accuracy,
+        "total_time": history.total_time,
+        "downlink_bytes": wire["downlink_bytes"],
+        "bytes_received_full": wire["bytes_received_full"],
+        "bytes_received_delta": wire["bytes_received_delta"],
+        "uplink_bytes": wire["wire_bytes"],
+        "queueing_delay_seconds": wire["queueing_delay_seconds"],
+        "region_queueing": history.region_queueing_summary(),
+        "time_to_accuracy": (
+            history.time_to_accuracy(threshold) if threshold is not None else None
+        ),
+        "downlink_bytes_to_accuracy": (
+            history.downlink_bytes_to_accuracy(threshold)
+            if threshold is not None
+            else None
+        ),
+        "diverged": history.diverged,
+    }
+
+
+def downlink_savings_over_raw(results: Dict) -> Dict[str, float]:
+    """Downlink bytes-to-accuracy of raw over each framing (>1 = fewer bytes)."""
+    by_label = {
+        s["label"]: s["downlink_bytes_to_accuracy"] for s in results["summaries"]
+    }
+    base = by_label.get("raw")
+    if base is None:
+        return {}
+    return {
+        label: base / value
+        for label, value in by_label.items()
+        if value is not None and value > 0
+    }
+
+
+def format_results(results: Dict) -> str:
+    """Pretty-print the broadcast-framing comparison."""
+    rows = [
+        (
+            s["label"],
+            s["final_accuracy"],
+            s["total_time"],
+            s["downlink_bytes"],
+            s["bytes_received_delta"],
+            s["downlink_bytes_to_accuracy"]
+            if s["downlink_bytes_to_accuracy"] is not None
+            else float("nan"),
+            s["time_to_accuracy"] if s["time_to_accuracy"] is not None else float("nan"),
+            s["diverged"],
+        )
+        for s in results["summaries"]
+    ]
+    return format_table(
+        ["broadcast", "final_acc", "sim_time_s", "down_bytes", "delta_bytes",
+         "down_bytes_to_acc", "time_to_acc", "diverged"],
+        rows,
+        title=(
+            f"Delta broadcasts — {results['gar']}, f={results['f']}, "
+            f"mode={results['mode']}, link-profile={results['link_profile']}, "
+            f"sharing={results['link_sharing']}, "
+            f"target={results['target_accuracy']}"
+        ),
+    )
+
+
+# ----------------------------------------------------------------- CI hooks
+def _smoke(json_path: Optional[str]) -> int:
+    """Tiny end-to-end sweep: every framing trains, deltas move fewer bytes."""
+    profile = ci_profile(max_steps=8, eval_every=4)
+    results = run_broadcast_scaling(profile, link_profile="wan:3x1mbit")
+    print(format_results(results))
+    by_label = {s["label"]: s for s in results["summaries"]}
+    for summary in results["summaries"]:
+        if summary["diverged"]:
+            print(f"FAIL: {summary['label']} diverged", file=sys.stderr)
+            return 1
+    if not by_label["delta-top-k/8"]["downlink_bytes"] < by_label["raw"]["downlink_bytes"]:
+        print("FAIL: sparsified delta broadcasts did not shrink the downlink",
+              file=sys.stderr)
+        return 1
+    if json_path:
+        payload = {k: v for k, v in results.items() if k != "results"}
+        results_to_json(payload, json_path)
+    print("broadcast-scaling smoke: OK")
+    return 0
+
+
+def _determinism_check() -> int:
+    """Replay one WAN-profile async config twice and diff its telemetry.
+
+    The whole wire substrate — delta framing, per-region contention, event
+    rescheduling — must be a pure function of the seed; any drift between
+    two identical runs is a determinism regression.
+    """
+    import json
+
+    profile = ci_profile(max_steps=6, eval_every=3)
+
+    def one_run() -> Dict:
+        results = run_broadcast_scaling(
+            profile,
+            lineup=(("delta-top-k/8", "top-k", {"k_fraction": 1 / 8}),),
+            mode="async",
+            sync_policy="quorum",
+            max_version_lag=3,
+            link_profile="wan:3x1mbit/5ms",
+            link_sharing="fair",
+        )
+        history: TrainingHistory = results["results"][0]["history"]
+        payload = telemetry_series(history)
+        payload["final_accuracy"] = history.final_accuracy
+        payload["total_time"] = history.total_time
+        payload["steps"] = [
+            (r.step, r.sim_time, r.wire_bytes, r.downlink_bytes) for r in history.steps
+        ]
+        return payload
+
+    first = json.dumps(one_run(), sort_keys=True)
+    second = json.dumps(one_run(), sort_keys=True)
+    if first != second:
+        print("FAIL: WAN async replay diverged between identical runs",
+              file=sys.stderr)
+        print(f"run 1: {first}", file=sys.stderr)
+        print(f"run 2: {second}", file=sys.stderr)
+        return 1
+    print("broadcast-scaling determinism: OK (two WAN async replays identical)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point for the CI smoke / determinism jobs."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.broadcast_scaling",
+        description="Delta broadcasts vs raw framing on heterogeneous links",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny end-to-end sweep (CI benchmark-smoke job)")
+    parser.add_argument("--determinism-check", action="store_true",
+                        help="replay one WAN async config twice and diff telemetry")
+    parser.add_argument("--json", default=None,
+                        help="write the smoke summaries to this JSON file")
+    args = parser.parse_args(argv)
+    if args.determinism_check:
+        return _determinism_check()
+    if args.smoke:
+        return _smoke(args.json)
+    results = run_broadcast_scaling()
+    print(format_results(results))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = [
+    "DEFAULT_LINEUP",
+    "run_broadcast_scaling",
+    "downlink_savings_over_raw",
+    "format_results",
+    "main",
+]

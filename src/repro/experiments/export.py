@@ -55,10 +55,17 @@ def telemetry_series(history: TrainingHistory) -> Dict:
             str(lag): count for lag, count in history.version_lag_histogram().items()
         },
         "wire_bytes": wire["wire_bytes"],
+        "downlink_bytes": wire["downlink_bytes"],
         "bytes_sent": wire["bytes_sent"],
         "bytes_received": wire["bytes_received"],
+        "bytes_received_full": wire["bytes_received_full"],
+        "bytes_received_delta": wire["bytes_received_delta"],
         "queueing_delay_seconds": wire["queueing_delay_seconds"],
         "compression_error": wire["compression_error"],
+        "region_queueing_seconds": {
+            str(region): seconds
+            for region, seconds in history.region_queueing_summary().items()
+        },
     }
 
 

@@ -108,11 +108,26 @@ def build_parser() -> argparse.ArgumentParser:
                         help="quantisation width in bits (qsgd codec, 1-16)")
     parser.add_argument("--no-error-feedback", action="store_true",
                         help="disable the EF-SGD residual carry for lossy codecs")
+    parser.add_argument("--broadcast-codec", default=None,
+                        help="downlink codec: model fetches travel as codec-encoded "
+                             "version deltas against each worker's held state "
+                             "(default: raw full-state 4d framing; empty string "
+                             "lists the options)")
+    parser.add_argument("--broadcast-k", type=int, default=None,
+                        help="coordinates kept per delta broadcast "
+                             "(top-k / random-k broadcast codecs)")
+    parser.add_argument("--broadcast-bits", type=int, default=None,
+                        help="quantisation width in bits (qsgd broadcast codec, 1-16)")
     parser.add_argument("--link-sharing", default="none",
                         choices=["none", "fair", "fifo"],
                         help="how concurrent transfers share the server's link: "
                              "none (infinite capacity, the seed semantics), fair "
                              "(processor sharing) or fifo (store-and-forward)")
+    parser.add_argument("--link-profile", default="symmetric",
+                        help="wire topology: 'symmetric' (one shared pipe, the "
+                             "seed semantics) or 'wan:<regions>x<bandwidth>[/<latency>]' "
+                             "(per-region shared bottlenecks, workers round-robin), "
+                             "e.g. 'wan:3x10mbit/40ms'")
     parser.add_argument("--lossy-links", type=int, default=0,
                         help="number of worker uplinks using the lossy UDP-like transport")
     parser.add_argument("--drop-rate", type=float, default=0.0, help="per-packet drop probability")
@@ -208,6 +223,52 @@ def _validate_codec_flags(args) -> None:
             f"--quantize-bits must be in [{QSGDCodec.MIN_BITS}, "
             f"{QSGDCodec.MAX_BITS}], got {args.quantize_bits}"
         )
+    _validate_broadcast_flags(args)
+
+
+def _validate_broadcast_flags(args) -> None:
+    """Reject inconsistent delta-broadcast flag combinations early."""
+    if args.broadcast_codec is None:
+        if args.broadcast_k is not None:
+            raise ConfigurationError(
+                "--broadcast-k requires --broadcast-codec (top-k or random-k)"
+            )
+        if args.broadcast_bits is not None:
+            raise ConfigurationError(
+                "--broadcast-bits requires --broadcast-codec qsgd"
+            )
+        return
+    codec_class = CODEC_REGISTRY.get(args.broadcast_codec)
+    if codec_class is None:
+        raise ConfigurationError(
+            f"unknown broadcast codec {args.broadcast_codec!r}; "
+            f"available: {available_codecs()}"
+        )
+    sparsifying = bool(getattr(codec_class, "sparsifying", False))
+    if args.broadcast_k is not None and not sparsifying:
+        raise ConfigurationError(
+            f"--broadcast-k only applies to sparsifying broadcast codecs; "
+            f"--broadcast-codec is {args.broadcast_codec!r}"
+        )
+    if sparsifying and args.broadcast_k is None:
+        raise ConfigurationError(
+            f"--broadcast-codec {args.broadcast_codec} requires --broadcast-k "
+            "(coordinates kept per delta broadcast)"
+        )
+    if args.broadcast_k is not None and args.broadcast_k < 1:
+        raise ConfigurationError(f"--broadcast-k must be >= 1, got {args.broadcast_k}")
+    if args.broadcast_bits is not None and args.broadcast_codec != "qsgd":
+        raise ConfigurationError(
+            f"--broadcast-bits only applies to the qsgd broadcast codec; "
+            f"--broadcast-codec is {args.broadcast_codec!r}"
+        )
+    if args.broadcast_bits is not None and not (
+        QSGDCodec.MIN_BITS <= args.broadcast_bits <= QSGDCodec.MAX_BITS
+    ):
+        raise ConfigurationError(
+            f"--broadcast-bits must be in [{QSGDCodec.MIN_BITS}, "
+            f"{QSGDCodec.MAX_BITS}], got {args.broadcast_bits}"
+        )
 
 
 def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
@@ -231,6 +292,9 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
     if args.codec == "":
         print("available codecs: " + ", ".join(available_codecs()), file=out)
         return {"listed": "codecs"}
+    if args.broadcast_codec == "":
+        print("available broadcast codecs: " + ", ".join(available_codecs()), file=out)
+        return {"listed": "broadcast-codecs"}
     if args.attack is not None and args.attack not in ATTACK_REGISTRY:
         raise ConfigurationError(
             f"unknown attack {args.attack!r}; available: {sorted(ATTACK_REGISTRY)}"
@@ -281,8 +345,12 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
         codec=args.codec,
         codec_k=args.codec_k,
         quantize_bits=args.quantize_bits,
+        broadcast_codec=args.broadcast_codec,
+        broadcast_k=args.broadcast_k,
+        broadcast_bits=args.broadcast_bits,
         error_feedback=not args.no_error_feedback,
         link_sharing=args.link_sharing,
+        link_profile=args.link_profile,
         lossy_links=args.lossy_links,
         lossy_drop_rate=args.drop_rate,
         lossy_policy=args.recovery_policy,
@@ -326,7 +394,11 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
         "codec": args.codec,
         "codec_k": args.codec_k,
         "quantize_bits": args.quantize_bits,
+        "broadcast_codec": args.broadcast_codec,
+        "broadcast_k": args.broadcast_k,
+        "broadcast_bits": args.broadcast_bits,
         "link_sharing": args.link_sharing,
+        "link_profile": args.link_profile,
         "seed": args.seed,
     }
 

@@ -184,3 +184,39 @@ class TestCostAnalysis:
         results = cost_analysis.run_cost_analysis(f=1, dims=(500, 1000), worker_counts=(7,), repeats=1)
         with pytest.raises(ConfigurationError):
             cost_analysis.scaling_exponent(results, "multi-krum", "q")
+
+
+class TestBroadcastScaling:
+    def test_sweep_reports_downlink_savings(self, fast_profile):
+        from repro.experiments import broadcast_scaling
+
+        results = broadcast_scaling.run_broadcast_scaling(
+            fast_profile,
+            link_profile="wan:3x1mbit",
+            max_steps=6,
+            lineup=(
+                ("raw", None, {}),
+                ("delta-top-k/8", "top-k", {"k_fraction": 1 / 8}),
+            ),
+        )
+        by_label = {s["label"]: s for s in results["summaries"]}
+        assert not any(s["diverged"] for s in results["summaries"])
+        assert (
+            by_label["delta-top-k/8"]["downlink_bytes"]
+            < by_label["raw"]["downlink_bytes"]
+        )
+        assert by_label["raw"]["region_queueing"]  # WAN contention recorded
+        text = broadcast_scaling.format_results(results)
+        assert "Delta broadcasts" in text and "raw" in text
+
+    def test_smoke_entry_point(self, capsys):
+        from repro.experiments import broadcast_scaling
+
+        assert broadcast_scaling.main(["--smoke"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_determinism_entry_point(self, capsys):
+        from repro.experiments import broadcast_scaling
+
+        assert broadcast_scaling.main(["--determinism-check"]) == 0
+        assert "identical" in capsys.readouterr().out

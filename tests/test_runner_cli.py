@@ -196,6 +196,81 @@ class TestCodecFlagValidation:
         assert summary["configuration"]["quantize_bits"] == 6
 
 
+class TestBroadcastAndLinkProfileFlags:
+    """The --broadcast-codec / --broadcast-k / --broadcast-bits / --link-profile matrix."""
+
+    def test_broadcast_codec_listing(self):
+        stream = io.StringIO()
+        result = runner.run(["--broadcast-codec", ""], stream=stream)
+        assert result == {"listed": "broadcast-codecs"}
+        assert "identity" in stream.getvalue()
+
+    def test_broadcast_k_without_codec_rejected(self):
+        with pytest.raises(ConfigurationError, match="--broadcast-k"):
+            runner.run(BASE_ARGS + ["--broadcast-k", "10"], stream=io.StringIO())
+
+    def test_broadcast_bits_without_codec_rejected(self):
+        with pytest.raises(ConfigurationError, match="--broadcast-bits"):
+            runner.run(BASE_ARGS + ["--broadcast-bits", "4"], stream=io.StringIO())
+
+    def test_broadcast_k_with_identity_rejected(self):
+        with pytest.raises(ConfigurationError, match="--broadcast-k"):
+            runner.run(
+                BASE_ARGS + ["--broadcast-codec", "identity", "--broadcast-k", "5"],
+                stream=io.StringIO(),
+            )
+
+    def test_topk_broadcast_without_k_rejected(self):
+        with pytest.raises(ConfigurationError, match="requires --broadcast-k"):
+            runner.run(
+                BASE_ARGS + ["--broadcast-codec", "top-k"], stream=io.StringIO()
+            )
+
+    def test_broadcast_bits_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError, match=r"\[1, 16\]"):
+            runner.run(
+                BASE_ARGS + ["--broadcast-codec", "qsgd", "--broadcast-bits", "20"],
+                stream=io.StringIO(),
+            )
+
+    def test_unknown_broadcast_codec_rejected(self):
+        with pytest.raises(ConfigurationError, match="broadcast codec"):
+            runner.run(
+                BASE_ARGS + ["--broadcast-codec", "gzip"], stream=io.StringIO()
+            )
+
+    def test_malformed_link_profile_rejected(self):
+        with pytest.raises(ConfigurationError, match="link profile"):
+            runner.run(
+                BASE_ARGS + ["--link-profile", "wan:fast"], stream=io.StringIO()
+            )
+
+    def test_delta_broadcast_run_on_wan_profile(self):
+        summary = runner.run(
+            BASE_ARGS + ["--aggregator", "average",
+                         "--broadcast-codec", "top-k", "--broadcast-k", "10",
+                         "--link-profile", "wan:2x1mbit", "--link-sharing", "fair"],
+            stream=io.StringIO(),
+        )
+        assert not summary["diverged"]
+        assert summary["configuration"]["broadcast_codec"] == "top-k"
+        assert summary["configuration"]["link_profile"] == "wan:2x1mbit"
+        assert summary["wire"]["bytes_received_delta"] > 0
+        assert summary["wire"]["downlink_bytes"] > 0
+        assert set(summary["region_queueing"]) == {"region0", "region1"}
+
+    def test_identity_broadcast_matches_raw_summary(self):
+        raw = runner.run(BASE_ARGS + ["--aggregator", "average"],
+                         stream=io.StringIO())
+        delta = runner.run(
+            BASE_ARGS + ["--aggregator", "average", "--broadcast-codec", "identity"],
+            stream=io.StringIO(),
+        )
+        assert raw["final_accuracy"] == delta["final_accuracy"]
+        assert raw["total_time"] == delta["total_time"]
+        assert raw["wire"]["bytes_received"] == delta["wire"]["bytes_received"]
+
+
 class TestEndToEnd:
     def test_average_run(self, tmp_path):
         stream = io.StringIO()

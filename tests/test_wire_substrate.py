@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.cluster import CostModel, LossyChannel, RecoveryPolicy, build_trainer
+from repro.cluster import CostModel, DelayedChannel, LossyChannel, RecoveryPolicy, build_trainer
+from repro.cluster.codec import RandomKCodec, TopKCodec, decode_frame
 from repro.cluster.trainer import TrainerConfig
 from repro.exceptions import ConfigurationError
 
@@ -273,6 +274,275 @@ class TestErrorFeedback:
         np.testing.assert_array_equal(
             resumed.server.parameters, uninterrupted.server.parameters
         )
+
+
+class TestJitterRngIsolation:
+    """Satellite regression: jitter randomness cannot perturb training streams."""
+
+    def test_jitter_does_not_perturb_model_init_or_batch_order(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        plain = _build(tiny_dataset, tiny_model_kwargs)
+        jittered = _build(tiny_dataset, tiny_model_kwargs,
+                          link_jitters={2: 0.5, 3: 0.25})
+        np.testing.assert_array_equal(plain.server.parameters, jittered.server.parameters)
+        for a, b in zip(plain.honest_workers, jittered.honest_workers):
+            ax, ay = a.sampler.sample()
+            bx, by = b.sampler.sample()
+            np.testing.assert_array_equal(ax, bx)
+            np.testing.assert_array_equal(ay, by)
+
+    def test_builder_jitter_is_reproducible_from_the_seed(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        times = []
+        for _ in range(2):
+            trainer = _build(tiny_dataset, tiny_model_kwargs,
+                             link_jitters={1: 0.3, 2: 0.3})
+            history = trainer.run(TrainerConfig(max_steps=3, eval_every=0))
+            times.append(history.total_time)
+        assert times[0] == times[1]
+
+    def test_delayed_channel_spawns_a_named_child_stream(self, rng):
+        # Two channels seeded alike draw identical jitter; and the child
+        # spawn means the raw parent stream is never consumed directly.
+        a = DelayedChannel(delay_s=0.0, jitter_s=1.0, rng=7)
+        b = DelayedChannel(delay_s=0.0, jitter_s=1.0, rng=7)
+        payload = rng.standard_normal(64)
+        cost = CostModel()
+        for _ in range(3):
+            _, sa = a.transfer(payload, cost)
+            _, sb = b.transfer(payload, cost)
+            assert sa == sb
+
+    def test_jitter_draws_do_not_perturb_inner_lossy_streams(self, rng):
+        # A delayed wrapper sharing its seed material with the wrapped lossy
+        # channel must leave the lossy channel's wire/fill streams exactly
+        # where an unwrapped channel's would be.
+        parent_a = np.random.default_rng(11)
+        inner_a = LossyChannel(drop_rate=0.4, rng=parent_a)
+        wrapped = DelayedChannel(inner_a, jitter_s=0.5, rng=parent_a)
+        payload = rng.standard_normal(2048)
+        cost = CostModel()
+        for _ in range(2):
+            wrapped.transfer(payload, cost)
+
+        parent_b = np.random.default_rng(11)
+        inner_b = LossyChannel(drop_rate=0.4, rng=parent_b)
+        np.random.default_rng(0)  # unrelated draw, must not matter
+        for _ in range(2):
+            inner_b.transfer(payload, cost)
+        # Same number of transfers -> identical wire-stream states, jitter or not.
+        assert (
+            inner_a._wire_rng.bit_generator.state
+            == inner_b._wire_rng.bit_generator.state
+        )
+
+
+class TestSparseFrameLoss:
+    """Satellite regression: loss thins (index, value) pairs, never corrupts them."""
+
+    def _drop_all_channel(self, policy):
+        return LossyChannel(drop_rate=1.0, policy=policy,
+                            coordinates_per_packet=4, rng=3)
+
+    def test_lost_pairs_disappear_instead_of_garbling(self, rng):
+        codec = TopKCodec(16)
+        frame = codec.encode(rng.standard_normal(256))
+        channel = LossyChannel(drop_rate=0.5, policy="random-fill",
+                               coordinates_per_packet=4, rng=5)
+        delivered, _ = channel.transfer_frame(frame, CostModel())
+        assert delivered is not None
+        # Survivors are a strict subset of the original pairs, value-exact.
+        assert delivered.indices.size < frame.indices.size
+        original = {int(i): v for i, v in zip(frame.indices, frame.values)}
+        for index, value in zip(delivered.indices, delivered.values):
+            assert original[int(index)] == value
+        # Decode: surviving pairs scatter, lost coordinates are absent (zero),
+        # and nothing lands outside the original support.
+        decoded = decode_frame(delivered)
+        outside = np.setdiff1d(np.arange(256), frame.indices)
+        np.testing.assert_array_equal(decoded[outside], 0.0)
+
+    def test_drop_gradient_policy_drops_sparse_frame_whole(self, rng):
+        frame = TopKCodec(16).encode(rng.standard_normal(256))
+        delivered, _ = self._drop_all_channel("drop-gradient").transfer_frame(
+            frame, CostModel()
+        )
+        assert delivered is None
+
+    def test_nan_fill_marks_lost_shared_support_coordinates(self, rng):
+        # random-k elides indices (shared seed), so the receiver knows the
+        # full support and which positions died: exactly those coordinates
+        # are NaN — selective-average sees missing coordinates, not garbage.
+        codec = RandomKCodec(16, rng=9)
+        frame = codec.encode(rng.standard_normal(256))
+        channel = LossyChannel(drop_rate=0.5, policy="nan-fill",
+                               coordinates_per_packet=4, rng=5)
+        delivered, _ = channel.transfer_frame(frame, CostModel())
+        assert delivered is not None
+        assert delivered.indices.size == frame.indices.size  # support retained
+        decoded = decode_frame(delivered)
+        lost = np.isnan(delivered.values)
+        assert 0 < lost.sum() < frame.values.size
+        assert np.isnan(decoded[frame.indices[lost]]).all()
+        surviving = frame.indices[~lost]
+        np.testing.assert_array_equal(decoded[surviving], frame.values[~lost])
+
+    def test_loss_free_sparse_transfer_is_unchanged(self, rng):
+        frame = TopKCodec(8).encode(rng.standard_normal(64))
+        channel = LossyChannel(drop_rate=0.0, rng=1)
+        delivered, _ = channel.transfer_frame(frame, CostModel())
+        np.testing.assert_array_equal(delivered.values, frame.values)
+        np.testing.assert_array_equal(delivered.indices, frame.indices)
+
+    def test_selective_average_with_lossy_topk_converges(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        trainer = _build(tiny_dataset, tiny_model_kwargs,
+                         gar="selective-average",
+                         codec="top-k", codec_k=20,
+                         lossy_links=2, lossy_drop_rate=0.3,
+                         lossy_policy=RecoveryPolicy.NAN_FILL)
+        history = trainer.run(TrainerConfig(max_steps=20, eval_every=10))
+        assert not history.diverged
+        assert history.final_accuracy > 0.5
+
+
+class TestByzantineBroadcastContention:
+    """Satellite regression: Byzantine fetches contend on the shared egress."""
+
+    def _build_byz(self, tiny_dataset, tiny_model_kwargs, **overrides):
+        return _build(tiny_dataset, tiny_model_kwargs,
+                      gar="median", declared_f=1, num_byzantine=1,
+                      attack="reversed-gradient", **overrides)
+
+    def test_byzantine_fetches_are_broadcast_sessions(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        trainer = self._build_byz(tiny_dataset, tiny_model_kwargs,
+                                  link_sharing="fair")
+        history = trainer.run(TrainerConfig(max_steps=1, eval_every=0))
+        n = len(trainer.workers)
+        model_bytes = trainer.cost_model.gradient_bytes(trainer.server.dim)
+        capacity = trainer.cost_model.bandwidth_gbps * 1e9 / 8.0
+
+        # The adversary's fetch is real: bytes and queueing are recorded.
+        byz_id = trainer.byzantine_workers[0].worker_id
+        byz = history.worker_timelines[byz_id]
+        assert byz.bytes_received == model_bytes
+        assert byz.queueing_delay_seconds == pytest.approx(
+            (n - 1) * model_bytes / capacity
+        )
+
+        # Honest fetches contend with ALL n sessions (the pre-fix broadcast
+        # scheduled only the honest ones): fair sharing of n equal sessions
+        # queues each for (n-1) solo drains on the downlink, plus the
+        # honest-only uplink contention on the push.
+        num_honest = len(trainer.honest_workers)
+        frame_bytes = trainer.codec.frame_bytes(trainer.server.dim)
+        expected = (
+            (n - 1) * model_bytes / capacity
+            + (num_honest - 1) * frame_bytes / capacity
+        )
+        for worker in trainer.honest_workers:
+            timeline = history.worker_timelines[worker.worker_id]
+            assert timeline.queueing_delay_seconds == pytest.approx(expected)
+
+    def test_uncontended_byzantine_fetch_still_counts_bytes(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        trainer = self._build_byz(tiny_dataset, tiny_model_kwargs)
+        history = trainer.run(TrainerConfig(max_steps=2, eval_every=0))
+        byz_id = trainer.byzantine_workers[0].worker_id
+        byz = history.worker_timelines[byz_id]
+        model_bytes = trainer.cost_model.gradient_bytes(trainer.server.dim)
+        assert byz.bytes_received == 2 * model_bytes
+        assert byz.queueing_delay_seconds == 0.0
+
+
+class TestBytesAccounting:
+    """Satellite: dropped/carried submissions charge bytes; downlinks reconcile."""
+
+    def _quorum_build(self, tiny_dataset, tiny_model_kwargs, stragglers):
+        return _build(
+            tiny_dataset, tiny_model_kwargs,
+            num_workers=5, declared_f=2, codec="top-k", codec_k=10,
+            sync_policy="quorum",
+            sync_kwargs={"quorum": 3, "stragglers": stragglers},
+        )
+
+    def test_dropped_quorum_submissions_still_charge_uplink_bytes(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        trainer = self._quorum_build(tiny_dataset, tiny_model_kwargs, "drop")
+        steps = 4
+        history = trainer.run(TrainerConfig(max_steps=steps, eval_every=0))
+        frame_bytes = trainer.codec.frame_bytes(trainer.server.dim)
+        wire = history.wire_summary()
+        # Every push is charged at send time, admitted or not.
+        assert wire["bytes_sent"] == pytest.approx(5 * steps * frame_bytes)
+        # Admitted (per-update) bytes count only the quorum...
+        assert history.total_wire_bytes == pytest.approx(3 * steps * frame_bytes)
+        # ...so the gap is exactly the dropped stragglers' bytes.
+        dropped = sum(r.dropped_stragglers for r in history.steps)
+        assert wire["bytes_sent"] - history.total_wire_bytes == pytest.approx(
+            dropped * frame_bytes
+        )
+
+    def test_carried_submissions_charge_bytes_once_when_admitted(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        trainer = self._quorum_build(tiny_dataset, tiny_model_kwargs, "carry")
+        steps = 4
+        history = trainer.run(TrainerConfig(max_steps=steps, eval_every=0))
+        frame_bytes = trainer.codec.frame_bytes(trainer.server.dim)
+        wire = history.wire_summary()
+        assert wire["bytes_sent"] == pytest.approx(5 * steps * frame_bytes)
+        # Carried gradients keep their wire bytes and are charged exactly
+        # once, in the update that admits them.
+        assert history.total_wire_bytes == pytest.approx(3 * steps * frame_bytes)
+
+    def test_sync_downlink_counters_reconcile(self, tiny_dataset, tiny_model_kwargs):
+        trainer = _build(tiny_dataset, tiny_model_kwargs,
+                         broadcast_codec="top-k", broadcast_k=10)
+        history = trainer.run(TrainerConfig(max_steps=5, eval_every=0))
+        wire = history.wire_summary()
+        assert wire["bytes_received"] == pytest.approx(
+            wire["bytes_received_full"] + wire["bytes_received_delta"]
+        )
+        # Per-update downlink records sum to the per-worker timeline totals.
+        assert history.total_downlink_bytes == pytest.approx(wire["bytes_received"])
+        assert wire["downlink_bytes"] == history.total_downlink_bytes
+
+    def test_async_downlink_counters_reconcile(self, tiny_dataset, tiny_model_kwargs):
+        trainer = _build(tiny_dataset, tiny_model_kwargs,
+                         mode="async", sync_policy="quorum", max_version_lag=3,
+                         broadcast_codec="top-k", broadcast_k=10)
+        history = trainer.run(TrainerConfig(max_steps=5, eval_every=0))
+        wire = history.wire_summary()
+        assert wire["bytes_received"] == pytest.approx(
+            wire["bytes_received_full"] + wire["bytes_received_delta"]
+        )
+        # Fetches issued after the last completed update are still in
+        # flight; the step records plus that residual cover every byte the
+        # timelines saw.
+        assert history.total_downlink_bytes + trainer._interval_downlink == (
+            pytest.approx(wire["bytes_received"])
+        )
+
+    def test_downlink_bytes_to_accuracy_mirrors_uplink(
+        self, tiny_dataset, tiny_model_kwargs
+    ):
+        trainer = _build(tiny_dataset, tiny_model_kwargs)
+        history = trainer.run(TrainerConfig(max_steps=20, eval_every=1))
+        threshold = 0.9 * history.final_accuracy
+        up = history.bytes_to_accuracy(threshold)
+        down = history.downlink_bytes_to_accuracy(threshold)
+        assert up is not None and down is not None
+        # Identity framing both ways on a 4-worker cluster: equal per step.
+        assert down == pytest.approx(up)
+        assert history.downlink_bytes_to_accuracy(2.0) is None
 
 
 class TestBuilderValidation:
