@@ -9,6 +9,7 @@ experiment drivers.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Dict, Optional, Union
 
 import numpy as np
@@ -25,6 +26,7 @@ from repro.cluster.sync import FullSync, SyncPolicy, make_sync_policy
 from repro.cluster.trainer import AsyncTrainer, BaseTrainer, SynchronousTrainer
 from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker
 from repro.core.base import GradientAggregationRule, make_gar
+from repro.core.distance_cache import DistanceCache
 from repro.data.corruption import corrupt_features, permute_labels
 from repro.data.dataset import Dataset
 from repro.data.sampler import MiniBatchSampler
@@ -82,6 +84,9 @@ def build_trainer(
     optimizer_kwargs: Optional[dict] = None,
     learning_rate: float = 1e-3,
     cost_model: Optional[CostModel] = None,
+    server_cores: Optional[int] = None,
+    distance_cache: bool = False,
+    measured_aggregation: bool = False,
     cluster: Optional[ClusterSpec] = None,
     mode: str = "sync",
     sync_policy: Union[str, SyncPolicy] = "full-sync",
@@ -136,6 +141,23 @@ def build_trainer(
     corrupted_workers:
         Number of honest workers whose local dataset has permuted labels
         (the Figure 7 "corrupted data" behaviour).
+    server_cores:
+        Number of simulated server cores the aggregation's parallelisable
+        work (distance matrix, coordinate-wise trimming) is sharded across;
+        overrides the cost model's own setting when given.  1 (the cost
+        model default) reproduces single-core pricing bit for bit.
+    distance_cache:
+        When True the server shares a cross-round
+        :class:`~repro.core.distance_cache.DistanceCache` across the
+        selection GARs' aggregations: gradients are bit-identical to the
+        uncached path, but simulated aggregation time charges only the
+        distance blocks not already held (carried re-submissions and blocks
+        warmed during the quorum wait are free).
+    measured_aggregation:
+        When True the aggregation stage is timed from the live NumPy
+        execution instead of the analytic flop model; machine-dependent and
+        therefore not replayable (the runner rejects it together with
+        ``--determinism-check``).
     batch_size:
         Mini-batch size ``b`` per worker.
     mode:
@@ -268,6 +290,10 @@ def build_trainer(
     attack_instance = _resolve_attack(attack, attack_kwargs)
     sync_instance = _resolve_sync_policy(sync_policy, sync_kwargs)
     cost = cost_model if cost_model is not None else CostModel()
+    if server_cores is not None:
+        cost = replace(cost, server_cores=int(server_cores))
+    if measured_aggregation:
+        cost = replace(cost, measured_aggregation=True)
 
     # Independent RNG streams: one per worker, plus channels / corruption /
     # attack / model init / stragglers / codec / broadcast codec.  New
@@ -358,6 +384,7 @@ def build_trainer(
         optimizer_instance,
         expected_workers=[w.worker_id for w in workers],
         retain_versions=retain_versions,
+        distance_cache=DistanceCache() if distance_cache else None,
     )
 
     # Channels: lossy UDP-like links on the last `lossy_links` workers by

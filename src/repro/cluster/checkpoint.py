@@ -151,6 +151,12 @@ class TrainingState:
     #: ``{worker_id: (held_version, replica)}`` (empty without a broadcast
     #: codec — and in archives written before delta broadcasts existed).
     downlink_sessions: Dict[int, Tuple[int, np.ndarray]] = field(default_factory=dict)
+    #: Distance flops the trainer warmed at the captured round's end (the
+    #: carry pool's blocks) that still bill against the next round's wait
+    #: budget.  The cache itself is derived state and is rebuilt from the
+    #: carry pool on restore; this one float is the only pricing carry-over
+    #: (0.0 without a distance cache — and in older archives).
+    distance_warm_debt: float = 0.0
 
 
 def _channel_rngs(channel, prefix: str) -> List[Tuple[str, np.random.Generator]]:
@@ -230,6 +236,7 @@ def capture_training_state(trainer) -> TrainingState:
             int(worker_id): (int(session.version), session.replica.copy())
             for worker_id, session in getattr(trainer, "_downlink", {}).items()
         },
+        distance_warm_debt=float(getattr(trainer, "_warm_debt", 0.0)),
     )
 
 
@@ -257,6 +264,22 @@ def restore_training_state(trainer, state: TrainingState) -> None:
     trainer.server.restore(state.parameters, state.step)
     trainer.server.optimizer.load_state_dict(state.optimizer_state)
     trainer.sync_policy.load_state_dict(state.policy_state)
+    if trainer.server.distance_cache is not None:
+        # The distance cache is derived state and is never persisted:
+        # ``server.restore`` invalidated it, and rebuilding it from the
+        # restored carry pool reproduces the between-round cache state of
+        # the uninterrupted run exactly (retention keeps precisely the carry
+        # pool's rows), so resumed runs charge bit-identical aggregation
+        # times.
+        rows = [
+            np.asarray(e.payload, dtype=np.float64)
+            for e in trainer.sync_policy.pending_events()
+            if e.delivered
+        ]
+        trainer.server.distance_cache.rebuild(
+            np.stack(rows, axis=0) if rows else None
+        )
+    trainer._warm_debt = float(state.distance_warm_debt)
     for label, rng_state in state.rng_states.items():
         expected[label].bit_generator.state = rng_state
     trainer._codec_memory = {
@@ -322,6 +345,7 @@ def save_training_state(state: TrainingState, path: Union[str, Path]) -> Path:
         "rng_states": state.rng_states,
         "codec_memory_workers": sorted(int(w) for w in state.codec_memory),
         "downlink_versions": downlink_versions,
+        "distance_warm_debt": float(state.distance_warm_debt),
     }
     np.savez_compressed(path, meta=np.asarray(json.dumps(meta)), **arrays)
     return path
@@ -367,6 +391,7 @@ def load_training_state(path: Union[str, Path]) -> TrainingState:
                 )
                 for worker_id, version in meta.get("downlink_versions", {}).items()
             },
+            distance_warm_debt=float(meta.get("distance_warm_debt", 0.0)),
         )
 
 

@@ -51,19 +51,32 @@ class CostModel:
     worker_gflops:
         Sustained worker throughput in GFLOP/s.
     server_gflops:
-        Sustained server throughput for the aggregation.
+        Sustained server throughput for the aggregation (per core).
+    server_cores:
+        Number of simulated server cores the aggregation's parallelisable
+        work is sharded across.  The pairwise-distance matrix and the
+        coordinate-wise trimming/averaging terms partition perfectly, so
+        they divide by the core count (plus a
+        :func:`repro.core.theory.shard_combine_flops` gather term); the
+        sequential part — e.g. Bulyan's iterated selection-score updates —
+        does not (Amdahl).  The default of 1 reproduces the single-core
+        pricing bit for bit.
     bandwidth_gbps:
         Link bandwidth between any worker and the server.
     latency_s:
         One-way network latency in seconds.
     measured_aggregation:
         When True the aggregation time is measured from the live NumPy
-        execution instead of the analytic flop model.
+        execution instead of the analytic flop model.  Wall-clock timings
+        are machine- and load-dependent, so a measured-mode run is **not**
+        replayable: the runner rejects it in combination with
+        ``--determinism-check``.
     """
 
     flops_per_parameter_per_sample: float = 6.0
     worker_gflops: float = 80.0
     server_gflops: float = 80.0
+    server_cores: int = 1
     bandwidth_gbps: float = 10.0
     latency_s: float = 1e-4
     measured_aggregation: bool = False
@@ -75,6 +88,12 @@ class CostModel:
                 raise ConfigurationError(f"{attr} must be positive, got {getattr(self, attr)}")
         if self.latency_s < 0:
             raise ConfigurationError(f"latency_s must be non-negative, got {self.latency_s}")
+        if isinstance(self.server_cores, bool) or not isinstance(
+            self.server_cores, (int, np.integer)
+        ) or self.server_cores < 1:
+            raise ConfigurationError(
+                f"server_cores must be an integer >= 1, got {self.server_cores!r}"
+            )
 
     # ----------------------------------------------------------- components
     def gradient_compute_time(self, model_dim: int, batch_size: int,
@@ -130,15 +149,80 @@ class CostModel:
             return theory.aggregation_flops_multi_krum(n, d)
         if name == "bulyan":
             return theory.aggregation_flops_bulyan(n, gar.f, d)
+        if name == "brute":
+            # Brute enumerates C(n, n - f) subsets on top of the shared
+            # distance pass; pricing it at the Multi-Krum O(n^2 d) bound (the
+            # pre-PR-5 behaviour) made the combinatorial rule look as cheap
+            # as the polynomial one.
+            return theory.aggregation_flops_brute(n, gar.f, d)
         # Unknown rule: assume the common O(n^2 d) bound for robust GARs.
         return theory.aggregation_flops_multi_krum(n, d)
 
-    def _analytic_aggregation_seconds(self, gar: GradientAggregationRule, n: int, d: int) -> float:
-        """Analytic-mode duration of one aggregation call."""
-        return self.aggregation_flops(gar, n, d) / (self.server_gflops * 1e9)
+    #: GARs whose cost decomposes around the shared pairwise-distance pass.
+    DISTANCE_BASED_GARS = ("krum", "multi-krum", "bulyan", "brute")
+
+    def aggregation_flops_split(
+        self, gar: GradientAggregationRule, n: int, d: int
+    ) -> tuple[float, float, float]:
+        """The GAR's flops as ``(distance, parallel_rest, serial_rest)``.
+
+        The three shares always sum to :meth:`aggregation_flops` exactly.
+        *distance* is the shared ``n^2 d`` pairwise pass (skippable per cache
+        hit, shardable across cores); *parallel_rest* is the remaining
+        coordinate-partitioned work (trimming, averaging, subset scans —
+        shardable but never cached); *serial_rest* is the sequential part
+        (Bulyan's iterated selection-score updates) that no amount of cores
+        or caching removes.
+        """
+        total = self.aggregation_flops(gar, n, d)
+        name = getattr(gar, "name", "")
+        if name not in self.DISTANCE_BASED_GARS:
+            return 0.0, total, 0.0
+        distance = min(theory.aggregation_flops_distances(n, d), total)
+        rest = total - distance
+        if name == "bulyan":
+            theta = max(n - 2 * gar.f, 1)
+            serial = min(float(theta * n * n), rest)
+            return distance, rest - serial, serial
+        return distance, rest, 0.0
+
+    def _analytic_aggregation_seconds(
+        self, gar: GradientAggregationRule, n: int, d: int,
+        *, computed_distance_flops: Optional[float] = None,
+    ) -> float:
+        """Analytic-mode duration of one aggregation call.
+
+        *computed_distance_flops* caps the distance share at what a
+        :class:`~repro.core.distance_cache.DistanceCache` actually computed
+        this round (cache hits are free); ``None`` charges the full share.
+        On a single core with no cache the legacy single-division pricing is
+        reproduced bit for bit.
+        """
+        rate = self.server_gflops * 1e9
+        if self.server_cores == 1 and computed_distance_flops is None:
+            return self.aggregation_flops(gar, n, d) / rate
+        distance, parallel, serial = self.aggregation_flops_split(gar, n, d)
+        if computed_distance_flops is not None:
+            distance = min(distance, max(float(computed_distance_flops), 0.0))
+        combine = theory.shard_combine_flops(n, d, self.server_cores)
+        return ((distance + parallel) / self.server_cores + serial + combine) / rate
+
+    def distance_overlap_excess(self, warmed_flops: float, budget_s: float) -> float:
+        """Seconds of pre-quorum distance warming the wait could not absorb.
+
+        A pipelined server computes the distance blocks of already-arrived
+        gradients while it waits for the quorum to fill; that work is free
+        only as long as it fits inside the wait.  Returns the overflow
+        seconds to add to the step's aggregation time (almost always zero at
+        realistic scales, but the model must not pretend overlap is
+        unconditionally free).
+        """
+        seconds = float(warmed_flops) / self.server_cores / (self.server_gflops * 1e9)
+        return max(0.0, seconds - max(float(budget_s), 0.0))
 
     def aggregation_time_detailed(
-        self, gar: GradientAggregationRule, matrix: np.ndarray
+        self, gar: GradientAggregationRule, matrix: np.ndarray,
+        *, distance_cache=None,
     ) -> tuple[AggregationResult, float]:
         """Aggregate a pre-validated matrix, keeping the GAR's diagnostics.
 
@@ -150,15 +234,37 @@ class CostModel:
         mode the host wall-clock duration of the NumPy call is used directly;
         in analytic mode (default) the duration comes from the flop model,
         making simulations machine-independent.
+
+        *distance_cache* optionally installs a
+        :class:`~repro.core.distance_cache.DistanceCache` as the GAR's
+        distance provider for the duration of the call: the aggregated
+        values stay bit-identical (the cache serves the audited kernel's
+        numbers), but the analytic duration charges only the distance flops
+        the cache actually computed — cache hits are free.  Non-selection
+        GARs never query the provider and are priced unchanged.
         """
         n, d = matrix.shape
-        if self.measured_aggregation:
-            start = time.perf_counter()
+        charged_before = queries_before = 0.0
+        if distance_cache is not None:
+            charged_before = distance_cache.total_charged_flops
+            queries_before = distance_cache.total_queries
+            previous = gar.distance_provider
+            gar.distance_provider = distance_cache
+        try:
+            if self.measured_aggregation:
+                start = time.perf_counter()
+                result = gar.aggregate_validated(matrix)
+                return result, time.perf_counter() - start
             result = gar.aggregate_validated(matrix)
-            elapsed = time.perf_counter() - start
-            return result, elapsed
-        result = gar.aggregate_validated(matrix)
-        return result, self._analytic_aggregation_seconds(gar, n, d)
+        finally:
+            if distance_cache is not None:
+                gar.distance_provider = previous
+        computed: Optional[float] = None
+        if distance_cache is not None and distance_cache.total_queries > queries_before:
+            computed = distance_cache.total_charged_flops - charged_before
+        return result, self._analytic_aggregation_seconds(
+            gar, n, d, computed_distance_flops=computed
+        )
 
     def aggregation_time(
         self, gar: GradientAggregationRule, gradients: np.ndarray

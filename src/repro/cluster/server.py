@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.cluster.message import GradientMessage
 from repro.core.base import AggregationResult, GradientAggregationRule
+from repro.core.distance_cache import DistanceCache
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.optim.base import Optimizer
 
@@ -74,6 +75,12 @@ class ParameterServer:
         How many historical parameter vectors :meth:`parameters_at` keeps
         (``None`` retains every version — fine at simulation scale).  The
         current version is always retained.
+    distance_cache:
+        Optional :class:`~repro.core.distance_cache.DistanceCache` the
+        server's aggregation path shares across rounds (the trainers drive
+        its round lifecycle; the cost model prices only its misses).  The
+        cache is *derived* state: :meth:`restore` invalidates it, and the
+        checkpoint layer rebuilds it from the restored carry pool.
     """
 
     def __init__(
@@ -84,6 +91,7 @@ class ParameterServer:
         *,
         expected_workers: Optional[Iterable[int]] = None,
         retain_versions: Optional[int] = None,
+        distance_cache: Optional[DistanceCache] = None,
     ) -> None:
         self._parameters = np.asarray(initial_parameters, dtype=np.float64).copy()
         if self._parameters.ndim != 1 or self._parameters.size == 0:
@@ -94,6 +102,7 @@ class ParameterServer:
             )
         self.gar = gar
         self.optimizer = optimizer
+        self.distance_cache = distance_cache
         self._allowed = None if expected_workers is None else set(int(w) for w in expected_workers)
         self.step = 0
         self.retain_versions = retain_versions
@@ -309,8 +318,10 @@ class ParameterServer:
         """Reset the server to a checkpointed ``(parameters, step)`` state.
 
         The version log restarts from the restored version (historical
-        versions belong to the interrupted run, not this one) and the update
-        log is cleared.
+        versions belong to the interrupted run, not this one), the update
+        log is cleared, and the distance cache — derived state whose entries
+        describe the interrupted run's pool — is invalidated (the checkpoint
+        layer rebuilds it from the restored carry pool).
         """
         parameters = np.asarray(parameters, dtype=np.float64).copy()
         if parameters.shape != self._parameters.shape:
@@ -325,6 +336,8 @@ class ParameterServer:
         self._version_log = {self.step: self._parameters.copy()}
         self._pins = {}
         self.update_log = []
+        if self.distance_cache is not None:
+            self.distance_cache.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ParameterServer(d={self.dim}, gar={self.gar!r}, version={self.version})"

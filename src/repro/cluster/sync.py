@@ -237,6 +237,15 @@ class SyncPolicy(abc.ABC):
     def reset(self) -> None:
         """Drop carried state (e.g. when reusing a policy across runs)."""
 
+    def pending_events(self) -> List[ArrivalEvent]:
+        """The carried-gradient pool awaiting the next step (empty if stateless).
+
+        Exposed so the cluster layer can key derived state — notably the
+        distance cache's retention — to exactly the rows that will re-submit
+        next step; mutating the returned list does not affect the policy.
+        """
+        return []
+
     # -------------------------------------------------------- admission view
     def admission(self, *, max_version_lag: Optional[int] = None) -> AdmissionPredicate:
         """This policy as an :class:`AdmissionPredicate` for the async engine.
@@ -371,6 +380,9 @@ class QuorumBasedPolicy(SyncPolicy):
 
     def reset(self) -> None:
         self._pending = []
+
+    def pending_events(self) -> List[ArrivalEvent]:
+        return list(self._pending)
 
     def admission(self, *, max_version_lag: Optional[int] = None) -> AdmissionPredicate:
         quorum = self._effective_quorum

@@ -52,6 +52,21 @@ class StepRecord:
     #: update (full-state and delta frames alike; 0 for histories predating
     #: downlink accounting).
     downlink_bytes: float = 0.0
+    #: Distance-cache accounting for this update (all zero when the cache is
+    #: off — the default — and in histories predating it).  Rows already
+    #: fingerprint-known at round start (carried / stale re-submissions)
+    #: count as hits, first-seen rows as misses; pair counts classify the
+    #: aggregation query's distance blocks the same way.
+    cache_hit_rows: int = 0
+    cache_miss_rows: int = 0
+    cache_hit_pairs: int = 0
+    cache_miss_pairs: int = 0
+    #: Effective distance flops charged to this update's aggregation time
+    #: (cache misses only — hits and off-path warming are free).
+    distance_flops: float = 0.0
+    #: Distance flops absorbed by the quorum wait / idle periods (warming
+    #: early arrivals and the carry pool).
+    overlapped_flops: float = 0.0
 
     @property
     def step_time(self) -> float:
@@ -319,6 +334,28 @@ class TrainingHistory:
             "compression_error": float(sum(t.compression_error for t in timelines)),
         }
 
+    def distance_cache_summary(self) -> Dict[str, float]:
+        """Aggregate distance-cache counters over the run.
+
+        All-zero when the cache was off (hit rate 0.0), which keeps older
+        telemetry comparable.  ``hit_rate_pairs`` is the fraction of queried
+        distance blocks served without critical-path compute.
+        """
+        hit_rows = sum(r.cache_hit_rows for r in self.steps)
+        miss_rows = sum(r.cache_miss_rows for r in self.steps)
+        hit_pairs = sum(r.cache_hit_pairs for r in self.steps)
+        miss_pairs = sum(r.cache_miss_pairs for r in self.steps)
+        total_pairs = hit_pairs + miss_pairs
+        return {
+            "hit_rows": int(hit_rows),
+            "miss_rows": int(miss_rows),
+            "hit_pairs": int(hit_pairs),
+            "miss_pairs": int(miss_pairs),
+            "hit_rate_pairs": hit_pairs / total_pairs if total_pairs else 0.0,
+            "distance_flops": float(sum(r.distance_flops for r in self.steps)),
+            "overlapped_flops": float(sum(r.overlapped_flops for r in self.steps)),
+        }
+
     def region_queueing_summary(self) -> Dict[str, float]:
         """Per-region queueing delay totals, sorted by region name."""
         return {
@@ -433,6 +470,7 @@ class TrainingHistory:
             "latency_breakdown": self.latency_breakdown(),
             "sync": self.sync_summary(),
             "wire": self.wire_summary(),
+            "distance_cache": self.distance_cache_summary(),
             "region_queueing": self.region_queueing_summary(),
             "server_utilisation": self.server_utilisation(),
             "version_lag_histogram": {

@@ -218,6 +218,10 @@ class BaseTrainer:
         if (eval_model is None) != (test_set is None):
             raise ConfigurationError("eval_model and test_set must be provided together")
         self._worker_gflops = self._resolve_worker_gflops()
+        #: Distance flops warmed at the previous round's end (the carry
+        #: pool's blocks): physically computed after that round's cutoff, so
+        #: they bill against the *next* round's wait budget.
+        self._warm_debt = 0.0
         self.history = TrainingHistory()
 
     # ----------------------------------------------------------------- setup
@@ -364,7 +368,9 @@ class BaseTrainer:
 
         Does *not* apply the optimizer update — the lock-step trainer applies
         it immediately, the event loop applies it when the server's busy
-        period ends.
+        period ends.  With a distance cache attached to the server, the cost
+        model prices only the distance blocks the cache actually computed
+        this round (the aggregated values stay bit-identical either way).
         """
         delivered = [
             GradientMessage(
@@ -379,9 +385,70 @@ class BaseTrainer:
             raise TrainingError("every gradient was dropped this step; cannot make progress")
         matrix = self.server.stack_submissions(delivered)
         result, aggregation_time = self.cost_model.aggregation_time_detailed(
-            self.server.gar, matrix
+            self.server.gar, matrix, distance_cache=self.server.distance_cache
         )
         return delivered, result, aggregation_time
+
+    # ------------------------------------------------- distance-cache round
+    def _distance_round_begin(self, admitted: Sequence[ArrivalEvent]) -> float:
+        """Open a cache round and warm the pre-quorum arrivals.
+
+        Every admitted gradient that arrived strictly before the latest one
+        was sitting in the server while it still waited — a pipelined server
+        computes those distance blocks off the critical path.  Returns the
+        warmed flops (including the previous round's carry-warm debt, which
+        also bills against this round's wait) so the caller can charge any
+        overlap the wait could not absorb
+        (:meth:`CostModel.distance_overlap_excess`).  No-op without a cache.
+        """
+        cache = self.server.distance_cache
+        if cache is None:
+            return 0.0
+        cache.begin_round()
+        warmed = self._warm_debt
+        self._warm_debt = 0.0
+        delivered = [e for e in admitted if e.delivered]
+        if delivered:
+            cutoff = max(e.arrival_time for e in delivered)
+            early = [e.payload for e in delivered if e.arrival_time < cutoff]
+            if early:
+                warmed += cache.warm(np.stack(early, axis=0))
+        return warmed
+
+    def _distance_round_end(self, pending: Sequence[ArrivalEvent]):
+        """Close the cache round against the policy's carry pool.
+
+        The carried rows re-submit byte-identically next step, so their
+        blocks are warmed and everything else is evicted — the carry pool
+        *is* the retention policy.  The newly warmed flops are carried as
+        debt into the next round's wait budget (these rows arrived after
+        the cutoff: the overlap window for their blocks is the *coming*
+        wait, not the one that already passed).  Returns the round's
+        :class:`~repro.core.distance_cache.DistanceRoundStats`, or ``None``
+        without a cache.
+        """
+        cache = self.server.distance_cache
+        if cache is None:
+            return None
+        rows = [e.payload for e in pending if e.delivered]
+        carry = np.stack(rows, axis=0) if rows else None
+        if carry is not None:
+            self._warm_debt += cache.warm(carry)
+        return cache.end_round(carry)
+
+    @staticmethod
+    def _cache_record_fields(stats) -> Dict:
+        """Distance-cache telemetry fields for one step record."""
+        if stats is None:
+            return {}
+        return {
+            "cache_hit_rows": stats.hit_rows,
+            "cache_miss_rows": stats.miss_rows,
+            "cache_hit_pairs": stats.hit_pairs,
+            "cache_miss_pairs": stats.miss_pairs,
+            "distance_flops": stats.charged_flops,
+            "overlapped_flops": stats.warmed_flops,
+        }
 
     @staticmethod
     def _diagnostics(delivered, result, aggregation_time: float) -> StepDiagnostics:
@@ -706,7 +773,15 @@ class SynchronousTrainer(BaseTrainer):
         drained = [event.payload for event in queue.drain()]
 
         decision = self.sync_policy.collect(drained, step, floor=floor)
+        warmed_flops = self._distance_round_begin(decision.admitted)
         delivered, diagnostics, wire_bytes = self._aggregate_and_update(decision)
+        cache_stats = None
+        if self.server.distance_cache is not None:
+            # Warming overlaps the quorum wait; charge only the overflow.
+            diagnostics.aggregation_time += self.cost_model.distance_overlap_excess(
+                warmed_flops, decision.wait_time
+            )
+            cache_stats = self._distance_round_end(self.sync_policy.pending_events())
         update_time = self.cost_model.update_time(dim)
 
         compute_comm_time = decision.wait_time
@@ -731,6 +806,7 @@ class SynchronousTrainer(BaseTrainer):
             selection_scores=diagnostics.selection_scores,
             wire_bytes=wire_bytes,
             downlink_bytes=downlink_bytes,
+            **self._cache_record_fields(cache_stats),
         )
         self.history.record_step(record)
         return record
@@ -1064,7 +1140,15 @@ class AsyncTrainer(BaseTrainer):
         )
         self._pending = {}
         self._busy = True
+        warmed_flops = self._distance_round_begin(batch)
         delivered, result, aggregation_time = self._aggregate_batch(batch)
+        if self.server.distance_cache is not None:
+            # Early arrivals were warmed while the buffer filled; charge only
+            # the overlap the inter-update window could not absorb.
+            budget = max(0.0, now - self._last_update_done)
+            aggregation_time += self.cost_model.distance_overlap_excess(
+                warmed_flops, budget
+            )
         update_time = self.cost_model.update_time(self.server.dim)
         self._loop.schedule(
             self.UPDATE_DONE,
@@ -1085,6 +1169,11 @@ class AsyncTrainer(BaseTrainer):
         )
         self._busy = False
         diagnostics = self._diagnostics(delivered, result, aggregation_time)
+        # Close the cache round against the admission buffer: gradients that
+        # arrived during the busy period are the async carry pool — they will
+        # enter the next batch byte-identically, so their blocks are warmed
+        # (off-path) and everything else is evicted.
+        cache_stats = self._distance_round_end(list(self._pending.values()))
 
         self.history.record_server_busy(aggregation_time + update_time)
         for entry in batch:
@@ -1111,6 +1200,7 @@ class AsyncTrainer(BaseTrainer):
             selection_scores=diagnostics.selection_scores,
             wire_bytes=wire_bytes,
             downlink_bytes=self._interval_downlink,
+            **self._cache_record_fields(cache_stats),
         )
         self.history.record_step(record)
         self._interval = {"superseded": 0, "channel_dropped": 0, "stale_rejected": 0}

@@ -14,6 +14,7 @@ from repro.core.base import (
     register_gar,
 )
 from repro.core import kernels
+from repro.core.distance_cache import DistanceCache, DistanceRoundStats, row_fingerprint
 from repro.core.average import Average, SelectiveAverage
 from repro.core.median import CoordinateWiseMedian, TrimmedMean
 from repro.core.krum import Krum, MultiKrum, krum_scores, pairwise_squared_distances
@@ -49,4 +50,7 @@ __all__ = [
     "pairwise_squared_distances",
     "kernels",
     "theory",
+    "DistanceCache",
+    "DistanceRoundStats",
+    "row_fingerprint",
 ]

@@ -77,6 +77,14 @@ class GradientAggregationRule(abc.ABC):
     #: :func:`register_gar` verifies the declared pair against
     #: :meth:`minimum_workers` so the two can never drift apart.
     min_workers_linear: Optional[Tuple[int, int]] = (1, 1)
+    #: Optional pairwise-distance provider (an object with a
+    #: ``distances(matrix) -> (n, n) ndarray`` method, e.g.
+    #: :class:`repro.core.distance_cache.DistanceCache`).  ``None`` — the
+    #: default, and the behaviour of every directly constructed rule — means
+    #: the selection GARs call the kernel module directly.  The cluster cost
+    #: model installs a shared cache here for the duration of one validated
+    #: aggregation call so cross-round distance reuse can be priced.
+    distance_provider = None
 
     def __init__(self, f: int = 0) -> None:
         if isinstance(f, bool) or not isinstance(f, (int, np.integer)):
@@ -160,6 +168,21 @@ class GradientAggregationRule(abc.ABC):
             )
 
     # ------------------------------------------------------------- internals
+    def _distances(self, matrix: np.ndarray) -> np.ndarray:
+        """Pairwise squared distances, routed through the provider when set.
+
+        The single distance entry point of every selection GAR: with no
+        provider it is exactly
+        :func:`repro.core.kernels.pairwise_squared_distances`; with one, the
+        provider serves bit-identical values while accounting cache hits and
+        misses for the cluster cost model.
+        """
+        if self.distance_provider is None:
+            from repro.core.kernels import pairwise_squared_distances
+
+            return pairwise_squared_distances(matrix)
+        return self.distance_provider.distances(matrix)
+
     @abc.abstractmethod
     def _aggregate(self, matrix: np.ndarray) -> AggregationResult:
         """Aggregate a validated ``(n, d)`` float64 matrix."""

@@ -58,7 +58,7 @@ class Brute(GradientAggregationRule):
         subset_size = n - self.f
         if subset_size < 1:
             raise ResilienceConditionError(f"Brute needs n - f >= 1, got n={n}, f={self.f}")
-        distances = pairwise_squared_distances(matrix)
+        distances = self._distances(matrix)
         best_indices: tuple[int, ...] | None = None
         best_diameter = np.inf
         for subset in combinations(range(n), subset_size):

@@ -61,7 +61,8 @@ def _scores_on_active(distances: np.ndarray, active_idx: np.ndarray, n_neighbors
 
 
 def _bulyan_selection(matrix: np.ndarray, f: int, theta: int,
-                      *, recompute_distances: bool = False) -> np.ndarray:
+                      *, recompute_distances: bool = False,
+                      distances: np.ndarray | None = None) -> np.ndarray:
     """Indices of the ``theta`` gradients extracted by iterated Krum selection.
 
     With ``recompute_distances=False`` (the optimised path) one pairwise
@@ -69,7 +70,9 @@ def _bulyan_selection(matrix: np.ndarray, f: int, theta: int,
     distances are recomputed on the remaining pool each round (reference path
     used by :class:`NaiveBulyan`).  Both paths produce identical selections
     because the pairwise distances between surviving gradients do not change
-    when other gradients are removed.
+    when other gradients are removed.  *distances* optionally supplies the
+    precomputed ``(n, n)`` matrix (the rule's distance provider / cache
+    path); it is ignored on the recompute-every-round reference path.
     """
     n = matrix.shape[0]
     n_neighbors = n - f - 2
@@ -77,7 +80,8 @@ def _bulyan_selection(matrix: np.ndarray, f: int, theta: int,
         raise ResilienceConditionError(
             f"Bulyan selection needs n - f - 2 >= 1 neighbours, got n={n}, f={f}"
         )
-    distances = None if recompute_distances else pairwise_squared_distances(matrix)
+    if not recompute_distances and distances is None:
+        distances = pairwise_squared_distances(matrix)
     active = np.ones(n, dtype=bool)
     selected: list[int] = []
     for _ in range(theta):
@@ -128,7 +132,9 @@ class Bulyan(GradientAggregationRule):
                 f"Bulyan with f={self.f} requires n >= {self.minimum_workers(self.f)}, got n={n}"
             )
         selected = _bulyan_selection(
-            matrix, self.f, theta, recompute_distances=self.recompute_distances
+            matrix, self.f, theta,
+            recompute_distances=self.recompute_distances,
+            distances=None if self.recompute_distances else self._distances(matrix),
         )
         chosen = matrix[selected]
         if not np.isfinite(chosen).all():

@@ -105,21 +105,31 @@ def mean_around_center(matrix: np.ndarray, center: np.ndarray, keep: int) -> np.
 
 
 def fill_non_finite_extremes(matrix: np.ndarray) -> np.ndarray:
-    """Replace non-finite entries by extreme finite outliers.
+    """Replace non-finite entries by *per-coordinate* extreme finite outliers.
 
-    NaN and +Inf become one more than the largest finite value, -Inf one less
-    than the smallest, so coordinate-wise order statistics (median, trimmed
-    mean, mean-around-median) push them to the trimmed tails.  Returns the
+    NaN and +Inf become one more than the largest finite value *of their own
+    coordinate*, -Inf one less than that coordinate's smallest, so
+    coordinate-wise order statistics (median, trimmed mean,
+    mean-around-median) push them to the trimmed tails at the coordinate's
+    own scale.  Substituting the *global* matrix extremes instead would turn
+    a NaN in a small-magnitude coordinate into a cross-scale outlier: the
+    moment ``keep`` exceeds that coordinate's finite count,
+    :func:`mean_around_center` averages the substituted value in and the
+    output is dragged towards an unrelated coordinate's range.  Coordinates
+    with no finite entries at all fall back to ``+1`` / ``-1``.  Returns the
     input unchanged (no copy) when it is already finite.
     """
-    if np.isfinite(matrix).all():
+    finite = np.isfinite(matrix)
+    if finite.all():
         return matrix
-    finite_vals = matrix[np.isfinite(matrix)]
-    hi = float(finite_vals.max()) + 1.0 if finite_vals.size else 1.0
-    lo = float(finite_vals.min()) - 1.0 if finite_vals.size else -1.0
-    clean = np.where(np.isnan(matrix), hi, matrix)
-    clean = np.where(np.isposinf(clean), hi, clean)
-    clean = np.where(np.isneginf(clean), lo, clean)
+    any_finite = finite.any(axis=0)
+    hi_base = np.where(finite, matrix, -np.inf).max(axis=0)
+    lo_base = np.where(finite, matrix, np.inf).min(axis=0)
+    hi = np.where(any_finite, hi_base + 1.0, 1.0)
+    lo = np.where(any_finite, lo_base - 1.0, -1.0)
+    clean = np.where(np.isnan(matrix), hi[None, :], matrix)
+    clean = np.where(np.isposinf(clean), hi[None, :], clean)
+    clean = np.where(np.isneginf(clean), lo[None, :], clean)
     return clean
 
 

@@ -101,7 +101,7 @@ class MultiKrum(GradientAggregationRule):
     def _aggregate(self, matrix: np.ndarray) -> AggregationResult:
         n = matrix.shape[0]
         m = self.effective_m(n)
-        distances = pairwise_squared_distances(matrix)
+        distances = self._distances(matrix)
         scores = krum_scores(distances, self.f)
         selected = np.argpartition(scores, m - 1)[:m]
         # Order the selection by score for deterministic, inspectable output.

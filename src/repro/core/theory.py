@@ -205,6 +205,58 @@ def aggregation_flops_multi_krum(n: int, d: int) -> float:
     return float(n) * float(n) * float(d)
 
 
+def aggregation_flops_distances(n: int, d: int) -> float:
+    """Flop count of the shared pairwise-distance pass: ``n^2 d``.
+
+    This is the term every selection GAR (Krum / Multi-Krum / Bulyan / Brute)
+    spends on :func:`repro.core.kernels.pairwise_squared_distances`, isolated
+    so the cluster cost model can price it separately — it is the part a
+    cross-round :class:`~repro.core.distance_cache.DistanceCache` can skip
+    (cache hits are free) and the part that shards embarrassingly across
+    simulated server cores.
+    """
+    n = check_positive_int(n, "n")
+    d = check_positive_int(d, "d")
+    return float(n) * float(n) * float(d)
+
+
+def aggregation_flops_brute(n: int, f: int, d: int) -> float:
+    """Approximate flop count of Brute / MDA over ``C(n, n - f)`` subsets.
+
+    Brute shares the ``n^2 d`` pairwise-distance pass with Multi-Krum, but
+    then *enumerates every subset* of size ``s = n - f``: each of the
+    ``C(n, s)`` subsets pays an ``s(s-1)/2`` diameter scan over the cached
+    distances, and the winning subset is averaged coordinate-wise (``s d``).
+    Pricing Brute at the Multi-Krum ``O(n^2 d)`` bound — the pre-PR-5
+    behaviour — made the combinatorial rule look as cheap as the polynomial
+    one, inverting the cost comparison the rule exists to illustrate.
+    """
+    n = check_positive_int(n, "n")
+    f = check_non_negative_int(f, "f")
+    d = check_positive_int(d, "d")
+    subset_size = n - f
+    if subset_size < 1:
+        raise ResilienceConditionError(f"Brute needs n - f >= 1, got n={n}, f={f}")
+    subsets = math.comb(n, subset_size)
+    diameter_scan = float(subsets) * (subset_size * (subset_size - 1) / 2.0)
+    return aggregation_flops_distances(n, d) + diameter_scan + float(subset_size * d)
+
+
+def shard_combine_flops(n: int, d: int, cores: int) -> float:
+    """Combine overhead of sharding one aggregation across *cores* cores.
+
+    Splitting the distance matrix (and the coordinate-parallel trimming work)
+    across simulated cores is not free: the partial ``(n, n)`` distance blocks
+    and the per-coordinate partial results must be gathered, which costs one
+    pass over both per extra core.  Zero for a single core, so the unsharded
+    cost model is unchanged.
+    """
+    n = check_positive_int(n, "n")
+    d = check_positive_int(d, "d")
+    cores = check_positive_int(cores, "cores")
+    return float((cores - 1) * (n * n + d))
+
+
 def aggregation_flops_bulyan(n: int, f: int, d: int) -> float:
     """Approximate flop count of Bulyan over Multi-Krum.
 
@@ -289,6 +341,9 @@ __all__ = [
     "aggregation_flops_average",
     "aggregation_flops_multi_krum",
     "aggregation_flops_bulyan",
+    "aggregation_flops_brute",
+    "aggregation_flops_distances",
+    "shard_combine_flops",
     "attack_cost_regression",
     "DeploymentSpec",
 ]

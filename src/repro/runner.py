@@ -37,7 +37,7 @@ from repro.cluster.sync import available_sync_policies
 from repro.cluster.trainer import TrainerConfig
 from repro.core.base import available_gars
 from repro.data.datasets import available_datasets, load_dataset
-from repro.exceptions import ConfigurationError, ReproError
+from repro.exceptions import ConfigurationError, ReproError, TrainingError
 from repro.nn.models.registry import available_models
 from repro.optim.base import OPTIMIZER_REGISTRY
 
@@ -128,6 +128,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "seed semantics) or 'wan:<regions>x<bandwidth>[/<latency>]' "
                              "(per-region shared bottlenecks, workers round-robin), "
                              "e.g. 'wan:3x10mbit/40ms'")
+    parser.add_argument("--server-cores", type=int, default=1,
+                        help="simulated server cores the aggregation's parallelisable "
+                             "work (distance matrix, coordinate-wise trimming) is "
+                             "sharded across (default 1 = the seed pricing)")
+    parser.add_argument("--distance-cache", default="off", choices=["on", "off"],
+                        help="cross-round pairwise-distance cache for the selection "
+                             "GARs: gradients stay bit-identical, but simulated "
+                             "aggregation time charges only the distance blocks not "
+                             "already held (carried re-submissions and blocks warmed "
+                             "during the quorum wait are free)")
+    parser.add_argument("--measured-aggregation", action="store_true",
+                        help="time the aggregation stage from the live NumPy "
+                             "execution instead of the analytic flop model "
+                             "(machine-dependent: incompatible with "
+                             "--determinism-check)")
+    parser.add_argument("--determinism-check", action="store_true",
+                        help="run the configured session twice and fail unless the "
+                             "two telemetry summaries are identical")
     parser.add_argument("--lossy-links", type=int, default=0,
                         help="number of worker uplinks using the lossy UDP-like transport")
     parser.add_argument("--drop-rate", type=float, default=0.0, help="per-packet drop probability")
@@ -185,6 +203,19 @@ def _validate_cluster_flags(args) -> None:
             "--mode async is incompatible with --sync-policy full-sync: the "
             "lock-step protocol has no event-stream form.  Pick --sync-policy "
             "quorum or bounded-staleness, or drop --mode async."
+        )
+    if args.server_cores < 1:
+        raise ConfigurationError(
+            f"--server-cores must be >= 1, got {args.server_cores}"
+        )
+    if args.measured_aggregation and args.determinism_check:
+        raise ConfigurationError(
+            "--measured-aggregation is incompatible with --determinism-check: "
+            "measured mode times the host wall-clock inside the simulation, "
+            "which is machine- and load-dependent, so two replays of the same "
+            "configuration cannot produce identical telemetry.  Drop one of "
+            "the two flags (the analytic cost model is the deterministic "
+            "default)."
         )
     _validate_codec_flags(args)
 
@@ -323,84 +354,109 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
             scale=intensity if args.straggler_model != "lognormal" else 1.0,
         )
 
-    dataset = load_dataset(args.dataset, **_parse_kv_args(args.dataset_args), rng=args.seed)
-    trainer = build_trainer(
-        model=args.experiment,
-        model_kwargs=_parse_kv_args(args.experiment_args),
-        dataset=dataset,
-        gar=args.aggregator,
-        num_workers=args.nb_workers,
-        num_byzantine=args.nb_real_byz,
-        declared_f=args.nb_decl_byz,
-        attack=args.attack,
-        corrupted_workers=args.nb_corrupted,
-        batch_size=args.batch_size,
-        optimizer=args.optimizer,
-        learning_rate=args.learning_rate,
-        mode=args.mode,
-        sync_policy=args.sync_policy,
-        sync_kwargs=sync_kwargs,
-        max_version_lag=args.max_version_lag,
-        straggler_model=straggler_model,
-        codec=args.codec,
-        codec_k=args.codec_k,
-        quantize_bits=args.quantize_bits,
-        broadcast_codec=args.broadcast_codec,
-        broadcast_k=args.broadcast_k,
-        broadcast_bits=args.broadcast_bits,
-        error_feedback=not args.no_error_feedback,
-        link_sharing=args.link_sharing,
-        link_profile=args.link_profile,
-        lossy_links=args.lossy_links,
-        lossy_drop_rate=args.drop_rate,
-        lossy_policy=args.recovery_policy,
-        seed=args.seed,
-    )
+    def _run_session() -> tuple:
+        """Build and run one full session from the parsed flags."""
+        dataset = load_dataset(
+            args.dataset, **_parse_kv_args(args.dataset_args), rng=args.seed
+        )
+        trainer = build_trainer(
+            model=args.experiment,
+            model_kwargs=_parse_kv_args(args.experiment_args),
+            dataset=dataset,
+            gar=args.aggregator,
+            num_workers=args.nb_workers,
+            num_byzantine=args.nb_real_byz,
+            declared_f=args.nb_decl_byz,
+            attack=args.attack,
+            corrupted_workers=args.nb_corrupted,
+            batch_size=args.batch_size,
+            optimizer=args.optimizer,
+            learning_rate=args.learning_rate,
+            server_cores=args.server_cores,
+            distance_cache=args.distance_cache == "on",
+            measured_aggregation=args.measured_aggregation,
+            mode=args.mode,
+            sync_policy=args.sync_policy,
+            sync_kwargs=sync_kwargs,
+            max_version_lag=args.max_version_lag,
+            straggler_model=straggler_model,
+            codec=args.codec,
+            codec_k=args.codec_k,
+            quantize_bits=args.quantize_bits,
+            broadcast_codec=args.broadcast_codec,
+            broadcast_k=args.broadcast_k,
+            broadcast_bits=args.broadcast_bits,
+            error_feedback=not args.no_error_feedback,
+            link_sharing=args.link_sharing,
+            link_profile=args.link_profile,
+            lossy_links=args.lossy_links,
+            lossy_drop_rate=args.drop_rate,
+            lossy_policy=args.recovery_policy,
+            seed=args.seed,
+        )
 
-    manager = (
-        CheckpointManager(args.checkpoint_dir) if args.checkpoint_delta > 0 else None
-    )
-    config = TrainerConfig(max_steps=args.max_step, eval_every=args.evaluation_delta)
+        manager = (
+            CheckpointManager(args.checkpoint_dir) if args.checkpoint_delta > 0 else None
+        )
+        config = TrainerConfig(max_steps=args.max_step, eval_every=args.evaluation_delta)
 
-    if manager is None:
-        history = trainer.run(config)
-    else:
-        # Run in checkpoint-sized chunks so snapshots land every checkpoint-delta steps.
-        remaining = args.max_step
-        history = trainer.history
-        while remaining > 0 and not history.diverged:
-            chunk = min(args.checkpoint_delta, remaining)
-            trainer.run(TrainerConfig(max_steps=chunk, eval_every=args.evaluation_delta))
-            manager.save(
-                Checkpoint(step=trainer.server.step, sim_time=trainer.clock.now,
-                           parameters=trainer.server.parameters)
+        if manager is None:
+            history = trainer.run(config)
+        else:
+            # Run in checkpoint-sized chunks so snapshots land every checkpoint-delta steps.
+            remaining = args.max_step
+            history = trainer.history
+            while remaining > 0 and not history.diverged:
+                chunk = min(args.checkpoint_delta, remaining)
+                trainer.run(TrainerConfig(max_steps=chunk, eval_every=args.evaluation_delta))
+                manager.save(
+                    Checkpoint(step=trainer.server.step, sim_time=trainer.clock.now,
+                               parameters=trainer.server.parameters)
+                )
+                remaining -= chunk
+            history = trainer.history
+
+        summary = history.to_dict()
+        summary["configuration"] = {
+            "aggregator": args.aggregator,
+            "experiment": args.experiment,
+            "dataset": args.dataset,
+            "nb_workers": args.nb_workers,
+            "nb_real_byz": args.nb_real_byz,
+            "attack": args.attack,
+            "batch_size": args.batch_size,
+            "mode": args.mode,
+            "sync_policy": args.sync_policy,
+            "max_version_lag": args.max_version_lag,
+            "straggler_model": args.straggler_model,
+            "codec": args.codec,
+            "codec_k": args.codec_k,
+            "quantize_bits": args.quantize_bits,
+            "broadcast_codec": args.broadcast_codec,
+            "broadcast_k": args.broadcast_k,
+            "broadcast_bits": args.broadcast_bits,
+            "link_sharing": args.link_sharing,
+            "link_profile": args.link_profile,
+            "server_cores": args.server_cores,
+            "distance_cache": args.distance_cache,
+            "measured_aggregation": args.measured_aggregation,
+            "seed": args.seed,
+        }
+        return history, summary
+
+    history, summary = _run_session()
+    if args.determinism_check:
+        # Replay the whole session from scratch and diff the telemetry: every
+        # simulated quantity is a pure function of the flags + seed, so any
+        # drift is a determinism regression (measured_aggregation, the one
+        # mode this cannot hold for, is rejected at flag validation).
+        _, replay = _run_session()
+        if json.dumps(summary, sort_keys=True) != json.dumps(replay, sort_keys=True):
+            raise TrainingError(
+                "determinism check failed: two replays of the identical "
+                "configuration produced different telemetry summaries"
             )
-            remaining -= chunk
-        history = trainer.history
-
-    summary = history.to_dict()
-    summary["configuration"] = {
-        "aggregator": args.aggregator,
-        "experiment": args.experiment,
-        "dataset": args.dataset,
-        "nb_workers": args.nb_workers,
-        "nb_real_byz": args.nb_real_byz,
-        "attack": args.attack,
-        "batch_size": args.batch_size,
-        "mode": args.mode,
-        "sync_policy": args.sync_policy,
-        "max_version_lag": args.max_version_lag,
-        "straggler_model": args.straggler_model,
-        "codec": args.codec,
-        "codec_k": args.codec_k,
-        "quantize_bits": args.quantize_bits,
-        "broadcast_codec": args.broadcast_codec,
-        "broadcast_k": args.broadcast_k,
-        "broadcast_bits": args.broadcast_bits,
-        "link_sharing": args.link_sharing,
-        "link_profile": args.link_profile,
-        "seed": args.seed,
-    }
+        summary["determinism_check"] = "ok"
 
     if args.output:
         with open(args.output, "w") as handle:

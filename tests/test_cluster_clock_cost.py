@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import ClusterSpec, CostModel, NodeSpec, SimulatedClock, allocate_devices
-from repro.core import Average, Bulyan, MultiKrum
+from repro.core import Average, Brute, Bulyan, MultiKrum
 from repro.exceptions import ConfigurationError
 
 
@@ -60,6 +60,60 @@ class TestCostModel:
         mk = model.aggregation_flops(MultiKrum(f=2), n, d)
         bulyan = model.aggregation_flops(Bulyan(f=2), n, d)
         assert avg < mk < bulyan
+
+    def test_brute_analytic_time_dominates_multi_krum(self, rng):
+        # Regression (PR-5): Brute was priced at the Multi-Krum O(n^2 d)
+        # bound; the subset enumeration must make it strictly dearer for the
+        # same (n, d).
+        model = CostModel()
+        n, d = 12, 2_000
+        matrix = rng.standard_normal((n, d))
+        for f in (0, 2, 3):
+            assert model.aggregation_flops(Brute(f=f), n, d) > (
+                model.aggregation_flops(MultiKrum(f=f), n, d)
+            )
+            _, brute_seconds = model.aggregation_time_detailed(Brute(f=f), matrix)
+            _, mk_seconds = model.aggregation_time_detailed(MultiKrum(f=f), matrix)
+            assert brute_seconds > mk_seconds
+
+    def test_aggregation_flops_split_sums_to_total(self):
+        model = CostModel()
+        n, d = 15, 3_000
+        for gar in (Average(), MultiKrum(f=2), Bulyan(f=2), Brute(f=3)):
+            distance, parallel, serial = model.aggregation_flops_split(gar, n, d)
+            assert distance >= 0 and parallel >= 0 and serial >= 0
+            assert distance + parallel + serial == model.aggregation_flops(gar, n, d)
+        assert model.aggregation_flops_split(Average(), n, d)[0] == 0.0
+        assert model.aggregation_flops_split(Bulyan(f=2), n, d)[2] > 0.0
+
+    def test_server_cores_shard_the_parallel_work(self, rng):
+        matrix = rng.standard_normal((11, 2_000))
+        gar = Bulyan(f=2)
+        _, single = CostModel().aggregation_time_detailed(gar, matrix)
+        _, quad = CostModel(server_cores=4).aggregation_time_detailed(gar, matrix)
+        assert quad < single
+        # More cores also pay a larger combine term: going from 4 to 4096
+        # cores on a tiny problem must not tend to zero.
+        _, absurd = CostModel(server_cores=4096).aggregation_time_detailed(gar, matrix)
+        assert absurd > 0
+
+    def test_single_core_pricing_is_bit_identical_to_legacy(self, rng):
+        # The split path divides before summing; the legacy path must stay
+        # the single division so existing trajectories replay bit for bit.
+        model = CostModel()
+        gar = Bulyan(f=2)
+        n, d = 11, 1_777
+        expected = model.aggregation_flops(gar, n, d) / (model.server_gflops * 1e9)
+        _, seconds = model.aggregation_time_detailed(gar, rng.standard_normal((n, d)))
+        assert seconds == expected
+
+    def test_server_cores_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(server_cores=0)
+        with pytest.raises(ConfigurationError):
+            CostModel(server_cores=1.5)
+        with pytest.raises(ConfigurationError):
+            CostModel(server_cores=True)
 
     def test_aggregation_time_analytic_mode_returns_result(self, rng):
         model = CostModel()

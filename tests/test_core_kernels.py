@@ -95,14 +95,22 @@ def oracle_bulyan(matrix, f):
 
 
 def oracle_fill_non_finite(matrix):
+    # PR-5 bugfix oracle: extremes are *per coordinate* (the seed's global
+    # extremes turned a NaN in a small-magnitude coordinate into a
+    # cross-scale outlier that distorted mean_around_center whenever `keep`
+    # exceeded that coordinate's finite count).  Deliberately written with a
+    # per-column loop, independently of the vectorised kernel.
     if np.isfinite(matrix).all():
         return matrix
-    finite_vals = matrix[np.isfinite(matrix)]
-    hi = float(finite_vals.max()) + 1.0 if finite_vals.size else 1.0
-    lo = float(finite_vals.min()) - 1.0 if finite_vals.size else -1.0
-    clean = np.where(np.isnan(matrix), hi, matrix)
-    clean = np.where(np.isposinf(clean), hi, clean)
-    clean = np.where(np.isneginf(clean), lo, clean)
+    clean = matrix.copy()
+    for col in range(matrix.shape[1]):
+        column = matrix[:, col]
+        finite_vals = column[np.isfinite(column)]
+        hi = float(finite_vals.max()) + 1.0 if finite_vals.size else 1.0
+        lo = float(finite_vals.min()) - 1.0 if finite_vals.size else -1.0
+        clean[np.isnan(column), col] = hi
+        clean[np.isposinf(column), col] = hi
+        clean[np.isneginf(column), col] = lo
     return clean
 
 
@@ -272,9 +280,10 @@ def test_brute_uses_shared_distance_kernel(monkeypatch, rng):
         calls.append(matrix.shape)
         return original(matrix)
 
-    import repro.core.brute as brute_module
-
-    monkeypatch.setattr(brute_module, "pairwise_squared_distances", spy)
+    # The selection GARs now route through the base class's provider hook
+    # (GradientAggregationRule._distances), which resolves the kernel from
+    # repro.core.kernels at call time — one audited hot path for everyone.
+    monkeypatch.setattr(kernels, "pairwise_squared_distances", spy)
     Brute(f=1).aggregate(rng.standard_normal((7, 5)))
     assert calls == [(7, 5)]
 
@@ -297,6 +306,47 @@ def test_huge_cap_sums_without_overflow():
     scores = kernels.neighbour_sum_scores(np.full((5, 5), np.inf), 3)
     assert np.isfinite(scores).all()
     assert (scores == 3 * kernels.HUGE).all()
+
+
+def test_fill_non_finite_uses_per_coordinate_extremes():
+    """Regression (PR-5): fills happen at the poisoned coordinate's own scale."""
+    matrix = np.array([
+        [1000.0, 0.010],
+        [999.0, 0.011],
+        [998.0, np.nan],
+    ])
+    clean = kernels.fill_non_finite_extremes(matrix)
+    assert clean[2, 1] == pytest.approx(1.011)  # 0.011 + 1, not the global 1001
+    np.testing.assert_array_equal(clean[:, 0], matrix[:, 0])
+    assert clean[2, 0] == 998.0
+
+
+def test_fill_non_finite_column_without_finite_entries_falls_back():
+    matrix = np.array([[np.nan, 1.0], [np.inf, 2.0], [-np.inf, 3.0]])
+    clean = kernels.fill_non_finite_extremes(matrix)
+    np.testing.assert_array_equal(clean[:, 0], [1.0, 1.0, -1.0])
+    np.testing.assert_array_equal(clean[:, 1], [1.0, 2.0, 3.0])
+
+
+def test_meamed_not_distorted_by_cross_scale_nan_fill():
+    """Regression (PR-5): a NaN in a small coordinate must not drag MeaMed.
+
+    ``keep = n - f = 3`` exceeds the poisoned coordinate's finite count (2),
+    so one substituted value necessarily enters the per-coordinate mean.
+    With the seed's *global* extremes the substitute was ~1001 — three
+    orders of magnitude off the coordinate's own range — and the output
+    blew up to ~330; with per-coordinate extremes the substitute stays at
+    the coordinate's scale and the output stays near the honest values.
+    """
+    matrix = np.array([
+        [1000.0, 0.010],
+        [999.0, 0.012],
+        [998.0, np.nan],
+        [997.0, np.nan],
+    ])
+    out = MeaMed(f=1).aggregate(matrix)
+    assert 0.0 < out[1] < 2.0  # the global-fill bug produced ~334 here
+    assert 997.0 <= out[0] <= 1000.0
 
 
 # ------------------------------------------------- max_byzantine closed form

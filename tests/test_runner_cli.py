@@ -271,6 +271,68 @@ class TestBroadcastAndLinkProfileFlags:
         assert raw["wire"]["bytes_received"] == delta["wire"]["bytes_received"]
 
 
+class TestServerComputeFlags:
+    def test_server_cores_below_one_rejected(self):
+        with pytest.raises(ConfigurationError, match="--server-cores"):
+            runner.run(BASE_ARGS + ["--server-cores", "0"], stream=io.StringIO())
+
+    def test_measured_aggregation_with_determinism_check_rejected(self):
+        # Regression (PR-5): measured mode times the host wall-clock inside
+        # the simulation — silently machine-dependent, so replay verification
+        # must refuse it rather than report spurious nondeterminism.
+        with pytest.raises(ConfigurationError, match="--measured-aggregation"):
+            runner.run(
+                BASE_ARGS + ["--measured-aggregation", "--determinism-check"],
+                stream=io.StringIO(),
+            )
+
+    def test_measured_plus_determinism_rejected_before_building(self):
+        # Bad flag combinations must fail fast even with an absurd workload.
+        with pytest.raises(ConfigurationError):
+            runner.run(
+                BASE_ARGS
+                + ["--measured-aggregation", "--determinism-check",
+                   "--nb-workers", "100000", "--max-step", "10000000"],
+                stream=io.StringIO(),
+            )
+
+    def test_distance_cache_run_matches_uncached_accuracy(self):
+        base = runner.run(
+            BASE_ARGS + ["--aggregator", "multi-krum"], stream=io.StringIO()
+        )
+        cached = runner.run(
+            BASE_ARGS + ["--aggregator", "multi-krum", "--distance-cache", "on",
+                         "--server-cores", "4"],
+            stream=io.StringIO(),
+        )
+        # Lock-step gradients are bit-identical with the cache on; only the
+        # simulated aggregation pricing changes.
+        assert cached["final_accuracy"] == base["final_accuracy"]
+        assert cached["distance_cache"]["miss_pairs"] > 0
+        assert base["distance_cache"]["miss_pairs"] == 0
+        assert (
+            cached["latency_breakdown"]["aggregation"]
+            < base["latency_breakdown"]["aggregation"]
+        )
+        assert cached["configuration"]["server_cores"] == 4
+        assert cached["configuration"]["distance_cache"] == "on"
+
+    def test_determinism_check_passes_on_deterministic_run(self):
+        summary = runner.run(
+            BASE_ARGS + ["--aggregator", "average", "--determinism-check"],
+            stream=io.StringIO(),
+        )
+        assert summary["determinism_check"] == "ok"
+
+    def test_measured_aggregation_run(self):
+        summary = runner.run(
+            BASE_ARGS + ["--aggregator", "multi-krum", "--measured-aggregation"],
+            stream=io.StringIO(),
+        )
+        assert summary["configuration"]["measured_aggregation"] is True
+        assert summary["latency_breakdown"]["aggregation"] > 0
+
+
 class TestEndToEnd:
     def test_average_run(self, tmp_path):
         stream = io.StringIO()

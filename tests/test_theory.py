@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.core import theory
-from repro.exceptions import ResilienceConditionError
+from repro.exceptions import ConfigurationError, ResilienceConditionError
 
 
 class TestResilienceConditions:
@@ -123,6 +123,47 @@ class TestSlowdownAndCosts:
         assert cost == pytest.approx(1e20)
         with pytest.raises(ResilienceConditionError):
             theory.attack_cost_regression(10, 10, 0.0)
+
+    def test_brute_flops_dominate_multi_krum_for_same_n_d(self):
+        # Regression (PR-5): Brute was priced at the Multi-Krum O(n^2 d)
+        # bound even though it enumerates C(n, n - f) subsets.
+        for n, f in [(7, 0), (11, 2), (15, 3), (19, 4), (25, 12)]:
+            for d in (10, 10_000):
+                assert theory.aggregation_flops_brute(n, f, d) > (
+                    theory.aggregation_flops_multi_krum(n, d)
+                ), (n, f, d)
+
+    def test_brute_flops_track_the_subset_enumeration(self):
+        n, d = 15, 100
+        # The subset-scan term alone: total minus distances minus the
+        # winning-subset average.
+        for f in (1, 3, 5):
+            s = n - f
+            scan = (
+                theory.aggregation_flops_brute(n, f, d)
+                - theory.aggregation_flops_distances(n, d)
+                - s * d
+            )
+            assert scan == pytest.approx(math.comb(n, s) * s * (s - 1) / 2)
+        # f = 0 enumerates exactly one subset.
+        assert theory.aggregation_flops_brute(n, 0, d) == pytest.approx(
+            theory.aggregation_flops_distances(n, d) + n * (n - 1) / 2 + n * d
+        )
+
+    def test_brute_flops_invalid(self):
+        with pytest.raises(ResilienceConditionError):
+            theory.aggregation_flops_brute(3, 3, 10)
+
+    def test_distance_flops_match_multi_krum_bound(self):
+        assert theory.aggregation_flops_distances(19, 1000) == (
+            theory.aggregation_flops_multi_krum(19, 1000)
+        )
+
+    def test_shard_combine_flops(self):
+        assert theory.shard_combine_flops(10, 500, 1) == 0.0
+        assert theory.shard_combine_flops(10, 500, 4) == pytest.approx(3 * (100 + 500))
+        with pytest.raises(ConfigurationError):
+            theory.shard_combine_flops(10, 500, 0)
 
 
 class TestDeploymentSpec:
