@@ -1,0 +1,99 @@
+"""Fleet-scale simulator headline numbers: the standard 1000-worker scenario.
+
+The tentpole claim of the vectorised hot-path work: on the standard
+scenario (1000 honest workers, coordinate-wise median, top-k/8 uplink,
+tiny logistic model — wall-clock is simulator overhead, not math) the
+vectorised fleet configuration runs the same deployment at least **5x**
+faster than the seed's per-worker loop, with identical event accounting.
+
+All assertions are machine-normalised: the gate is the ``fleet / legacy``
+wall-clock *ratio* measured on this machine (min over repeats, damping
+scheduler noise), never a raw seconds threshold, and the committed baseline
+is compared ratio-to-ratio so a slower CI container cannot fail the build.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import fleet_scale
+
+from benchmarks.conftest import events_per_second, run_once, speedup_regression
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_simulator.json"
+
+#: Relative regression budget on the fleet arm's speedup ratio: the build
+#: fails when the measured ratio drops more than 30% below the committed
+#: baseline's ratio.
+REGRESSION_TOLERANCE = 0.30
+
+
+@pytest.fixture(scope="module")
+def bench_payload():
+    """One full standard-scenario run shared by every assertion below."""
+    return fleet_scale.run_fleet_scale(repeats=3)
+
+
+@pytest.mark.timeout(600)
+def test_fleet_arm_is_5x_faster_than_the_legacy_loop(benchmark, pinned_seed, bench_payload):
+    # Re-run under pytest-benchmark so the suite's timing report carries the
+    # scenario; the assertions below use the shared payload's repeats.
+    run_once(
+        benchmark,
+        fleet_scale.run_fleet_scale,
+        fleet_scale.smoke_scenario(),
+        repeats=1,
+        profile_split=False,
+        measure_heap=False,
+    )
+    print("\n" + fleet_scale.format_results(bench_payload))
+    speedup = bench_payload["speedup_vs_legacy"]["fleet"]["min"]
+    assert speedup >= 5.0, (
+        f"fleet arm speedup {speedup:.2f}x is below the 5x acceptance "
+        "criterion on the standard 1000-worker scenario"
+    )
+
+
+@pytest.mark.timeout(600)
+def test_event_accounting_is_identical_across_arms(bench_payload):
+    scenario = bench_payload["scenario"]
+    expected_events = scenario["num_workers"] * scenario["max_steps"]
+    for arm, summary in bench_payload["arms"].items():
+        assert summary["events_dispatched"] == expected_events, arm
+        assert summary["peak_queue_size"] == scenario["num_workers"], arm
+        # events/s is the machine-normalised throughput the trajectory tracks.
+        assert summary["events_per_s"] == pytest.approx(events_per_second(summary))
+
+
+@pytest.mark.timeout(600)
+def test_fleet_speedup_has_not_regressed_vs_committed_baseline(bench_payload):
+    baseline = json.loads(BASELINE_PATH.read_text())
+    assert baseline["scenario"] == bench_payload["scenario"], (
+        "the committed baseline was recorded on a different scenario; "
+        "regenerate it with: python -m repro.experiments.fleet_scale "
+        "--json benchmarks/baselines/BENCH_simulator.json"
+    )
+    ratio = speedup_regression(bench_payload, baseline)
+    assert ratio >= 1.0 - REGRESSION_TOLERANCE, (
+        f"fleet speedup ratio degraded to {ratio:.2f} of the committed "
+        f"baseline ({baseline['speedup_vs_legacy']['fleet']['min']:.2f}x -> "
+        f"{bench_payload['speedup_vs_legacy']['fleet']['min']:.2f}x); "
+        "more than the 30% regression budget"
+    )
+
+
+@pytest.mark.timeout(600)
+def test_profile_split_accounts_for_the_step(bench_payload):
+    subsystems = bench_payload["arms"]["fleet"]["subsystems"]
+    assert set(subsystems["subsystems"]) == {
+        "event_dispatch", "codec", "link_drain", "gar_kernel", "telemetry",
+        "compute",
+    }
+    shares = [s["share"] for s in subsystems["subsystems"].values()]
+    assert all(0.0 <= share <= 1.0 for share in shares)
+    # The six sections cover the hot loop; whatever they miss (arrival
+    # assembly, policy bookkeeping) must stay a minority of the run.
+    assert subsystems["accounted_s"] > 0.5 * subsystems["wall_clock_s"]

@@ -21,6 +21,7 @@ from repro.cluster.deploy import ClusterSpec, allocate_devices
 from repro.cluster.link import SHARING_MODES, LinkTopology, parse_link_profile
 from repro.cluster.network import Channel, DelayedChannel, LossyChannel, ReliableChannel
 from repro.cluster.packets import RecoveryPolicy
+from repro.cluster.profiler import SimProfiler
 from repro.cluster.server import ParameterServer
 from repro.cluster.sync import FullSync, SyncPolicy, make_sync_policy
 from repro.cluster.trainer import AsyncTrainer, BaseTrainer, SynchronousTrainer
@@ -101,6 +102,10 @@ def build_trainer(
     broadcast_k: Optional[int] = None,
     broadcast_bits: Optional[int] = None,
     error_feedback: bool = True,
+    vectorized: bool = True,
+    compute_mode: str = "exact",
+    profiler: Optional[SimProfiler] = None,
+    compact_telemetry: bool = False,
     link_sharing: str = "none",
     link_profile: Optional[str] = None,
     link_topology: Optional[LinkTopology] = None,
@@ -207,6 +212,26 @@ def build_trainer(
         Whether honest workers carry their codec residual into the next
         round (EF-SGD memory compensation; default on, a no-op under the
         identity codec).
+    vectorized:
+        Whether the lock-step trainer uses the array-at-a-time collect path
+        (default; bit-identical to the per-worker loop).  ``False`` forces
+        the legacy loop — the reference the fleet benchmark measures
+        speedups against.
+    compute_mode:
+        ``"exact"`` (default) runs every honest worker's own backprop;
+        ``"fleet"`` batches all honest gradients through one
+        :class:`~repro.cluster.fleet.FleetComputeKernel` pass when the model
+        supports it (statistically equivalent, not bitwise — falls back to
+        exact per-worker compute otherwise).
+    profiler:
+        Optional :class:`~repro.cluster.profiler.SimProfiler`; when given,
+        the trainer brackets its subsystems (event dispatch, codec, link
+        drain, GAR kernel, telemetry, compute) so ``--profile`` can report a
+        per-subsystem wall-clock split.
+    compact_telemetry:
+        Store per-worker wire counters in preallocated arrays instead of
+        per-worker objects (identical exports; O(1) Python objects per step
+        at fleet scale).
     link_sharing:
         Sharing discipline of the server's shared ingress/egress link:
         ``"none"`` (seed semantics, infinite capacity), ``"fair"``
@@ -301,7 +326,7 @@ def build_trainer(
     # reproduce bit-identically — and wire randomness (channel drops, codec
     # draws) can never perturb the training streams (model init, batch
     # order, attacks).
-    rngs = spawn_rngs(seed, num_workers * 2 + 6)
+    rngs = spawn_rngs(seed, num_workers * 2 + 7)
     worker_rngs = rngs[:num_workers]
     channel_rngs = rngs[num_workers : 2 * num_workers]
     (
@@ -311,6 +336,7 @@ def build_trainer(
         straggler_rng,
         codec_rng,
         broadcast_rng,
+        fleet_sample_rng,
     ) = rngs[2 * num_workers :]
 
     if isinstance(codec, WireCodec):
@@ -438,6 +464,11 @@ def build_trainer(
         link_sharing=link_sharing,
         link_topology=topology,
         error_feedback=error_feedback,
+        vectorized=vectorized,
+        compute_mode=compute_mode,
+        fleet_sample_rng=fleet_sample_rng,
+        profiler=profiler,
+        compact_telemetry=compact_telemetry,
         eval_model=eval_model,
         test_set=(dataset.test_x, dataset.test_y),
     )

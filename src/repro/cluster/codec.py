@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -141,6 +141,33 @@ class WireCodec(abc.ABC):
     def encode(self, gradient: np.ndarray) -> WireFrame:
         """Produce the wire frame for *gradient* (a flat float vector)."""
 
+    def encode_batch(self, matrix: np.ndarray) -> List[WireFrame]:
+        """Encode every row of an ``(n, d)`` matrix; one frame per row.
+
+        The contract is exact per-frame parity with :meth:`encode`: calling
+        ``encode_batch(M)`` must produce bit-identical frames (values,
+        indices, scales, bytes) — and consume PRNG draws in the same order —
+        as ``[encode(M[i]) for i in range(n)]``.  The base implementation is
+        that loop; codecs override it with a single vectorised pass where
+        numpy's batched kernels provably match the per-row ones.
+        """
+        matrix = self._matrix(matrix)
+        return [self.encode(matrix[i]) for i in range(matrix.shape[0])]
+
+    def encode_decode_batch(
+        self, matrix: np.ndarray
+    ) -> Tuple[List[WireFrame], np.ndarray]:
+        """Encode every row and return ``(frames, decoded)`` in one pass.
+
+        ``decoded[i]`` is bit-identical to ``decode_frame(frames[i])`` — the
+        server-side reconstruction of what worker ``i`` sent.  The base
+        implementation encodes then batch-decodes; codecs that already hold
+        the batch payload arrays override it to build ``decoded`` directly
+        (one scatter / rescale) instead of re-stacking ``n`` frame payloads.
+        """
+        frames = self.encode_batch(matrix)
+        return frames, decode_frames(frames)
+
     def decode(self, frame: WireFrame) -> np.ndarray:
         """Reconstruct a ``frame.dim``-dimensional gradient estimate.
 
@@ -169,6 +196,17 @@ class WireCodec(abc.ABC):
             raise ConfigurationError("cannot encode an empty gradient")
         return gradient
 
+    @staticmethod
+    def _matrix(matrix: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ConfigurationError(
+                f"encode_batch expects an (n, d) matrix, got shape {matrix.shape}"
+            )
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise ConfigurationError("cannot encode an empty gradient batch")
+        return matrix
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
@@ -186,6 +224,23 @@ class IdentityCodec(WireCodec):
             codec=self.name,
         )
 
+    def encode_batch(self, matrix: np.ndarray) -> List[WireFrame]:
+        matrix = self._matrix(matrix)
+        dim = matrix.shape[1]
+        nbytes = self.frame_bytes(dim)
+        return [
+            WireFrame(dim=dim, values=matrix[i], nbytes=nbytes, codec=self.name)
+            for i in range(matrix.shape[0])
+        ]
+
+    def encode_decode_batch(
+        self, matrix: np.ndarray
+    ) -> Tuple[List[WireFrame], np.ndarray]:
+        matrix = self._matrix(matrix)
+        frames = self.encode_batch(matrix)
+        # Dense decode is ``values * scale`` with scale exactly 1.0, which is
+        # bit-preserving for every IEEE value.
+        return frames, matrix * 1.0
 
     def frame_bytes(self, dim: int) -> float:
         return float(dim) * BYTES_PER_COORDINATE
@@ -228,6 +283,58 @@ class TopKCodec(WireCodec):
             nbytes=self.frame_bytes(values.size), codec=self.name,
         )
 
+    def encode_batch(self, matrix: np.ndarray) -> List[WireFrame]:
+        matrix = self._matrix(matrix)
+        n, dim = matrix.shape
+        k = self._effective_k(dim)
+        nbytes = self.frame_bytes(dim)
+        if k >= dim:
+            return [
+                WireFrame(
+                    dim=dim, values=matrix[i].copy(), indices=np.arange(dim),
+                    nbytes=nbytes, codec=self.name,
+                )
+                for i in range(n)
+            ]
+        # np.argpartition with axis=1 applies introselect row-wise with the
+        # same pivot walk as the 1-D call, so the selected (and then sorted)
+        # support matches the per-row encode exactly, ties included.
+        support = np.argpartition(np.abs(matrix), dim - k, axis=1)[:, -k:]
+        indices = np.sort(support, axis=1)
+        kept = np.take_along_axis(matrix, indices, axis=1)
+        return [
+            WireFrame(
+                dim=dim, values=kept[i], indices=indices[i],
+                nbytes=nbytes, codec=self.name,
+            )
+            for i in range(n)
+        ]
+
+    def encode_decode_batch(
+        self, matrix: np.ndarray
+    ) -> Tuple[List[WireFrame], np.ndarray]:
+        matrix = self._matrix(matrix)
+        n, dim = matrix.shape
+        k = self._effective_k(dim)
+        nbytes = self.frame_bytes(dim)
+        if k >= dim:
+            return self.encode_batch(matrix), matrix.copy()
+        # Same selection as encode_batch; the frames take row views of the
+        # batch arrays and the decode scatters those same arrays over zeros
+        # — no per-frame restacking.
+        support = np.argpartition(np.abs(matrix), dim - k, axis=1)[:, -k:]
+        indices = np.sort(support, axis=1)
+        kept = np.take_along_axis(matrix, indices, axis=1)
+        frames = [
+            WireFrame(
+                dim=dim, values=kept[i], indices=indices[i],
+                nbytes=nbytes, codec=self.name,
+            )
+            for i in range(n)
+        ]
+        decoded = np.zeros((n, dim), dtype=np.float64)
+        np.put_along_axis(decoded, indices, kept, axis=1)
+        return frames, decoded
 
     def frame_bytes(self, dim: int) -> float:
         # 4-byte index + float32 value per kept coordinate.
@@ -267,6 +374,52 @@ class RandomKCodec(WireCodec):
             shared_support=True,
         )
 
+    def encode_batch(self, matrix: np.ndarray) -> List[WireFrame]:
+        matrix = self._matrix(matrix)
+        n, dim = matrix.shape
+        k = self._effective_k(dim)
+        scale = dim / k
+        nbytes = self.frame_bytes(dim)
+        # The supports must come from sequential per-row choice() calls — a
+        # single batched draw would consume the PRNG stream in a different
+        # order and break frame parity with the per-row path.  Only the
+        # gather and the unbiasedness scaling are batched.
+        indices = np.stack(
+            [np.sort(self._rng.choice(dim, size=k, replace=False)) for _ in range(n)]
+        )
+        kept = np.take_along_axis(matrix, indices, axis=1) * scale
+        return [
+            WireFrame(
+                dim=dim, values=kept[i], indices=indices[i], scale=scale,
+                nbytes=nbytes, codec=self.name, shared_support=True,
+            )
+            for i in range(n)
+        ]
+
+    def encode_decode_batch(
+        self, matrix: np.ndarray
+    ) -> Tuple[List[WireFrame], np.ndarray]:
+        matrix = self._matrix(matrix)
+        n, dim = matrix.shape
+        k = self._effective_k(dim)
+        scale = dim / k
+        nbytes = self.frame_bytes(dim)
+        # Sequential per-row support draws, exactly as encode_batch (and the
+        # per-row encode) consume the PRNG.
+        indices = np.stack(
+            [np.sort(self._rng.choice(dim, size=k, replace=False)) for _ in range(n)]
+        )
+        kept = np.take_along_axis(matrix, indices, axis=1) * scale
+        frames = [
+            WireFrame(
+                dim=dim, values=kept[i], indices=indices[i], scale=scale,
+                nbytes=nbytes, codec=self.name, shared_support=True,
+            )
+            for i in range(n)
+        ]
+        decoded = np.zeros((n, dim), dtype=np.float64)
+        np.put_along_axis(decoded, indices, kept, axis=1)
+        return frames, decoded
 
     def frame_bytes(self, dim: int) -> float:
         # Shared-seed support: k float32 values + one 8-byte seed tag.
@@ -319,6 +472,48 @@ class QSGDCodec(WireCodec):
             codec=self.name,
         )
 
+    def encode_batch(self, matrix: np.ndarray) -> List[WireFrame]:
+        matrix = self._matrix(matrix)
+        n, dim = matrix.shape
+        # Per-row 1-D norms: np.linalg.norm(axis=1) may differ from the 1-D
+        # reduction in the last ulp, and the norm feeds the rounding
+        # probabilities, so parity demands the exact per-row computation.
+        norms = np.array([float(np.linalg.norm(matrix[i])) for i in range(n)])
+        if not (np.isfinite(norms).all() and (norms != 0.0).all()):
+            # Zero/non-finite rows consume no PRNG draws in encode(); batching
+            # the draws would misalign the stream, so fall back to the loop.
+            return [self.encode(matrix[i]) for i in range(n)]
+        nbytes = self.frame_bytes(dim)
+        ratio = np.abs(matrix) / norms[:, None] * self.levels
+        low = np.floor(ratio)
+        # One (n, d) draw advances the PCG64 stream exactly as n sequential
+        # (d,) draws do, so the rounding coins match the per-row path.
+        level = low + (self._rng.random((n, dim)) < (ratio - low))
+        values = np.sign(matrix) * level
+        scales = norms / self.levels
+        return [
+            WireFrame(
+                dim=dim, values=values[i], scale=float(scales[i]),
+                nbytes=nbytes, codec=self.name,
+            )
+            for i in range(n)
+        ]
+
+    def encode_decode_batch(
+        self, matrix: np.ndarray
+    ) -> Tuple[List[WireFrame], np.ndarray]:
+        frames = self.encode_batch(matrix)
+        n = len(frames)
+        if n and all(
+            frame.indices is None and np.asarray(frame.values).size == frame.dim
+            for frame in frames
+        ):
+            # Dense rescale from the frames' payload rows (the batch path
+            # emits views of one (n, d) array, so the stack is one copy).
+            values = np.stack([frame.values for frame in frames])
+            scales = np.array([frame.scale for frame in frames], dtype=np.float64)
+            return frames, values * scales[:, None]
+        return frames, decode_frames(frames)
 
     def frame_bytes(self, dim: int) -> float:
         # (bits + sign) per coordinate, plus one float32 norm.
@@ -370,6 +565,43 @@ def decode_frame(frame: WireFrame) -> np.ndarray:
         gradient[frame.indices] = values
         return gradient
     return values * frame.scale
+
+
+def decode_frames(frames: Sequence[WireFrame]) -> np.ndarray:
+    """Decode a batch of frames into one ``(n, dim)`` matrix in a single pass.
+
+    Row ``i`` is bit-identical to ``decode_frame(frames[i])``.  Homogeneous
+    batches (all sparse with equal support size, or all dense with equal
+    payload length — the shape every codec's ``encode_batch`` emits) decode
+    as one vectorised scatter or one broadcast multiply; ragged batches
+    (e.g. frames degraded by packet loss) fall back to the per-frame loop.
+    """
+    if len(frames) == 0:
+        raise ConfigurationError("cannot decode an empty frame batch")
+    dim = frames[0].dim
+    if any(frame.dim != dim for frame in frames):
+        raise ConfigurationError("decode_frames needs frames of equal dim")
+    sparse = frames[0].indices is not None
+    uniform = all(
+        (frame.indices is not None) == sparse
+        and np.asarray(frame.values).ndim == 1
+        and (
+            (sparse and frame.indices.shape == frames[0].indices.shape
+             and np.asarray(frame.values).shape == frame.indices.shape)
+            or (not sparse and np.asarray(frame.values).size == dim)
+        )
+        for frame in frames
+    )
+    if not uniform:
+        return np.stack([decode_frame(frame) for frame in frames])
+    values = np.stack([np.asarray(frame.values, dtype=np.float64) for frame in frames])
+    if sparse:
+        out = np.zeros((len(frames), dim), dtype=np.float64)
+        indices = np.stack([frame.indices for frame in frames])
+        np.put_along_axis(out, indices, values, axis=1)
+        return out
+    scales = np.array([frame.scale for frame in frames], dtype=np.float64)
+    return values * scales[:, None]
 
 
 #: Registered codec factories, keyed by name.
@@ -437,6 +669,7 @@ __all__ = [
     "CODEC_REGISTRY",
     "available_codecs",
     "decode_frame",
+    "decode_frames",
     "encode_delta",
     "make_codec",
 ]

@@ -124,6 +124,20 @@ class CostModel:
         bandwidth = (bandwidth_gbps if bandwidth_gbps is not None else self.bandwidth_gbps) * 1e9 / 8
         return num_bytes / bandwidth + self.latency_s
 
+    def transfer_time_batch(
+        self, num_bytes: np.ndarray, *, bandwidth_gbps: Optional[float] = None
+    ) -> np.ndarray:
+        """Vectorised :meth:`transfer_time` over an array of byte counts.
+
+        Elementwise-identical arithmetic (one divide, one add against the
+        same scalars), so every entry is bit-equal to the scalar call.
+        """
+        num_bytes = np.asarray(num_bytes, dtype=np.float64)
+        if num_bytes.size and num_bytes.min() < 0:
+            raise ConfigurationError("num_bytes must be non-negative")
+        bandwidth = (bandwidth_gbps if bandwidth_gbps is not None else self.bandwidth_gbps) * 1e9 / 8
+        return num_bytes / bandwidth + self.latency_s
+
     def gradient_bytes(self, model_dim: int) -> float:
         """Wire size of one *raw* gradient (or one model broadcast).
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cluster.clock import SimulatedClock
 from repro.exceptions import ConfigurationError, TrainingError
@@ -68,6 +68,10 @@ class Event:
     payload: Any = None
     order: int = -1
     cancelled: bool = False
+    #: The queue currently holding the event (set at push time, cleared once
+    #: the event leaves the heap) — lets :meth:`cancel` keep the owning
+    #: queue's live/tombstone accounting exact without an O(n) scan.
+    _queue: Optional["EventQueue"] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.time = float(self.time)
@@ -78,7 +82,12 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event as a tombstone: it will never dispatch."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        queue, self._queue = self._queue, None
+        if queue is not None:
+            queue._note_cancel()
 
 
 class EventQueue:
@@ -87,35 +96,88 @@ class EventQueue:
     Events pop in ``(time, order)`` order, where ``order`` is the global
     insertion counter stamped at push time — so equal-time events always pop
     in the order they were pushed, independent of payload contents.
+
+    Cancelled events stay in the heap as tombstones (eager removal would be
+    O(n) each), but the queue tracks them exactly: ``len()`` counts live
+    events only, and once tombstones outnumber the live entries the heap is
+    compacted in one O(n) pass — so mass link-reschedule cancellations can
+    never bloat it beyond 2x the live population.
     """
+
+    #: Compaction trigger: rebuild once tombstones exceed both this floor and
+    #: half the heap (small heaps aren't worth the heapify).
+    COMPACT_MIN_TOMBSTONES = 16
 
     def __init__(self) -> None:
         self._heap: List[tuple] = []
         self._counter = 0
+        self._tombstones = 0
+        #: High-water mark of the heap (live + tombstones) over the queue's
+        #: lifetime — the benchmark's peak-heap-size metric.
+        self.peak_size = 0
 
     def push(self, event: Event) -> Event:
         """Insert *event*, stamping its tie-break ``order``; returns it."""
         event.order = self._counter
+        event._queue = self
         heapq.heappush(self._heap, (event.time, event.order, event))
         self._counter += 1
+        if len(self._heap) > self.peak_size:
+            self.peak_size = len(self._heap)
         return event
+
+    def push_many(self, events: Sequence[Event]) -> List[Event]:
+        """Insert a batch of events in one heapify pass; returns them.
+
+        Order stamps are assigned in sequence, so the result is
+        indistinguishable from pushing the events one by one — equal-time
+        events still pop in the order they appear in *events*.
+        """
+        for event in events:
+            event.order = self._counter
+            event._queue = self
+            self._counter += 1
+            self._heap.append((event.time, event.order, event))
+        heapq.heapify(self._heap)
+        if len(self._heap) > self.peak_size:
+            self.peak_size = len(self._heap)
+        return list(events)
+
+    def _note_cancel(self) -> None:
+        """One live heap entry became a tombstone; compact when they dominate."""
+        self._tombstones += 1
+        if (
+            self._tombstones > self.COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every tombstone and re-heapify the survivors (O(n))."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._tombstones = 0
 
     def pop(self) -> Event:
         """Remove and return the earliest live event (ties by insertion order).
 
         Cancelled tombstones are discarded on the way; popping a queue that
-        holds only tombstones (or nothing) is a :class:`TrainingError`.
+        holds only tombstones (or nothing) is a :class:`TrainingError` —
+        exactly the emptiness :meth:`peek` reports as ``None``.
         """
         while self._heap:
             event = heapq.heappop(self._heap)[2]
             if not event.cancelled:
+                event._queue = None
                 return event
+            self._tombstones -= 1
         raise TrainingError("cannot pop from an empty event queue")
 
     def peek(self) -> Optional[Event]:
         """The earliest live event without removing it (``None`` when empty)."""
         while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
+            self._tombstones -= 1
         return self._heap[0][2] if self._heap else None
 
     def peek_time(self) -> Optional[float]:
@@ -133,15 +195,25 @@ class EventQueue:
         """Total number of events ever pushed (the insertion counter)."""
         return self._counter
 
+    @property
+    def tombstones(self) -> int:
+        """Cancelled entries still occupying heap slots."""
+        return self._tombstones
+
     def __len__(self) -> int:
-        return len(self._heap)
+        # Live events only: tombstones occupy heap slots but will never
+        # dispatch, so counting them would contradict pop()'s error contract.
+        return len(self._heap) - self._tombstones
 
     def __bool__(self) -> bool:
         # Truthiness means "something will dispatch": tombstones don't count.
         return self.peek() is not None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"EventQueue(pending={len(self._heap)}, pushed={self._counter})"
+        return (
+            f"EventQueue(live={len(self)}, tombstones={self._tombstones}, "
+            f"pushed={self._counter})"
+        )
 
 
 @dataclass
@@ -160,6 +232,10 @@ class EventLoop:
 
     clock: SimulatedClock = field(default_factory=SimulatedClock)
     queue: EventQueue = field(default_factory=EventQueue)
+    #: Optional :class:`~repro.cluster.profiler.SimProfiler`: when set, the
+    #: queue mechanics of each :meth:`step` (pop + clock advance + handler
+    #: lookup) are accounted under its ``event_dispatch`` subsystem.
+    profiler: Optional[Any] = None
 
     def __post_init__(self) -> None:
         self._handlers: Dict[str, Callable[[Event], None]] = {}
@@ -181,11 +257,40 @@ class EventLoop:
             )
         return self.queue.push(Event(time=time, kind=kind, worker_id=worker_id, payload=payload))
 
+    def schedule_many(
+        self, specs: Iterable[Tuple[str, float, int, Any]]
+    ) -> List[Event]:
+        """Queue a batch of ``(kind, time, worker_id, payload)`` events at once.
+
+        One validation pass plus one heapify — equivalent to calling
+        :meth:`schedule` per spec (same order stamps, same pop order) without
+        paying n ``heappush`` calls for a bulk insertion such as the async
+        engine's initial per-worker fetch fan-out.
+        """
+        events = []
+        now = self.clock.now
+        for kind, time, worker_id, payload in specs:
+            if time < now:
+                raise ConfigurationError(
+                    f"cannot schedule {kind!r} at {time:.9f}, before now ({now:.9f})"
+                )
+            events.append(
+                Event(time=time, kind=kind, worker_id=worker_id, payload=payload)
+            )
+        return self.queue.push_many(events)
+
     def step(self) -> Event:
         """Pop the next event, advance the clock to it, dispatch its handler."""
-        event = self.queue.pop()
-        self.clock.advance_to(event.time)
-        handler = self._handlers.get(event.kind)
+        profiler = self.profiler
+        if profiler is None:
+            event = self.queue.pop()
+            self.clock.advance_to(event.time)
+            handler = self._handlers.get(event.kind)
+        else:
+            with profiler.section("event_dispatch"):
+                event = self.queue.pop()
+                self.clock.advance_to(event.time)
+                handler = self._handlers.get(event.kind)
         if handler is None:
             raise ConfigurationError(f"no handler registered for event kind {event.kind!r}")
         handler(event)

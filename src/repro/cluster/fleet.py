@@ -1,0 +1,347 @@
+"""Structure-of-arrays state for simulating large worker fleets.
+
+The per-worker hot paths — compute-time pricing, straggler draws, EF-SGD
+memory updates, byte accounting — were all written as Python loops over
+worker objects, which is fine at the paper's 19 workers and hopeless at the
+ROADMAP's 1k–10k.  This module keeps the worker *objects* as the API surface
+(they still own samplers, models and identities) but mirrors the numeric
+per-worker state into contiguous numpy arrays, so each fleet-wide operation
+is one vectorised call instead of ``n`` Python ones.
+
+Two pieces live here:
+
+:class:`FleetState`
+    The SoA mirror: worker ids, speeds, effective GFLOP/s, batch sizes,
+    cumulative byte counters, the most recent straggler draw, and the EF-SGD
+    error-feedback matrix.  The EF matrix is the subtle part — the trainer's
+    ``_codec_memory`` dict (which checkpoints capture and restore) stays the
+    canonical owner, and the fleet binds each dict value to a *row view* of
+    its ``(n, d)`` matrix so vectorised residual writes and the dict observe
+    the same storage.  A checkpoint restore swaps fresh arrays into the dict;
+    :meth:`FleetState.bind_error_feedback` detects that by identity and
+    re-absorbs the restored values before the next batched encode.
+
+:class:`FleetComputeKernel`
+    An opt-in batched gradient kernel (``compute_mode="fleet"``): all honest
+    workers' mini-batches are stacked into one forward pass over a single
+    scratch replica, and the backward pass keeps per-worker parameter
+    gradients via batched einsums instead of ``n`` separate backprops.  The
+    kernel supports Dense chains with elementwise activations and the two
+    built-in losses; anything else falls back to per-worker compute.  Fleet
+    compute is *statistically equivalent* to the per-worker path (same
+    batches, same estimator, deterministic under the same seeds) but not
+    bitwise identical — summation orders differ — which is why the default
+    ``compute_mode="exact"`` never uses it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.cost_model import CostModel, StragglerModel
+from repro.cluster.worker import HonestWorker
+from repro.exceptions import ConfigurationError
+from repro.nn.layers.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers.dense import Dense
+from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy, softmax
+from repro.nn.model import Sequential
+
+#: Activation layers whose backward is elementwise and therefore batches
+#: transparently across stacked worker rows.
+_ELEMENTWISE_LAYERS = (ReLU, LeakyReLU, Sigmoid, Tanh)
+
+
+class FleetState:
+    """Contiguous numpy mirror of the honest fleet's numeric per-worker state.
+
+    Parameters
+    ----------
+    workers:
+        The honest workers, in trainer order (the order every per-worker
+        loop iterates in — array row ``i`` is ``workers[i]`` everywhere).
+    worker_gflops:
+        Per-worker base GFLOP/s map (the trainer's heterogeneous hardware
+        assignment), keyed by worker id.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[HonestWorker],
+        *,
+        worker_gflops: Dict[int, float],
+    ) -> None:
+        if len(workers) == 0:
+            raise ConfigurationError("FleetState needs at least one honest worker")
+        self.workers: List[HonestWorker] = list(workers)
+        self.num_workers = len(self.workers)
+        self.worker_ids = np.array([w.worker_id for w in self.workers], dtype=np.intp)
+        self.row_of: Dict[int, int] = {
+            int(wid): i for i, wid in enumerate(self.worker_ids)
+        }
+        self.speeds = np.array([w.speed for w in self.workers], dtype=np.float64)
+        self.batch_sizes = np.array(
+            [w.batch_size for w in self.workers], dtype=np.float64
+        )
+        # Effective throughput: the cost model's per-worker hardware draw
+        # scaled by the worker's persistent speed multiplier.
+        self.gflops = (
+            np.array(
+                [worker_gflops[w.worker_id] for w in self.workers], dtype=np.float64
+            )
+            * self.speeds
+        )
+        #: Most recent straggler slowdown draw (ones before the first step).
+        self.slowdowns = np.ones(self.num_workers, dtype=np.float64)
+        #: Cumulative wire-byte counters, updated by the vectorised trainer
+        #: path (mirrors of the telemetry series, kept for cheap inspection).
+        self.bytes_sent = np.zeros(self.num_workers, dtype=np.float64)
+        self.bytes_received = np.zeros(self.num_workers, dtype=np.float64)
+        # EF-SGD residual storage (allocated on first bind).
+        self._ef_matrix: Optional[np.ndarray] = None
+        self._ef_views: List[Optional[np.ndarray]] = [None] * self.num_workers
+        self.ef_has_memory = np.zeros(self.num_workers, dtype=bool)
+
+    # ------------------------------------------------------------- timing
+    def compute_times(self, cost_model: CostModel, flops_per_sample: float) -> np.ndarray:
+        """Nominal per-worker gradient-computation seconds, in one pass.
+
+        Elementwise over the fleet arrays with the exact arithmetic of
+        :meth:`CostModel.gradient_compute_time`'s measured-FLOPs branch, so
+        each entry is bit-identical to the per-worker scalar call.
+        """
+        if not flops_per_sample > 0:
+            raise ConfigurationError(
+                f"fleet compute-time pricing needs measured flops_per_sample > 0, "
+                f"got {flops_per_sample}"
+            )
+        flops = 3.0 * flops_per_sample * self.batch_sizes
+        return flops / (self.gflops * 1e9)
+
+    def sample_slowdowns(
+        self, straggler_model: Optional[StragglerModel], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw (and remember) this step's straggler multipliers for the fleet."""
+        if straggler_model is None:
+            self.slowdowns = np.ones(self.num_workers, dtype=np.float64)
+        else:
+            self.slowdowns = straggler_model.sample(self.num_workers, rng)
+        return self.slowdowns
+
+    # ----------------------------------------------------------- accounting
+    def account_bytes(
+        self, *, sent: Optional[np.ndarray] = None, received: Optional[np.ndarray] = None
+    ) -> None:
+        """Accumulate per-worker wire bytes for this round (vectorised)."""
+        if sent is not None:
+            self.bytes_sent += sent
+        if received is not None:
+            self.bytes_received += received
+
+    # ------------------------------------------------------- error feedback
+    def bind_error_feedback(self, memory: Dict[int, np.ndarray], dim: int) -> np.ndarray:
+        """Bind the trainer's EF dict to this fleet's ``(n, d)`` residual matrix.
+
+        The dict stays canonical (checkpoints capture and restore it); the
+        matrix rows are its storage.  Any dict value that is not *our* row
+        view — a checkpoint restore, or a worker encoding for the first
+        time — is absorbed by copying it into the row and rebinding the dict
+        entry to the view, so subsequent vectorised writes and dict reads
+        alias the same memory.  Returns the matrix.
+        """
+        if self._ef_matrix is None or self._ef_matrix.shape[1] != dim:
+            self._ef_matrix = np.zeros((self.num_workers, dim), dtype=np.float64)
+            self._ef_views = [self._ef_matrix[i] for i in range(self.num_workers)]
+            self.ef_has_memory[:] = False
+        for i, wid in enumerate(self.worker_ids):
+            value = memory.get(int(wid))
+            if value is None:
+                self.ef_has_memory[i] = False
+                continue
+            if value is not self._ef_views[i]:
+                flat = np.asarray(value, dtype=np.float64).ravel()
+                if flat.size != dim:
+                    raise ConfigurationError(
+                        f"error-feedback memory for worker {int(wid)} has size "
+                        f"{flat.size}, expected {dim}"
+                    )
+                self._ef_matrix[i] = flat
+                memory[int(wid)] = self._ef_views[i]
+            self.ef_has_memory[i] = True
+        return self._ef_matrix
+
+    def store_residuals(
+        self, memory: Dict[int, np.ndarray], residuals: np.ndarray
+    ) -> None:
+        """Write this round's EF residuals and expose them through the dict."""
+        assert self._ef_matrix is not None
+        self._ef_matrix[:] = residuals
+        for i, wid in enumerate(self.worker_ids):
+            memory[int(wid)] = self._ef_views[i]
+        self.ef_has_memory[:] = True
+
+    @property
+    def ef_matrix(self) -> Optional[np.ndarray]:
+        """The bound EF residual matrix (``None`` before the first bind)."""
+        return self._ef_matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FleetState(n={self.num_workers})"
+
+
+# --------------------------------------------------------------------------
+# Batched gradient kernel
+# --------------------------------------------------------------------------
+
+def fleet_computable(model: Sequential) -> bool:
+    """Whether :class:`FleetComputeKernel` can batch this model's gradients."""
+    if not isinstance(model.loss, (SoftmaxCrossEntropy, MeanSquaredError)):
+        return False
+    has_dense = False
+    for layer in model.layers:
+        if isinstance(layer, Dense):
+            has_dense = True
+        elif not isinstance(layer, _ELEMENTWISE_LAYERS):
+            return False
+    return has_dense
+
+
+class FleetComputeKernel:
+    """One forward/backward pass computing every honest worker's gradient.
+
+    The scratch *model* is a worker replica: its parameters are overwritten
+    with the broadcast vector, its layer caches are consumed by the batched
+    backward, and its accumulated grads are never touched (per-worker weight
+    gradients are computed out-of-place with einsums).
+
+    All workers must hold the same parameter vector and use the same batch
+    size — the trainer gates on both before routing compute here.
+    """
+
+    def __init__(self, model: Sequential) -> None:
+        if not fleet_computable(model):
+            raise ConfigurationError(
+                "fleet compute supports Dense + elementwise-activation models "
+                "with softmax cross-entropy or MSE loss; "
+                f"got {model.name!r}"
+            )
+        self.model = model
+
+    def compute(
+        self,
+        parameters: np.ndarray,
+        batches_x: Sequence[np.ndarray],
+        batches_y: Sequence[np.ndarray],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-worker ``(losses, gradients)`` for stacked mini-batches.
+
+        ``batches_x[i]`` / ``batches_y[i]`` is worker ``i``'s mini-batch;
+        returns losses of shape ``(n,)`` and gradients of shape ``(n, d)``,
+        row ``i`` being the same estimator worker ``i``'s own backprop would
+        produce (up to floating-point summation order).  ``batches_x`` /
+        ``batches_y`` may also be pre-stacked arrays with a leading
+        ``(n, batch)`` — the shape one fleet-wide gather over a shared
+        training set produces — which skips the per-worker concatenation.
+        """
+        model = self.model
+        if isinstance(batches_x, np.ndarray) and batches_x.ndim >= 2:
+            n, batch = int(batches_x.shape[0]), int(batches_x.shape[1])
+            if n == 0 or np.asarray(batches_y).shape[0] != n:
+                raise ConfigurationError(
+                    "fleet compute needs matched, non-empty batches"
+                )
+            stacked_x = np.asarray(batches_x, dtype=np.float64).reshape(
+                n * batch, *batches_x.shape[2:]
+            )
+        else:
+            n = len(batches_x)
+            if n == 0 or len(batches_y) != n:
+                raise ConfigurationError(
+                    "fleet compute needs matched, non-empty batches"
+                )
+            batch = int(np.asarray(batches_x[0]).shape[0])
+            if any(np.asarray(x).shape[0] != batch for x in batches_x):
+                raise ConfigurationError("fleet compute needs a uniform batch size")
+            stacked_x = np.concatenate(
+                [np.asarray(x, dtype=np.float64) for x in batches_x]
+            )
+        model.set_parameters(parameters)
+        outputs = model.forward(stacked_x, training=True)
+
+        losses, grad = self._loss_and_grad(model, outputs, batches_y, n, batch)
+
+        # Batched backward: elementwise layers reuse their stacked caches;
+        # Dense layers get per-worker weight/bias grads from one einsum each.
+        per_layer: List[Tuple[Dense, List[np.ndarray]]] = []
+        for layer in reversed(model.layers):
+            if isinstance(layer, Dense):
+                x = layer._cache_input.reshape(n, batch, layer.in_features)
+                g = grad.reshape(n, batch, layer.out_features)
+                chunks = [np.einsum("nbi,nbo->nio", x, g).reshape(n, -1)]
+                if layer.bias is not None:
+                    chunks.append(g.sum(axis=1))
+                per_layer.append((layer, chunks))
+                grad = grad @ layer.weight.data.T
+            else:
+                grad = layer.backward(grad)
+
+        columns: List[np.ndarray] = []
+        for _, chunks in reversed(per_layer):
+            columns.extend(chunks)
+        gradients = np.concatenate(columns, axis=1)
+
+        if model.l2 > 0.0:
+            params = model.get_parameters()
+            losses = losses + 0.5 * model.l2 * float(params @ params)
+            gradients = gradients + model.l2 * params
+        return losses, gradients
+
+    @staticmethod
+    def _loss_and_grad(
+        model: Sequential,
+        outputs: np.ndarray,
+        batches_y: Sequence[np.ndarray],
+        n: int,
+        batch: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-worker losses and the stacked output gradient.
+
+        Each worker's loss normalises over *its own* batch, so the stacked
+        gradient is the per-sample loss gradient divided by the per-worker
+        batch size — not by the stacked row count.
+        """
+        if isinstance(model.loss, SoftmaxCrossEntropy):
+            if isinstance(batches_y, np.ndarray):
+                labels = batches_y.reshape(-1).astype(np.intp)
+            else:
+                labels = np.concatenate(
+                    [np.asarray(y) for y in batches_y]
+                ).astype(np.intp)
+            if labels.min() < 0 or labels.max() >= outputs.shape[1]:
+                raise ConfigurationError(
+                    f"labels must lie in [0, {outputs.shape[1] - 1}]"
+                )
+            probs = softmax(outputs)
+            rows = np.arange(labels.shape[0])
+            picked = probs[rows, labels]
+            per_sample = -np.log(np.maximum(picked, 1e-300))
+            losses = per_sample.reshape(n, batch).mean(axis=1)
+            grad = probs
+            grad[rows, labels] -= 1.0
+            grad = grad / batch
+            return losses, grad
+        if isinstance(batches_y, np.ndarray):
+            targets = np.asarray(batches_y, dtype=np.float64).reshape(outputs.shape)
+        else:
+            targets = np.concatenate(
+                [np.asarray(y, dtype=np.float64) for y in batches_y]
+            ).reshape(outputs.shape)
+        diff = outputs - targets
+        losses = (diff ** 2).reshape(n, -1).mean(axis=1)
+        per_worker_size = outputs.size // n
+        grad = 2.0 * diff / per_worker_size
+        return losses, grad
+
+
+__all__ = ["FleetState", "FleetComputeKernel", "fleet_computable"]

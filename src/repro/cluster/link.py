@@ -59,6 +59,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 
 #: Accepted link-sharing discipline names.
@@ -677,6 +679,44 @@ class LinkFabric:
             + self.topology.worker_latency_s.get(int(worker_id), 0.0)
         )
         return float(nbytes) / (bandwidth * 1e9 / 8.0) + latency
+
+    def solo_seconds_batch(self, worker_ids: Sequence[int], nbytes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`solo_seconds` over aligned id / byte-count arrays.
+
+        Without a topology every path shares the symmetric pipe, so the whole
+        batch is one ``transfer_time_batch`` call (bit-identical entries).
+        With a topology each worker's min-bandwidth / summed-latency path is
+        resolved by the scalar method (worker count, not dimension, bounds
+        that loop).
+        """
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        if self.topology is None:
+            return self.cost_model.transfer_time_batch(nbytes)
+        return np.array(
+            [self.solo_seconds(int(w), float(b)) for w, b in zip(worker_ids, nbytes)]
+        )
+
+    def uplink_seconds_batch(
+        self,
+        worker_ids: Sequence[int],
+        nbytes: np.ndarray,
+        channel_seconds: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised :meth:`uplink_seconds` over aligned per-worker arrays.
+
+        Without a topology the channels' own figures pass through untouched
+        (the seed contract); with one, the scalar composition runs per
+        worker.
+        """
+        channel_seconds = np.asarray(channel_seconds, dtype=np.float64)
+        if self.topology is None:
+            return channel_seconds
+        return np.array(
+            [
+                self.uplink_seconds(int(w), float(b), float(c))
+                for w, b, c in zip(worker_ids, nbytes, channel_seconds)
+            ]
+        )
 
     def uplink_seconds(self, worker_id: int, nbytes: float, channel_seconds: float) -> float:
         """Compose a channel's transfer report with the worker's path.

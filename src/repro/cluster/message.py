@@ -51,6 +51,28 @@ class GradientMessage:
                 f"gradient must be a flat vector, got shape {self.gradient.shape}"
             )
 
+    @classmethod
+    def trusted(
+        cls,
+        worker_id: int,
+        step: int,
+        gradient: np.ndarray,
+        loss: float = float("nan"),
+    ) -> "GradientMessage":
+        """Construct without re-running ``__post_init__`` validation.
+
+        For hot paths that mint thousands of messages per step from fields
+        they already control: *gradient* must be a flat float64 array and
+        *worker_id* / *step* non-negative ints — exactly what the validated
+        constructor would have produced.
+        """
+        message = object.__new__(cls)
+        message.worker_id = worker_id
+        message.step = step
+        message.gradient = gradient
+        message.loss = loss
+        return message
+
     @property
     def dim(self) -> int:
         """Gradient dimensionality ``d``."""

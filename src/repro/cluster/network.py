@@ -63,6 +63,18 @@ class Channel(abc.ABC):
     #: Human-readable transport name used in experiment reports.
     name: str = "channel"
 
+    @property
+    def is_transparent(self) -> bool:
+        """Whether the channel is a no-op wire for batching purposes.
+
+        A transparent channel always returns the frame unchanged with
+        ``seconds == cost_model.transfer_time(frame.nbytes)`` (bit for bit)
+        and consumes no randomness — so the vectorised trainer path may
+        price a whole fleet of such transfers in one array op instead of
+        one ``transfer_frame`` call each.  Conservatively ``False``.
+        """
+        return False
+
     @abc.abstractmethod
     def transfer_frame(
         self, frame: WireFrame, cost_model: CostModel
@@ -118,6 +130,13 @@ class ReliableChannel(Channel):
             raise ConfigurationError(f"rtt_s must be positive, got {rtt_s}")
         self.mss_bytes = int(mss_bytes)
         self.rtt_s = float(rtt_s)
+
+    @property
+    def is_transparent(self) -> bool:
+        # Loss-free TCP delivers the frame unchanged at exactly the cost
+        # model's transfer time (the Mathis penalty and the retransmission
+        # stall are both gated on drop_rate > 0), drawing no randomness.
+        return self.drop_rate <= 0.0
 
     def effective_bandwidth_gbps(self, cost_model: CostModel) -> float:
         """Link bandwidth after the congestion-control penalty for the drop rate."""

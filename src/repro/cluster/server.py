@@ -263,6 +263,25 @@ class ParameterServer:
             self.validate_submission(message)
         return np.stack([m.gradient for m in messages], axis=0)
 
+    def validate_rows(self, worker_ids: Sequence[int], matrix: np.ndarray) -> None:
+        """Batched :meth:`validate_submission` for an already-stacked round.
+
+        One membership check over the whole id list and one shape probe on
+        the matrix — the same rejections (same error text) as validating a
+        :class:`GradientMessage` per row, without minting the messages.
+        """
+        if self._allowed is not None and not self._allowed.issuperset(worker_ids):
+            foreign = next(w for w in worker_ids if w not in self._allowed)
+            raise TrainingError(
+                f"worker {foreign} is not part of the deployed cluster "
+                "(hardened server rejects foreign submissions)"
+            )
+        if matrix.shape[1] != self.dim:
+            raise TrainingError(
+                f"gradient dimensionality {matrix.shape[1]} does not match "
+                f"the model ({self.dim})"
+            )
+
     def aggregate_detailed(self, messages: Sequence[GradientMessage]) -> AggregationResult:
         """Validate once, aggregate, and return the GAR's full diagnostics.
 

@@ -11,10 +11,24 @@ The metrics mirror the paper's evaluation section:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
+
+#: Float-valued wire columns of :class:`WorkerTimeline`, in declaration order
+#: (the compact history preallocates one array per column).
+_WIRE_FLOAT_COLUMNS = (
+    "bytes_sent",
+    "bytes_received",
+    "bytes_received_full",
+    "bytes_received_delta",
+    "queueing_delay_seconds",
+    "compression_error",
+)
+#: Integer-valued wire columns (fetch counts by downlink framing).
+_WIRE_INT_COLUMNS = ("full_fetches", "delta_fetches")
 
 
 @dataclass
@@ -167,6 +181,19 @@ class TrainingHistory:
     #: Queueing delay accumulated per link-topology region (``{region: s}``;
     #: all traffic lands under ``"core"`` on the symmetric single pipe).
     region_queueing_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Compact wire accounting: per-worker wire activity lands in
+    #: preallocated numpy columns instead of one Python object mutation per
+    #: worker per step.  Round counters (admissions, supersedes, compute and
+    #: transfer seconds) still live on the :class:`WorkerTimeline` objects;
+    #: exports merge the two views, so ``to_dict`` output is identical to
+    #: the object-per-step path.
+    compact: bool = False
+
+    def __post_init__(self) -> None:
+        self._wire_row: Dict[int, int] = {}
+        self._wire_ids: List[int] = []
+        self._wire_cols: Dict[str, np.ndarray] = {}
+        self._wire_touched = np.zeros(0, dtype=bool)
 
     # ------------------------------------------------------------- recording
     def record_step(self, record: StepRecord) -> None:
@@ -192,6 +219,40 @@ class TrainingHistory:
         """Account *seconds* of server aggregation/update work."""
         self.server_busy_time += float(seconds)
 
+    def register_workers(self, worker_ids: Sequence[int]) -> None:
+        """Preallocate compact wire columns for *worker_ids* (idempotent).
+
+        A no-op outside compact mode.  Unregistered workers are registered
+        lazily by :meth:`record_wire`, so calling this up front only saves
+        the incremental growth.
+        """
+        if not self.compact:
+            return
+        new_ids = [int(wid) for wid in worker_ids if int(wid) not in self._wire_row]
+        if not new_ids:
+            return
+        for wid in new_ids:
+            self._wire_row[wid] = len(self._wire_ids)
+            self._wire_ids.append(wid)
+        total = len(self._wire_ids)
+        grown: Dict[str, np.ndarray] = {}
+        for name in _WIRE_FLOAT_COLUMNS:
+            column = np.zeros(total, dtype=np.float64)
+            old = self._wire_cols.get(name)
+            if old is not None:
+                column[: old.size] = old
+            grown[name] = column
+        for name in _WIRE_INT_COLUMNS:
+            column = np.zeros(total, dtype=np.int64)
+            old = self._wire_cols.get(name)
+            if old is not None:
+                column[: old.size] = old
+            grown[name] = column
+        touched = np.zeros(total, dtype=bool)
+        touched[: self._wire_touched.size] = self._wire_touched
+        self._wire_cols = grown
+        self._wire_touched = touched
+
     def record_wire(
         self,
         worker_id: int,
@@ -210,27 +271,158 @@ class TrainingHistory:
         ``region`` attributes the queueing delay to a link-topology
         bottleneck.
         """
-        timeline = self.timeline_for(worker_id)
-        timeline.bytes_sent += float(bytes_sent)
-        timeline.bytes_received += float(bytes_received)
-        if bytes_received:
-            if downlink_delta:
-                timeline.bytes_received_delta += float(bytes_received)
-                timeline.delta_fetches += 1
-            else:
-                timeline.bytes_received_full += float(bytes_received)
-                timeline.full_fetches += 1
-        timeline.queueing_delay_seconds += float(queueing_delay)
-        timeline.compression_error += float(compression_error)
+        if self.compact:
+            if int(worker_id) not in self._wire_row:
+                self.register_workers([worker_id])
+            row = self._wire_row[int(worker_id)]
+            cols = self._wire_cols
+            self._wire_touched[row] = True
+            cols["bytes_sent"][row] += float(bytes_sent)
+            cols["bytes_received"][row] += float(bytes_received)
+            if bytes_received:
+                if downlink_delta:
+                    cols["bytes_received_delta"][row] += float(bytes_received)
+                    cols["delta_fetches"][row] += 1
+                else:
+                    cols["bytes_received_full"][row] += float(bytes_received)
+                    cols["full_fetches"][row] += 1
+            cols["queueing_delay_seconds"][row] += float(queueing_delay)
+            cols["compression_error"][row] += float(compression_error)
+        else:
+            timeline = self.timeline_for(worker_id)
+            timeline.bytes_sent += float(bytes_sent)
+            timeline.bytes_received += float(bytes_received)
+            if bytes_received:
+                if downlink_delta:
+                    timeline.bytes_received_delta += float(bytes_received)
+                    timeline.delta_fetches += 1
+                else:
+                    timeline.bytes_received_full += float(bytes_received)
+                    timeline.full_fetches += 1
+            timeline.queueing_delay_seconds += float(queueing_delay)
+            timeline.compression_error += float(compression_error)
         if region is not None and queueing_delay:
             self.region_queueing_seconds[region] = (
                 self.region_queueing_seconds.get(region, 0.0) + float(queueing_delay)
             )
 
+    def record_wire_batch(
+        self,
+        worker_ids: Sequence[int],
+        *,
+        bytes_sent: Optional[np.ndarray] = None,
+        bytes_received: Optional[np.ndarray] = None,
+        queueing_delay: Optional[np.ndarray] = None,
+        compression_error: Optional[np.ndarray] = None,
+        downlink_delta=False,
+        regions: Optional[Sequence[Optional[str]]] = None,
+    ) -> None:
+        """Vectorised :meth:`record_wire` over a fleet of workers at once.
+
+        Each array argument holds one value per entry of *worker_ids*
+        (``None`` means all-zero); ``downlink_delta`` may be a scalar or a
+        per-worker boolean array (broadcast-codec steps mix full resyncs and
+        deltas).  In compact mode the whole batch lands as a handful of
+        indexed numpy adds; otherwise it degrades to per-worker
+        :meth:`record_wire` calls with identical semantics.
+        """
+        n = len(worker_ids)
+
+        def _as_array(values: Optional[np.ndarray]) -> np.ndarray:
+            if values is None:
+                return np.zeros(n, dtype=np.float64)
+            return np.asarray(values, dtype=np.float64)
+
+        sent = _as_array(bytes_sent)
+        received = _as_array(bytes_received)
+        queueing = _as_array(queueing_delay)
+        error = _as_array(compression_error)
+        delta = np.broadcast_to(np.asarray(downlink_delta, dtype=bool), (n,))
+        if not self.compact:
+            for i, wid in enumerate(worker_ids):
+                self.record_wire(
+                    int(wid),
+                    bytes_sent=float(sent[i]),
+                    bytes_received=float(received[i]),
+                    queueing_delay=float(queueing[i]),
+                    compression_error=float(error[i]),
+                    downlink_delta=bool(delta[i]),
+                    region=regions[i] if regions is not None else None,
+                )
+            return
+        self.register_workers(worker_ids)
+        rows = np.array([self._wire_row[int(wid)] for wid in worker_ids], dtype=np.intp)
+        cols = self._wire_cols
+        self._wire_touched[rows] = True
+        np.add.at(cols["bytes_sent"], rows, sent)
+        np.add.at(cols["bytes_received"], rows, received)
+        fetched = received != 0.0
+        for kind, mask in (("full", fetched & ~delta), ("delta", fetched & delta)):
+            if mask.any():
+                np.add.at(cols[f"bytes_received_{kind}"], rows, np.where(mask, received, 0.0))
+                np.add.at(cols[f"{kind}_fetches"], rows, mask.astype(np.int64))
+        np.add.at(cols["queueing_delay_seconds"], rows, queueing)
+        np.add.at(cols["compression_error"], rows, error)
+        if regions is not None:
+            for i, region in enumerate(regions):
+                if region is not None and queueing[i]:
+                    self.region_queueing_seconds[region] = (
+                        self.region_queueing_seconds.get(region, 0.0) + float(queueing[i])
+                    )
+
+    def merged_timelines(self) -> Dict[int, WorkerTimeline]:
+        """Per-worker timelines with compact wire columns folded back in.
+
+        Outside compact mode this *is* :attr:`worker_timelines`.  In compact
+        mode, each exported timeline starts from the worker's object record
+        (round counters, compute/transfer seconds) and adds the array-held
+        wire columns — producing exactly the timelines the object-per-step
+        path would have built.
+        """
+        if not self.compact:
+            return self.worker_timelines
+        merged: Dict[int, WorkerTimeline] = {}
+        touched_ids = [
+            wid
+            for wid in self._wire_ids
+            if self._wire_touched[self._wire_row[wid]]
+        ]
+        for wid in sorted(set(touched_ids) | set(self.worker_timelines)):
+            base = self.worker_timelines.get(wid)
+            timeline = (
+                WorkerTimeline(worker_id=wid)
+                if base is None
+                else WorkerTimeline(**{**base.to_dict()})
+            )
+            row = self._wire_row.get(wid)
+            if row is not None:
+                for name in _WIRE_FLOAT_COLUMNS:
+                    setattr(
+                        timeline, name,
+                        getattr(timeline, name) + float(self._wire_cols[name][row]),
+                    )
+                for name in _WIRE_INT_COLUMNS:
+                    setattr(
+                        timeline, name,
+                        getattr(timeline, name) + int(self._wire_cols[name][row]),
+                    )
+            merged[wid] = timeline
+        return merged
+
     def record_version_lag(self, lag: int) -> None:
         """Count one admitted gradient with the given version *lag*."""
         lag = int(lag)
         self.version_lag_counts[lag] = self.version_lag_counts.get(lag, 0) + 1
+
+    def record_version_lag_batch(self, lags: Sequence[int]) -> None:
+        """Count one round's admitted version lags in a single pass.
+
+        Synchronous rounds are overwhelmingly all-fresh (every lag zero), so
+        the common case is one dictionary bump instead of one per gradient.
+        """
+        counts = Counter(int(lag) for lag in lags)
+        for lag, count in counts.items():
+            self.version_lag_counts[lag] = self.version_lag_counts.get(lag, 0) + count
 
     # --------------------------------------------------------------- metrics
     @property
@@ -316,7 +508,7 @@ class TrainingHistory:
         per-update step records while ``bytes_received`` sums the per-worker
         timelines — the two reconcile whenever both sides were recorded.
         """
-        timelines = self.worker_timelines.values()
+        timelines = self.merged_timelines().values()
         return {
             "wire_bytes": self.total_wire_bytes,
             "downlink_bytes": self.total_downlink_bytes,
@@ -436,7 +628,7 @@ class TrainingHistory:
         """Pushed-gradient counts per worker (empty for lock-step runs)."""
         return {
             wid: timeline.rounds_completed
-            for wid, timeline in sorted(self.worker_timelines.items())
+            for wid, timeline in sorted(self.merged_timelines().items())
         }
 
     def mean_step_time(self) -> float:
@@ -478,7 +670,7 @@ class TrainingHistory:
             },
             "worker_timelines": {
                 str(wid): timeline.to_dict()
-                for wid, timeline in sorted(self.worker_timelines.items())
+                for wid, timeline in sorted(self.merged_timelines().items())
             },
             "diverged": self.diverged,
             "divergence_reason": self.divergence_reason,

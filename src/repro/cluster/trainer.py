@@ -40,8 +40,9 @@ aggregation stage and the telemetry layer):
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -51,14 +52,17 @@ from repro.cluster.codec import (
     WireCodec,
     WireFrame,
     decode_frame,
+    decode_frames,
     encode_delta,
 )
 from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec
 from repro.cluster.events import Event, EventLoop, EventQueue
+from repro.cluster.fleet import FleetComputeKernel, FleetState, fleet_computable
 from repro.cluster.link import SHARING_MODES, LinkFabric, LinkScheduler, LinkTopology
 from repro.cluster.message import GradientMessage
 from repro.cluster.network import Channel, build_uplink_map
+from repro.cluster.profiler import SimProfiler
 from repro.cluster.server import ParameterServer
 from repro.cluster.sync import ArrivalEvent, FullSync, SyncDecision, SyncPolicy
 from repro.cluster.telemetry import EvalRecord, StepRecord, TrainingHistory
@@ -66,6 +70,12 @@ from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.nn.model import Sequential
 from repro.utils.random import SeedLike, as_rng
+
+#: Accepted honest-gradient compute modes.  ``exact`` runs every worker's own
+#: backprop (bit-identical to the seed); ``fleet`` batches all honest
+#: gradients through one :class:`~repro.cluster.fleet.FleetComputeKernel`
+#: pass when the model supports it (statistically equivalent, not bitwise).
+COMPUTE_MODES = ("exact", "fleet")
 
 
 @dataclass
@@ -164,6 +174,11 @@ class BaseTrainer:
         link_sharing: str = "none",
         link_topology: Optional[LinkTopology] = None,
         error_feedback: bool = True,
+        vectorized: bool = True,
+        compute_mode: str = "exact",
+        fleet_sample_rng: Optional[np.random.Generator] = None,
+        profiler: Optional[SimProfiler] = None,
+        compact_telemetry: bool = False,
         eval_model: Optional[Sequential] = None,
         test_set: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> None:
@@ -176,8 +191,17 @@ class BaseTrainer:
             raise ConfigurationError(
                 f"link_sharing must be one of {SHARING_MODES}, got {link_sharing!r}"
             )
+        if compute_mode not in COMPUTE_MODES:
+            raise ConfigurationError(
+                f"compute_mode must be one of {COMPUTE_MODES}, got {compute_mode!r}"
+            )
         self.server = server
         self.workers = list(workers)
+        #: Cached role partitions — cluster membership is fixed at
+        #: construction, so the per-call isinstance scans the properties
+        #: used to run are paid exactly once.
+        self._honest_workers_cache: Optional[List[HonestWorker]] = None
+        self._byzantine_workers_cache: Optional[List[ByzantineWorker]] = None
         self.cost_model = cost_model
         self.clock = SimulatedClock()
         self.uplink_channels = build_uplink_map(ids, uplink_channels)
@@ -222,7 +246,61 @@ class BaseTrainer:
         #: pool's blocks): physically computed after that round's cutoff, so
         #: they bill against the *next* round's wait budget.
         self._warm_debt = 0.0
-        self.history = TrainingHistory()
+        #: Whether the lock-step pipeline uses the array-at-a-time collect
+        #: path (bit-identical to the per-worker loop; ``False`` forces the
+        #: legacy loop, which the fleet benchmark uses as its reference).
+        self.vectorized = bool(vectorized)
+        self.compute_mode = compute_mode
+        #: Dedicated stream for fleet-mode mini-batch draws: one
+        #: ``(n, b)`` bounded-integer call replaces n per-worker calls.
+        #: Fleet compute is statistically equivalent (not bitwise) to the
+        #: exact path by contract, so the draws need not come from the
+        #: per-worker streams; ``None`` (e.g. a hand-built trainer) falls
+        #: back to per-worker draws.
+        self._fleet_sample_rng = fleet_sample_rng
+        #: Optional per-subsystem time accounting (``--profile``).
+        self.profiler = profiler
+        #: Largest event-queue population observed across the run.
+        self.peak_queue_size = 0
+        #: Total events dispatched across the run (the benchmark's events/s
+        #: numerator).
+        self.events_dispatched = 0
+        #: SoA mirror of the honest fleet's numeric state (speeds, GFLOP/s,
+        #: EF-SGD residual matrix, byte counters); ``None`` without honest
+        #: workers.
+        honest = self.honest_workers
+        self._fleet = (
+            FleetState(honest, worker_gflops=self._worker_gflops) if honest else None
+        )
+        #: Batched gradient kernel for ``compute_mode="fleet"``.  Only built
+        #: when every honest worker computes on identical parameters (no
+        #: broadcast codec), shares one batch size, and the architecture is
+        #: fleet-computable; otherwise honest compute falls back to the
+        #: per-worker exact path (the documented fleet-kernel contract).
+        self._fleet_kernel: Optional[FleetComputeKernel] = None
+        if compute_mode == "fleet" and honest and broadcast_codec is None:
+            uniform_batch = len({w.batch_size for w in honest}) == 1
+            uniform_dim = len({w.model.num_parameters for w in honest}) == 1
+            if uniform_batch and uniform_dim and fleet_computable(honest[0].model):
+                self._fleet_kernel = FleetComputeKernel(honest[0].model)
+        #: Lazily-cached per-honest-worker transparency mask (channels are
+        #: fixed for the trainer's lifetime, so the per-step property scan
+        #: collapses to one array lookup).
+        self._uplink_transparent_cache: Optional[np.ndarray] = None
+        self.history = TrainingHistory(compact=bool(compact_telemetry))
+        self.history.register_workers(ids)
+
+    def _uplink_transparent(self) -> np.ndarray:
+        """Boolean mask: honest worker ``i``'s uplink channel is transparent."""
+        if self._uplink_transparent_cache is None:
+            self._uplink_transparent_cache = np.array(
+                [
+                    self.uplink_channels[w.worker_id].is_transparent
+                    for w in self.honest_workers
+                ],
+                dtype=bool,
+            )
+        return self._uplink_transparent_cache
 
     # ----------------------------------------------------------------- setup
     def _resolve_worker_gflops(self) -> Dict[int, float]:
@@ -255,12 +333,20 @@ class BaseTrainer:
     @property
     def honest_workers(self) -> List[HonestWorker]:
         """The correct workers."""
-        return [w for w in self.workers if isinstance(w, HonestWorker)]
+        if self._honest_workers_cache is None:
+            self._honest_workers_cache = [
+                w for w in self.workers if isinstance(w, HonestWorker)
+            ]
+        return self._honest_workers_cache
 
     @property
     def byzantine_workers(self) -> List[ByzantineWorker]:
         """The adversary-controlled workers."""
-        return [w for w in self.workers if isinstance(w, ByzantineWorker)]
+        if self._byzantine_workers_cache is None:
+            self._byzantine_workers_cache = [
+                w for w in self.workers if isinstance(w, ByzantineWorker)
+            ]
+        return self._byzantine_workers_cache
 
     def _compute_time(self, worker: HonestWorker, dim: int) -> float:
         """Nominal (pre-straggler) gradient-computation time of *worker*."""
@@ -270,6 +356,12 @@ class BaseTrainer:
             gflops=self._worker_gflops[worker.worker_id] * worker.speed,
             flops_per_sample=worker.model.flops_per_sample(),
         )
+
+    def _section(self, name: str):
+        """Profiler bracket for subsystem *name*; a no-op without a profiler."""
+        if self.profiler is None:
+            return nullcontext()
+        return self.profiler.section(name)
 
     # ------------------------------------------------------- wire substrate
     def _encode_broadcast(self, worker_id: int) -> Tuple[np.ndarray, float, bool]:
@@ -451,10 +543,16 @@ class BaseTrainer:
         }
 
     @staticmethod
-    def _diagnostics(delivered, result, aggregation_time: float) -> StepDiagnostics:
-        """GAR selection diagnostics in telemetry form."""
+    def _diagnostics(
+        worker_ids: Sequence[int], result, aggregation_time: float
+    ) -> StepDiagnostics:
+        """GAR selection diagnostics in telemetry form.
+
+        *worker_ids* is the submission-ordered id of each aggregated row, so
+        the GAR's selected indices translate to worker identities.
+        """
         selected = (
-            tuple(delivered[int(i)].worker_id for i in result.selected_indices)
+            tuple(worker_ids[int(i)] for i in result.selected_indices)
             if result.selected_indices is not None
             else None
         )
@@ -568,6 +666,19 @@ class SynchronousTrainer(BaseTrainer):
         self, parameters: np.ndarray, step: int, dim: int
     ) -> Tuple[List[ArrivalEvent], float, List[float], float]:
         """Pipeline stages 1-3: compute, craft, encode + transfer.
+
+        Dispatches to the vectorised collect (the default) or the legacy
+        per-worker loop (``vectorized=False``); both produce bit-identical
+        arrivals, telemetry and RNG stream positions.
+        """
+        if self.vectorized:
+            return self._collect_arrivals_vectorized(parameters, step, dim)
+        return self._collect_arrivals_loop(parameters, step, dim)
+
+    def _collect_arrivals_loop(
+        self, parameters: np.ndarray, step: int, dim: int
+    ) -> Tuple[List[ArrivalEvent], float, List[float], float]:
+        """Per-worker reference implementation of the collect stage.
 
         Returns the step's arrival events (submission order: honest workers,
         then Byzantine workers), the wait floor (when the model broadcast
@@ -738,18 +849,330 @@ class SynchronousTrainer(BaseTrainer):
         losses = [m.loss for m in honest_messages if np.isfinite(m.loss)]
         return events, floor, losses, downlink_step_bytes
 
+    def _collect_arrivals_vectorized(
+        self, parameters: np.ndarray, step: int, dim: int
+    ) -> Tuple[List[ArrivalEvent], float, List[float], float]:
+        """Array-at-a-time collect stage (bit-identical to the loop path).
+
+        Every per-worker scalar operation of :meth:`_collect_arrivals_loop`
+        is replaced by its elementwise array form over the
+        :class:`~repro.cluster.fleet.FleetState` row order (= honest worker
+        order), which numpy guarantees produces the same floats.  Stream
+        order is preserved everywhere randomness is involved: samplers draw
+        per worker in worker order, the codec's batched encode consumes its
+        PRNG exactly as the sequential encodes would, and only channels
+        whose transfer is transparent (no randomness by contract) are priced
+        in a single batched call — every other channel keeps its own
+        ``transfer_frame`` call.  ``compute_mode="fleet"`` additionally
+        routes honest backprop through the batched kernel (opt-in, not
+        bitwise).
+        """
+        honest = self.honest_workers
+        fleet = self._fleet
+        num_honest = len(honest)
+        honest_ids = [w.worker_id for w in honest]
+
+        # Downlink framing, identical to the loop path.
+        if self.broadcast_codec is None:
+            raw_bytes = self.cost_model.gradient_bytes(dim)
+            fetches: Dict[int, Tuple[np.ndarray, float, bool]] = {
+                worker.worker_id: (parameters, raw_bytes, False)
+                for worker in self.workers
+            }
+        else:
+            fetches = {
+                worker.worker_id: self._encode_broadcast(worker.worker_id)
+                for worker in self.workers
+            }
+        downlink_step_bytes = float(sum(f[1] for f in fetches.values()))
+        fetch_bytes = np.array([fetches[wid][1] for wid in honest_ids], dtype=np.float64)
+        with self._section("link_drain"):
+            if self._contended and honest:
+                jobs = [
+                    (0.0, fetches[worker.worker_id][1], worker.worker_id)
+                    for worker in self.workers
+                ]
+                schedule = {
+                    worker.worker_id: outcome
+                    for worker, outcome in zip(self.workers, self.fabric.simulate(jobs))
+                }
+                downlink_times = np.array([schedule[w.worker_id][0] for w in honest])
+                downlink_delays = np.array([schedule[w.worker_id][1] for w in honest])
+                byz_delays = {w.worker_id: schedule[w.worker_id][1]
+                              for w in self.byzantine_workers}
+                floor = float(downlink_times.max())
+            else:
+                downlink_times = self.fabric.solo_seconds_batch(honest_ids, fetch_bytes)
+                downlink_delays = np.zeros(num_honest)
+                byz_delays = {w.worker_id: 0.0 for w in self.byzantine_workers}
+                floor = float(downlink_times.max()) if num_honest else 0.0
+        with self._section("telemetry"):
+            for worker in self.byzantine_workers:
+                _, nbytes, is_delta = fetches[worker.worker_id]
+                self.history.record_wire(
+                    worker.worker_id,
+                    bytes_received=nbytes,
+                    queueing_delay=byz_delays[worker.worker_id],
+                    downlink_delta=is_delta,
+                    region=self.fabric.region_of(worker.worker_id),
+                )
+        slowdowns = (
+            fleet.sample_slowdowns(self.straggler_model, self._straggler_rng)
+            if fleet is not None
+            else np.ones(num_honest)
+        )
+
+        # Stage 1: honest gradients.  The fleet kernel batches all backprops
+        # into one pass when eligible; otherwise each worker runs its own
+        # (the exact path).  Either way the samplers draw sequentially in
+        # worker order, keeping every per-worker RNG stream in the position
+        # the loop path would leave it.
+        honest_messages: List[GradientMessage] = []
+        fleet_matrix: Optional[np.ndarray] = None
+        fleet_loss_array: Optional[np.ndarray] = None
+        with self._section("compute"):
+            if self._fleet_kernel is not None and honest:
+                samplers = [worker.sampler for worker in honest]
+                shared = samplers[0]
+                if all(
+                    s.features is shared.features and s.labels is shared.labels
+                    for s in samplers
+                ):
+                    # Shared training set: one fleet-wide draw + row gather
+                    # from the dedicated stream when the trainer owns one
+                    # (iid uniform either way — fleet compute is already a
+                    # statistically-equivalent mode, not a bitwise one),
+                    # per-worker draws otherwise.
+                    if self._fleet_sample_rng is not None:
+                        indices = self._fleet_sample_rng.integers(
+                            0,
+                            shared.num_samples,
+                            size=(num_honest, shared.batch_size),
+                        )
+                    else:
+                        indices = np.stack([s.sample_indices() for s in samplers])
+                    batches_x: Any = shared.features[indices]
+                    batches_y: Any = shared.labels[indices]
+                else:
+                    batches = [s.sample() for s in samplers]
+                    batches_x = [batch[0] for batch in batches]
+                    batches_y = [batch[1] for batch in batches]
+                fleet_losses, fleet_grads = self._fleet_kernel.compute(
+                    parameters, batches_x, batches_y
+                )
+                loss_list = fleet_losses.tolist()
+                honest_messages = [
+                    GradientMessage.trusted(
+                        worker.worker_id, step, fleet_grads[i], loss_list[i]
+                    )
+                    for i, worker in enumerate(honest)
+                ]
+                fleet_matrix = fleet_grads
+                fleet_loss_array = fleet_losses
+                compute_times = fleet.compute_times(
+                    self.cost_model, self._fleet_kernel.model.flops_per_sample()
+                )
+            else:
+                compute_times = np.zeros(num_honest)
+                for index, worker in enumerate(honest):
+                    honest_messages.append(
+                        worker.compute_gradient(fetches[worker.worker_id][0], step)
+                    )
+                    compute_times[index] = self._compute_time(worker, dim)
+        path_times = downlink_times + compute_times * slowdowns
+
+        if fleet_matrix is not None:
+            honest_matrix = fleet_matrix
+        elif honest_messages:
+            honest_matrix = np.stack([m.gradient for m in honest_messages], axis=0)
+        else:
+            honest_matrix = np.zeros((0, dim))
+
+        # Stage 2: Byzantine gradients (same loop as the reference path).
+        byzantine_messages: List[GradientMessage] = []
+        num_byz = len(self.byzantine_workers)
+        for index, worker in enumerate(self.byzantine_workers):
+            byzantine_messages.append(
+                worker.craft_gradient(
+                    parameters, honest_matrix, step, num_byzantine=num_byz, index=index
+                )
+            )
+
+        # Stage 3a: batched codec.  Honest frames are encoded before the
+        # Byzantine raw frames, exactly the order the loop path consumes the
+        # codec PRNG in.  EF-SGD memory is added only to rows that carry
+        # one (a blanket ``+ 0.0`` would flip negative zeros) and the new
+        # residual matrix lands in the fleet's EF storage, whose rows the
+        # canonical ``_codec_memory`` dict aliases.
+        honest_frames: List[WireFrame] = []
+        honest_errors: List[float] = []
+        delivered_honest: List[Optional[WireFrame]] = []
+        decoded_cache: Optional[np.ndarray] = None
+        with self._section("codec"):
+            if honest_messages:
+                if self.error_feedback and fleet is not None:
+                    ef = fleet.bind_error_feedback(self._codec_memory, dim)
+                    signals = honest_matrix.copy()
+                    mask = fleet.ef_has_memory
+                    if mask.any():
+                        signals[mask] = honest_matrix[mask] + ef[mask]
+                else:
+                    signals = honest_matrix
+                honest_frames, decoded_cache = self.codec.encode_decode_batch(signals)
+                if isinstance(self.codec, IdentityCodec):
+                    honest_errors = [0.0] * num_honest
+                else:
+                    residuals = signals - decoded_cache
+                    # Per-row 1-D norms (sqrt of the row's own dot product —
+                    # the exact arithmetic np.linalg.norm applies to a 1-D
+                    # vector, minus the per-call wrapper).
+                    honest_errors = [
+                        float(np.sqrt(residuals[i] @ residuals[i]))
+                        for i in range(num_honest)
+                    ]
+                    if self.error_feedback and fleet is not None:
+                        fleet.store_residuals(self._codec_memory, residuals)
+
+        # Stage 3b: uplink transfers.  Transparent channels (the reliable
+        # loss-free default) are priced in one batched call; every other
+        # channel keeps its own transfer_frame call — per-channel RNG
+        # streams are independent, so the split cannot reorder any draws.
+        # Every honest frame prices at the codec's frame_bytes(dim) — the
+        # batch encode stamps one shared value — so the byte vector is a fill.
+        nbytes_honest = (
+            np.full(num_honest, honest_frames[0].nbytes)
+            if honest_frames
+            else np.zeros(0)
+        )
+        solo_honest = np.zeros(num_honest)
+        delivered_honest = list(honest_frames)
+        with self._section("link_drain"):
+            if num_honest:
+                transparent = self._uplink_transparent()
+                if transparent.any():
+                    solo_honest[transparent] = self.cost_model.transfer_time_batch(
+                        nbytes_honest[transparent]
+                    )
+                for i in np.flatnonzero(~transparent):
+                    arrived, seconds = self.uplink_channels[honest_ids[i]].transfer_frame(
+                        honest_frames[i], self.cost_model
+                    )
+                    delivered_honest[i] = arrived
+                    solo_honest[i] = seconds
+
+        # Byzantine submissions: raw framing, per-channel transfer.
+        byz_frames: List[WireFrame] = []
+        byz_delivered: List[Optional[WireFrame]] = []
+        for message in byzantine_messages:
+            frame, _ = self._encode(message.gradient, honest=False)
+            arrived, _ = self.uplink_channels[message.worker_id].transfer_frame(
+                frame, self.cost_model
+            )
+            byz_frames.append(frame)
+            byz_delivered.append(arrived)
+
+        uplink_delays = np.zeros(num_honest)
+        with self._section("link_drain"):
+            if self._contended and num_honest:
+                schedule = self.fabric.simulate(
+                    [
+                        (float(path_times[i]), honest_frames[i].nbytes, honest_ids[i])
+                        for i in range(num_honest)
+                    ]
+                )
+                finish = np.array([s[0] for s in schedule])
+                uplink_delays = np.array([s[1] for s in schedule])
+                ideal = self.cost_model.transfer_time_batch(nbytes_honest)
+                path_times = finish + (solo_honest - ideal)
+            elif num_honest:
+                path_times = path_times + self.fabric.uplink_seconds_batch(
+                    honest_ids, nbytes_honest, solo_honest
+                )
+
+        # Arrival assembly.  When every honest frame crossed its channel
+        # untouched (the transparent fast path), the server-side decode is
+        # one batched pass; degraded or dropped frames decode individually.
+        frames = honest_frames + byz_frames
+        delivered = delivered_honest + byz_delivered
+        with self._section("codec"):
+            if honest_messages and all(
+                delivered[i] is frames[i] for i in range(num_honest)
+            ):
+                # decode_frames is deterministic, so the matrix already
+                # decoded for the EF residuals doubles as the payload batch.
+                payload_matrix = (
+                    decoded_cache
+                    if decoded_cache is not None
+                    else decode_frames(honest_frames)
+                )
+                honest_payloads = [payload_matrix[i] for i in range(num_honest)]
+            else:
+                honest_payloads = [self._decode(delivered[i]) for i in range(num_honest)]
+        events: List[ArrivalEvent] = []
+        for order, message in enumerate(honest_messages + byzantine_messages):
+            is_honest = order < num_honest
+            events.append(
+                ArrivalEvent(
+                    message=message,
+                    payload=honest_payloads[order] if is_honest
+                    else self._decode(delivered[order]),
+                    arrival_time=float(path_times[order]) if is_honest else 0.0,
+                    honest=is_honest,
+                    order=order,
+                    wire_bytes=frames[order].nbytes if is_honest else 0.0,
+                )
+            )
+        with self._section("telemetry"):
+            if honest_messages:
+                self.history.record_wire_batch(
+                    honest_ids,
+                    bytes_sent=nbytes_honest,
+                    bytes_received=fetch_bytes,
+                    queueing_delay=downlink_delays + uplink_delays,
+                    compression_error=np.array(honest_errors),
+                    downlink_delta=np.array(
+                        [fetches[wid][2] for wid in honest_ids], dtype=bool
+                    ),
+                    regions=[self.fabric.region_of(wid) for wid in honest_ids],
+                )
+                fleet.account_bytes(sent=nbytes_honest, received=fetch_bytes)
+
+        if fleet_loss_array is not None:
+            losses = fleet_loss_array[np.isfinite(fleet_loss_array)].tolist()
+        else:
+            losses = [m.loss for m in honest_messages if np.isfinite(m.loss)]
+        return events, floor, losses, downlink_step_bytes
+
     def _aggregate_and_update(
         self, decision: SyncDecision
-    ) -> Tuple[List[GradientMessage], StepDiagnostics, float]:
-        """Pipeline stage 4: validate once, aggregate with diagnostics, update."""
-        delivered, result, aggregation_time = self._aggregate_batch(decision.admitted)
-        wire_bytes = float(sum(e.wire_bytes for e in decision.admitted))
+    ) -> Tuple[List[int], StepDiagnostics, float]:
+        """Pipeline stage 4: validate once, aggregate with diagnostics, update.
+
+        The vectorised path validates the round in one batched check and
+        stacks the admitted payloads directly (bit-identical matrix: the
+        legacy path's per-arrival messages wrap these same float64 rows);
+        the legacy path keeps the per-message protocol round-trip.
+        """
+        admitted = decision.admitted
+        if self.vectorized:
+            if not admitted:
+                raise TrainingError(
+                    "every gradient was dropped this step; cannot make progress"
+                )
+            worker_ids = [e.message.worker_id for e in admitted]
+            matrix = np.stack([e.payload for e in admitted], axis=0)
+            self.server.validate_rows(worker_ids, matrix)
+            result, aggregation_time = self.cost_model.aggregation_time_detailed(
+                self.server.gar, matrix, distance_cache=self.server.distance_cache
+            )
+        else:
+            delivered, result, aggregation_time = self._aggregate_batch(admitted)
+            worker_ids = [m.worker_id for m in delivered]
+        wire_bytes = float(sum(e.wire_bytes for e in admitted))
         self.server.apply_update(
-            result.gradient,
-            worker_ids=[m.worker_id for m in delivered],
-            wire_bytes=wire_bytes,
+            result.gradient, worker_ids=worker_ids, wire_bytes=wire_bytes
         )
-        return delivered, self._diagnostics(delivered, result, aggregation_time), wire_bytes
+        return worker_ids, self._diagnostics(worker_ids, result, aggregation_time), wire_bytes
 
     # ------------------------------------------------------------------ step
     def run_step(self) -> StepRecord:
@@ -765,16 +1188,32 @@ class SynchronousTrainer(BaseTrainer):
         # Thin driver over the event engine: the step's arrivals are routed
         # through one deterministic event queue and handed to the policy in
         # arrival order (ties broken by submission order, which is exactly
-        # the order they are pushed in).
-        queue = EventQueue()
-        for arrival in arrivals:
-            queue.push(Event(time=arrival.arrival_time, kind="arrive",
-                             worker_id=arrival.message.worker_id, payload=arrival))
-        drained = [event.payload for event in queue.drain()]
+        # the order they are pushed in).  The vectorised path replaces the
+        # heap with one stable argsort over the arrival times — identical
+        # ordering (sort by time, ties by push index) without n Event
+        # objects and n heap pops per step.
+        with self._section("event_dispatch"):
+            if self.vectorized:
+                order = np.argsort(
+                    np.array([a.arrival_time for a in arrivals]), kind="stable"
+                )
+                drained = [arrivals[i] for i in order]
+                self.peak_queue_size = max(self.peak_queue_size, len(arrivals))
+            else:
+                queue = EventQueue()
+                queue.push_many([
+                    Event(time=arrival.arrival_time, kind="arrive",
+                          worker_id=arrival.message.worker_id, payload=arrival)
+                    for arrival in arrivals
+                ])
+                drained = [event.payload for event in queue.drain()]
+                self.peak_queue_size = max(self.peak_queue_size, queue.peak_size)
+            self.events_dispatched += len(drained)
 
         decision = self.sync_policy.collect(drained, step, floor=floor)
         warmed_flops = self._distance_round_begin(decision.admitted)
-        delivered, diagnostics, wire_bytes = self._aggregate_and_update(decision)
+        with self._section("gar_kernel"):
+            delivered_ids, diagnostics, wire_bytes = self._aggregate_and_update(decision)
         cache_stats = None
         if self.server.distance_cache is not None:
             # Warming overlaps the quorum wait; charge only the overflow.
@@ -786,9 +1225,11 @@ class SynchronousTrainer(BaseTrainer):
 
         compute_comm_time = decision.wait_time
         self.clock.advance(compute_comm_time + diagnostics.aggregation_time + update_time)
-        self.history.record_server_busy(diagnostics.aggregation_time + update_time)
-        for event in decision.admitted:
-            self.history.record_version_lag(event.staleness)
+        with self._section("telemetry"):
+            self.history.record_server_busy(diagnostics.aggregation_time + update_time)
+            self.history.record_version_lag_batch(
+                [event.staleness for event in decision.admitted]
+            )
 
         record = StepRecord(
             step=step,
@@ -797,7 +1238,7 @@ class SynchronousTrainer(BaseTrainer):
             compute_comm_time=compute_comm_time,
             aggregation_time=diagnostics.aggregation_time,
             update_time=update_time,
-            gradients_received=len(delivered),
+            gradients_received=len(delivered_ids),
             dropped_stragglers=decision.dropped_stragglers,
             carried_gradients=decision.carried,
             stale_gradients=decision.stale_admitted,
@@ -808,7 +1249,8 @@ class SynchronousTrainer(BaseTrainer):
             downlink_bytes=downlink_bytes,
             **self._cache_record_fields(cache_stats),
         )
-        self.history.record_step(record)
+        with self._section("telemetry"):
+            self.history.record_step(record)
         return record
 
 
@@ -875,7 +1317,7 @@ class AsyncTrainer(BaseTrainer):
         self.admission = self.sync_policy.admission(max_version_lag=max_version_lag)
         self._workers_by_id = {w.worker_id: w for w in self.workers}
 
-        self._loop = EventLoop(clock=self.clock)
+        self._loop = EventLoop(clock=self.clock, profiler=self.profiler)
         self._loop.on(self.FETCH, self._on_fetch)
         self._loop.on(self.COMPUTE, self._on_compute)
         self._loop.on(self.PUSH, self._on_push)
@@ -909,7 +1351,10 @@ class AsyncTrainer(BaseTrainer):
 
         for worker in self.honest_workers:
             self.history.timeline_for(worker.worker_id)
-            self._loop.schedule(self.FETCH, 0.0, worker_id=worker.worker_id)
+        self._loop.schedule_many(
+            (self.FETCH, 0.0, worker.worker_id, None)
+            for worker in self.honest_workers
+        )
         for worker in self.byzantine_workers:
             self.history.timeline_for(worker.worker_id)
 
@@ -1010,9 +1455,10 @@ class AsyncTrainer(BaseTrainer):
         """Worker encodes + hands the gradient to the wire, starts its next round."""
         message: GradientMessage = event.payload
         channel = self.uplink_channels[message.worker_id]
-        frame, error = self._encode(
-            message.gradient, honest=True, worker_id=message.worker_id
-        )
+        with self._section("codec"):
+            frame, error = self._encode(
+                message.gradient, honest=True, worker_id=message.worker_id
+            )
         wire, seconds = channel.transfer_frame(frame, self.cost_model)
         timeline = self.history.timeline_for(message.worker_id)
         timeline.rounds_completed += 1
@@ -1141,7 +1587,8 @@ class AsyncTrainer(BaseTrainer):
         self._pending = {}
         self._busy = True
         warmed_flops = self._distance_round_begin(batch)
-        delivered, result, aggregation_time = self._aggregate_batch(batch)
+        with self._section("gar_kernel"):
+            delivered, result, aggregation_time = self._aggregate_batch(batch)
         if self.server.distance_cache is not None:
             # Early arrivals were warmed while the buffer filled; charge only
             # the overlap the inter-update window could not absorb.
@@ -1214,13 +1661,15 @@ class AsyncTrainer(BaseTrainer):
     def run_step(self) -> StepRecord:
         """Dispatch events until one more model update completes."""
         target = self.server.step + 1
-        self._loop.run_until(
+        self.events_dispatched += self._loop.run_until(
             lambda: self.server.step >= target, max_events=self.max_events_per_update
         )
+        self.peak_queue_size = max(self.peak_queue_size, self._loop.queue.peak_size)
         return self.history.steps[-1]
 
 
 __all__ = [
+    "COMPUTE_MODES",
     "TrainerConfig",
     "BaseTrainer",
     "SynchronousTrainer",

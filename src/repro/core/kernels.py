@@ -123,13 +123,21 @@ def fill_non_finite_extremes(matrix: np.ndarray) -> np.ndarray:
     if finite.all():
         return matrix
     any_finite = finite.any(axis=0)
-    hi_base = np.where(finite, matrix, -np.inf).max(axis=0)
-    lo_base = np.where(finite, matrix, np.inf).min(axis=0)
+    bad = ~finite
+    # Single working copy: every bad entry gets overwritten below, so the same
+    # buffer doubles as the masked operand for the per-coordinate extremes
+    # (bad -> -inf for the max, bad -> +inf for the min) before the final fill.
+    clean = matrix.astype(np.float64, copy=True)
+    clean[bad] = -np.inf
+    hi_base = clean.max(axis=0)
+    clean[bad] = np.inf
+    lo_base = clean.min(axis=0)
     hi = np.where(any_finite, hi_base + 1.0, 1.0)
     lo = np.where(any_finite, lo_base - 1.0, -1.0)
-    clean = np.where(np.isnan(matrix), hi[None, :], matrix)
-    clean = np.where(np.isposinf(clean), hi[None, :], clean)
-    clean = np.where(np.isneginf(clean), lo[None, :], clean)
+    lo_mask = np.isneginf(matrix)
+    hi_mask = bad & ~lo_mask  # NaN and +Inf
+    clean[hi_mask] = np.broadcast_to(hi, clean.shape)[hi_mask]
+    clean[lo_mask] = np.broadcast_to(lo, clean.shape)[lo_mask]
     return clean
 
 

@@ -51,15 +51,25 @@ class MiniBatchSampler:
         self.labels = labels
         self.batch_size = check_positive_int(batch_size, "batch_size")
         self._rng = as_rng(rng)
+        self._num_samples = int(features.shape[0])
 
     @property
     def num_samples(self) -> int:
         """Number of samples in the underlying training set."""
-        return int(self.features.shape[0])
+        return self._num_samples
+
+    def sample_indices(self) -> np.ndarray:
+        """Draw one mini-batch's sample indices (the :meth:`sample` draw).
+
+        Exposed separately so a fleet of samplers sharing one training set
+        can draw per-worker (keeping every stream's position exact) while the
+        actual row gather happens once for the whole fleet.
+        """
+        return self._rng.integers(0, self._num_samples, size=self.batch_size)
 
     def sample(self) -> Tuple[np.ndarray, np.ndarray]:
         """Draw one mini-batch ``(x, y)`` uniformly at random with replacement."""
-        idx = self._rng.integers(0, self.num_samples, size=self.batch_size)
+        idx = self.sample_indices()
         return self.features[idx], self.labels[idx]
 
     def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:

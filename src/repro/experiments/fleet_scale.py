@@ -1,0 +1,383 @@
+"""Fleet-scale simulator benchmark: the standard 1000-worker scenario.
+
+The simulator's original object-per-worker hot loop priced a 1000-worker
+step in Python call overhead, not numpy; the vectorised collect path,
+structure-of-arrays fleet state, batched codec and the fleet compute kernel
+move every per-worker scalar into array form.  This driver pins down the
+*standard scenario* those claims are measured on — 1000 honest workers,
+coordinate-wise median, top-k/8 uplink sparsification, a tiny logistic
+model so wall-clock is simulator overhead rather than math — and times two
+arms of the same deployment:
+
+* ``legacy`` — ``vectorized=False``, the seed's per-worker loop (the
+  pre-optimisation reference the speedup target is measured against);
+* ``fleet`` — the vectorised path with the batched fleet compute kernel
+  and compact telemetry, the configuration the ISSUE's >= 5x wall-clock
+  acceptance criterion applies to.
+
+Timing is reported min-and-median over repeats (min damps scheduler noise)
+next to machine-normalised throughput (dispatched events per second) and
+the ``fleet / legacy`` speedup ratio — the ratio is what CI gates on, so a
+slow container does not fail the build.  With ``--profile-split`` the fleet
+arm's last repeat runs under :class:`~repro.cluster.profiler.SimProfiler`
+and the payload carries the per-subsystem second/share breakdown.
+
+Run directly for the CI jobs::
+
+    python -m repro.experiments.fleet_scale --smoke
+    python -m repro.experiments.fleet_scale --determinism-check
+    python -m repro.experiments.fleet_scale --json BENCH_simulator.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import statistics
+import sys
+import time
+import tracemalloc
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.builder import build_trainer
+from repro.cluster.profiler import SimProfiler
+from repro.cluster.trainer import TrainerConfig
+from repro.data.datasets import load_dataset
+from repro.experiments.export import format_table, results_to_json
+
+#: The standard fleet-scale scenario.  1000 workers dominate wall-clock with
+#: simulator overhead (event routing, codec framing, telemetry) while the
+#: 55-parameter logistic model keeps the actual math negligible — exactly
+#: the regime where the per-worker Python loop was the bottleneck.  The
+#: top-k codec exercises the batched sparsifier (selection + scatter), the
+#: median GAR the dense coordinate-wise kernel.
+STANDARD_SCENARIO: Dict = {
+    "num_workers": 1000,
+    "num_byzantine": 0,
+    "declared_f": 2,
+    "model": "logistic",
+    "model_kwargs": {"input_dim": 10, "num_classes": 5},
+    "dataset": {
+        "name": "blobs",
+        "num_train": 2000,
+        "num_classes": 5,
+        "dim": 10,
+        "rng": 3,
+    },
+    "gar": "median",
+    "batch_size": 2,
+    "codec": "top-k",
+    "codec_k": 8,
+    "seed": 7,
+    "max_steps": 5,
+}
+
+#: Arm name -> build_trainer overrides.
+ARMS: Dict[str, Dict] = {
+    "legacy": {"vectorized": False, "compute_mode": "exact", "compact_telemetry": False},
+    "vectorized": {"vectorized": True, "compute_mode": "exact", "compact_telemetry": False},
+    "fleet": {"vectorized": True, "compute_mode": "fleet", "compact_telemetry": True},
+}
+
+
+def _build(scenario: Dict, arm: str, *, profiler: Optional[SimProfiler] = None):
+    dataset_kwargs = dict(scenario["dataset"])
+    dataset = load_dataset(dataset_kwargs.pop("name"), **dataset_kwargs)
+    return build_trainer(
+        model=scenario["model"],
+        model_kwargs=scenario["model_kwargs"],
+        dataset=dataset,
+        gar=scenario["gar"],
+        num_workers=scenario["num_workers"],
+        num_byzantine=scenario["num_byzantine"],
+        declared_f=scenario["declared_f"],
+        batch_size=scenario["batch_size"],
+        codec=scenario["codec"],
+        codec_k=scenario["codec_k"],
+        seed=scenario["seed"],
+        profiler=profiler,
+        **ARMS[arm],
+    )
+
+
+def _run_arm(
+    scenario: Dict,
+    arm: str,
+    *,
+    repeats: int = 3,
+    profile_split: bool = False,
+    measure_heap: bool = False,
+) -> Dict:
+    """Time one arm over *repeats* fresh deployments; return its summary.
+
+    Every repeat rebuilds the trainer (same seed, identical trajectory) and
+    times only :meth:`~repro.cluster.trainer.BaseTrainer.run`.  The
+    profiler / tracemalloc passes run *outside* the timed repeats so their
+    instrumentation cost never contaminates the wall-clock numbers.
+    """
+    config = TrainerConfig(max_steps=scenario["max_steps"], eval_every=0)
+    wall_clocks: List[float] = []
+    trainer = None
+    for _ in range(repeats):
+        trainer = _build(scenario, arm)
+        start = time.perf_counter()
+        trainer.run(config)
+        wall_clocks.append(time.perf_counter() - start)
+    assert trainer is not None
+    events = trainer.events_dispatched
+    best = min(wall_clocks)
+    summary = {
+        "arm": arm,
+        "wall_clock_s": {
+            "min": best,
+            "median": statistics.median(wall_clocks),
+            "repeats": wall_clocks,
+        },
+        "events_dispatched": events,
+        "events_per_s": events / best if best > 0 else float("nan"),
+        "peak_queue_size": trainer.peak_queue_size,
+        "final_sim_time": trainer.history.total_time,
+        "final_mean_loss": (
+            trainer.history.steps[-1].mean_loss if trainer.history.steps else None
+        ),
+    }
+    if profile_split:
+        profiler = SimProfiler()
+        profiled = _build(scenario, arm, profiler=profiler)
+        profiler.start_run()
+        try:
+            profiled.run(config)
+        finally:
+            profiler.stop_run()
+        summary["subsystems"] = profiler.to_dict()
+    if measure_heap:
+        heap_trainer = _build(scenario, arm)
+        tracemalloc.start()
+        try:
+            heap_trainer.run(config)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        summary["peak_heap_bytes"] = int(peak)
+    return summary
+
+
+def run_fleet_scale(
+    scenario: Optional[Dict] = None,
+    *,
+    arms: Sequence[str] = ("legacy", "fleet"),
+    repeats: int = 3,
+    profile_split: bool = True,
+    measure_heap: bool = True,
+) -> Dict:
+    """Run the fleet-scale benchmark; returns the ``BENCH_simulator`` payload."""
+    scenario = dict(STANDARD_SCENARIO if scenario is None else scenario)
+    unknown = [arm for arm in arms if arm not in ARMS]
+    if unknown:
+        raise ValueError(f"unknown arms {unknown}; choose from {sorted(ARMS)}")
+    summaries = {
+        arm: _run_arm(
+            scenario,
+            arm,
+            repeats=repeats,
+            # The per-subsystem split and heap peak describe the optimised
+            # arm; the legacy arm exists only as the speedup denominator.
+            profile_split=profile_split and arm != "legacy",
+            measure_heap=measure_heap and arm != "legacy",
+        )
+        for arm in arms
+    }
+    payload = {
+        "benchmark": "fleet_scale",
+        "scenario": scenario,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "arms": summaries,
+    }
+    legacy = summaries.get("legacy")
+    if legacy is not None:
+        speedups = {}
+        for arm, summary in summaries.items():
+            if arm == "legacy":
+                continue
+            speedups[arm] = {
+                "min": legacy["wall_clock_s"]["min"] / summary["wall_clock_s"]["min"],
+                "median": (
+                    legacy["wall_clock_s"]["median"]
+                    / summary["wall_clock_s"]["median"]
+                ),
+            }
+        payload["speedup_vs_legacy"] = speedups
+    return payload
+
+
+def format_results(results: Dict) -> str:
+    """Pretty-print the arm comparison (and the subsystem split if present)."""
+    scenario = results["scenario"]
+    rows = []
+    for arm, summary in results["arms"].items():
+        speedup = results.get("speedup_vs_legacy", {}).get(arm, {})
+        rows.append(
+            (
+                arm,
+                summary["wall_clock_s"]["min"],
+                summary["wall_clock_s"]["median"],
+                summary["events_dispatched"],
+                summary["events_per_s"],
+                summary["peak_queue_size"],
+                speedup.get("min", float("nan")),
+            )
+        )
+    text = format_table(
+        ["arm", "wall_min_s", "wall_med_s", "events", "events_per_s",
+         "peak_queue", "speedup_min"],
+        rows,
+        title=(
+            f"Fleet scale — {scenario['num_workers']} workers, "
+            f"{scenario['gar']}, codec={scenario['codec']}/k={scenario['codec_k']}, "
+            f"{scenario['max_steps']} steps"
+        ),
+    )
+    subsystems = results["arms"].get("fleet", {}).get("subsystems")
+    if subsystems:
+        split_rows = [
+            (name, stats["seconds"], stats["share"], stats["calls"])
+            for name, stats in subsystems["subsystems"].items()
+        ]
+        text += "\n" + format_table(
+            ["subsystem", "seconds", "share", "calls"],
+            split_rows,
+            title="Fleet arm per-subsystem split (profiled repeat)",
+        )
+    return text
+
+
+def smoke_scenario() -> Dict:
+    """A scaled-down scenario for the CI smoke job (seconds, not minutes)."""
+    scenario = dict(STANDARD_SCENARIO)
+    scenario["num_workers"] = 200
+    scenario["max_steps"] = 3
+    return scenario
+
+
+# ----------------------------------------------------------------- CI hooks
+def _smoke(json_path: Optional[str]) -> int:
+    """Scaled-down end-to-end run: every arm trains, accounting is coherent."""
+    results = run_fleet_scale(
+        smoke_scenario(), arms=("legacy", "vectorized", "fleet"), repeats=2
+    )
+    print(format_results(results))
+    scenario = results["scenario"]
+    expected_events = scenario["num_workers"] * scenario["max_steps"]
+    for arm, summary in results["arms"].items():
+        if summary["events_dispatched"] != expected_events:
+            print(
+                f"FAIL: {arm} dispatched {summary['events_dispatched']} events, "
+                f"expected {expected_events}",
+                file=sys.stderr,
+            )
+            return 1
+        if summary["peak_queue_size"] != scenario["num_workers"]:
+            print(
+                f"FAIL: {arm} peak queue {summary['peak_queue_size']}, "
+                f"expected {scenario['num_workers']}",
+                file=sys.stderr,
+            )
+            return 1
+    legacy = results["arms"]["legacy"]
+    vectorised = results["arms"]["vectorized"]
+    # The exact vectorised arm replays the legacy trajectory bit-for-bit;
+    # the mean losses are the cheapest strong witness of that contract.
+    if vectorised["final_mean_loss"] != legacy["final_mean_loss"]:
+        print("FAIL: vectorized arm diverged from the legacy trajectory",
+              file=sys.stderr)
+        return 1
+    if json_path:
+        results_to_json(results, json_path)
+    print("fleet-scale smoke: OK")
+    return 0
+
+
+def _determinism_check() -> int:
+    """Replay the vectorised arms twice each; any telemetry drift fails.
+
+    The fleet compute kernel and the batched codec draw from dedicated RNG
+    streams, so two builds from the same seed must produce byte-identical
+    histories — on the exact path *and* the statistically-equivalent fleet
+    path.
+    """
+    import json
+
+    scenario = smoke_scenario()
+    config = TrainerConfig(max_steps=scenario["max_steps"], eval_every=0)
+
+    for arm in ("vectorized", "fleet"):
+        replays = []
+        for _ in range(2):
+            trainer = _build(scenario, arm)
+            history = trainer.run(config)
+            replays.append(
+                json.dumps(
+                    {
+                        "steps": [
+                            (r.step, r.sim_time, r.mean_loss, r.wire_bytes)
+                            for r in history.steps
+                        ],
+                        "parameters": trainer.server.parameters.tolist(),
+                    },
+                    sort_keys=True,
+                )
+            )
+        if replays[0] != replays[1]:
+            print(f"FAIL: {arm} arm replay diverged between identical runs",
+                  file=sys.stderr)
+            return 1
+    print("fleet-scale determinism: OK (vectorized and fleet replays identical)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Console entry point for the CI smoke / determinism / benchmark jobs."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.fleet_scale",
+        description="Fleet-scale simulator benchmark (standard 1000-worker scenario)",
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="scaled-down end-to-end run (CI perf-smoke job)")
+    parser.add_argument("--determinism-check", action="store_true",
+                        help="replay the vectorised arms twice and diff telemetry")
+    parser.add_argument("--json", default=None,
+                        help="write the benchmark payload to this JSON file")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats per arm (default 3)")
+    parser.add_argument("--arms", nargs="+", default=["legacy", "fleet"],
+                        choices=sorted(ARMS), help="arms to run")
+    args = parser.parse_args(argv)
+    if args.determinism_check:
+        return _determinism_check()
+    if args.smoke:
+        return _smoke(args.json)
+    results = run_fleet_scale(arms=tuple(args.arms), repeats=args.repeats)
+    print(format_results(results))
+    if args.json:
+        results_to_json(results, args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
+
+
+__all__ = [
+    "STANDARD_SCENARIO",
+    "ARMS",
+    "run_fleet_scale",
+    "smoke_scenario",
+    "format_results",
+    "main",
+]

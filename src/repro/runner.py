@@ -33,6 +33,7 @@ from repro.cluster.checkpoint import (
     write_summary_csv,
 )
 from repro.cluster.cost_model import StragglerModel
+from repro.cluster.profiler import SimProfiler
 from repro.cluster.sync import available_sync_policies
 from repro.cluster.trainer import TrainerConfig
 from repro.core.base import available_gars
@@ -146,6 +147,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--determinism-check", action="store_true",
                         help="run the configured session twice and fail unless the "
                              "two telemetry summaries are identical")
+    parser.add_argument("--profile", action="store_true",
+                        help="time the simulator's own subsystems (event dispatch, "
+                             "codec, link drain, GAR kernel, telemetry, compute) and "
+                             "print a host wall-clock breakdown; the profile rides in "
+                             "the output JSON but never in the determinism comparison "
+                             "(host timings are machine-dependent)")
+    parser.add_argument("--no-vectorized", action="store_true",
+                        help="force the legacy per-worker collect loop instead of the "
+                             "vectorised fleet path (bit-identical results either way; "
+                             "the fleet benchmark's reference)")
+    parser.add_argument("--compute-mode", default="exact", choices=["exact", "fleet"],
+                        help="honest gradient computation: exact (every worker's own "
+                             "backprop, bit-identical to the seed) or fleet (one "
+                             "batched kernel pass over all honest workers — "
+                             "statistically equivalent, not bitwise)")
+    parser.add_argument("--compact-telemetry", action="store_true",
+                        help="store per-worker wire counters in preallocated arrays "
+                             "instead of per-worker objects (identical exports; "
+                             "recommended at 1k+ workers)")
     parser.add_argument("--lossy-links", type=int, default=0,
                         help="number of worker uplinks using the lossy UDP-like transport")
     parser.add_argument("--drop-rate", type=float, default=0.0, help="per-packet drop probability")
@@ -359,6 +379,10 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
         dataset = load_dataset(
             args.dataset, **_parse_kv_args(args.dataset_args), rng=args.seed
         )
+        # Each session (including determinism-check replays) gets its own
+        # profiler: host timings differ between replays, so they must never
+        # leak into the simulated-telemetry summary that gets compared.
+        profiler = SimProfiler() if args.profile else None
         trainer = build_trainer(
             model=args.experiment,
             model_kwargs=_parse_kv_args(args.experiment_args),
@@ -392,6 +416,10 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
             lossy_links=args.lossy_links,
             lossy_drop_rate=args.drop_rate,
             lossy_policy=args.recovery_policy,
+            vectorized=not args.no_vectorized,
+            compute_mode=args.compute_mode,
+            profiler=profiler,
+            compact_telemetry=args.compact_telemetry,
             seed=args.seed,
         )
 
@@ -400,21 +428,27 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
         )
         config = TrainerConfig(max_steps=args.max_step, eval_every=args.evaluation_delta)
 
-        if manager is None:
-            history = trainer.run(config)
-        else:
-            # Run in checkpoint-sized chunks so snapshots land every checkpoint-delta steps.
-            remaining = args.max_step
-            history = trainer.history
-            while remaining > 0 and not history.diverged:
-                chunk = min(args.checkpoint_delta, remaining)
-                trainer.run(TrainerConfig(max_steps=chunk, eval_every=args.evaluation_delta))
-                manager.save(
-                    Checkpoint(step=trainer.server.step, sim_time=trainer.clock.now,
-                               parameters=trainer.server.parameters)
-                )
-                remaining -= chunk
-            history = trainer.history
+        if profiler is not None:
+            profiler.start_run()
+        try:
+            if manager is None:
+                history = trainer.run(config)
+            else:
+                # Run in checkpoint-sized chunks so snapshots land every checkpoint-delta steps.
+                remaining = args.max_step
+                history = trainer.history
+                while remaining > 0 and not history.diverged:
+                    chunk = min(args.checkpoint_delta, remaining)
+                    trainer.run(TrainerConfig(max_steps=chunk, eval_every=args.evaluation_delta))
+                    manager.save(
+                        Checkpoint(step=trainer.server.step, sim_time=trainer.clock.now,
+                                   parameters=trainer.server.parameters)
+                    )
+                    remaining -= chunk
+                history = trainer.history
+        finally:
+            if profiler is not None:
+                profiler.stop_run()
 
         summary = history.to_dict()
         summary["configuration"] = {
@@ -440,23 +474,32 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
             "server_cores": args.server_cores,
             "distance_cache": args.distance_cache,
             "measured_aggregation": args.measured_aggregation,
+            "vectorized": not args.no_vectorized,
+            "compute_mode": args.compute_mode,
+            "compact_telemetry": args.compact_telemetry,
             "seed": args.seed,
         }
-        return history, summary
+        return history, summary, profiler
 
-    history, summary = _run_session()
+    history, summary, profiler = _run_session()
     if args.determinism_check:
         # Replay the whole session from scratch and diff the telemetry: every
         # simulated quantity is a pure function of the flags + seed, so any
         # drift is a determinism regression (measured_aggregation, the one
         # mode this cannot hold for, is rejected at flag validation).
-        _, replay = _run_session()
+        _, replay, _ = _run_session()
         if json.dumps(summary, sort_keys=True) != json.dumps(replay, sort_keys=True):
             raise TrainingError(
                 "determinism check failed: two replays of the identical "
                 "configuration produced different telemetry summaries"
             )
         summary["determinism_check"] = "ok"
+
+    # Host timings join the summary only after the determinism comparison:
+    # they measure the machine, not the simulated cluster.
+    if profiler is not None:
+        summary["profile"] = profiler.to_dict()
+        print(profiler.format_report(), file=out)
 
     if args.output:
         with open(args.output, "w") as handle:

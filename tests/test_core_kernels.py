@@ -328,6 +328,31 @@ def test_fill_non_finite_column_without_finite_entries_falls_back():
     np.testing.assert_array_equal(clean[:, 1], [1.0, 2.0, 3.0])
 
 
+def test_fill_non_finite_scales_to_fleet_sized_matrices():
+    """The masked-numpy rewrite must stay fast at (1000, 10000).
+
+    The pre-vectorisation implementation looped over poisoned coordinates in
+    Python and took tens of seconds at this shape; the vectorised kernel runs
+    in well under a second.  The bound is deliberately loose (slow shared CI
+    runners), but tight enough that any reversion to a per-coordinate Python
+    loop fails immediately.
+    """
+    import time
+
+    rng = np.random.default_rng(0)
+    matrix = rng.standard_normal((1000, 10000))
+    poison = rng.random((1000, 10000)) < 0.01
+    matrix[poison] = np.nan
+    matrix[0, :5] = np.inf
+    matrix[1, :5] = -np.inf
+    matrix[:, 0] = np.nan  # one column with no finite entries at all
+    start = time.perf_counter()
+    clean = kernels.fill_non_finite_extremes(matrix)
+    elapsed = time.perf_counter() - start
+    assert np.isfinite(clean).all()
+    assert elapsed < 3.0, f"fill_non_finite_extremes took {elapsed:.2f}s at (1000, 10000)"
+
+
 def test_meamed_not_distorted_by_cross_scale_nan_fill():
     """Regression (PR-5): a NaN in a small coordinate must not drag MeaMed.
 

@@ -1,0 +1,121 @@
+"""Property-based tests for the event queue's tombstone bookkeeping.
+
+The queue keeps cancelled events in the heap as tombstones (eager removal
+would be O(n) per cancel) and compacts lazily once they dominate.  That
+bookkeeping has to be airtight under *any* interleaving of push / cancel /
+pop / peek: a cancelled event must never dispatch, ``len()`` must always
+count live events only, and the lazy compaction must keep the heap within a
+constant factor of the live population.  Hypothesis drives the queue with
+random operation sequences against a plain-list shadow model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.events import Event, EventQueue
+from repro.exceptions import TrainingError
+
+_times = st.floats(min_value=0.0, max_value=100.0, allow_nan=False, width=32)
+
+_operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _times),
+        st.tuples(st.just("push_many"), st.lists(_times, min_size=0, max_size=5)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=2**32)),
+        st.tuples(st.just("pop"), st.none()),
+        st.tuples(st.just("peek"), st.none()),
+    ),
+    max_size=150,
+)
+
+
+def _live_order(events):
+    """The shadow model's dispatch order: live events by (time, order)."""
+    return sorted(
+        (e for e in events if not e.cancelled and e._popped is False),
+        key=lambda e: (e.time, e.order),
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=_operations)
+def test_interleaved_push_cancel_pop_peek_never_yields_a_cancelled_event(ops):
+    queue = EventQueue()
+    pushed = []  # every event ever pushed, in push order
+
+    def register(event):
+        event._popped = False
+        pushed.append(event)
+
+    for name, arg in ops:
+        if name == "push":
+            register(queue.push(Event(time=arg, kind="test")))
+        elif name == "push_many":
+            for event in queue.push_many([Event(time=t, kind="test") for t in arg]):
+                register(event)
+        elif name == "cancel" and pushed:
+            # Cancelling an already-popped or already-cancelled event must be
+            # a harmless no-op, so the strategy picks from *all* events.
+            pushed[arg % len(pushed)].cancel()
+        elif name == "pop":
+            live = _live_order(pushed)
+            if not live:
+                with pytest.raises(TrainingError):
+                    queue.pop()
+            else:
+                event = queue.pop()
+                assert not event.cancelled
+                assert event is live[0], "pop order diverged from (time, order)"
+                event._popped = True
+        elif name == "peek":
+            live = _live_order(pushed)
+            head = queue.peek()
+            if not live:
+                assert head is None
+                assert queue.peek_time() is None
+            else:
+                assert head is live[0]
+                assert not head.cancelled
+                assert queue.peek_time() == head.time
+
+        # Invariants, checked after every single operation:
+        live = _live_order(pushed)
+        assert len(queue) == len(live), "len() must count live events only"
+        assert bool(queue) == bool(live)
+        assert queue.pushed == len(pushed)
+        # Lazy compaction bound: tombstones may linger below the trigger
+        # floor, but can never outnumber the live population beyond it.
+        assert queue.tombstones <= max(
+            queue.COMPACT_MIN_TOMBSTONES, len(live) + 1
+        ), "tombstones escaped the compaction bound"
+
+    # Drain what's left: every remaining live event, in order, none cancelled.
+    remaining = list(queue.drain())
+    expected = _live_order(pushed)
+    assert remaining == expected
+    assert all(not event.cancelled for event in remaining)
+    assert len(queue) == 0 and queue.peek() is None
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    times=st.lists(_times, min_size=1, max_size=60),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=60),
+    seed=st.integers(0, 2**31),
+)
+def test_mass_cancellation_compacts_the_heap(times, cancel_mask, seed):
+    """Cancelling any subset leaves a heap bounded by the live population."""
+    queue = EventQueue()
+    events = queue.push_many([Event(time=t, kind="test") for t in times])
+    cancelled = set()
+    for i, event in enumerate(events):
+        if cancel_mask[i % len(cancel_mask)]:
+            event.cancel()
+            cancelled.add(id(event))
+    live = [e for e in events if id(e) not in cancelled]
+    assert len(queue) == len(live)
+    drained = list(queue.drain())
+    assert drained == sorted(live, key=lambda e: (e.time, e.order))
+    assert queue.tombstones == 0 or queue.peek() is None
