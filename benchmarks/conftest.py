@@ -74,11 +74,12 @@ def events_per_second(summary: dict) -> float:
 
 
 def speedup_regression(current: dict, baseline: dict, arm: str = "fleet") -> float:
-    """``current / baseline`` speedup ratio for *arm* from two BENCH payloads.
+    """``current / baseline`` speedup ratio for *arm* from two scenario nodes.
 
-    Both payloads normalise against their own same-machine legacy arm, so
-    the returned ratio compares simulator efficiency across commits even
-    when the baseline was recorded on different hardware.  Values below 1.0
+    Each node (one scenario's entry in the BENCH payload's ``scenarios``
+    map) normalises against its own same-machine legacy arm, so the
+    returned ratio compares simulator efficiency across commits even when
+    the baseline was recorded on different hardware.  Values below 1.0
     mean the arm got slower relative to the legacy reference.
     """
     current_speedup = current["speedup_vs_legacy"][arm]["min"]

@@ -14,11 +14,13 @@ A host-level microbench times the cache's bookkeeping + serve path on a
 carried round against the from-scratch kernel, pinning value parity.
 """
 
+import timeit
+
 import numpy as np
 import pytest
 
 from repro.core import kernels
-from repro.core.distance_cache import DistanceCache
+from repro.core.distance_cache import DistanceCache, row_fingerprint, row_fingerprints
 from repro.experiments.distance_cache import (
     aggregation_speedups,
     run_distance_cache_ablation,
@@ -88,3 +90,36 @@ def test_cache_serve_parity_on_carried_round(benchmark):
     np.testing.assert_array_equal(
         served, kernels.pairwise_squared_distances(matrix)
     )
+
+
+def test_batched_fingerprints_bit_identical_to_per_row():
+    rng = np.random.default_rng(5)
+    matrix = rng.standard_normal((17, 513))
+    assert row_fingerprints(matrix) == [row_fingerprint(r) for r in matrix]
+    # Non-contiguous input (a transposed view) must hash the same rows.
+    view = matrix[::2]
+    assert row_fingerprints(view) == [row_fingerprint(r) for r in view]
+
+
+def test_batched_fingerprints_have_no_per_row_overhead_regression():
+    """One batched fingerprint call must not be slower than the row loop.
+
+    This is the satellite guard for the attack path: a crafted ``(f, d)``
+    payload enters the cache through ``row_fingerprints`` (one contiguify +
+    one serialise for the whole matrix) rather than ``f`` per-row calls
+    (two numpy conversions each).  Min-of-repeats timing keeps the check
+    robust on noisy CI hosts; the 1.2 slack tolerates scheduler jitter
+    while still failing on any real per-row regression.
+    """
+    rng = np.random.default_rng(6)
+    matrix = rng.standard_normal((64, 4096))  # an f=64 crafted payload
+
+    batched = min(timeit.repeat(lambda: row_fingerprints(matrix), number=20, repeat=5))
+    per_row = min(
+        timeit.repeat(
+            lambda: [row_fingerprint(matrix[i]) for i in range(matrix.shape[0])],
+            number=20,
+            repeat=5,
+        )
+    )
+    assert batched <= per_row * 1.2, (batched, per_row)

@@ -21,6 +21,17 @@ class Attack(abc.ABC):
 
     name: str = "abstract"
 
+    #: Whether :meth:`_craft` is a pure function of ``(parameters,
+    #: honest_gradients, num_byzantine)`` when the honest matrix is
+    #: non-empty — i.e. it never consumes the RNG stream on that path.
+    #: Deterministic attacks are eligible for the trainers' batched
+    #: crafting fast path: one ``craft`` call mints all ``f`` rows, which
+    #: is bit-identical to ``f`` per-worker calls precisely because no RNG
+    #: state advances between them.  Attacks that draw noise per row
+    #: (``random``, ``scaled-noise``, ``non-finite``) must leave this
+    #: ``False`` so the trainers fall back to the per-worker loop.
+    deterministic: bool = False
+
     def craft(
         self,
         parameters: np.ndarray,

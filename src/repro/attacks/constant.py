@@ -16,6 +16,8 @@ class ZeroGradientAttack(Attack):
     sanity check that selection rules still converge in its presence.
     """
 
+    deterministic = True
+
     def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
         d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]
         return np.zeros((num_byzantine, d))
@@ -24,6 +26,8 @@ class ZeroGradientAttack(Attack):
 @register_attack("constant")
 class ConstantGradientAttack(Attack):
     """Byzantine workers submit the same constant vector every step."""
+
+    deterministic = True
 
     def __init__(self, value: float = 1.0) -> None:
         self.value = float(value)

@@ -34,6 +34,8 @@ class InnerProductManipulationAttack(Attack):
         behave like the reversed-gradient attack.
     """
 
+    deterministic = True
+
     def __init__(self, epsilon: float = 0.5) -> None:
         if epsilon <= 0:
             raise ConfigurationError(f"epsilon must be positive, got {epsilon}")
@@ -58,6 +60,8 @@ class MimicAttack(Attack):
         Index (into the honest gradient matrix) of the worker being mimicked.
         The same index is used every step, maximising the skew.
     """
+
+    deterministic = True
 
     def __init__(self, target_index: int = 0) -> None:
         if target_index < 0:

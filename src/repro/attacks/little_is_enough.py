@@ -32,6 +32,8 @@ class LittleIsEnoughAttack(Attack):
         (maximally harmful); when False the shift is a fixed +z*sigma.
     """
 
+    deterministic = True
+
     def __init__(self, z: float = 1.0, negate: bool = True) -> None:
         if z <= 0:
             raise ConfigurationError(f"z must be positive, got {z}")

@@ -40,6 +40,8 @@ class OmniscientKrumAttack(Attack):
         Number of bisection iterations (each costs one Multi-Krum evaluation).
     """
 
+    deterministic = True
+
     def __init__(self, f: int, *, max_lambda: float = 10.0, iterations: int = 20) -> None:
         if f < 0:
             raise ConfigurationError(f"f must be non-negative, got {f}")

@@ -17,6 +17,8 @@ class ReversedGradientAttack(Attack):
     direction.
     """
 
+    deterministic = True
+
     def __init__(self, scale: float = 100.0) -> None:
         if scale <= 0:
             raise ConfigurationError(f"scale must be positive, got {scale}")
@@ -40,6 +42,8 @@ class SignFlipAttack(Attack):
     gradients' magnitude range, which makes it harder for naive outlier
     filters while still stalling convergence of plain averaging.
     """
+
+    deterministic = True
 
     def _craft(self, parameters, honest_gradients, num_byzantine, rng) -> np.ndarray:
         d = parameters.size if honest_gradients.size == 0 else honest_gradients.shape[1]

@@ -26,8 +26,10 @@ Two pieces live here:
     workers' mini-batches are stacked into one forward pass over a single
     scratch replica, and the backward pass keeps per-worker parameter
     gradients via batched einsums instead of ``n`` separate backprops.  The
-    kernel supports Dense chains with elementwise activations and the two
-    built-in losses; anything else falls back to per-worker compute.  Fleet
+    kernel supports Dense/Conv2D/ResidualBlock chains (convolutions are
+    lowered to im2col so per-worker weight grads come from one contraction)
+    interleaved with per-sample stateless layers, under the two built-in
+    losses; anything else falls back to per-worker compute.  Fleet
     compute is *statistically equivalent* to the per-worker path (same
     batches, same estimator, deterministic under the same seeds) but not
     bitwise identical — summation orders differ — which is why the default
@@ -44,13 +46,27 @@ from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.worker import HonestWorker
 from repro.exceptions import ConfigurationError
 from repro.nn.layers.activations import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.layers.conv import Conv2D, col2im
 from repro.nn.layers.dense import Dense
+from repro.nn.layers.pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from repro.nn.layers.reshape import Flatten
+from repro.nn.layers.residual import ResidualBlock
 from repro.nn.losses import MeanSquaredError, SoftmaxCrossEntropy, softmax
 from repro.nn.model import Sequential
 
 #: Activation layers whose backward is elementwise and therefore batches
 #: transparently across stacked worker rows.
 _ELEMENTWISE_LAYERS = (ReLU, LeakyReLU, Sigmoid, Tanh)
+
+#: Parameter-free layers whose backward is per-sample (each output row
+#: depends only on its own input row), so stacking workers along the batch
+#: axis leaves their semantics untouched.
+_STATELESS_LAYERS = _ELEMENTWISE_LAYERS + (
+    MaxPool2D,
+    AvgPool2D,
+    GlobalAvgPool2D,
+    Flatten,
+)
 
 
 class FleetState:
@@ -195,16 +211,24 @@ class FleetState:
 # --------------------------------------------------------------------------
 
 def fleet_computable(model: Sequential) -> bool:
-    """Whether :class:`FleetComputeKernel` can batch this model's gradients."""
+    """Whether :class:`FleetComputeKernel` can batch this model's gradients.
+
+    Supported: chains of :class:`Dense`, :class:`Conv2D` and
+    :class:`ResidualBlock` layers interleaved with parameter-free
+    per-sample layers (activations, pooling, flatten), under softmax
+    cross-entropy or MSE loss, with at least one parameterised layer.
+    BatchNorm and Dropout are out — batch statistics and RNG-per-forward
+    both break the stacked-batch equivalence.
+    """
     if not isinstance(model.loss, (SoftmaxCrossEntropy, MeanSquaredError)):
         return False
-    has_dense = False
+    has_parameters = False
     for layer in model.layers:
-        if isinstance(layer, Dense):
-            has_dense = True
-        elif not isinstance(layer, _ELEMENTWISE_LAYERS):
+        if isinstance(layer, (Dense, Conv2D, ResidualBlock)):
+            has_parameters = True
+        elif not isinstance(layer, _STATELESS_LAYERS):
             return False
-    return has_dense
+    return has_parameters
 
 
 class FleetComputeKernel:
@@ -222,11 +246,29 @@ class FleetComputeKernel:
     def __init__(self, model: Sequential) -> None:
         if not fleet_computable(model):
             raise ConfigurationError(
-                "fleet compute supports Dense + elementwise-activation models "
-                "with softmax cross-entropy or MSE loss; "
-                f"got {model.name!r}"
+                "fleet compute supports Dense/Conv2D/ResidualBlock models with "
+                "per-sample stateless layers and softmax cross-entropy or MSE "
+                f"loss; got {model.name!r}"
             )
         self.model = model
+        # Flip every convolution (including those inside residual blocks) to
+        # the im2col implementation: the cached column tensors are what the
+        # batched backward contracts into per-worker weight gradients.  This
+        # changes the scratch replica's summation order — covered by fleet
+        # mode's statistically-equivalent contract.
+        for conv in self._convolutions(model):
+            conv.impl = "im2col"
+
+    @staticmethod
+    def _convolutions(model: Sequential):
+        for layer in model.layers:
+            if isinstance(layer, Conv2D):
+                yield layer
+            elif isinstance(layer, ResidualBlock):
+                yield layer.conv1
+                yield layer.conv2
+                if layer.projection is not None:
+                    yield layer.projection
 
     def compute(
         self,
@@ -271,23 +313,17 @@ class FleetComputeKernel:
 
         losses, grad = self._loss_and_grad(model, outputs, batches_y, n, batch)
 
-        # Batched backward: elementwise layers reuse their stacked caches;
-        # Dense layers get per-worker weight/bias grads from one einsum each.
-        per_layer: List[Tuple[Dense, List[np.ndarray]]] = []
+        # Batched backward: stateless layers reuse their stacked caches;
+        # parameterised layers get per-worker weight/bias grads from one
+        # einsum each, assembled in forward-layer parameter order.
+        per_layer: List[List[np.ndarray]] = []
         for layer in reversed(model.layers):
-            if isinstance(layer, Dense):
-                x = layer._cache_input.reshape(n, batch, layer.in_features)
-                g = grad.reshape(n, batch, layer.out_features)
-                chunks = [np.einsum("nbi,nbo->nio", x, g).reshape(n, -1)]
-                if layer.bias is not None:
-                    chunks.append(g.sum(axis=1))
-                per_layer.append((layer, chunks))
-                grad = grad @ layer.weight.data.T
-            else:
-                grad = layer.backward(grad)
+            grad, chunks = self._layer_backward(layer, grad, n, batch)
+            if chunks:
+                per_layer.append(chunks)
 
         columns: List[np.ndarray] = []
-        for _, chunks in reversed(per_layer):
+        for chunks in reversed(per_layer):
             columns.extend(chunks)
         gradients = np.concatenate(columns, axis=1)
 
@@ -296,6 +332,79 @@ class FleetComputeKernel:
             losses = losses + 0.5 * model.l2 * float(params @ params)
             gradients = gradients + model.l2 * params
         return losses, gradients
+
+    def _layer_backward(
+        self, layer, grad: np.ndarray, n: int, batch: int
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """One layer of the stacked backward pass.
+
+        Returns ``(grad_input, chunks)`` where *chunks* holds this layer's
+        per-worker parameter gradients — each ``(n, p_i)``, in the layer's
+        own :meth:`parameters` order — and *grad_input* is the stacked
+        ``(n*batch, ...)`` gradient to feed the previous layer.
+        """
+        if isinstance(layer, Dense):
+            x = layer._cache_input.reshape(n, batch, layer.in_features)
+            g = grad.reshape(n, batch, layer.out_features)
+            chunks = [np.einsum("nbi,nbo->nio", x, g).reshape(n, -1)]
+            if layer.bias is not None:
+                chunks.append(g.sum(axis=1))
+            return grad @ layer.weight.data.T, chunks
+        if isinstance(layer, Conv2D):
+            return self._conv_backward(layer, grad, n, batch)
+        if isinstance(layer, ResidualBlock):
+            g = layer.relu2.backward(grad)
+            grad_main, chunks2 = self._conv_backward(layer.conv2, g, n, batch)
+            grad_main = layer.relu1.backward(grad_main)
+            grad_main, chunks1 = self._conv_backward(layer.conv1, grad_main, n, batch)
+            chunks = chunks1 + chunks2
+            if layer.projection is not None:
+                grad_skip, chunks_p = self._conv_backward(layer.projection, g, n, batch)
+                chunks += chunks_p
+            else:
+                grad_skip = g
+            return grad_main + grad_skip, chunks
+        # Parameter-free per-sample layer: the stacked backward is the
+        # plain backward.
+        return layer.backward(grad), []
+
+    @staticmethod
+    def _conv_backward(
+        layer: Conv2D, grad: np.ndarray, n: int, batch: int
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Per-worker weight/bias grads and the input grad for one Conv2D.
+
+        Contracts the layer's cached im2col columns against the output
+        gradient with an ``n``-batched einsum (per-worker, out-of-place —
+        the replica's accumulated grads are never touched); the input
+        gradient is one stacked contraction plus a :func:`col2im` scatter.
+        """
+        tag = layer._cache[0] if layer._cache else None
+        if tag != "im2col":
+            raise ConfigurationError(
+                "fleet conv backward needs an im2col forward cache; "
+                f"got {tag!r} (was the forward run with impl='im2col'?)"
+            )
+        _, cols, input_shape, padded_shape, out_h, out_w = layer._cache
+        out_channels = layer.out_channels
+        length = out_h * out_w
+        g = np.asarray(grad, dtype=np.float64).reshape(n, batch, out_channels, length)
+        cols4 = cols.reshape(n, batch, cols.shape[1], length)
+        chunks = [np.einsum("nbkl,nbol->nok", cols4, g, optimize=True).reshape(n, -1)]
+        if layer.bias is not None:
+            chunks.append(g.sum(axis=(1, 3)))
+        grad_cols = np.einsum(
+            "nol,ok->nkl",
+            g.reshape(n * batch, out_channels, length),
+            layer.weight.data.reshape(out_channels, -1),
+            optimize=True,
+        )
+        kh, kw = layer.kernel_size
+        sh, sw = layer.stride
+        grad_padded = col2im(grad_cols, padded_shape, kh, kw, sh, sw, out_h, out_w)
+        _, _, h, w = input_shape
+        _, _, (ph0, _), (pw0, _) = layer._geometry(h, w)
+        return grad_padded[:, :, ph0 : ph0 + h, pw0 : pw0 + w], chunks
 
     @staticmethod
     def _loss_and_grad(

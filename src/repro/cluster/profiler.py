@@ -19,6 +19,13 @@ trainers bracket their hot stages with :meth:`SimProfiler.section`, so a
     History recording: per-worker wire counters and step records.
 ``compute``
     Worker-side gradient estimation (sampling + forward/backward).
+``attack``
+    Byzantine gradient crafting (one joint call per version for
+    deterministic attacks, the per-worker loop otherwise).
+``link_reschedule``
+    Async link-event bookkeeping: cancelling a pipe's stale completion
+    event and scheduling the next one whenever a session opens or drains
+    (previously invisible inside ``event_dispatch``).
 
 Anything not bracketed is the residue between ``wall_clock_s`` and the sum
 of the subsystems — deliberately visible, so a future hot spot outside the
@@ -36,9 +43,11 @@ SUBSYSTEMS = (
     "event_dispatch",
     "codec",
     "link_drain",
+    "link_reschedule",
     "gar_kernel",
     "telemetry",
     "compute",
+    "attack",
 )
 
 

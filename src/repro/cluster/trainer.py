@@ -66,7 +66,7 @@ from repro.cluster.profiler import SimProfiler
 from repro.cluster.server import ParameterServer
 from repro.cluster.sync import ArrivalEvent, FullSync, SyncDecision, SyncPolicy
 from repro.cluster.telemetry import EvalRecord, StepRecord, TrainingHistory
-from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker
+from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker, craft_fleet
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.nn.model import Sequential
 from repro.utils.random import SeedLike, as_rng
@@ -772,13 +772,10 @@ class SynchronousTrainer(BaseTrainer):
 
         # Stage 2: Byzantine gradients (crafted with full knowledge of the
         # honest ones; the adversary never extends the step's critical path).
-        byzantine_messages: List[GradientMessage] = []
-        num_byz = len(self.byzantine_workers)
-        for index, worker in enumerate(self.byzantine_workers):
-            byzantine_messages.append(
-                worker.craft_gradient(
-                    parameters, honest_matrix, step, num_byzantine=num_byz, index=index
-                )
+        # One joint craft call mints all f rows for deterministic attacks.
+        with self._section("attack"):
+            byzantine_messages = craft_fleet(
+                self.byzantine_workers, parameters, honest_matrix, step
             )
 
         # Stage 3: encode, then transfer over each worker's uplink channel.
@@ -988,14 +985,11 @@ class SynchronousTrainer(BaseTrainer):
         else:
             honest_matrix = np.zeros((0, dim))
 
-        # Stage 2: Byzantine gradients (same loop as the reference path).
-        byzantine_messages: List[GradientMessage] = []
-        num_byz = len(self.byzantine_workers)
-        for index, worker in enumerate(self.byzantine_workers):
-            byzantine_messages.append(
-                worker.craft_gradient(
-                    parameters, honest_matrix, step, num_byzantine=num_byz, index=index
-                )
+        # Stage 2: Byzantine gradients (same batched craft as the reference
+        # path — one joint attack call per step for deterministic attacks).
+        with self._section("attack"):
+            byzantine_messages = craft_fleet(
+                self.byzantine_workers, parameters, honest_matrix, step
             )
 
         # Stage 3a: batched codec.  Honest frames are encoded before the
@@ -1341,6 +1335,19 @@ class AsyncTrainer(BaseTrainer):
         #: Admission buffer: at most one pending gradient per worker (a
         #: fresher gradient supersedes a staler pending one).
         self._pending: Dict[int, ArrivalEvent] = {}
+        #: Count of honest entries in ``_pending``, maintained incrementally
+        #: so the Byzantine fire check is O(1) per arrival instead of a
+        #: full-pool scan.
+        self._pending_honest = 0
+        #: Server version the pool was last stale-scanned against.  The
+        #: pre-aggregation rescan in :meth:`_maybe_aggregate` only changes
+        #: anything when the version moved — every buffered entry was
+        #: admit-checked against the current version on arrival and
+        #: ``AdmissionPredicate.admit`` is a pure function of the lag — so
+        #: repeat scans at the same version are provably no-ops and skipped
+        #: (the scan was O(pool) per arrival: quadratic per round at fleet
+        #: scale).
+        self._pending_checked_version = -1
         self._busy = False
         self._last_update_done = 0.0
         self._byz_fired_version = -1
@@ -1370,15 +1377,16 @@ class AsyncTrainer(BaseTrainer):
         event (if any) is tombstoned and a fresh one is scheduled at the
         scheduler's earliest completion under the current membership.
         """
-        pending = self._link_events[key]
-        if pending is not None:
-            pending.cancel()
-            self._link_events[key] = None
-        target = self._links[key].next_completion()
-        if target is not None:
-            self._link_events[key] = self._loop.schedule(
-                self.LINK, max(target, self.clock.now), payload=key
-            )
+        with self._section("link_reschedule"):
+            pending = self._link_events[key]
+            if pending is not None:
+                pending.cancel()
+                self._link_events[key] = None
+            target = self._links[key].next_completion()
+            if target is not None:
+                self._link_events[key] = self._loop.schedule(
+                    self.LINK, max(target, self.clock.now), payload=key
+                )
 
     def _on_link(self, event: Event) -> None:
         """A link session completed: hand its payload to the next stage."""
@@ -1515,6 +1523,8 @@ class AsyncTrainer(BaseTrainer):
             if message.step < existing.message.step:
                 return
         worker = self._workers_by_id[message.worker_id]
+        if existing is None and not worker.is_byzantine:
+            self._pending_honest += 1
         self._pending[message.worker_id] = ArrivalEvent(
             message=message,
             payload=payload,
@@ -1540,25 +1550,23 @@ class AsyncTrainer(BaseTrainer):
         byzantine = self.byzantine_workers
         if not byzantine or self._byz_fired_version >= self.server.version:
             return
-        honest_pending = [e for e in self._pending.values() if e.honest]
-        if len(honest_pending) < max(1, self.admission.quorum - len(byzantine)):
+        if self._pending_honest < max(1, self.admission.quorum - len(byzantine)):
             return
+        honest_pending = [e for e in self._pending.values() if e.honest]
         self._byz_fired_version = self.server.version
         observed = np.stack(
             [e.payload for e in sorted(honest_pending, key=lambda e: e.message.worker_id)],
             axis=0,
         )
         parameters = self.server.parameters
-        for index, worker in enumerate(byzantine):
-            message = worker.craft_gradient(
-                parameters, observed, self.server.version,
-                num_byzantine=len(byzantine), index=index,
-            )
+        with self._section("attack"):
+            messages = craft_fleet(byzantine, parameters, observed, self.server.version)
+        for worker in byzantine:
             self.history.timeline_for(worker.worker_id).rounds_completed += 1
-            self._loop.schedule(
-                self.ARRIVE, now, worker_id=worker.worker_id,
-                payload=(message, message.gradient),
-            )
+        self._loop.schedule_many(
+            (self.ARRIVE, now, message.worker_id, (message, message.gradient))
+            for message in messages
+        )
 
     def _maybe_aggregate(self, now: float) -> None:
         """Start an aggregation if the buffer fills a quorum and the server is free."""
@@ -1566,16 +1574,24 @@ class AsyncTrainer(BaseTrainer):
             return
         # Re-check the lag bound against the version the update will apply
         # to: gradients admitted earlier may have aged past the bound while
-        # the buffer was filling.
-        for worker_id in list(self._pending):
-            entry = self._pending[worker_id]
-            lag = self.server.version - entry.message.step
-            if not self.admission.admit(lag):
-                del self._pending[worker_id]
-                self.history.timeline_for(worker_id).stale_rejected += 1
-                self._interval["stale_rejected"] += 1
-            else:
-                entry.staleness = max(lag, 0)
+        # the buffer was filling.  The scan only runs when the version moved
+        # since the last one — arrivals are admit-checked against the
+        # current version on insert and ``admit`` is pure in the lag, so a
+        # same-version rescan deletes nothing and recomputes identical
+        # staleness values.
+        if self._pending_checked_version != self.server.version:
+            self._pending_checked_version = self.server.version
+            for worker_id in list(self._pending):
+                entry = self._pending[worker_id]
+                lag = self.server.version - entry.message.step
+                if not self.admission.admit(lag):
+                    del self._pending[worker_id]
+                    if entry.honest:
+                        self._pending_honest -= 1
+                    self.history.timeline_for(worker_id).stale_rejected += 1
+                    self._interval["stale_rejected"] += 1
+                else:
+                    entry.staleness = max(lag, 0)
         if not self.admission.batch_ready(len(self._pending)):
             return
 
@@ -1585,6 +1601,7 @@ class AsyncTrainer(BaseTrainer):
             self._pending.values(), key=lambda e: (not e.honest, e.message.worker_id)
         )
         self._pending = {}
+        self._pending_honest = 0
         self._busy = True
         warmed_flops = self._distance_round_begin(batch)
         with self._section("gar_kernel"):
@@ -1615,7 +1632,9 @@ class AsyncTrainer(BaseTrainer):
             wire_bytes=wire_bytes,
         )
         self._busy = False
-        diagnostics = self._diagnostics(delivered, result, aggregation_time)
+        diagnostics = self._diagnostics(
+            [m.worker_id for m in delivered], result, aggregation_time
+        )
         # Close the cache round against the admission buffer: gradients that
         # arrived during the busy period are the async carry pool — they will
         # enter the next batch byte-identically, so their blocks are warmed
@@ -1661,11 +1680,301 @@ class AsyncTrainer(BaseTrainer):
     def run_step(self) -> StepRecord:
         """Dispatch events until one more model update completes."""
         target = self.server.step + 1
-        self.events_dispatched += self._loop.run_until(
-            lambda: self.server.step >= target, max_events=self.max_events_per_update
-        )
+        if self.vectorized:
+            self.events_dispatched += self._run_until_vectorized(target)
+        else:
+            self.events_dispatched += self._loop.run_until(
+                lambda: self.server.step >= target,
+                max_events=self.max_events_per_update,
+            )
         self.peak_queue_size = max(self.peak_queue_size, self._loop.queue.peak_size)
         return self.history.steps[-1]
+
+    # --------------------------------------------------- vectorised event drain
+    def _run_until_vectorized(self, target: int) -> int:
+        """Drive the event loop to the next update, batching equal-time runs.
+
+        The fetch → compute → push chain fires in herds whenever worker
+        paths share a timestamp (homogeneous fleets, uncontended links), so
+        the drain pops *consecutive same-time same-kind* events as one run
+        and hands them to a batched handler.  Bit-identity argument: run
+        members are consecutive heap heads, and handlers only ever *push*
+        events — every new event is stamped with a higher insertion order
+        than the remaining run members and can never pop before them (the
+        loop rejects times in the past), so the run would have been
+        dispatched back to back by the per-event loop anyway.  The batched
+        handlers replay each per-event effect in pop order wherever an RNG
+        stream or float accumulation order is observable, and issue their
+        event pushes in the exact relative sequence the per-event handlers
+        would (``schedule_many`` stamps orders like sequential ``schedule``
+        calls).  Cancelled-before-dispatch link reschedules are the one
+        elision — only ``peak_queue_size`` can observe it.
+        """
+        loop = self._loop
+        queue = loop.queue
+        batched = {
+            self.FETCH: self._on_fetch_batch,
+            self.COMPUTE: self._on_compute_batch,
+            self.PUSH: self._on_push_batch,
+        }
+        dispatched = 0
+        max_events = self.max_events_per_update
+        while self.server.step < target:
+            if not queue:
+                raise TrainingError(
+                    "event queue drained before the stop condition was met"
+                )
+            if dispatched >= max_events:
+                raise TrainingError(
+                    f"event loop dispatched {dispatched} events without satisfying the "
+                    "stop condition; the simulation is livelocked (is every gradient "
+                    "being dropped or rejected?)"
+                )
+            with self._section("event_dispatch"):
+                event = queue.pop()
+                self.clock.advance_to(event.time)
+                handler = batched.get(event.kind)
+                run = [event]
+                if handler is not None:
+                    budget = max_events - dispatched
+                    head = queue.peek()
+                    while (
+                        len(run) < budget
+                        and head is not None
+                        and head.time == event.time
+                        and head.kind == event.kind
+                    ):
+                        run.append(queue.pop())
+                        head = queue.peek()
+            if handler is not None:
+                handler(run)
+            elif event.kind == self.ARRIVE:
+                self._on_arrive(event)
+            elif event.kind == self.LINK:
+                self._on_link(event)
+            elif event.kind == self.UPDATE_DONE:
+                self._on_update_done(event)
+            else:
+                raise ConfigurationError(
+                    f"no handler registered for event kind {event.kind!r}"
+                )
+            dispatched += len(run)
+        return dispatched
+
+    def _reschedule_touched(self, touched: Dict[str, int], position: int) -> None:
+        """Refresh every pipe whose *last* open happened at run *position*.
+
+        The per-event path reschedules a pipe after every open, but only the
+        reschedule issued by the pipe's last toucher survives to dispatch —
+        earlier ones are tombstoned by the next open on the same pipe.  The
+        batched handlers therefore skip the doomed intermediates and emit
+        each pipe's one surviving link event exactly where the per-event
+        push sequence placed it: immediately after the last open.
+        """
+        for key, last in touched.items():
+            if last == position:
+                self._reschedule_link(key)
+
+    def _on_fetch_batch(self, events: List[Event]) -> None:
+        """Batched :meth:`_on_fetch` over one same-time run of fetches."""
+        if len(events) == 1:
+            self._on_fetch(events[0])
+            return
+        now = events[0].time
+        num = len(events)
+        worker_ids = [e.worker_id for e in events]
+        # Downlink framing stays sequential in pop order: delta broadcasts
+        # consult and mutate per-worker sessions and the broadcast codec's
+        # PRNG stream (raw framing is a cheap per-worker tuple).
+        snapshots: List[tuple] = []
+        nbytes = np.zeros(num)
+        deltas = np.zeros(num, dtype=bool)
+        with self._section("codec"):
+            for i, event in enumerate(events):
+                parameters, b, is_delta = self._encode_broadcast(event.worker_id)
+                snapshots.append((self.server.version, parameters))
+                nbytes[i] = b
+                deltas[i] = is_delta
+        with self._section("telemetry"):
+            self.history.record_wire_batch(
+                worker_ids, bytes_received=nbytes, downlink_delta=deltas
+            )
+        for i in range(num):
+            self._interval_downlink += float(nbytes[i])
+        if self._contended:
+            touched: Dict[str, int] = {}
+            with self._section("link_drain"):
+                for i, event in enumerate(events):
+                    key = self._pipe_key("down", event.worker_id)
+                    self._links[key].open(
+                        now, float(nbytes[i]), worker_id=event.worker_id,
+                        payload=(self.COMPUTE, snapshots[i]),
+                        **self.fabric.session_kwargs(event.worker_id),
+                    )
+                    touched[key] = i
+            for i in range(num):
+                self._reschedule_touched(touched, i)
+            return
+        with self._section("link_drain"):
+            downlinks = self.fabric.solo_seconds_batch(worker_ids, nbytes)
+        self._loop.schedule_many(
+            (self.COMPUTE, now + float(downlinks[i]), worker_ids[i], snapshots[i])
+            for i in range(num)
+        )
+
+    def _on_compute_batch(self, events: List[Event]) -> None:
+        """Batched :meth:`_on_compute` over one same-time run of computes."""
+        if len(events) == 1:
+            self._on_compute(events[0])
+            return
+        num = len(events)
+        workers = [self._workers_by_id[e.worker_id] for e in events]
+        messages: List[GradientMessage] = []
+        # Fleet kernel fast path: one batched backward over the shared model
+        # when every run member computes on the same snapshot (gated to
+        # ``--compute-mode fleet`` — the documented statistically-equivalent
+        # mode, exactly as on the sync path).  The exact path keeps one
+        # backprop per worker, preserving each worker's sampler stream.
+        # The fleet kernel requires one shared snapshot: the kernel gate
+        # implies no broadcast codec, so same-version snapshots are
+        # byte-equal copies of the same stored parameters.
+        version0, params0 = events[0].payload
+        use_fleet = self._fleet_kernel is not None and all(
+            e.payload[0] == version0 for e in events[1:]
+        )
+        with self._section("compute"):
+            if use_fleet:
+                samplers = [w.sampler for w in workers]
+                shared = samplers[0]
+                if all(
+                    s.features is shared.features and s.labels is shared.labels
+                    for s in samplers
+                ):
+                    if self._fleet_sample_rng is not None:
+                        indices = self._fleet_sample_rng.integers(
+                            0, shared.num_samples, size=(num, shared.batch_size)
+                        )
+                    else:
+                        indices = np.stack([s.sample_indices() for s in samplers])
+                    batches_x: Any = shared.features[indices]
+                    batches_y: Any = shared.labels[indices]
+                else:
+                    batches = [s.sample() for s in samplers]
+                    batches_x = [batch[0] for batch in batches]
+                    batches_y = [batch[1] for batch in batches]
+                losses, grads = self._fleet_kernel.compute(
+                    params0, batches_x, batches_y
+                )
+                loss_list = losses.tolist()
+                messages = [
+                    GradientMessage.trusted(
+                        worker.worker_id, version0, grads[i], loss_list[i]
+                    )
+                    for i, worker in enumerate(workers)
+                ]
+            else:
+                for worker, event in zip(workers, events):
+                    version, parameters = event.payload
+                    messages.append(worker.compute_gradient(parameters, version))
+        dim = self.server.dim
+        specs = []
+        for i, (worker, event) in enumerate(zip(workers, events)):
+            slowdown = (
+                float(self.straggler_model.sample(1, self._straggler_rng)[0])
+                if self.straggler_model is not None
+                else 1.0
+            )
+            compute_time = self._compute_time(worker, dim) * slowdown
+            self.history.timeline_for(worker.worker_id).compute_seconds += compute_time
+            specs.append(
+                (self.PUSH, event.time + compute_time, worker.worker_id, messages[i])
+            )
+        self._loop.schedule_many(specs)
+
+    def _on_push_batch(self, events: List[Event]) -> None:
+        """Batched :meth:`_on_push` over one same-time run of pushes."""
+        if len(events) == 1:
+            self._on_push(events[0])
+            return
+        now = events[0].time
+        num = len(events)
+        messages: List[GradientMessage] = [e.payload for e in events]
+        worker_ids = [m.worker_id for m in messages]
+        # Codec stage: one batched encode/decode over the run (per-frame
+        # PRNG parity with sequential encode is the codec batch contract).
+        with self._section("codec"):
+            signals = np.stack(
+                [np.asarray(m.gradient, dtype=np.float64).ravel() for m in messages]
+            )
+            if self.error_feedback:
+                for i, wid in enumerate(worker_ids):
+                    memory = self._codec_memory.get(wid)
+                    if memory is not None:
+                        signals[i] = signals[i] + memory
+            frames, decoded = self.codec.encode_decode_batch(signals)
+            if isinstance(self.codec, IdentityCodec):
+                errors = np.zeros(num)
+            else:
+                residuals = signals - decoded
+                errors = np.array(
+                    [float(np.sqrt(residuals[i] @ residuals[i])) for i in range(num)]
+                )
+                if self.error_feedback:
+                    for i, wid in enumerate(worker_ids):
+                        self._codec_memory[wid] = residuals[i]
+        # Uplink channels: transparent ones price as one batched call, every
+        # other channel keeps its own transfer_frame (independent RNG
+        # streams, so the split cannot reorder any draws).
+        frame_bytes = np.array([frame.nbytes for frame in frames])
+        wires: List[Optional[WireFrame]] = list(frames)
+        seconds = np.zeros(num)
+        with self._section("link_drain"):
+            transparent = np.array(
+                [self.uplink_channels[wid].is_transparent for wid in worker_ids],
+                dtype=bool,
+            )
+            if transparent.any():
+                seconds[transparent] = self.cost_model.transfer_time_batch(
+                    frame_bytes[transparent]
+                )
+            for i in np.flatnonzero(~transparent):
+                wires[i], seconds[i] = self.uplink_channels[worker_ids[i]].transfer_frame(
+                    frames[i], self.cost_model
+                )
+        with self._section("telemetry"):
+            for i, wid in enumerate(worker_ids):
+                timeline = self.history.timeline_for(wid)
+                timeline.rounds_completed += 1
+                timeline.transfer_seconds += float(seconds[i])
+            self.history.record_wire_batch(
+                worker_ids, bytes_sent=frame_bytes, compression_error=errors
+            )
+        if self._contended:
+            touched: Dict[str, int] = {}
+            with self._section("link_drain"):
+                ideal = self.cost_model.transfer_time_batch(frame_bytes)
+                for i, wid in enumerate(worker_ids):
+                    penalty = float(seconds[i] - ideal[i])
+                    key = self._pipe_key("up", wid)
+                    self._links[key].open(
+                        now, float(frame_bytes[i]), worker_id=wid,
+                        payload=(self.ARRIVE, (messages[i], wires[i], penalty)),
+                        **self.fabric.session_kwargs(wid),
+                    )
+                    touched[key] = i
+            for i, wid in enumerate(worker_ids):
+                self._reschedule_touched(touched, i)
+                self._loop.schedule(self.FETCH, now, worker_id=wid)
+            return
+        with self._section("link_drain"):
+            uplinks = self.fabric.uplink_seconds_batch(worker_ids, frame_bytes, seconds)
+        specs = []
+        for i, wid in enumerate(worker_ids):
+            specs.append(
+                (self.ARRIVE, now + float(uplinks[i]), wid, (messages[i], wires[i]))
+            )
+            specs.append((self.FETCH, now, wid, None))
+        self._loop.schedule_many(specs)
 
 
 __all__ = [

@@ -154,4 +154,64 @@ class ByzantineWorker(Worker):
         return GradientMessage(worker_id=self.worker_id, step=step, gradient=row, loss=float("nan"))
 
 
-__all__ = ["Worker", "HonestWorker", "ByzantineWorker"]
+def craft_fleet(
+    byzantine_workers,
+    parameters: np.ndarray,
+    honest_gradients: np.ndarray,
+    step: int,
+):
+    """Craft every Byzantine gradient for one version in one attack call.
+
+    The colluding adversary of the threat model crafts all ``f`` rows
+    jointly anyway — the per-worker path just re-runs the same joint craft
+    ``f`` times and keeps a different row each time.  When every worker
+    shares one attack object (the builder always wires it that way) and the
+    attack is :attr:`~repro.attacks.base.Attack.deterministic` (no RNG draw
+    on the non-empty-honest path), a single ``craft`` call is bit-identical
+    to the ``f`` sequential calls: no RNG state advances between them, so
+    every call would return the same ``(f, d)`` matrix.  Attacks that draw
+    noise per call fall back to the per-worker loop, which preserves their
+    per-worker RNG stream consumption exactly.
+
+    Returns the per-worker :class:`GradientMessage` list in worker order —
+    the same messages, bytes and NaN losses the loop mints.
+    """
+    workers = list(byzantine_workers)
+    if not workers:
+        return []
+    attack = workers[0].attack
+    batched = getattr(attack, "deterministic", False) and all(
+        w.attack is attack for w in workers
+    )
+    num_byzantine = len(workers)
+    if not batched:
+        return [
+            worker.craft_gradient(
+                parameters, honest_gradients, step,
+                num_byzantine=num_byzantine, index=index,
+            )
+            for index, worker in enumerate(workers)
+        ]
+    honest_gradients = np.asarray(honest_gradients, dtype=np.float64)
+    if honest_gradients.size == 0:
+        # Same degenerate-window substitution craft_gradient applies.
+        honest_gradients = np.zeros((1, np.asarray(parameters).size))
+    crafted = attack.craft(
+        parameters=np.asarray(parameters, dtype=np.float64),
+        honest_gradients=honest_gradients,
+        num_byzantine=num_byzantine,
+        rng=workers[0]._rng,
+    )
+    crafted = np.atleast_2d(np.asarray(crafted, dtype=np.float64))
+    return [
+        GradientMessage(
+            worker_id=worker.worker_id,
+            step=step,
+            gradient=crafted[min(index, crafted.shape[0] - 1)],
+            loss=float("nan"),
+        )
+        for index, worker in enumerate(workers)
+    ]
+
+
+__all__ = ["Worker", "HonestWorker", "ByzantineWorker", "craft_fleet"]

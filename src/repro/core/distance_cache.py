@@ -73,6 +73,29 @@ def row_fingerprint(row: np.ndarray) -> bytes:
     return digest.digest()
 
 
+def row_fingerprints(matrix: np.ndarray) -> List[bytes]:
+    """Fingerprints of every row of an ``(n, d)`` matrix, in one pass.
+
+    Bit-identical to ``[row_fingerprint(matrix[i]) for i in range(n)]`` —
+    a C-contiguous float64 matrix serialises row-major, so each row's
+    digest is taken over its slice of one shared buffer — but the numpy
+    side does two calls total (contiguify + serialise) instead of two *per
+    row*.  This is what lets a crafted ``(f, d)`` attack payload or a
+    full round matrix enter the cache without per-row Python overhead.
+    """
+    matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ConfigurationError(
+            f"row_fingerprints expects an (n, d) matrix, got shape {matrix.shape}"
+        )
+    stride = matrix.shape[1] * matrix.itemsize
+    buf = memoryview(matrix.tobytes())
+    return [
+        hashlib.blake2b(buf[i * stride : (i + 1) * stride], digest_size=16).digest()
+        for i in range(matrix.shape[0])
+    ]
+
+
 @dataclass
 class DistanceRoundStats:
     """Per-round cache accounting, surfaced into the step telemetry.
@@ -342,7 +365,7 @@ class DistanceCache:
                 f"the distance cache expects an (n, d) matrix, got shape {matrix.shape}"
             )
         finite_rows = np.isfinite(matrix).all(axis=1)
-        fingerprints = [row_fingerprint(matrix[i]) for i in range(matrix.shape[0])]
+        fingerprints = row_fingerprints(matrix)
         new_rows = 0
         for fp, ok in zip(fingerprints, finite_rows):
             if not ok:
@@ -387,6 +410,7 @@ __all__ = [
     "DistanceCache",
     "DistanceRoundStats",
     "row_fingerprint",
+    "row_fingerprints",
     "PAIR_FLOPS_PER_COORDINATE",
     "ROW_FLOPS_PER_COORDINATE",
 ]

@@ -1,26 +1,53 @@
-"""Fleet-scale simulator benchmark: the standard 1000-worker scenario.
+"""Fleet-scale simulator benchmark: a multi-scenario perf matrix.
 
 The simulator's original object-per-worker hot loop priced a 1000-worker
 step in Python call overhead, not numpy; the vectorised collect path,
-structure-of-arrays fleet state, batched codec and the fleet compute kernel
-move every per-worker scalar into array form.  This driver pins down the
-*standard scenario* those claims are measured on — 1000 honest workers,
-coordinate-wise median, top-k/8 uplink sparsification, a tiny logistic
-model so wall-clock is simulator overhead rather than math — and times two
-arms of the same deployment:
+structure-of-arrays fleet state, batched codec, batched Byzantine crafting,
+the im2col fleet compute kernel and the micro-batched async drain move
+every per-worker scalar into array form.  Those optimisations land in
+*different* regimes — lock-step rounds, quorum-driven async streams,
+WAN-contended broadcasts, strong-GAR aggregation under attack, conv-heavy
+worker math — so one scenario cannot witness them all.  This driver pins a
+**scenario grid** and times each scenario on two arms of the same
+deployment:
 
 * ``legacy`` — ``vectorized=False``, the seed's per-worker loop (the
-  pre-optimisation reference the speedup target is measured against);
-* ``fleet`` — the vectorised path with the batched fleet compute kernel
-  and compact telemetry, the configuration the ISSUE's >= 5x wall-clock
-  acceptance criterion applies to.
+  pre-optimisation reference every speedup is measured against);
+* an optimised arm — ``fleet`` (vectorised + fleet compute kernel +
+  compact telemetry) where the kernel applies, or ``vectorized`` (the
+  bit-identical exact path) where a broadcast codec gates the kernel off.
+
+The grid:
+
+``sync_fleet``
+    The standard 1000-worker lock-step scenario (median GAR, top-k/8
+    uplink, tiny logistic model) — wall-clock is simulator overhead, the
+    regime of the original >= 5x acceptance criterion.
+``async_quorum``
+    The same deployment under ``--mode async`` with a quorum policy: the
+    event stream interleaves FETCH/COMPUTE/PUSH per worker and the
+    micro-batched drain + O(1) admission bookkeeping carry the win.
+``wan_delta``
+    Async delta broadcasts on a shared WAN profile with fair link sharing
+    — the contended links exercise the ``link_reschedule`` path.  The
+    optimised arm is the exact vectorised path (a broadcast codec
+    disables the fleet kernel), and most of the step is link maths common
+    to both arms, so the honest speedup is modest.
+``bulyan_attack``
+    Bulyan under an active sign-flip adversary: the batched crafting path
+    and the vectorised collect run against a GAR whose O(n^2) distance
+    work dominates both arms.
+``conv_fleet``
+    A conv model (``small-cnn``) on synthetic CIFAR under the fleet
+    compute kernel — the im2col stacked-batch backward replaces per-worker
+    python conv loops.
 
 Timing is reported min-and-median over repeats (min damps scheduler noise)
 next to machine-normalised throughput (dispatched events per second) and
-the ``fleet / legacy`` speedup ratio — the ratio is what CI gates on, so a
-slow container does not fail the build.  With ``--profile-split`` the fleet
+the per-scenario ``optimised / legacy`` speedup ratio — the ratio is what
+CI gates on, so a slow container does not fail the build.  The optimised
 arm's last repeat runs under :class:`~repro.cluster.profiler.SimProfiler`
-and the payload carries the per-subsystem second/share breakdown.
+and each scenario's payload carries the per-subsystem second/share split.
 
 Run directly for the CI jobs::
 
@@ -37,7 +64,7 @@ import statistics
 import sys
 import time
 import tracemalloc
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -81,6 +108,95 @@ ARMS: Dict[str, Dict] = {
     "fleet": {"vectorized": True, "compute_mode": "fleet", "compact_telemetry": True},
 }
 
+#: The perf matrix.  Each scenario is the flat deployment config plus:
+#:
+#: * ``arms`` — the (legacy, optimised) arm pair the benchmark times; the
+#:   last non-legacy arm is the one profiled and gated;
+#: * ``extra`` — additional ``build_trainer`` kwargs (mode, sync policy,
+#:   link profile, broadcast codec, attack) shared by every arm;
+#: * ``smoke`` — scenario overrides for the scaled-down CI smoke run.
+SCENARIOS: Dict[str, Dict] = {
+    "sync_fleet": {
+        **STANDARD_SCENARIO,
+        "arms": ("legacy", "fleet"),
+        "smoke": {"num_workers": 200, "max_steps": 3},
+    },
+    "async_quorum": {
+        **STANDARD_SCENARIO,
+        "arms": ("legacy", "fleet"),
+        "extra": {"mode": "async", "sync_policy": "quorum"},
+        "smoke": {"num_workers": 150, "max_steps": 3},
+    },
+    "wan_delta": {
+        **STANDARD_SCENARIO,
+        "num_workers": 400,
+        "arms": ("legacy", "vectorized"),
+        "extra": {
+            "mode": "async",
+            "sync_policy": "quorum",
+            "link_profile": "wan:4x10mbit/20ms",
+            "link_sharing": "fair",
+            "broadcast_codec": "top-k",
+            "broadcast_k": 8,
+        },
+        "smoke": {"num_workers": 60, "max_steps": 3},
+    },
+    "bulyan_attack": {
+        **STANDARD_SCENARIO,
+        "num_workers": 300,
+        "num_byzantine": 3,
+        "declared_f": 3,
+        "gar": "bulyan",
+        "arms": ("legacy", "fleet"),
+        "extra": {"attack": "sign-flip"},
+        "smoke": {"num_workers": 60, "max_steps": 3},
+    },
+    "conv_fleet": {
+        "num_workers": 50,
+        "num_byzantine": 0,
+        "declared_f": 2,
+        "model": "small-cnn",
+        "model_kwargs": {"image_size": 8},
+        "dataset": {
+            "name": "synthetic-cifar",
+            "num_train": 400,
+            "image_size": 8,
+            "rng": 3,
+        },
+        "gar": "median",
+        "batch_size": 4,
+        "codec": "identity",
+        "codec_k": None,
+        "seed": 7,
+        "max_steps": 5,
+        "arms": ("legacy", "fleet"),
+        "smoke": {"num_workers": 12, "max_steps": 2},
+    },
+}
+
+
+def optimized_arm(scenario: Dict) -> str:
+    """The arm a scenario's speedup / profile split is reported for."""
+    non_legacy = [arm for arm in scenario.get("arms", ("legacy", "fleet")) if arm != "legacy"]
+    if not non_legacy:
+        raise ValueError("scenario has no non-legacy arm to gate on")
+    return non_legacy[-1]
+
+
+def smoke_scenarios() -> Dict[str, Dict]:
+    """The grid scaled down for the CI smoke job (seconds, not minutes)."""
+    scaled = {}
+    for name, scenario in SCENARIOS.items():
+        smoke = dict(scenario)
+        smoke.update(scenario.get("smoke", {}))
+        scaled[name] = smoke
+    return scaled
+
+
+def smoke_scenario() -> Dict:
+    """The standard scenario at smoke scale (kept for benchmark warmups)."""
+    return smoke_scenarios()["sync_fleet"]
+
 
 def _build(scenario: Dict, arm: str, *, profiler: Optional[SimProfiler] = None):
     dataset_kwargs = dict(scenario["dataset"])
@@ -98,6 +214,7 @@ def _build(scenario: Dict, arm: str, *, profiler: Optional[SimProfiler] = None):
         codec_k=scenario["codec_k"],
         seed=scenario["seed"],
         profiler=profiler,
+        **scenario.get("extra", {}),
         **ARMS[arm],
     )
 
@@ -164,16 +281,17 @@ def _run_arm(
     return summary
 
 
-def run_fleet_scale(
-    scenario: Optional[Dict] = None,
+def run_scenario(
+    scenario: Dict,
     *,
-    arms: Sequence[str] = ("legacy", "fleet"),
+    arms: Optional[Sequence[str]] = None,
     repeats: int = 3,
     profile_split: bool = True,
     measure_heap: bool = True,
 ) -> Dict:
-    """Run the fleet-scale benchmark; returns the ``BENCH_simulator`` payload."""
-    scenario = dict(STANDARD_SCENARIO if scenario is None else scenario)
+    """Run one scenario across its arms; return the per-scenario node."""
+    scenario = dict(scenario)
+    arms = tuple(arms if arms is not None else scenario.get("arms", ("legacy", "fleet")))
     unknown = [arm for arm in arms if arm not in ARMS]
     if unknown:
         raise ValueError(f"unknown arms {unknown}; choose from {sorted(ARMS)}")
@@ -183,22 +301,13 @@ def run_fleet_scale(
             arm,
             repeats=repeats,
             # The per-subsystem split and heap peak describe the optimised
-            # arm; the legacy arm exists only as the speedup denominator.
+            # arms; the legacy arm exists only as the speedup denominator.
             profile_split=profile_split and arm != "legacy",
             measure_heap=measure_heap and arm != "legacy",
         )
         for arm in arms
     }
-    payload = {
-        "benchmark": "fleet_scale",
-        "scenario": scenario,
-        "host": {
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "machine": platform.machine(),
-        },
-        "arms": summaries,
-    }
+    node = {"scenario": scenario, "arms": summaries}
     legacy = summaries.get("legacy")
     if legacy is not None:
         speedups = {}
@@ -212,90 +321,163 @@ def run_fleet_scale(
                     / summary["wall_clock_s"]["median"]
                 ),
             }
-        payload["speedup_vs_legacy"] = speedups
-    return payload
+        node["speedup_vs_legacy"] = speedups
+    return node
+
+
+def run_fleet_scale(
+    scenarios: Union[None, Sequence[str], Dict[str, Dict]] = None,
+    *,
+    repeats: int = 3,
+    profile_split: bool = True,
+    measure_heap: bool = True,
+) -> Dict:
+    """Run the perf matrix; returns the ``BENCH_simulator`` payload.
+
+    *scenarios* selects the grid: ``None`` runs every registered scenario,
+    a sequence of names runs that subset, and a ``name -> scenario`` dict
+    runs custom configs (the smoke job passes the scaled-down grid).
+    """
+    if scenarios is None:
+        grid = dict(SCENARIOS)
+    elif isinstance(scenarios, dict):
+        grid = dict(scenarios)
+    else:
+        unknown = [name for name in scenarios if name not in SCENARIOS]
+        if unknown:
+            raise ValueError(
+                f"unknown scenarios {unknown}; choose from {sorted(SCENARIOS)}"
+            )
+        grid = {name: SCENARIOS[name] for name in scenarios}
+    return {
+        "benchmark": "fleet_scale",
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "scenarios": {
+            name: run_scenario(
+                scenario,
+                repeats=repeats,
+                profile_split=profile_split,
+                measure_heap=measure_heap,
+            )
+            for name, scenario in grid.items()
+        },
+    }
 
 
 def format_results(results: Dict) -> str:
-    """Pretty-print the arm comparison (and the subsystem split if present)."""
-    scenario = results["scenario"]
-    rows = []
-    for arm, summary in results["arms"].items():
-        speedup = results.get("speedup_vs_legacy", {}).get(arm, {})
-        rows.append(
-            (
-                arm,
-                summary["wall_clock_s"]["min"],
-                summary["wall_clock_s"]["median"],
-                summary["events_dispatched"],
-                summary["events_per_s"],
-                summary["peak_queue_size"],
-                speedup.get("min", float("nan")),
+    """Pretty-print the scenario grid (and each profiled subsystem split)."""
+    blocks = []
+    for name, node in results["scenarios"].items():
+        scenario = node["scenario"]
+        rows = []
+        for arm, summary in node["arms"].items():
+            speedup = node.get("speedup_vs_legacy", {}).get(arm, {})
+            rows.append(
+                (
+                    arm,
+                    summary["wall_clock_s"]["min"],
+                    summary["wall_clock_s"]["median"],
+                    summary["events_dispatched"],
+                    summary["events_per_s"],
+                    summary["peak_queue_size"],
+                    speedup.get("min", float("nan")),
+                )
             )
+        mode = scenario.get("extra", {}).get("mode", "sync")
+        text = format_table(
+            ["arm", "wall_min_s", "wall_med_s", "events", "events_per_s",
+             "peak_queue", "speedup_min"],
+            rows,
+            title=(
+                f"{name} — {scenario['num_workers']} workers, {mode}, "
+                f"{scenario['gar']}, model={scenario['model']}, "
+                f"{scenario['max_steps']} steps"
+            ),
         )
-    text = format_table(
-        ["arm", "wall_min_s", "wall_med_s", "events", "events_per_s",
-         "peak_queue", "speedup_min"],
-        rows,
-        title=(
-            f"Fleet scale — {scenario['num_workers']} workers, "
-            f"{scenario['gar']}, codec={scenario['codec']}/k={scenario['codec_k']}, "
-            f"{scenario['max_steps']} steps"
-        ),
-    )
-    subsystems = results["arms"].get("fleet", {}).get("subsystems")
-    if subsystems:
-        split_rows = [
-            (name, stats["seconds"], stats["share"], stats["calls"])
-            for name, stats in subsystems["subsystems"].items()
-        ]
-        text += "\n" + format_table(
-            ["subsystem", "seconds", "share", "calls"],
-            split_rows,
-            title="Fleet arm per-subsystem split (profiled repeat)",
-        )
-    return text
-
-
-def smoke_scenario() -> Dict:
-    """A scaled-down scenario for the CI smoke job (seconds, not minutes)."""
-    scenario = dict(STANDARD_SCENARIO)
-    scenario["num_workers"] = 200
-    scenario["max_steps"] = 3
-    return scenario
+        profiled = node["arms"].get(optimized_arm(scenario), {})
+        subsystems = profiled.get("subsystems")
+        if subsystems:
+            split_rows = [
+                (sub, stats["seconds"], stats["share"], stats["calls"])
+                for sub, stats in subsystems["subsystems"].items()
+                if stats["calls"]
+            ]
+            text += "\n" + format_table(
+                ["subsystem", "seconds", "share", "calls"],
+                split_rows,
+                title=f"{name} optimised-arm per-subsystem split (profiled repeat)",
+            )
+        blocks.append(text)
+    return "\n\n".join(blocks)
 
 
 # ----------------------------------------------------------------- CI hooks
 def _smoke(json_path: Optional[str]) -> int:
-    """Scaled-down end-to-end run: every arm trains, accounting is coherent."""
-    results = run_fleet_scale(
-        smoke_scenario(), arms=("legacy", "vectorized", "fleet"), repeats=2
-    )
+    """Scaled-down end-to-end grid: every arm trains, accounting is coherent.
+
+    Each scenario additionally runs the exact ``vectorized`` arm so a
+    bit-identity witness (legacy vs vectorised mean loss) covers every
+    regime of the matrix, including those whose gated arm is the
+    statistically-equivalent fleet path.
+    """
+    nodes = {}
+    failures = 0
+    for name, scenario in smoke_scenarios().items():
+        arms = list(scenario.get("arms", ("legacy", "fleet")))
+        if "vectorized" not in arms:
+            arms.insert(1, "vectorized")
+        nodes[name] = run_scenario(
+            scenario, arms=arms, repeats=2, profile_split=True, measure_heap=False
+        )
+    results = {"benchmark": "fleet_scale", "scenarios": nodes}
     print(format_results(results))
-    scenario = results["scenario"]
-    expected_events = scenario["num_workers"] * scenario["max_steps"]
-    for arm, summary in results["arms"].items():
-        if summary["events_dispatched"] != expected_events:
-            print(
-                f"FAIL: {arm} dispatched {summary['events_dispatched']} events, "
-                f"expected {expected_events}",
-                file=sys.stderr,
-            )
-            return 1
-        if summary["peak_queue_size"] != scenario["num_workers"]:
-            print(
-                f"FAIL: {arm} peak queue {summary['peak_queue_size']}, "
-                f"expected {scenario['num_workers']}",
-                file=sys.stderr,
-            )
-            return 1
-    legacy = results["arms"]["legacy"]
-    vectorised = results["arms"]["vectorized"]
-    # The exact vectorised arm replays the legacy trajectory bit-for-bit;
-    # the mean losses are the cheapest strong witness of that contract.
-    if vectorised["final_mean_loss"] != legacy["final_mean_loss"]:
-        print("FAIL: vectorized arm diverged from the legacy trajectory",
-              file=sys.stderr)
+    for name, node in nodes.items():
+        scenario = node["scenario"]
+        summaries = node["arms"]
+        is_async = scenario.get("extra", {}).get("mode") == "async"
+        counts = {arm: s["events_dispatched"] for arm, s in summaries.items()}
+        if len(set(counts.values())) != 1:
+            print(f"FAIL: {name}: arms disagree on event counts: {counts}",
+                  file=sys.stderr)
+            failures += 1
+        if not is_async:
+            # Lock-step rounds have a closed-form event budget; the async
+            # stream's count depends on the quorum schedule, so there the
+            # cross-arm agreement above is the accounting check.
+            expected = scenario["num_workers"] * scenario["max_steps"]
+            for arm, summary in summaries.items():
+                if summary["events_dispatched"] != expected:
+                    print(
+                        f"FAIL: {name}/{arm} dispatched "
+                        f"{summary['events_dispatched']} events, expected {expected}",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+                if summary["peak_queue_size"] != scenario["num_workers"]:
+                    print(
+                        f"FAIL: {name}/{arm} peak queue "
+                        f"{summary['peak_queue_size']}, expected "
+                        f"{scenario['num_workers']}",
+                        file=sys.stderr,
+                    )
+                    failures += 1
+        # The exact vectorised arm replays the legacy trajectory
+        # bit-for-bit; the mean losses are the cheapest strong witness.
+        if summaries["vectorized"]["final_mean_loss"] != summaries["legacy"]["final_mean_loss"]:
+            print(f"FAIL: {name}: vectorized arm diverged from the legacy trajectory",
+                  file=sys.stderr)
+            failures += 1
+        for arm, summary in summaries.items():
+            loss = summary["final_mean_loss"]
+            if loss is None or not np.isfinite(loss):
+                print(f"FAIL: {name}/{arm} final mean loss {loss!r} is not finite",
+                      file=sys.stderr)
+                failures += 1
+    if failures:
         return 1
     if json_path:
         results_to_json(results, json_path)
@@ -304,40 +486,44 @@ def _smoke(json_path: Optional[str]) -> int:
 
 
 def _determinism_check() -> int:
-    """Replay the vectorised arms twice each; any telemetry drift fails.
+    """Replay every scenario's optimised arms twice; any telemetry drift fails.
 
-    The fleet compute kernel and the batched codec draw from dedicated RNG
-    streams, so two builds from the same seed must produce byte-identical
-    histories — on the exact path *and* the statistically-equivalent fleet
-    path.
+    The fleet compute kernel, the batched codec and the batched Byzantine
+    crafting draw from dedicated RNG streams, so two builds from the same
+    seed must produce byte-identical histories — on the exact path *and*
+    the statistically-equivalent fleet path, in every regime of the grid.
     """
     import json
 
-    scenario = smoke_scenario()
-    config = TrainerConfig(max_steps=scenario["max_steps"], eval_every=0)
-
-    for arm in ("vectorized", "fleet"):
-        replays = []
-        for _ in range(2):
-            trainer = _build(scenario, arm)
-            history = trainer.run(config)
-            replays.append(
-                json.dumps(
-                    {
-                        "steps": [
-                            (r.step, r.sim_time, r.mean_loss, r.wire_bytes)
-                            for r in history.steps
-                        ],
-                        "parameters": trainer.server.parameters.tolist(),
-                    },
-                    sort_keys=True,
+    for name, scenario in smoke_scenarios().items():
+        config = TrainerConfig(max_steps=scenario["max_steps"], eval_every=0)
+        arms = [arm for arm in scenario.get("arms", ("legacy", "fleet")) if arm != "legacy"]
+        if "vectorized" not in arms:
+            arms.insert(0, "vectorized")
+        for arm in arms:
+            replays = []
+            for _ in range(2):
+                trainer = _build(scenario, arm)
+                history = trainer.run(config)
+                replays.append(
+                    json.dumps(
+                        {
+                            "steps": [
+                                (r.step, r.sim_time, r.mean_loss, r.wire_bytes)
+                                for r in history.steps
+                            ],
+                            "parameters": trainer.server.parameters.tolist(),
+                        },
+                        sort_keys=True,
+                    )
                 )
-            )
-        if replays[0] != replays[1]:
-            print(f"FAIL: {arm} arm replay diverged between identical runs",
-                  file=sys.stderr)
-            return 1
-    print("fleet-scale determinism: OK (vectorized and fleet replays identical)")
+            if replays[0] != replays[1]:
+                print(
+                    f"FAIL: {name}/{arm} replay diverged between identical runs",
+                    file=sys.stderr,
+                )
+                return 1
+    print("fleet-scale determinism: OK (every scenario's vectorised arms replay identically)")
     return 0
 
 
@@ -345,24 +531,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Console entry point for the CI smoke / determinism / benchmark jobs."""
     parser = argparse.ArgumentParser(
         prog="repro.experiments.fleet_scale",
-        description="Fleet-scale simulator benchmark (standard 1000-worker scenario)",
+        description="Fleet-scale simulator benchmark (multi-scenario perf matrix)",
     )
     parser.add_argument("--smoke", action="store_true",
-                        help="scaled-down end-to-end run (CI perf-smoke job)")
+                        help="scaled-down end-to-end grid (CI perf-smoke job)")
     parser.add_argument("--determinism-check", action="store_true",
-                        help="replay the vectorised arms twice and diff telemetry")
+                        help="replay every scenario's optimised arms twice and diff telemetry")
     parser.add_argument("--json", default=None,
                         help="write the benchmark payload to this JSON file")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed repeats per arm (default 3)")
-    parser.add_argument("--arms", nargs="+", default=["legacy", "fleet"],
-                        choices=sorted(ARMS), help="arms to run")
+    parser.add_argument("--scenarios", nargs="+", default=None,
+                        choices=sorted(SCENARIOS), help="scenario subset to run")
     args = parser.parse_args(argv)
     if args.determinism_check:
         return _determinism_check()
     if args.smoke:
         return _smoke(args.json)
-    results = run_fleet_scale(arms=tuple(args.arms), repeats=args.repeats)
+    results = run_fleet_scale(args.scenarios, repeats=args.repeats)
     print(format_results(results))
     if args.json:
         results_to_json(results, args.json)
@@ -375,9 +561,13 @@ if __name__ == "__main__":
 
 __all__ = [
     "STANDARD_SCENARIO",
+    "SCENARIOS",
     "ARMS",
+    "optimized_arm",
     "run_fleet_scale",
+    "run_scenario",
     "smoke_scenario",
+    "smoke_scenarios",
     "format_results",
     "main",
 ]

@@ -1,0 +1,130 @@
+"""Bitwise parity: the async vectorised drain against the per-event loop.
+
+The async engine's vectorised path pops *consecutive same-time same-kind*
+runs of fetch/compute/push events and dispatches each run through one
+batched handler (batched codec encode/decode, batched link pricing, one
+``schedule_many`` re-insertion).  Its contract is the same hard bit
+identity the sync path carries: byte-identical final parameters, simulated
+clock and telemetry export, and the same number of dispatched events.
+
+``peak_queue_size`` is deliberately *not* asserted: the batched handlers
+skip link-reschedule events that the per-event path pushes and then
+tombstones before dispatch, so the heap's high-water mark (which counts
+tombstones) may differ while the live pop order cannot.
+
+The scenarios sweep every hot-path branch: all four codecs (with and
+without error feedback), stragglers, link contention, a WAN topology,
+delta broadcasts, lossy links, compact telemetry, a bounded-staleness
+admission predicate, and both adversary classes (deterministic sign-flip →
+one batched craft per version; RNG-drawing random attack → the per-worker
+fallback).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.builder import build_trainer
+from repro.cluster.cost_model import StragglerModel
+from repro.cluster.trainer import TrainerConfig
+from repro.data.datasets import gaussian_blobs
+
+SCENARIOS = {
+    "identity": {},
+    "topk_ef": {"codec": "top-k", "codec_k": 8},
+    "randomk": {"codec": "random-k", "codec_k": 8, "error_feedback": False},
+    "qsgd_ef": {"codec": "qsgd", "quantize_bits": 4},
+    "straggler": {"straggler_model": StragglerModel("pareto")},
+    "contended": {"link_sharing": "fair"},
+    "wan": {"link_profile": "wan:2x10mbit/5ms", "link_sharing": "fair"},
+    "broadcast_delta": {"broadcast_codec": "top-k", "broadcast_k": 8},
+    "lossy": {"lossy_links": 3, "lossy_drop_rate": 0.3},
+    "compact_telemetry": {"compact_telemetry": True},
+    "bounded_staleness": {"sync_policy": "bounded-staleness", "max_version_lag": 2},
+    "random_attack": {"attack": "random"},
+    "no_attack": {"num_byzantine": 0, "declared_f": 2},
+}
+
+
+def _run(vectorized: bool, overrides: dict):
+    kwargs = dict(
+        model="logistic",
+        model_kwargs={"input_dim": 10, "num_classes": 5},
+        dataset=gaussian_blobs(num_train=2000, num_classes=5, dim=10, rng=3),
+        gar="median",
+        mode="async",
+        sync_policy="quorum",
+        num_workers=8,
+        num_byzantine=2,
+        attack="sign-flip",
+        batch_size=16,
+        learning_rate=0.05,
+        seed=11,
+        vectorized=vectorized,
+    )
+    kwargs.update(overrides)
+    trainer = build_trainer(**kwargs)
+    history = trainer.run(TrainerConfig(max_steps=6, eval_every=0))
+    return trainer, history
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_async_vectorized_drain_is_bit_identical_to_the_per_event_loop(name):
+    overrides = SCENARIOS[name]
+    vec_trainer, vec_history = _run(True, overrides)
+    loop_trainer, loop_history = _run(False, overrides)
+    np.testing.assert_array_equal(
+        vec_trainer.server.parameters, loop_trainer.server.parameters
+    )
+    assert vec_trainer.clock.now == loop_trainer.clock.now
+    assert vec_history.to_dict() == loop_history.to_dict()
+    # Every popped event is counted once, batched or not.
+    assert vec_trainer.events_dispatched == loop_trainer.events_dispatched
+
+
+def test_async_vectorized_parity_with_selection_gar():
+    overrides = {
+        "gar": "multi-krum",
+        "declared_f": 2,
+        "num_workers": 10,
+        "codec": "top-k",
+        "codec_k": 8,
+    }
+    vec_trainer, vec_history = _run(True, overrides)
+    loop_trainer, loop_history = _run(False, overrides)
+    np.testing.assert_array_equal(
+        vec_trainer.server.parameters, loop_trainer.server.parameters
+    )
+    assert [s.selected_workers for s in vec_history.steps] == [
+        s.selected_workers for s in loop_history.steps
+    ]
+    assert [s.selection_scores for s in vec_history.steps] == [
+        s.selection_scores for s in loop_history.steps
+    ]
+
+
+def test_async_vectorized_livelock_guard_still_fires():
+    # The batched drain must keep run_until's livelock semantics: a fully
+    # lossy transport drops every gradient forever.
+    from repro.cluster import LossyChannel
+
+    channels = {
+        worker_id: LossyChannel(drop_rate=1.0, policy="drop-gradient", rng=worker_id)
+        for worker_id in range(8)
+    }
+    trainer = build_trainer(
+        model="logistic",
+        model_kwargs={"input_dim": 10, "num_classes": 5},
+        dataset=gaussian_blobs(num_train=500, num_classes=5, dim=10, rng=3),
+        gar="median",
+        mode="async",
+        sync_policy="quorum",
+        num_workers=8,
+        batch_size=16,
+        seed=11,
+        vectorized=True,
+        uplink_channels=channels,
+    )
+    trainer.max_events_per_update = 500
+    history = trainer.run(TrainerConfig(max_steps=2, eval_every=0))
+    assert history.diverged
+    assert "livelock" in history.divergence_reason

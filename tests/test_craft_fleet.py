@@ -1,0 +1,120 @@
+"""Regression tests for the batched Byzantine crafting path.
+
+``craft_fleet`` must (a) mint all ``f`` malicious gradients with ONE
+``attack.craft`` call per version when the shared attack is deterministic,
+(b) fall back to the per-worker loop — preserving each worker's RNG-stream
+consumption — when the attack draws noise, and (c) change nothing
+observable either way: same messages, same telemetry, same bytes on the
+wire, bit-identical training trajectory.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks import make_attack
+from repro.cluster.builder import build_trainer
+from repro.cluster.trainer import TrainerConfig
+from repro.cluster.worker import ByzantineWorker, craft_fleet
+from repro.data.datasets import gaussian_blobs
+
+
+class _CountingAttack:
+    """Wraps an attack, counting ``craft`` calls (keeps ``deterministic``)."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.deterministic = getattr(inner, "deterministic", False)
+        self.calls = 0
+
+    def craft(self, **kwargs):
+        self.calls += 1
+        return self._inner.craft(**kwargs)
+
+
+def _byzantine_workers(attack, f=3, seed=0):
+    # One shared attack object, one shared RNG source — the builder's wiring.
+    return [ByzantineWorker(i, attack, rng=seed) for i in range(f)]
+
+
+def test_deterministic_attack_crafts_once_per_version():
+    attack = _CountingAttack(make_attack("sign-flip"))
+    workers = _byzantine_workers(attack)
+    honest = np.random.default_rng(0).standard_normal((5, 7))
+    params = np.zeros(7)
+    messages = craft_fleet(workers, params, honest, step=4)
+    assert attack.calls == 1
+    assert [m.worker_id for m in messages] == [0, 1, 2]
+    assert all(m.step == 4 for m in messages)
+
+
+def test_randomised_attack_falls_back_to_per_worker_calls():
+    attack = _CountingAttack(make_attack("random"))
+    workers = _byzantine_workers(attack)
+    honest = np.random.default_rng(0).standard_normal((5, 7))
+    craft_fleet(workers, np.zeros(7), honest, step=1)
+    assert attack.calls == len(workers)
+
+
+def test_batched_messages_are_bit_identical_to_the_loop():
+    honest = np.random.default_rng(1).standard_normal((6, 9))
+    params = np.linspace(-1, 1, 9)
+    for name in ("sign-flip", "little-is-enough", "omniscient", "mimic"):
+        attack = make_attack(name, f=3) if name == "omniscient" else make_attack(name)
+        batched_workers = _byzantine_workers(attack, seed=3)
+        loop_workers = _byzantine_workers(attack, seed=3)
+        batched = craft_fleet(batched_workers, params, honest, step=2)
+        loop = [
+            w.craft_gradient(params, honest, 2, num_byzantine=len(loop_workers), index=i)
+            for i, w in enumerate(loop_workers)
+        ]
+        for got, want in zip(batched, loop):
+            assert got.worker_id == want.worker_id
+            np.testing.assert_array_equal(got.gradient, want.gradient)
+            assert np.isnan(got.loss) and np.isnan(want.loss)
+
+
+def test_empty_honest_window_degrades_to_zero_row_in_both_paths():
+    attack = make_attack("sign-flip")
+    workers = _byzantine_workers(attack)
+    batched = craft_fleet(workers, np.ones(5), np.empty((0, 5)), step=0)
+    loop = [
+        w.craft_gradient(np.ones(5), np.empty((0, 5)), 0, num_byzantine=3, index=i)
+        for i, w in enumerate(workers)
+    ]
+    for got, want in zip(batched, loop):
+        np.testing.assert_array_equal(got.gradient, want.gradient)
+
+
+@pytest.mark.parametrize("mode", ["sync", "async"])
+def test_trainer_accounting_is_unchanged_by_the_batched_path(mode, monkeypatch):
+    """Forcing the per-worker fallback must not change a single recorded bit."""
+
+    def run(force_fallback: bool):
+        if force_fallback:
+            from repro.attacks.reversed_gradient import SignFlipAttack
+
+            monkeypatch.setattr(SignFlipAttack, "deterministic", False)
+        kwargs = dict(
+            model="logistic",
+            model_kwargs={"input_dim": 10, "num_classes": 5},
+            dataset=gaussian_blobs(num_train=1000, num_classes=5, dim=10, rng=3),
+            gar="median",
+            num_workers=10,
+            num_byzantine=3,
+            attack="sign-flip",
+            batch_size=16,
+            learning_rate=0.05,
+            seed=11,
+        )
+        if mode == "async":
+            kwargs.update(mode="async", sync_policy="quorum")
+        trainer = build_trainer(**kwargs)
+        history = trainer.run(TrainerConfig(max_steps=5, eval_every=0))
+        result = (trainer.server.parameters, history.to_dict())
+        monkeypatch.undo()
+        return result
+
+    fast_params, fast_history = run(force_fallback=False)
+    slow_params, slow_history = run(force_fallback=True)
+    np.testing.assert_array_equal(fast_params, slow_params)
+    assert fast_history == slow_history

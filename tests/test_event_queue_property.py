@@ -119,3 +119,72 @@ def test_mass_cancellation_compacts_the_heap(times, cancel_mask, seed):
     drained = list(queue.drain())
     assert drained == sorted(live, key=lambda e: (e.time, e.order))
     assert queue.tombstones == 0 or queue.peek() is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    rounds=st.lists(
+        st.tuples(
+            st.lists(_times, min_size=0, max_size=30),  # push_many batch
+            st.lists(st.integers(0, 2**32), max_size=30),  # cancel picks
+            st.integers(0, 8),  # pops
+        ),
+        min_size=2,
+        max_size=10,
+    )
+)
+def test_cancel_push_many_interleavings_preserve_order_across_compaction(rounds):
+    """Pop order survives lazy compactions triggered mid-sequence.
+
+    The batched async drain leans on exactly this: it cancels elided link
+    events and re-inserts follow-ups via ``push_many``, trusting that a
+    compaction firing between the two leaves the (time, order) pop sequence
+    untouched.  The round sizes here (up to 30 pushes / 30 cancels) push
+    tombstone counts across ``COMPACT_MIN_TOMBSTONES`` routinely, so many
+    examples exercise the boundary in both directions.
+    """
+    queue = EventQueue()
+    pushed = []
+    for times, cancels, pops in rounds:
+        for event in queue.push_many([Event(time=t, kind="test") for t in times]):
+            event._popped = False
+            pushed.append(event)
+        for pick in cancels:
+            if pushed:
+                pushed[pick % len(pushed)].cancel()
+        for _ in range(pops):
+            live = _live_order(pushed)
+            if not live:
+                break
+            event = queue.pop()
+            assert event is live[0], "pop order diverged after cancel/push_many"
+            event._popped = True
+        live = _live_order(pushed)
+        assert len(queue) == len(live)
+        assert queue.tombstones <= max(queue.COMPACT_MIN_TOMBSTONES, len(live) + 1)
+    assert list(queue.drain()) == _live_order(pushed)
+
+
+def test_compaction_fires_at_the_boundary_and_preserves_order():
+    """Engineered crossing: one cancel trips compaction, order is unchanged.
+
+    ``_note_cancel`` compacts once ``tombstones > COMPACT_MIN_TOMBSTONES``
+    and tombstones outnumber half the heap.  With 20 pushed events, the
+    17th cancel is the first to satisfy both — the heap must shrink to the
+    3 live events on the spot, and a subsequent ``push_many`` of
+    earlier-timed events must still pop first.
+    """
+    queue = EventQueue()
+    floor = queue.COMPACT_MIN_TOMBSTONES
+    events = queue.push_many(
+        [Event(time=10.0 + i, kind="test") for i in range(floor + 4)]
+    )
+    for event in events[: floor]:
+        event.cancel()
+    assert queue.tombstones == floor  # at the floor: not yet compacted
+    events[floor].cancel()  # trips both conditions
+    assert queue.tombstones == 0, "compaction should have fired"
+    assert len(queue) == 3
+    early = queue.push_many([Event(time=0.5, kind="test"), Event(time=0.25, kind="test")])
+    drained = list(queue.drain())
+    assert drained == [early[1], early[0]] + list(events[floor + 1 :])

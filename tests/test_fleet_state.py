@@ -132,10 +132,18 @@ class TestFleetComputeKernel:
         assert fleet_computable(
             make_model("mlp", input_dim=4, hidden=(8,), num_classes=3, rng=0)
         )
-        assert not fleet_computable(
+        # Conv/residual/pooling models batch too since the im2col kernel.
+        assert fleet_computable(
             make_model(
                 "resnet-like", image_size=8, stage_channels=(4,),
                 blocks_per_stage=1, num_classes=3, rng=0,
+            )
+        )
+        # Dropout draws an RNG mask per forward, which would make one
+        # stacked pass diverge from per-worker passes — gated out.
+        assert not fleet_computable(
+            make_model(
+                "mlp", input_dim=4, hidden=(8,), num_classes=3, dropout=0.5, rng=0
             )
         )
 
@@ -176,12 +184,11 @@ class TestFleetComputeKernel:
         np.testing.assert_array_equal(stacked_grads, list_grads)
 
     def test_rejects_unsupported_model(self):
-        conv = make_model(
-            "resnet-like", image_size=8, stage_channels=(4,),
-            blocks_per_stage=1, num_classes=3, rng=0,
+        dropout_mlp = make_model(
+            "mlp", input_dim=4, hidden=(8,), num_classes=3, dropout=0.5, rng=0
         )
         with pytest.raises(ConfigurationError):
-            FleetComputeKernel(conv)
+            FleetComputeKernel(dropout_mlp)
 
     def test_rejects_mismatched_batches(self):
         kernel = FleetComputeKernel(
@@ -238,14 +245,11 @@ class TestFleetTrainerMode:
 
     def test_fleet_mode_falls_back_for_unsupported_models(self):
         trainer = self._build(
-            model="resnet-like",
+            model="mlp",
             model_kwargs={
-                "image_size": 8, "stage_channels": (4,),
-                "blocks_per_stage": 1, "num_classes": 4,
+                "input_dim": 10, "hidden": (8,), "num_classes": 4, "dropout": 0.5,
             },
-            dataset=synthetic_cifar(
-                num_train=48, num_test=16, num_classes=4, image_size=8, rng=1
-            ),
+            dataset=gaussian_blobs(num_train=48, num_classes=4, dim=10, rng=1),
             compute_mode="fleet",
             num_workers=6,
             num_byzantine=0,
