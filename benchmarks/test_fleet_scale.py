@@ -9,9 +9,16 @@ The tentpole claims of the vectorised hot-path work, one per regime:
   bookkeeping run the same quorum deployment at least **3x** faster;
 * ``conv_fleet`` — the im2col fleet compute kernel runs a conv model's
   worker math at least **4x** faster than per-worker python conv loops;
-* ``wan_delta`` / ``bulyan_attack`` — regimes dominated by link maths and
-  the O(n^2) GAR respectively: the vectorised path must never be slower
-  than legacy, and the per-scenario baseline ratio does the real gating.
+* ``bulyan_attack`` — with the vectorised GAR selection kernels the fleet
+  arm runs Bulyan-under-attack at least **5x** faster than the per-candidate
+  selection loops (the regime was ~97% ``gar_kernel`` before PR 8);
+* ``sync_10k`` — the lock-step scenario at 10,000 workers: at least **5x**
+  over the loop arm *and* inside the absolute wall/heap budgets the
+  scenario pins (the tracemalloc ceiling fails 10k-worker memory
+  regressions before the runner OOMs);
+* ``wan_delta`` — the link-maths-dominated regime: the vectorised path
+  must never be slower than legacy, and the per-scenario baseline ratio
+  does the real gating.
 
 All assertions are machine-normalised: each gate is an ``optimised /
 legacy`` wall-clock *ratio* measured on this machine (min over repeats,
@@ -49,7 +56,8 @@ SPEEDUP_FLOORS = {
     "async_quorum": 3.0,
     "conv_fleet": 4.0,
     "wan_delta": 0.95,
-    "bulyan_attack": 1.0,
+    "bulyan_attack": 5.0,
+    "sync_10k": 5.0,
 }
 
 SCENARIO_NAMES = sorted(fleet_scale.SCENARIOS)
@@ -180,6 +188,29 @@ def test_profile_split_accounts_for_the_step(name, bench_payload):
 
 
 @pytest.mark.timeout(600)
+def test_sync_10k_stays_inside_the_absolute_budgets(bench_payload):
+    """The 10k-worker arm is gated on raw seconds and bytes, not a ratio.
+
+    Unlike every other gate these are absolute: the budgets are loose
+    multiples of the measured numbers (so a slow container cannot flake)
+    and exist to catch hangs, quadratic blowups and per-entry Python
+    object pools sneaking back into the SoA hot paths at scale.
+    """
+    node = bench_payload["scenarios"]["sync_10k"]
+    budget = node["scenario"]["budget"]
+    summary = node["arms"][_gated_arm(node)]
+    wall = summary["wall_clock_s"]["min"]
+    assert wall <= budget["wall_s"], (
+        f"sync_10k wall clock {wall:.2f}s exceeds the {budget['wall_s']}s budget"
+    )
+    peak = summary["peak_heap_bytes"]
+    assert peak <= budget["heap_bytes"], (
+        f"sync_10k peak heap {peak} bytes exceeds the "
+        f"{budget['heap_bytes']}-byte tracemalloc ceiling"
+    )
+
+
+@pytest.mark.timeout(600)
 def test_scenario_specific_buckets_fire(bench_payload):
     """Each specialised subsystem shows up in the regime built to price it."""
     scenarios = bench_payload["scenarios"]
@@ -194,3 +225,6 @@ def test_scenario_specific_buckets_fire(bench_payload):
         "the Byzantine crafting bracket should fire under an active attack"
     )
     assert bulyan_split["gar_kernel"]["seconds"] > 0
+    assert bulyan_split["gar_select"]["calls"] > 0, (
+        "Bulyan's selection stage should be split out under gar_select"
+    )

@@ -1,0 +1,100 @@
+"""Selection-only microbenchmark: vectorised GAR kernels vs the loops.
+
+PR 8 replaced the per-candidate Python selection loops of Bulyan and Brute
+with batched kernels (:func:`repro.core.kernels.bulyan_select` /
+:func:`repro.core.kernels.brute_select`); the loop implementations are
+retained as the ``selection_mode="loop"`` reference paths.  The fleet-scale
+matrix gates the end-to-end win (``bulyan_attack`` was ~97% ``gar_kernel``
+before the kernels landed); this file times the *selection stage alone* —
+distances precomputed, no trainer, no trimming — at n ∈ {100, 1000} so a
+kernel-level regression is attributable without re-running the matrix.
+
+All assertions are same-machine wall-clock ratios (min over repeats, the
+same idiom as the distance-cache microbench), never raw seconds, with the
+winner sequences asserted identical so the comparison stays honest.
+"""
+
+from __future__ import annotations
+
+import timeit
+
+import numpy as np
+
+from repro.core.brute import Brute
+from repro.core.bulyan import _bulyan_selection
+from repro.core.kernels import brute_select, bulyan_select
+
+#: f as a twentieth of n: the paper's deployments keep f small relative to
+#: the fleet, which is exactly the regime where the loop's theta ~ n rounds
+#: of submatrix rescans hurt (theta = n - 2f stays close to n).
+BULYAN_CASES = {100: 5, 1000: 50}
+
+
+def _bulyan_arms(n: int):
+    f = BULYAN_CASES[n]
+    theta = n - 2 * f
+    rng = np.random.default_rng(n)
+    matrix = rng.standard_normal((n, 16))
+    # Selection-only: both arms consume the same precomputed matrix, so the
+    # O(n^2 d) distance pass is excluded from every timing below.
+    from repro.core.kernels import pairwise_squared_distances
+
+    distances = pairwise_squared_distances(matrix)
+    loop = lambda: _bulyan_selection(matrix, f, theta, distances=distances)  # noqa: E731
+    vectorised = lambda: bulyan_select(distances, f, theta)  # noqa: E731
+    return loop, vectorised
+
+
+def test_bulyan_selection_kernel_is_at_least_3x_at_n_1000():
+    loop, vectorised = _bulyan_arms(1000)
+    np.testing.assert_array_equal(vectorised(), loop())
+    loop_s = min(timeit.repeat(loop, number=1, repeat=3))
+    vec_s = min(timeit.repeat(vectorised, number=1, repeat=3))
+    speedup = loop_s / vec_s
+    print(f"\nbulyan selection n=1000: loop {loop_s:.3f}s, "
+          f"vectorised {vec_s:.3f}s, {speedup:.1f}x")
+    assert speedup >= 3.0, (
+        f"vectorised Bulyan selection is only {speedup:.2f}x the loop at "
+        "n=1000; the >=3x kernel-level floor is the satellite criterion"
+    )
+
+
+def test_bulyan_selection_kernel_never_loses_at_n_100():
+    """At the small end the kernel must at least break even (with slack)."""
+    loop, vectorised = _bulyan_arms(100)
+    np.testing.assert_array_equal(vectorised(), loop())
+    loop_s = min(timeit.repeat(loop, number=10, repeat=5))
+    vec_s = min(timeit.repeat(vectorised, number=10, repeat=5))
+    speedup = loop_s / vec_s
+    print(f"\nbulyan selection n=100: loop {loop_s*100:.2f}ms, "
+          f"vectorised {vec_s*100:.2f}ms, {speedup:.1f}x")
+    assert vec_s <= loop_s * 1.2, (loop_s, vec_s)
+
+
+def test_brute_selection_kernel_is_at_least_3x_on_a_wide_scan():
+    """The combinadic scan vs the per-subset loop at C(18, 11) subsets.
+
+    Brute's win scales with the *subset count* (each loop iteration is one
+    Python-level fancy-index + max), so the feasible showcase is a wide
+    scan rather than a large n: C(18, 11) = 31 824 subsets is seconds for
+    the loop and milliseconds for one chunked gather.  At n ∈ {100, 1000}
+    the rule itself is only defined for small f (C(n, n - f) explodes
+    otherwise), where both paths are sub-millisecond — nothing to gate.
+    """
+    n, f = 18, 7
+    subset_size = n - f
+    rng = np.random.default_rng(7)
+    from repro.core.kernels import pairwise_squared_distances
+
+    distances = pairwise_squared_distances(rng.standard_normal((n, 16)))
+    loop = lambda: Brute._select_loop(distances, n, subset_size)  # noqa: E731
+    vectorised = lambda: brute_select(distances, subset_size)[0]  # noqa: E731
+    np.testing.assert_array_equal(vectorised(), loop())
+    loop_s = min(timeit.repeat(loop, number=1, repeat=3))
+    vec_s = min(timeit.repeat(vectorised, number=1, repeat=3))
+    speedup = loop_s / vec_s
+    print(f"\nbrute selection C(18,11): loop {loop_s:.3f}s, "
+          f"vectorised {vec_s:.3f}s, {speedup:.1f}x")
+    assert speedup >= 3.0, (
+        f"vectorised Brute scan is only {speedup:.2f}x the per-subset loop"
+    )

@@ -51,9 +51,13 @@ from repro.utils.random import SeedLike, as_rng
 _KEEP_INDICES = object()
 
 
-@dataclass
+@dataclass(slots=True)
 class WireFrame:
     """One encoded gradient as it crosses the wire.
+
+    A slotted dataclass: at fleet scale one frame is built per worker per
+    step, so the slot layout trims both the per-frame footprint and the
+    construction cost of the batch encode paths.
 
     Attributes
     ----------
@@ -351,6 +355,17 @@ class RandomKCodec(WireCodec):
     both endpoints share, so indices never cross the wire — only the ``k``
     float32 values plus an 8-byte seed tag.  Kept values are scaled by
     ``d / k``, making the decoded gradient an unbiased estimate of the input.
+
+    Support derivation: each frame's support is the index set of the ``k``
+    smallest of ``d`` uniform draws — a uniform random ``k``-subset.  The
+    uniform plane is the *only* PRNG consumption, and an ``(n, d)`` batch
+    draw advances the PCG64 stream exactly as ``n`` sequential ``(d,)``
+    draws do, so ``encode_batch`` needs one draw per batch while staying
+    frame-for-frame aligned with the per-row encode (the shared-seed
+    receiver derives identical supports either way).  Earlier revisions
+    drew each support via a per-row ``Generator.choice`` call, whose
+    data-dependent rejection sampling cannot be batched — same support
+    distribution, different stream.
     """
 
     name = "random-k"
@@ -363,10 +378,16 @@ class RandomKCodec(WireCodec):
     def _effective_k(self, dim: int) -> int:
         return min(self.k, int(dim))
 
+    def _supports(self, n: int, dim: int, k: int) -> np.ndarray:
+        """``(n, k)`` sorted uniform supports from one batched uniform draw."""
+        uniforms = self._rng.random((n, dim))
+        return np.sort(np.argpartition(uniforms, k - 1, axis=1)[:, :k], axis=1)
+
     def encode(self, gradient: np.ndarray) -> WireFrame:
         values = self._flat(gradient)
         k = self._effective_k(values.size)
-        indices = np.sort(self._rng.choice(values.size, size=k, replace=False))
+        uniforms = self._rng.random(values.size)
+        indices = np.sort(np.argpartition(uniforms, k - 1)[:k])
         scale = values.size / k
         return WireFrame(
             dim=values.size, values=values[indices] * scale, indices=indices,
@@ -380,13 +401,7 @@ class RandomKCodec(WireCodec):
         k = self._effective_k(dim)
         scale = dim / k
         nbytes = self.frame_bytes(dim)
-        # The supports must come from sequential per-row choice() calls — a
-        # single batched draw would consume the PRNG stream in a different
-        # order and break frame parity with the per-row path.  Only the
-        # gather and the unbiasedness scaling are batched.
-        indices = np.stack(
-            [np.sort(self._rng.choice(dim, size=k, replace=False)) for _ in range(n)]
-        )
+        indices = self._supports(n, dim, k)
         kept = np.take_along_axis(matrix, indices, axis=1) * scale
         return [
             WireFrame(
@@ -404,11 +419,7 @@ class RandomKCodec(WireCodec):
         k = self._effective_k(dim)
         scale = dim / k
         nbytes = self.frame_bytes(dim)
-        # Sequential per-row support draws, exactly as encode_batch (and the
-        # per-row encode) consume the PRNG.
-        indices = np.stack(
-            [np.sort(self._rng.choice(dim, size=k, replace=False)) for _ in range(n)]
-        )
+        indices = self._supports(n, dim, k)
         kept = np.take_along_axis(matrix, indices, axis=1) * scale
         frames = [
             WireFrame(
@@ -455,7 +466,10 @@ class QSGDCodec(WireCodec):
 
     def encode(self, gradient: np.ndarray) -> WireFrame:
         values = self._flat(gradient)
-        norm = float(np.linalg.norm(values))
+        # Same reduction shape as the batched row norms (a length-d pairwise
+        # sum over the contiguous row), so batch and per-row paths agree bit
+        # for bit on the norm that feeds the rounding probabilities.
+        norm = float(np.sqrt(np.square(values).sum()))
         if norm == 0.0 or not np.isfinite(norm):
             # Zero (or non-finite) gradients carry zero levels; the scale
             # keeps decode finite and the frame priced like any other.
@@ -475,10 +489,10 @@ class QSGDCodec(WireCodec):
     def encode_batch(self, matrix: np.ndarray) -> List[WireFrame]:
         matrix = self._matrix(matrix)
         n, dim = matrix.shape
-        # Per-row 1-D norms: np.linalg.norm(axis=1) may differ from the 1-D
-        # reduction in the last ulp, and the norm feeds the rounding
-        # probabilities, so parity demands the exact per-row computation.
-        norms = np.array([float(np.linalg.norm(matrix[i])) for i in range(n)])
+        # One batched row-norm reduction: summing the last axis of the
+        # C-contiguous (n, d) square applies the same pairwise blocking per
+        # row as the 1-D sum in encode(), so the norms match bit for bit.
+        norms = np.sqrt(np.square(matrix).sum(axis=1))
         if not (np.isfinite(norms).all() and (norms != 0.0).all()):
             # Zero/non-finite rows consume no PRNG draws in encode(); batching
             # the draws would misalign the stream, so fall back to the loop.

@@ -8,7 +8,7 @@ ROADMAP's 1k–10k.  This module keeps the worker *objects* as the API surface
 per-worker state into contiguous numpy arrays, so each fleet-wide operation
 is one vectorised call instead of ``n`` Python ones.
 
-Two pieces live here:
+Three pieces live here:
 
 :class:`FleetState`
     The SoA mirror: worker ids, speeds, effective GFLOP/s, batch sizes,
@@ -34,11 +34,18 @@ Two pieces live here:
     batches, same estimator, deterministic under the same seeds) but not
     bitwise identical — summation orders differ — which is why the default
     ``compute_mode="exact"`` never uses it.
+
+:class:`PendingPool`
+    The async trainer's admission buffer in SoA form: at most one pending
+    gradient per worker, scalar fields in parallel arrays and payloads as
+    rows of one ``(capacity, d)`` matrix with free-list row recycling, so
+    the stale rescan, the Byzantine observation stack and the drain-to-batch
+    sort are single vectorised calls instead of per-entry dict traversals.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -453,4 +460,247 @@ class FleetComputeKernel:
         return losses, grad
 
 
-__all__ = ["FleetState", "FleetComputeKernel", "fleet_computable"]
+class PendingBatch:
+    """One drained admission batch in structure-of-arrays form.
+
+    Produced by :meth:`PendingPool.drain`, already in the deterministic
+    aggregation order (honest workers by id, then Byzantine workers by id —
+    the same shape the lock-step batch has).  All arrays are row-aligned:
+    entry ``i`` of every field describes the same buffered gradient, and
+    ``payloads[i]`` is its decoded vector.
+    """
+
+    __slots__ = (
+        "worker_ids",
+        "steps",
+        "arrival_times",
+        "staleness",
+        "wire_bytes",
+        "losses",
+        "honest",
+        "payloads",
+    )
+
+    def __init__(
+        self,
+        worker_ids: np.ndarray,
+        steps: np.ndarray,
+        arrival_times: np.ndarray,
+        staleness: np.ndarray,
+        wire_bytes: np.ndarray,
+        losses: np.ndarray,
+        honest: np.ndarray,
+        payloads: np.ndarray,
+    ) -> None:
+        self.worker_ids = worker_ids
+        self.steps = steps
+        self.arrival_times = arrival_times
+        self.staleness = staleness
+        self.wire_bytes = wire_bytes
+        self.losses = losses
+        self.honest = honest
+        self.payloads = payloads
+
+    def __len__(self) -> int:
+        return int(self.worker_ids.size)
+
+
+class PendingPool:
+    """SoA admission buffer: at most one pending gradient per worker.
+
+    Replaces the dict-of-:class:`~repro.cluster.sync.ArrivalEvent` buffer
+    the async trainer used to keep.  Scalar per-entry fields (worker id,
+    model step, arrival time, staleness, wire bytes, reported loss, honest
+    flag) live in parallel numpy arrays; decoded payloads occupy rows of a
+    single ``(capacity, d)`` matrix.  A free list recycles rows as entries
+    supersede, reject or drain, and the arrays grow geometrically, so the
+    steady state allocates nothing per arrival.  Admission bookkeeping
+    stays O(1): insert/overwrite is one dict probe plus row writes, and the
+    honest-entry count is maintained incrementally for the Byzantine fire
+    check.
+
+    Semantics are bit-identical to the dict buffer: the stale rescan calls
+    the same pure ``admit(lag)`` predicate once per *distinct* lag, and
+    :meth:`drain` sorts by ``(not honest, worker_id)`` exactly as the old
+    ``sorted(...)`` did (worker ids are unique, so the stable lexsort is
+    the same permutation).
+    """
+
+    def __init__(self, dim: int, capacity: int = 64) -> None:
+        if dim < 1:
+            raise ConfigurationError(f"dim must be positive, got {dim}")
+        capacity = max(1, int(capacity))
+        self.dim = int(dim)
+        self._slot_of: Dict[int, int] = {}
+        self._free: List[int] = list(range(capacity - 1, -1, -1))
+        self._honest_count = 0
+        self._worker_ids = np.zeros(capacity, dtype=np.int64)
+        self._steps = np.zeros(capacity, dtype=np.int64)
+        self._arrival_times = np.zeros(capacity, dtype=np.float64)
+        self._staleness = np.zeros(capacity, dtype=np.int64)
+        self._wire_bytes = np.zeros(capacity, dtype=np.float64)
+        self._losses = np.zeros(capacity, dtype=np.float64)
+        self._honest = np.zeros(capacity, dtype=bool)
+        self._payloads = np.zeros((capacity, self.dim), dtype=np.float64)
+
+    # ------------------------------------------------------------- capacity
+    def _grow(self) -> None:
+        """Double every array; freshly minted rows join the free list."""
+        old = self._payloads.shape[0]
+        new = old * 2
+        for name in (
+            "_worker_ids",
+            "_steps",
+            "_arrival_times",
+            "_staleness",
+            "_wire_bytes",
+            "_losses",
+            "_honest",
+        ):
+            array = getattr(self, name)
+            grown = np.zeros(new, dtype=array.dtype)
+            grown[:old] = array
+            setattr(self, name, grown)
+        payloads = np.zeros((new, self.dim), dtype=np.float64)
+        payloads[:old] = self._payloads
+        self._payloads = payloads
+        self._free.extend(range(new - 1, old - 1, -1))
+
+    # -------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    @property
+    def honest_count(self) -> int:
+        """Honest entries currently buffered (incrementally maintained)."""
+        return self._honest_count
+
+    def step_of(self, worker_id: int) -> Optional[int]:
+        """The buffered entry's model step, or ``None`` if absent."""
+        slot = self._slot_of.get(worker_id)
+        if slot is None:
+            return None
+        return int(self._steps[slot])
+
+    def _active_slots(self) -> np.ndarray:
+        return np.fromiter(
+            self._slot_of.values(), dtype=np.intp, count=len(self._slot_of)
+        )
+
+    # ------------------------------------------------------------ mutation
+    def put(
+        self,
+        worker_id: int,
+        *,
+        step: int,
+        payload: np.ndarray,
+        arrival_time: float,
+        honest: bool,
+        staleness: int,
+        wire_bytes: float,
+        loss: float,
+    ) -> None:
+        """Insert or overwrite the worker's buffered gradient (O(1))."""
+        slot = self._slot_of.get(worker_id)
+        if slot is None:
+            if not self._free:
+                self._grow()
+            slot = self._free.pop()
+            self._slot_of[worker_id] = slot
+            self._worker_ids[slot] = worker_id
+            if honest:
+                self._honest_count += 1
+        self._steps[slot] = step
+        self._arrival_times[slot] = arrival_time
+        self._staleness[slot] = staleness
+        self._wire_bytes[slot] = wire_bytes
+        self._losses[slot] = loss
+        self._honest[slot] = honest
+        self._payloads[slot] = payload
+
+    def _release(self, worker_id: int, slot: int) -> None:
+        del self._slot_of[worker_id]
+        self._free.append(slot)
+        if self._honest[slot]:
+            self._honest_count -= 1
+
+    def rescan(self, version: int, admit: Callable[[int], bool]) -> List[int]:
+        """Re-check the lag bound against *version*; returns rejected ids.
+
+        ``admit`` is a pure predicate of the lag, so it is evaluated once
+        per distinct lag in the pool instead of once per entry; survivors'
+        staleness is refreshed to ``max(lag, 0)`` in one vectorised write.
+        """
+        slots = self._active_slots()
+        if slots.size == 0:
+            return []
+        lags = version - self._steps[slots]
+        admitted_lags = np.array(
+            [lag for lag in np.unique(lags) if admit(int(lag))], dtype=np.int64
+        )
+        keep = np.isin(lags, admitted_lags)
+        rejected: List[int] = []
+        for slot in slots[~keep]:
+            worker_id = int(self._worker_ids[slot])
+            self._release(worker_id, int(slot))
+            rejected.append(worker_id)
+        kept = slots[keep]
+        self._staleness[kept] = np.maximum(lags[keep], 0)
+        return rejected
+
+    # -------------------------------------------------------------- reads
+    def honest_matrix(self) -> np.ndarray:
+        """Honest payload rows, sorted by worker id (the adversary's view)."""
+        slots = self._active_slots()
+        honest = slots[self._honest[slots]]
+        order = np.argsort(self._worker_ids[honest], kind="stable")
+        return self._payloads[honest[order]]
+
+    def payload_matrix(self) -> Optional[np.ndarray]:
+        """All buffered payload rows (any order), or ``None`` when empty.
+
+        The distance cache keys rows by content fingerprint, so the carry
+        warm is order-insensitive; rows come out sorted by worker id for
+        determinism all the same.
+        """
+        slots = self._active_slots()
+        if slots.size == 0:
+            return None
+        order = np.argsort(self._worker_ids[slots], kind="stable")
+        return self._payloads[slots[order]]
+
+    def drain(self) -> PendingBatch:
+        """Empty the pool into one batch in deterministic aggregation order.
+
+        Honest workers by id, then Byzantine workers by id — worker ids are
+        unique so the stable lexsort reproduces the dict buffer's
+        ``sorted(..., key=(not honest, worker_id))`` permutation exactly.
+        """
+        slots = self._active_slots()
+        ids = self._worker_ids[slots]
+        order = np.lexsort((ids, np.logical_not(self._honest[slots])))
+        sel = slots[order]
+        batch = PendingBatch(
+            worker_ids=ids[order],
+            steps=self._steps[sel],
+            arrival_times=self._arrival_times[sel],
+            staleness=self._staleness[sel],
+            wire_bytes=self._wire_bytes[sel],
+            losses=self._losses[sel],
+            honest=self._honest[sel],
+            payloads=self._payloads[sel],
+        )
+        self._slot_of.clear()
+        self._honest_count = 0
+        capacity = self._payloads.shape[0]
+        self._free = list(range(capacity - 1, -1, -1))
+        return batch
+
+
+__all__ = [
+    "FleetState",
+    "FleetComputeKernel",
+    "fleet_computable",
+    "PendingBatch",
+    "PendingPool",
+]

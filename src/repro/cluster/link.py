@@ -186,6 +186,27 @@ class LinkScheduler:
         solo time — the contention-free baseline its queueing delay is
         measured against — accounts for both.
         """
+        self.advance(now)
+        return self._admit(
+            now,
+            nbytes,
+            worker_id=worker_id,
+            rate_cap=rate_cap,
+            extra_latency_s=extra_latency_s,
+            payload=payload,
+        )
+
+    def _admit(
+        self,
+        now: float,
+        nbytes: float,
+        *,
+        worker_id: int = -1,
+        rate_cap: Optional[float] = None,
+        extra_latency_s: float = 0.0,
+        payload: object = None,
+    ) -> LinkSession:
+        """Validate and enqueue one session; the clock is already at *now*."""
         if nbytes < 0:
             raise ConfigurationError(f"nbytes must be non-negative, got {nbytes}")
         if rate_cap is not None and rate_cap <= 0:
@@ -194,7 +215,6 @@ class LinkScheduler:
             raise ConfigurationError(
                 f"extra_latency_s must be non-negative, got {extra_latency_s}"
             )
-        self.advance(now)
         solo_rate = self.capacity if rate_cap is None else min(self.capacity, rate_cap)
         session = LinkSession(
             session_id=self._counter,
@@ -217,6 +237,29 @@ class LinkScheduler:
         else:
             self._draining.append(session)
         return session
+
+    def open_many(
+        self, now: float, specs: Sequence[Tuple[float, int, dict, object]]
+    ) -> List[LinkSession]:
+        """Admit a same-time burst of transfers with one clock advance.
+
+        *specs* is a sequence of ``(nbytes, worker_id, open_kwargs,
+        payload)`` tuples admitted in order.  Equivalent to calling
+        :meth:`open` once per spec — admission order, session ids and every
+        float are identical — but the piecewise drain to *now* runs once
+        for the whole burst instead of once per session (the per-session
+        calls after the first are no-op re-advances to the same instant,
+        pure call overhead at herd scale).
+        """
+        self.advance(now)
+        sessions = []
+        for nbytes, worker_id, kwargs, payload in specs:
+            sessions.append(
+                self._admit(
+                    now, nbytes, worker_id=worker_id, payload=payload, **kwargs
+                )
+            )
+        return sessions
 
     # ------------------------------------------------------------------ drain
     def _capped(self, session: LinkSession, rate: float) -> float:

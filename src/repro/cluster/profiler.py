@@ -14,7 +14,17 @@ trainers bracket their hot stages with :meth:`SimProfiler.section`, so a
     Transfer pricing: channel transfers, link-fabric solo times and shared
     pipe contention resolution.
 ``gar_kernel``
-    Aggregation: validation, the GAR itself and cost-model pricing.
+    Aggregation: validation, the distance pass, trimming/averaging and
+    cost-model pricing — everything in the aggregation call *except* the
+    selection stage below.
+``gar_select``
+    The GAR's selection stage (Krum score reduction + stable pick, Bulyan's
+    iterated extraction, Brute's subset-diameter scan), split out of
+    ``gar_kernel`` so distance time and selection time are visible
+    separately.  The rule modules credit a shared clock
+    (:data:`repro.core.kernels.SELECTION_CLOCK`); the trainers drain it
+    after each aggregation bracket and move the seconds here, keeping the
+    sections disjoint (the split still sums to the wall clock).
 ``telemetry``
     History recording: per-worker wire counters and step records.
 ``compute``
@@ -45,6 +55,7 @@ SUBSYSTEMS = (
     "link_drain",
     "link_reschedule",
     "gar_kernel",
+    "gar_select",
     "telemetry",
     "compute",
     "attack",

@@ -40,7 +40,7 @@ aggregation stage and the telemetry layer):
 
 from __future__ import annotations
 
-from contextlib import nullcontext
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -58,7 +58,13 @@ from repro.cluster.codec import (
 from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec
 from repro.cluster.events import Event, EventLoop, EventQueue
-from repro.cluster.fleet import FleetComputeKernel, FleetState, fleet_computable
+from repro.cluster.fleet import (
+    FleetComputeKernel,
+    FleetState,
+    PendingBatch,
+    PendingPool,
+    fleet_computable,
+)
 from repro.cluster.link import SHARING_MODES, LinkFabric, LinkScheduler, LinkTopology
 from repro.cluster.message import GradientMessage
 from repro.cluster.network import Channel, build_uplink_map
@@ -67,6 +73,7 @@ from repro.cluster.server import ParameterServer
 from repro.cluster.sync import ArrivalEvent, FullSync, SyncDecision, SyncPolicy
 from repro.cluster.telemetry import EvalRecord, StepRecord, TrainingHistory
 from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker, craft_fleet
+from repro.core.kernels import SELECTION_CLOCK
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.nn.model import Sequential
 from repro.utils.random import SeedLike, as_rng
@@ -362,6 +369,27 @@ class BaseTrainer:
         if self.profiler is None:
             return nullcontext()
         return self.profiler.section(name)
+
+    @contextmanager
+    def _gar_section(self):
+        """``gar_kernel`` bracket that splits the selection stage out.
+
+        The selection GARs credit :data:`repro.core.kernels.SELECTION_CLOCK`
+        around their selection stage (in every mode — loop and vectorised).
+        Draining the clock after the bracket and re-booking those seconds
+        under ``gar_select`` (subtracting them from ``gar_kernel``) keeps
+        the two sections disjoint, so the profiler split still sums to the
+        wall clock.  The entry drain discards selection time accrued outside
+        our brackets (e.g. direct GAR calls elsewhere in the process).
+        """
+        SELECTION_CLOCK.drain()
+        with self._section("gar_kernel"):
+            yield
+        if self.profiler is not None:
+            seconds, calls = SELECTION_CLOCK.drain()
+            if calls:
+                self.profiler.add("gar_select", seconds, calls=calls)
+                self.profiler.add("gar_kernel", -seconds, calls=0)
 
     # ------------------------------------------------------- wire substrate
     def _encode_broadcast(self, worker_id: int) -> Tuple[np.ndarray, float, bool]:
@@ -1206,7 +1234,7 @@ class SynchronousTrainer(BaseTrainer):
 
         decision = self.sync_policy.collect(drained, step, floor=floor)
         warmed_flops = self._distance_round_begin(decision.admitted)
-        with self._section("gar_kernel"):
+        with self._gar_section():
             delivered_ids, diagnostics, wire_bytes = self._aggregate_and_update(decision)
         cache_stats = None
         if self.server.distance_cache is not None:
@@ -1333,12 +1361,15 @@ class AsyncTrainer(BaseTrainer):
                     self._link_events[key] = None
 
         #: Admission buffer: at most one pending gradient per worker (a
-        #: fresher gradient supersedes a staler pending one).
-        self._pending: Dict[int, ArrivalEvent] = {}
-        #: Count of honest entries in ``_pending``, maintained incrementally
-        #: so the Byzantine fire check is O(1) per arrival instead of a
-        #: full-pool scan.
-        self._pending_honest = 0
+        #: fresher gradient supersedes a staler pending one).  SoA form —
+        #: scalar fields in parallel arrays, payloads as rows of one
+        #: ``(capacity, d)`` matrix with free-list recycling — so the stale
+        #: rescan, the adversary's observation stack and the drain sort are
+        #: vectorised; the honest count stays incrementally maintained and
+        #: admission bookkeeping stays O(1) per arrival.
+        self._pending = PendingPool(
+            dim=self.server.dim, capacity=len(self.workers)
+        )
         #: Server version the pool was last stale-scanned against.  The
         #: pre-aggregation rescan in :meth:`_maybe_aggregate` only changes
         #: anything when the version moved — every buffered entry was
@@ -1393,6 +1424,7 @@ class AsyncTrainer(BaseTrainer):
         key = event.payload
         region = key.split(":", 1)[1]
         self._link_events[key] = None
+        specs = []
         for session in self._links[key].pop_completed(event.time):
             self.history.record_wire(
                 session.worker_id, queueing_delay=session.queueing_delay,
@@ -1400,15 +1432,17 @@ class AsyncTrainer(BaseTrainer):
             )
             kind, data = session.payload
             if kind == self.COMPUTE:
-                self._loop.schedule(
-                    self.COMPUTE, event.time, worker_id=session.worker_id, payload=data
-                )
+                specs.append((self.COMPUTE, event.time, session.worker_id, data))
             else:  # an uplink push: the channel penalty rides on top
                 message, wire, penalty = data
-                self._loop.schedule(
-                    self.ARRIVE, event.time + penalty,
-                    worker_id=session.worker_id, payload=(message, wire),
+                specs.append(
+                    (self.ARRIVE, event.time + penalty, session.worker_id,
+                     (message, wire))
                 )
+        if specs:
+            # One bulk insertion for the same-time completion burst (equal
+            # order stamps to per-event pushes, so pop order is unchanged).
+            self._loop.schedule_many(specs)
         self._reschedule_link(key)
 
     # ------------------------------------------------------- worker round-trip
@@ -1512,27 +1546,26 @@ class AsyncTrainer(BaseTrainer):
             timeline.stale_rejected += 1
             self._interval["stale_rejected"] += 1
             return
-        existing = self._pending.get(message.worker_id)
-        if existing is not None:
+        existing_step = self._pending.step_of(message.worker_id)
+        if existing_step is not None:
             # One buffered gradient per worker: the fresher model version
             # wins.  A jittered uplink can reorder a worker's rounds in
             # flight, so an older-version gradient arriving late must never
             # evict a fresher buffered one.
             timeline.superseded += 1
             self._interval["superseded"] += 1
-            if message.step < existing.message.step:
+            if message.step < existing_step:
                 return
         worker = self._workers_by_id[message.worker_id]
-        if existing is None and not worker.is_byzantine:
-            self._pending_honest += 1
-        self._pending[message.worker_id] = ArrivalEvent(
-            message=message,
+        self._pending.put(
+            message.worker_id,
+            step=message.step,
             payload=payload,
             arrival_time=event.time,
             honest=not worker.is_byzantine,
             staleness=max(lag, 0),
-            order=event.order,
             wire_bytes=wire_bytes if not worker.is_byzantine else 0.0,
+            loss=message.loss,
         )
         self._maybe_fire_byzantine(event.time)
         self._maybe_aggregate(event.time)
@@ -1550,14 +1583,10 @@ class AsyncTrainer(BaseTrainer):
         byzantine = self.byzantine_workers
         if not byzantine or self._byz_fired_version >= self.server.version:
             return
-        if self._pending_honest < max(1, self.admission.quorum - len(byzantine)):
+        if self._pending.honest_count < max(1, self.admission.quorum - len(byzantine)):
             return
-        honest_pending = [e for e in self._pending.values() if e.honest]
         self._byz_fired_version = self.server.version
-        observed = np.stack(
-            [e.payload for e in sorted(honest_pending, key=lambda e: e.message.worker_id)],
-            axis=0,
-        )
+        observed = self._pending.honest_matrix()
         parameters = self.server.parameters
         with self._section("attack"):
             messages = craft_fleet(byzantine, parameters, observed, self.server.version)
@@ -1581,31 +1610,22 @@ class AsyncTrainer(BaseTrainer):
         # staleness values.
         if self._pending_checked_version != self.server.version:
             self._pending_checked_version = self.server.version
-            for worker_id in list(self._pending):
-                entry = self._pending[worker_id]
-                lag = self.server.version - entry.message.step
-                if not self.admission.admit(lag):
-                    del self._pending[worker_id]
-                    if entry.honest:
-                        self._pending_honest -= 1
-                    self.history.timeline_for(worker_id).stale_rejected += 1
-                    self._interval["stale_rejected"] += 1
-                else:
-                    entry.staleness = max(lag, 0)
+            for worker_id in self._pending.rescan(
+                self.server.version, self.admission.admit
+            ):
+                self.history.timeline_for(worker_id).stale_rejected += 1
+                self._interval["stale_rejected"] += 1
         if not self.admission.batch_ready(len(self._pending)):
             return
 
         # Deterministic aggregation order: honest workers by id, then
-        # Byzantine workers by id — the same shape the lock-step batch has.
-        batch = sorted(
-            self._pending.values(), key=lambda e: (not e.honest, e.message.worker_id)
-        )
-        self._pending = {}
-        self._pending_honest = 0
+        # Byzantine workers by id — the same shape the lock-step batch has
+        # (the pool's drain lexsort reproduces the old dict sort exactly).
+        batch = self._pending.drain()
         self._busy = True
-        warmed_flops = self._distance_round_begin(batch)
-        with self._section("gar_kernel"):
-            delivered, result, aggregation_time = self._aggregate_batch(batch)
+        warmed_flops = self._distance_round_begin_batch(batch)
+        with self._gar_section():
+            result, aggregation_time = self._aggregate_pending(batch)
         if self.server.distance_cache is not None:
             # Early arrivals were warmed while the buffer filled; charge only
             # the overlap the inter-update window could not absorb.
@@ -1617,41 +1637,83 @@ class AsyncTrainer(BaseTrainer):
         self._loop.schedule(
             self.UPDATE_DONE,
             now + aggregation_time + update_time,
-            payload=(batch, delivered, result, aggregation_time, update_time, now),
+            payload=(batch, result, aggregation_time, update_time, now),
         )
+
+    def _aggregate_pending(self, batch: PendingBatch):
+        """Validate the drained batch once and aggregate it.
+
+        SoA twin of :meth:`_aggregate_batch`: the pool hands over the
+        payload matrix directly, so validation is one batched
+        :meth:`~repro.cluster.server.ParameterServer.validate_rows` call
+        instead of per-message re-stacking.  Returns
+        ``(result, aggregation_seconds)``.
+        """
+        if not len(batch):
+            raise TrainingError("every gradient was dropped this step; cannot make progress")
+        worker_ids = [int(w) for w in batch.worker_ids]
+        self.server.validate_rows(worker_ids, batch.payloads)
+        result, aggregation_time = self.cost_model.aggregation_time_detailed(
+            self.server.gar, batch.payloads, distance_cache=self.server.distance_cache
+        )
+        return result, aggregation_time
+
+    def _distance_round_begin_batch(self, batch: PendingBatch) -> float:
+        """:meth:`_distance_round_begin` over a drained SoA batch."""
+        cache = self.server.distance_cache
+        if cache is None:
+            return 0.0
+        cache.begin_round()
+        warmed = self._warm_debt
+        self._warm_debt = 0.0
+        if len(batch):
+            cutoff = batch.arrival_times.max()
+            early = batch.payloads[batch.arrival_times < cutoff]
+            if early.size:
+                warmed += cache.warm(early)
+        return warmed
+
+    def _distance_round_end_pool(self, pool: PendingPool):
+        """:meth:`_distance_round_end` against the live admission pool."""
+        cache = self.server.distance_cache
+        if cache is None:
+            return None
+        carry = pool.payload_matrix()
+        if carry is not None:
+            self._warm_debt += cache.warm(carry)
+        return cache.end_round(carry)
 
     def _on_update_done(self, event: Event) -> None:
         """Apply the optimizer update, bump the version, emit telemetry."""
-        batch, delivered, result, aggregation_time, update_time, started = event.payload
+        batch, result, aggregation_time, update_time, started = event.payload
         version = self.server.version
-        wire_bytes = float(sum(e.wire_bytes for e in batch))
+        wire_bytes = float(batch.wire_bytes.sum())
+        worker_ids = [int(w) for w in batch.worker_ids]
         self.server.apply_update(
             result.gradient,
             sim_time=event.time,
-            worker_ids=[m.worker_id for m in delivered],
+            worker_ids=worker_ids,
             wire_bytes=wire_bytes,
         )
         self._busy = False
-        diagnostics = self._diagnostics(
-            [m.worker_id for m in delivered], result, aggregation_time
-        )
+        diagnostics = self._diagnostics(worker_ids, result, aggregation_time)
         # Close the cache round against the admission buffer: gradients that
         # arrived during the busy period are the async carry pool — they will
         # enter the next batch byte-identically, so their blocks are warmed
         # (off-path) and everything else is evicted.
-        cache_stats = self._distance_round_end(list(self._pending.values()))
+        cache_stats = self._distance_round_end_pool(self._pending)
 
         self.history.record_server_busy(aggregation_time + update_time)
-        for entry in batch:
-            self.history.record_version_lag(entry.staleness)
-            self.history.timeline_for(entry.message.worker_id).admitted += 1
+        for worker_id, staleness in zip(worker_ids, batch.staleness):
+            self.history.record_version_lag(int(staleness))
+            self.history.timeline_for(worker_id).admitted += 1
 
-        losses = [e.message.loss for e in batch if e.honest and np.isfinite(e.message.loss)]
-        stale = [e.staleness for e in batch if e.staleness > 0]
+        losses = batch.losses[batch.honest & np.isfinite(batch.losses)]
+        stale = batch.staleness[batch.staleness > 0]
         record = StepRecord(
             step=version,
             sim_time=event.time,
-            mean_loss=float(np.mean(losses)) if losses else float("nan"),
+            mean_loss=float(np.mean(losses)) if losses.size else float("nan"),
             compute_comm_time=max(started - self._last_update_done, 0.0),
             aggregation_time=aggregation_time,
             update_time=update_time,
@@ -1660,8 +1722,8 @@ class AsyncTrainer(BaseTrainer):
             + self._interval["channel_dropped"]
             + self._interval["stale_rejected"],
             carried_gradients=len(self._pending),
-            stale_gradients=len(stale),
-            max_staleness=max(stale, default=0),
+            stale_gradients=int(stale.size),
+            max_staleness=int(stale.max()) if stale.size else 0,
             selected_workers=diagnostics.selected_workers,
             selection_scores=diagnostics.selection_scores,
             wire_bytes=wire_bytes,
@@ -1761,19 +1823,21 @@ class AsyncTrainer(BaseTrainer):
             dispatched += len(run)
         return dispatched
 
-    def _reschedule_touched(self, touched: Dict[str, int], position: int) -> None:
-        """Refresh every pipe whose *last* open happened at run *position*.
+    @staticmethod
+    def _surviving_reschedules(touched: Dict[str, int]) -> Dict[int, str]:
+        """Invert ``pipe → last-open position`` into ``position → pipe``.
 
         The per-event path reschedules a pipe after every open, but only the
         reschedule issued by the pipe's last toucher survives to dispatch —
         earlier ones are tombstoned by the next open on the same pipe.  The
         batched handlers therefore skip the doomed intermediates and emit
         each pipe's one surviving link event exactly where the per-event
-        push sequence placed it: immediately after the last open.
+        push sequence placed it: immediately after the last open.  Each run
+        position touches exactly one pipe, so the inversion is lossless and
+        the caller's position walk fires one reschedule per pipe instead of
+        rescanning every pipe at every position.
         """
-        for key, last in touched.items():
-            if last == position:
-                self._reschedule_link(key)
+        return {last: key for key, last in touched.items()}
 
     def _on_fetch_batch(self, events: List[Event]) -> None:
         """Batched :meth:`_on_fetch` over one same-time run of fetches."""
@@ -1803,17 +1867,23 @@ class AsyncTrainer(BaseTrainer):
             self._interval_downlink += float(nbytes[i])
         if self._contended:
             touched: Dict[str, int] = {}
+            by_pipe: Dict[str, List[tuple]] = {}
             with self._section("link_drain"):
                 for i, event in enumerate(events):
                     key = self._pipe_key("down", event.worker_id)
-                    self._links[key].open(
-                        now, float(nbytes[i]), worker_id=event.worker_id,
-                        payload=(self.COMPUTE, snapshots[i]),
-                        **self.fabric.session_kwargs(event.worker_id),
-                    )
+                    by_pipe.setdefault(key, []).append((
+                        float(nbytes[i]), event.worker_id,
+                        self.fabric.session_kwargs(event.worker_id),
+                        (self.COMPUTE, snapshots[i]),
+                    ))
                     touched[key] = i
-            for i in range(num):
-                self._reschedule_touched(touched, i)
+                # One admission burst per pipe: a single clock advance and
+                # in-order admits (same sessions, same floats as n opens).
+                for key, specs in by_pipe.items():
+                    self._links[key].open_many(now, specs)
+            surviving = self._surviving_reschedules(touched)
+            for i in sorted(surviving):
+                self._reschedule_link(surviving[i])
             return
         with self._section("link_drain"):
             downlinks = self.fabric.solo_seconds_batch(worker_ids, nbytes)
@@ -1951,19 +2021,30 @@ class AsyncTrainer(BaseTrainer):
             )
         if self._contended:
             touched: Dict[str, int] = {}
+            by_pipe: Dict[str, List[tuple]] = {}
             with self._section("link_drain"):
                 ideal = self.cost_model.transfer_time_batch(frame_bytes)
                 for i, wid in enumerate(worker_ids):
                     penalty = float(seconds[i] - ideal[i])
                     key = self._pipe_key("up", wid)
-                    self._links[key].open(
-                        now, float(frame_bytes[i]), worker_id=wid,
-                        payload=(self.ARRIVE, (messages[i], wires[i], penalty)),
-                        **self.fabric.session_kwargs(wid),
-                    )
+                    by_pipe.setdefault(key, []).append((
+                        float(frame_bytes[i]), wid,
+                        self.fabric.session_kwargs(wid),
+                        (self.ARRIVE, (messages[i], wires[i], penalty)),
+                    ))
                     touched[key] = i
+                # One admission burst per pipe: a single clock advance and
+                # in-order admits (same sessions, same floats as n opens).
+                for key, specs in by_pipe.items():
+                    self._links[key].open_many(now, specs)
+            # The surviving reschedules stay interleaved with the FETCH
+            # pushes exactly as the per-event cascade placed them — the
+            # relative order stamps decide same-time pop order.
+            surviving = self._surviving_reschedules(touched)
             for i, wid in enumerate(worker_ids):
-                self._reschedule_touched(touched, i)
+                key = surviving.get(i)
+                if key is not None:
+                    self._reschedule_link(key)
                 self._loop.schedule(self.FETCH, now, worker_id=wid)
             return
         with self._section("link_drain"):

@@ -11,12 +11,18 @@ oracle and an instructive cost comparison point.
 
 from __future__ import annotations
 
+import math
 from itertools import combinations
 
 import numpy as np
 
 from repro.core.base import AggregationResult, GradientAggregationRule, register_gar
-from repro.core.kernels import pairwise_squared_distances
+from repro.core.kernels import (
+    BRUTE_VECTOR_SUBSET_LIMIT,
+    SELECTION_CLOCK,
+    brute_select,
+    pairwise_squared_distances,
+)
 from repro.exceptions import AggregationError, ConfigurationError, ResilienceConditionError
 
 
@@ -59,16 +65,18 @@ class Brute(GradientAggregationRule):
         if subset_size < 1:
             raise ResilienceConditionError(f"Brute needs n - f >= 1, got n={n}, f={self.f}")
         distances = self._distances(matrix)
-        best_indices: tuple[int, ...] | None = None
-        best_diameter = np.inf
-        for subset in combinations(range(n), subset_size):
-            idx = np.asarray(subset, dtype=np.intp)
-            diameter = distances[np.ix_(idx, idx)].max()
-            if diameter < best_diameter:
-                best_diameter = diameter
-                best_indices = subset
-        assert best_indices is not None
-        selected = np.asarray(best_indices, dtype=np.intp)
+        with SELECTION_CLOCK.measure():
+            if (
+                self.selection_mode != "loop"
+                and math.comb(n, subset_size) <= BRUTE_VECTOR_SUBSET_LIMIT
+            ):
+                # Combinadic-indexed vectorised scan: identical selection to
+                # the loop below (diameters are exact max reductions and
+                # np.argmin keeps the first — lexicographically earliest —
+                # minimum), without the per-subset tuple/fancy-index churn.
+                selected, _ = brute_select(distances, subset_size)
+            else:
+                selected = self._select_loop(distances, n, subset_size)
         chosen = matrix[selected]
         if not np.isfinite(chosen).all():
             raise AggregationError(
@@ -76,6 +84,25 @@ class Brute(GradientAggregationRule):
                 "invalid values"
             )
         return AggregationResult(gradient=chosen.mean(axis=0), selected_indices=selected)
+
+    @staticmethod
+    def _select_loop(distances: np.ndarray, n: int, subset_size: int) -> np.ndarray:
+        """Reference per-subset scan (retained as the ``"loop"`` mode / oracle)."""
+        best_indices: tuple[int, ...] | None = None
+        best_diameter = np.inf
+        for subset in combinations(range(n), subset_size):
+            idx = np.asarray(subset, dtype=np.intp)
+            diameter = distances[np.ix_(idx, idx)].max()
+            if best_indices is None or diameter < best_diameter:
+                # The seed guard keeps the scan total when every subset has
+                # an infinite diameter (more than f quarantined rows): the
+                # first subset is kept and the caller's finiteness check
+                # raises the proper AggregationError, matching the
+                # vectorised path.
+                best_diameter = diameter
+                best_indices = subset
+        assert best_indices is not None
+        return np.asarray(best_indices, dtype=np.intp)
 
 
 __all__ = ["Brute"]

@@ -20,8 +20,14 @@ update the scores"):
 
 * the ``(n, n)`` pairwise distance matrix is computed **once**; every
   selection iteration merely restricts the score reduction to the still-active
-  rows (``O(n^2)`` per iteration) and never recomputes the ``O(n^2 d)``
-  distances;
+  rows and never recomputes the ``O(n^2 d)`` distances;
+* the default selection path is the vectorised
+  :func:`repro.core.kernels.bulyan_select` kernel: after the first ``f + 1``
+  rounds the neighbour count equals the remaining pool size minus one, so
+  each score is a plain masked row sum and the per-round work collapses to
+  one O(n) column subtraction ("the next iterations only update the
+  scores").  The per-round rescan loop below is retained as the
+  ``selection_mode="loop"`` reference and test oracle;
 * the number of neighbours entering each score is the Multi-Krum value
   ``n - f - 2`` fixed from the *original* ``n`` (clamped to the remaining pool
   size), so the first iteration is exactly Multi-Krum's scoring pass;
@@ -38,6 +44,8 @@ import numpy as np
 
 from repro.core.base import AggregationResult, GradientAggregationRule, register_gar
 from repro.core.kernels import (
+    SELECTION_CLOCK,
+    bulyan_select,
     neighbour_sum_scores,
     pairwise_squared_distances,
     trimmed_mean_around_median,
@@ -131,11 +139,20 @@ class Bulyan(GradientAggregationRule):
             raise ResilienceConditionError(
                 f"Bulyan with f={self.f} requires n >= {self.minimum_workers(self.f)}, got n={n}"
             )
-        selected = _bulyan_selection(
-            matrix, self.f, theta,
-            recompute_distances=self.recompute_distances,
-            distances=None if self.recompute_distances else self._distances(matrix),
-        )
+        if self.recompute_distances:
+            with SELECTION_CLOCK.measure():
+                selected = _bulyan_selection(
+                    matrix, self.f, theta, recompute_distances=True
+                )
+        else:
+            distances = self._distances(matrix)
+            with SELECTION_CLOCK.measure():
+                if self.selection_mode == "loop":
+                    selected = _bulyan_selection(
+                        matrix, self.f, theta, distances=distances
+                    )
+                else:
+                    selected = bulyan_select(distances, self.f, theta)
         chosen = matrix[selected]
         if not np.isfinite(chosen).all():
             raise AggregationError(

@@ -22,6 +22,9 @@ Conventions enforced by this module:
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
+
 import numpy as np
 
 from repro.exceptions import ResilienceConditionError
@@ -30,6 +33,51 @@ from repro.exceptions import ResilienceConditionError
 #: when a row has many non-finite neighbours (dividing by 1e6 leaves room to
 #: sum ~1e6 capped terms without overflowing float64).
 HUGE = np.finfo(np.float64).max / 1e6
+
+
+class SelectionClock:
+    """Host-seconds accumulator for the GAR *selection* stage.
+
+    The trainers bracket the whole aggregation call as ``gar_kernel``;
+    this clock lets them split out the time spent choosing gradients
+    (score reductions, the Bulyan extraction loop, Brute's subset scan)
+    from the distance pass and the trimming/averaging maths.  The rule
+    modules credit it around their selection stage; a trainer drains it
+    after closing its ``gar_kernel`` bracket and re-books the seconds
+    under ``gar_select`` so the profiler's sections stay disjoint.
+    """
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self.calls = 0
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.calls += 1
+
+    @contextmanager
+    def measure(self):
+        """Credit the clock with the host time spent inside the block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(time.perf_counter() - start)
+
+    def drain(self) -> tuple:
+        """Return ``(seconds, calls)`` accumulated since the last drain."""
+        out = (self.seconds, self.calls)
+        self.seconds = 0.0
+        self.calls = 0
+        return out
+
+
+#: Process-wide selection clock shared by every rule instance.  The trainers
+#: drain it immediately after each aggregation call, so concurrent trainers
+#: in one process would contend — the simulator is single-threaded by design.
+SELECTION_CLOCK = SelectionClock()
 
 
 def pairwise_squared_distances(matrix: np.ndarray) -> np.ndarray:
@@ -141,11 +189,221 @@ def fill_non_finite_extremes(matrix: np.ndarray) -> np.ndarray:
     return clean
 
 
+def multi_krum_select(scores: np.ndarray, m: int) -> np.ndarray:
+    """Indices of the ``m`` smallest scores, ordered by ``(score, index)``.
+
+    The stable argsort makes tie-breaking explicit: equal scores are kept
+    in ascending index order, both for membership (which rows make the
+    cut when ties straddle the selection boundary) and for the order of
+    the returned indices.  The previous ``np.argpartition`` selection
+    left both to the partition's internal arrangement, which is
+    deterministic for a fixed NumPy build but unspecified — a silent
+    reordering hazard for the vectorised selection paths.
+    """
+    n = scores.shape[0]
+    if not 1 <= m <= n:
+        raise ResilienceConditionError(
+            f"Multi-Krum selection needs 1 <= m <= n, got m={m} for n={n}"
+        )
+    return np.argsort(scores, kind="stable")[:m]
+
+
+def bulyan_select(distances: np.ndarray, f: int, theta: int) -> np.ndarray:
+    """Vectorised iterated-Krum extraction of ``theta`` rows (Bulyan phase 1).
+
+    Matches the reference per-round rescan (``bulyan._bulyan_selection``)
+    winner for winner while replacing its ``O(theta * a^2)`` submatrix
+    copies with masked updates on the full capped matrix:
+
+    * the first ``f + 1`` rounds still have more remaining rows than the
+      ``n - f - 2`` score neighbours, so each performs one submatrix
+      partition pass — bit-identical scores to the reference;
+    * every later round has ``q = a - 1``: the score *is* the row's sum
+      over all remaining off-diagonal entries, so the loop degenerates to
+      one vectorised initial sum plus an O(n) subtraction of the winner's
+      column per round ("the next iterations only update the scores").
+
+    The subtraction path accumulates float rounding differently from the
+    reference's fresh partition sums, so each round guards its ``argmin``
+    with a rigorous error bound: whenever a second row's running score
+    lies within the combined bound of the minimum — an exact tie (the
+    final two-row round always is; duplicate or :data:`HUGE`-saturated
+    quarantined rows often are) or a gap smaller than the accumulated
+    drift — the round falls back to the reference's own
+    :func:`neighbour_sum_scores` pass on the remaining submatrix, making
+    the winner sequence identical to the loop in every case.  Real
+    gradient scores are separated by far more than the bound, so the
+    fallback never fires on the hot path.
+    """
+    n = distances.shape[0]
+    n_neighbors = n - f - 2
+    if n_neighbors < 1:
+        raise ResilienceConditionError(
+            f"Bulyan selection needs n - f - 2 >= 1 neighbours, got n={n}, f={f}"
+        )
+    if not 1 <= theta <= n:
+        raise ResilienceConditionError(
+            f"Bulyan selection needs 1 <= theta <= n, got theta={theta} for n={n}"
+        )
+    # Same capping convention as neighbour_sum_scores: diagonal excluded via
+    # +inf then saturated to HUGE alongside the infinite cross-distances.
+    capped = np.minimum(distances, HUGE)
+    np.fill_diagonal(capped, HUGE)
+    selected = np.empty(theta, dtype=np.intp)
+    active = np.ones(n, dtype=bool)
+    rounds = 0
+    remaining_size = n
+    # Phase 1: the neighbour count still bites (q = n_neighbors < a - 1).
+    # Exactly f + 1 rounds — the reference partition pass, bit for bit.
+    while rounds < theta and n_neighbors < remaining_size - 1:
+        remaining = np.flatnonzero(active)
+        sub = capped[np.ix_(remaining, remaining)]
+        part = np.partition(sub, n_neighbors - 1, axis=1)[:, :n_neighbors]
+        scores = part.sum(axis=1)
+        winner = remaining[int(np.argmin(scores))]
+        selected[rounds] = winner
+        active[winner] = False
+        remaining_size -= 1
+        rounds += 1
+    if rounds < theta:
+        # Phase 2: q == a - 1 from here on, so each row's score is its sum
+        # over *all* remaining off-diagonal entries.  One vectorised initial
+        # reduction, then O(n) per round: subtract the winner's column.
+        # The diagonal must contribute exactly zero to the sums (subtracting
+        # HUGE afterwards would cancel every smaller term), so it is zeroed
+        # now that the partition rounds no longer need it excluded-by-inf.
+        np.fill_diagonal(capped, 0.0)
+        remaining = np.flatnonzero(active)
+        scores_full = np.full(n, np.inf)
+        scores_full[remaining] = capped[np.ix_(remaining, remaining)].sum(axis=1)
+        # Per-row drift bound for the running sums: every term is
+        # non-negative, so all intermediate magnitudes are bounded by the
+        # initial sum and the classic summation bound gives
+        # |computed - exact| <= ~(terms + subtractions) * eps * S0 — the
+        # reference's own fresh partition sums stay inside the same bound.
+        err = 4.0 * n * np.finfo(np.float64).eps * scores_full[remaining]
+        err_bound = np.zeros(n)
+        err_bound[remaining] = err
+        while rounds < theta:
+            winner = int(np.argmin(scores_full))
+            near = active & (
+                scores_full <= scores_full[winner] + err_bound + err_bound[winner]
+            )
+            if int(near.sum()) > 1:
+                # The argmin is not provably the reference winner: an exact
+                # tie, or a gap inside the drift bound.  Re-run this round
+                # exactly as the reference loop does.
+                rem = np.flatnonzero(active)
+                if rem.size == 1:
+                    winner = int(rem[0])
+                else:
+                    sub = distances[np.ix_(rem, rem)]
+                    exact = neighbour_sum_scores(sub, rem.size - 1)
+                    winner = int(rem[int(np.argmin(exact))])
+            selected[rounds] = winner
+            active[winner] = False
+            scores_full -= capped[:, winner]
+            scores_full[winner] = np.inf
+            rounds += 1
+    return selected
+
+
+def combination_table(n: int, k: int) -> np.ndarray:
+    """All ``C(n, k)`` size-``k`` subsets of ``range(n)``, lexicographically.
+
+    Combinadic unranking vectorised over the subset axis: the binomial
+    table gives, for every candidate value ``v`` and column, how many
+    combinations start with that value, and a single pass over the ``n``
+    candidate values assigns each rank its next element.  Equivalent to
+    ``np.array(list(itertools.combinations(range(n), k)))`` without the
+    per-subset tuple churn.
+    """
+    if not 0 <= k <= n:
+        raise ResilienceConditionError(
+            f"combination table needs 0 <= k <= n, got k={k} for n={n}"
+        )
+    binom = np.zeros((n + 1, k + 1), dtype=np.int64)
+    binom[:, 0] = 1
+    for row in range(1, n + 1):
+        binom[row, 1:] = binom[row - 1, :-1] + binom[row - 1, 1:]
+    total = int(binom[n, k])
+    out = np.empty((total, k), dtype=np.intp)
+    if k == 0 or total == 0:
+        return out
+    remaining_rank = np.arange(total, dtype=np.int64)
+    column = np.zeros(total, dtype=np.int64)
+    for value in range(n):
+        open_rows = column < k
+        # Ranks whose next element is *value*: those whose remaining rank
+        # falls inside the C(n - 1 - value, k - 1 - column) block of
+        # combinations that pick it; everyone else skips the block.  Rows
+        # already complete (column == k) index the table at -1; they are
+        # masked out by open_rows either way.
+        block = binom[n - 1 - value, k - 1 - column]
+        take = open_rows & (remaining_rank < block)
+        rows = np.nonzero(take)[0]
+        out[rows, column[rows]] = value
+        column[rows] += 1
+        skip = open_rows & ~take
+        remaining_rank[skip] -= block[skip]
+    return out
+
+
+#: Largest subset count the vectorised Brute scan will materialise; beyond
+#: this the caller should fall back to the streaming per-subset loop.
+BRUTE_VECTOR_SUBSET_LIMIT = 2_000_000
+
+#: Pairwise-distance entries per diameter chunk (bounds peak memory of the
+#: vectorised Brute scan to a few tens of MB regardless of C(n, n - f)).
+_BRUTE_CHUNK_ENTRIES = 4_000_000
+
+
+def brute_select(distances: np.ndarray, subset_size: int) -> tuple:
+    """Minimum-diameter subset scan, vectorised over the subset axis.
+
+    Returns ``(indices, diameter)`` for the lexicographically-first subset
+    of *subset_size* rows whose largest internal pairwise distance is
+    minimal — identical to the reference per-subset loop's strictly-less
+    update rule, because diameters are exact ``max`` reductions (no
+    accumulated rounding) and ``np.argmin`` returns the first minimum.
+    Subsets are enumerated by :func:`combination_table` and their
+    diameters reduced in chunks so peak memory stays bounded.
+    """
+    n = distances.shape[0]
+    if not 1 <= subset_size <= n:
+        raise ResilienceConditionError(
+            f"Brute selection needs 1 <= subset_size <= n, got {subset_size} for n={n}"
+        )
+    subsets = combination_table(n, subset_size)
+    if subset_size == 1:
+        return subsets[0], 0.0
+    ii, jj = np.triu_indices(subset_size, k=1)
+    pairs = ii.size
+    chunk = max(1, _BRUTE_CHUNK_ENTRIES // pairs)
+    best_index = 0
+    best_diameter = np.inf
+    for lo in range(0, subsets.shape[0], chunk):
+        rows = subsets[lo:lo + chunk]
+        diameters = distances[rows[:, ii], rows[:, jj]].max(axis=1)
+        candidate = int(np.argmin(diameters))
+        if diameters[candidate] < best_diameter:
+            best_diameter = float(diameters[candidate])
+            best_index = lo + candidate
+    return subsets[best_index], best_diameter
+
+
 __all__ = [
     "HUGE",
+    "SELECTION_CLOCK",
+    "SelectionClock",
+    "BRUTE_VECTOR_SUBSET_LIMIT",
     "pairwise_squared_distances",
     "neighbour_sum_scores",
     "trimmed_mean_around_median",
     "mean_around_center",
     "fill_non_finite_extremes",
+    "multi_krum_select",
+    "bulyan_select",
+    "brute_select",
+    "combination_table",
 ]

@@ -29,7 +29,13 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import AggregationResult, GradientAggregationRule, register_gar
-from repro.core.kernels import HUGE, neighbour_sum_scores, pairwise_squared_distances
+from repro.core.kernels import (
+    HUGE,
+    SELECTION_CLOCK,
+    multi_krum_select,
+    neighbour_sum_scores,
+    pairwise_squared_distances,
+)
 from repro.exceptions import AggregationError, ConfigurationError, ResilienceConditionError
 
 #: Backwards-compatible alias of :data:`repro.core.kernels.HUGE`.
@@ -102,10 +108,13 @@ class MultiKrum(GradientAggregationRule):
         n = matrix.shape[0]
         m = self.effective_m(n)
         distances = self._distances(matrix)
-        scores = krum_scores(distances, self.f)
-        selected = np.argpartition(scores, m - 1)[:m]
-        # Order the selection by score for deterministic, inspectable output.
-        selected = selected[np.argsort(scores[selected], kind="stable")]
+        with SELECTION_CLOCK.measure():
+            scores = krum_scores(distances, self.f)
+            # Explicitly stable (score, index) ordering: equal scores keep
+            # ascending index order for both membership and output order
+            # (the previous argpartition selection left boundary ties to the
+            # partition's internal arrangement).
+            selected = multi_krum_select(scores, m)
         chosen = matrix[selected]
         if not np.isfinite(chosen).all():
             # Only possible when fewer than m gradients are finite; the rule's

@@ -41,6 +41,12 @@ The grid:
     A conv model (``small-cnn``) on synthetic CIFAR under the fleet
     compute kernel — the im2col stacked-batch backward replaces per-worker
     python conv loops.
+``sync_10k``
+    The lock-step scenario at 10,000 workers — one order of magnitude past
+    the standard grid and the ROADMAP's upper fleet target.  The CI smoke
+    job runs it at full worker count and additionally gates wall-clock and
+    peak heap against absolute budgets, witnessing that the SoA hot paths
+    stay sub-budget (and non-OOM) at that scale.
 
 Timing is reported min-and-median over repeats (min damps scheduler noise)
 next to machine-normalised throughput (dispatched events per second) and
@@ -103,9 +109,24 @@ STANDARD_SCENARIO: Dict = {
 
 #: Arm name -> build_trainer overrides.
 ARMS: Dict[str, Dict] = {
-    "legacy": {"vectorized": False, "compute_mode": "exact", "compact_telemetry": False},
-    "vectorized": {"vectorized": True, "compute_mode": "exact", "compact_telemetry": False},
-    "fleet": {"vectorized": True, "compute_mode": "fleet", "compact_telemetry": True},
+    "legacy": {
+        "vectorized": False,
+        "compute_mode": "exact",
+        "compact_telemetry": False,
+        "gar_selection": "loop",
+    },
+    "vectorized": {
+        "vectorized": True,
+        "compute_mode": "exact",
+        "compact_telemetry": False,
+        "gar_selection": "vectorized",
+    },
+    "fleet": {
+        "vectorized": True,
+        "compute_mode": "fleet",
+        "compact_telemetry": True,
+        "gar_selection": "vectorized",
+    },
 }
 
 #: The perf matrix.  Each scenario is the flat deployment config plus:
@@ -150,6 +171,21 @@ SCENARIOS: Dict[str, Dict] = {
         "arms": ("legacy", "fleet"),
         "extra": {"attack": "sign-flip"},
         "smoke": {"num_workers": 60, "max_steps": 3},
+    },
+    "sync_10k": {
+        **STANDARD_SCENARIO,
+        "num_workers": 10_000,
+        "max_steps": 3,
+        "arms": ("legacy", "fleet"),
+        # The smoke run keeps the full 10k fleet (that scale is the point)
+        # and trims steps; the absolute wall/heap budgets gate it.  Both are
+        # deliberately loose multiples of the measured numbers (~0.3 s /
+        # ~40 MB fleet arm): the wall budget catches hangs and quadratic
+        # blowups on a slow container without flaking, the tracemalloc
+        # ceiling catches 10k-worker memory regressions (a return to
+        # per-entry Python object pools) long before the runner OOMs.
+        "budget": {"wall_s": 60.0, "heap_bytes": 128 * 1024 * 1024},
+        "smoke": {"max_steps": 2},
     },
     "conv_fleet": {
         "num_workers": 50,
@@ -431,7 +467,10 @@ def _smoke(json_path: Optional[str]) -> int:
         if "vectorized" not in arms:
             arms.insert(1, "vectorized")
         nodes[name] = run_scenario(
-            scenario, arms=arms, repeats=2, profile_split=True, measure_heap=False
+            scenario, arms=arms, repeats=2, profile_split=True,
+            # Budgeted scenarios (sync_10k) additionally run the optimised
+            # arms under tracemalloc so the heap ceiling below can gate.
+            measure_heap="budget" in scenario,
         )
     results = {"benchmark": "fleet_scale", "scenarios": nodes}
     print(format_results(results))
@@ -476,6 +515,30 @@ def _smoke(json_path: Optional[str]) -> int:
             if loss is None or not np.isfinite(loss):
                 print(f"FAIL: {name}/{arm} final mean loss {loss!r} is not finite",
                       file=sys.stderr)
+                failures += 1
+        budget = scenario.get("budget")
+        if budget:
+            # Absolute gates for the at-scale scenario: the gated arm must
+            # finish inside the CI wall budget and under the tracemalloc
+            # heap ceiling (10k-worker memory regressions fail fast here,
+            # before the full perf matrix even runs).
+            gated = optimized_arm(scenario)
+            summary = summaries[gated]
+            wall = summary["wall_clock_s"]["min"]
+            if wall > budget["wall_s"]:
+                print(
+                    f"FAIL: {name}/{gated} wall clock {wall:.2f}s exceeds the "
+                    f"{budget['wall_s']}s smoke budget",
+                    file=sys.stderr,
+                )
+                failures += 1
+            peak = summary.get("peak_heap_bytes")
+            if peak is None or peak > budget["heap_bytes"]:
+                print(
+                    f"FAIL: {name}/{gated} peak heap {peak} exceeds the "
+                    f"{budget['heap_bytes']}-byte tracemalloc ceiling",
+                    file=sys.stderr,
+                )
                 failures += 1
     if failures:
         return 1

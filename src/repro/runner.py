@@ -162,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "backprop, bit-identical to the seed) or fleet (one "
                              "batched kernel pass over all honest workers — "
                              "statistically equivalent, not bitwise)")
+    parser.add_argument("--gar-selection", default="vectorized",
+                        choices=["vectorized", "loop"],
+                        help="how selection GARs (multi-krum, bulyan, brute) extract "
+                             "their winners: the batched numpy kernels (default) or "
+                             "the retained per-candidate reference loops — both "
+                             "select identically; loop is the perf baseline/oracle")
     parser.add_argument("--compact-telemetry", action="store_true",
                         help="store per-worker wire counters in preallocated arrays "
                              "instead of per-worker objects (identical exports; "
@@ -418,6 +424,7 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
             lossy_policy=args.recovery_policy,
             vectorized=not args.no_vectorized,
             compute_mode=args.compute_mode,
+            gar_selection=args.gar_selection,
             profiler=profiler,
             compact_telemetry=args.compact_telemetry,
             seed=args.seed,
@@ -476,6 +483,7 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
             "measured_aggregation": args.measured_aggregation,
             "vectorized": not args.no_vectorized,
             "compute_mode": args.compute_mode,
+            "gar_selection": args.gar_selection,
             "compact_telemetry": args.compact_telemetry,
             "seed": args.seed,
         }

@@ -295,11 +295,13 @@ class TestAsyncEngine:
         # A jitter-reordered round computed on an older version arrives late:
         # it must be discarded, not replace the fresher buffered gradient.
         arrive(step=4, fill=2.0)
-        assert trainer._pending[2].message.step == 5
-        np.testing.assert_array_equal(trainer._pending[2].payload, np.full(dim, 1.0))
+        assert trainer._pending.step_of(2) == 5
+        np.testing.assert_array_equal(
+            trainer._pending.payload_matrix(), np.full((1, dim), 1.0)
+        )
         # A genuinely fresher gradient does supersede.
         arrive(step=6, fill=3.0)
-        assert trainer._pending[2].message.step == 6
+        assert trainer._pending.step_of(2) == 6
         assert trainer.history.timeline_for(2).superseded == 2
 
     def test_async_trainer_is_not_checkpointable(self, tiny_dataset, tiny_model_kwargs):

@@ -332,6 +332,27 @@ class TestServerComputeFlags:
         assert summary["configuration"]["measured_aggregation"] is True
         assert summary["latency_breakdown"]["aggregation"] > 0
 
+    def test_gar_selection_loop_matches_vectorized(self):
+        """Both selection modes run the identical trajectory end to end."""
+        args = BASE_ARGS + [
+            "--aggregator", "bulyan",
+            "--nb-workers", "11",
+            "--nb-real-byz", "2",
+            "--nb-decl-byz", "2",
+            "--attack", "sign-flip",
+        ]
+        summaries = {
+            mode: runner.run(args + ["--gar-selection", mode], stream=io.StringIO())
+            for mode in ("vectorized", "loop")
+        }
+        assert summaries["vectorized"]["configuration"]["gar_selection"] == "vectorized"
+        assert summaries["loop"]["configuration"]["gar_selection"] == "loop"
+        assert (
+            summaries["vectorized"]["final_accuracy"]
+            == summaries["loop"]["final_accuracy"]
+        )
+        assert summaries["vectorized"]["total_time"] == summaries["loop"]["total_time"]
+
 
 class TestEndToEnd:
     def test_average_run(self, tmp_path):

@@ -1,0 +1,238 @@
+"""Vectorised selection kernels vs the retained per-candidate references.
+
+PR 8 replaced the Python selection loops of Multi-Krum, Bulyan and Brute
+with batched kernels (``multi_krum_select`` / ``bulyan_select`` /
+``brute_select``).  The loop implementations are retained as the
+``selection_mode="loop"`` paths and double as oracles here: the property
+suite drives both through adversarial shapes — exact ties from duplicate
+rows and integer-valued coordinates (integer squared distances make every
+partial sum exact in any summation order, so ties are provable ties),
+quarantined non-finite rows saturating at ``HUGE``, the minimum-``n``
+resilience edges, and ``f = 0`` — asserting winner-for-winner identical
+selections.  The Multi-Krum stable tie-break fix is pinned by a frozen
+construction whose boundary tie the old ``argpartition`` selection left
+to the partition's internal arrangement.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.brute import Brute
+from repro.core.bulyan import Bulyan, _bulyan_selection
+from repro.core.kernels import (
+    brute_select,
+    bulyan_select,
+    combination_table,
+    multi_krum_select,
+    pairwise_squared_distances,
+)
+from repro.core.krum import MultiKrum
+from repro.exceptions import ResilienceConditionError
+
+
+@st.composite
+def selection_matrices(draw, min_n=3, max_n=16):
+    """(n, d) matrices biased towards tie-heavy and quarantined shapes."""
+    n = draw(st.integers(min_n, max_n))
+    d = draw(st.integers(1, 6))
+    seed = draw(st.integers(0, 2**31))
+    kind = draw(st.sampled_from(["normal", "integer", "duplicates"]))
+    rng = np.random.default_rng(seed)
+    if kind == "normal":
+        matrix = rng.standard_normal((n, d))
+    elif kind == "integer":
+        # 0/1/2-valued coordinates: squared distances are small integers,
+        # exactly representable, so equal scores are exact ties.
+        matrix = rng.integers(0, 3, size=(n, d)).astype(np.float64)
+    else:
+        base = rng.integers(0, 2, size=(max(1, n // 3), d)).astype(np.float64)
+        matrix = base[rng.integers(0, base.shape[0], size=n)]
+    num_laced = draw(st.integers(0, 3))
+    if num_laced:
+        filler = draw(st.sampled_from([np.nan, np.inf, -np.inf]))
+        for row in rng.choice(n, size=min(num_laced, n), replace=False):
+            matrix[row] = filler
+    return matrix
+
+
+# --------------------------------------------------------------------- Bulyan
+@settings(max_examples=80, deadline=None)
+@given(matrix=selection_matrices(min_n=3, max_n=16), f=st.integers(0, 3))
+def test_bulyan_select_matches_loop_reference(matrix, f):
+    n = matrix.shape[0]
+    if n - f - 2 < 1:
+        return
+    theta = n - 2 * f
+    if theta < 1:
+        return
+    distances = pairwise_squared_distances(matrix)
+    loop = _bulyan_selection(matrix, f, theta, distances=distances)
+    vectorised = bulyan_select(distances, f, theta)
+    np.testing.assert_array_equal(vectorised, loop)
+
+
+def test_bulyan_select_all_duplicate_rows_breaks_every_tie_like_the_loop():
+    # All-zero gradients: every distance is exactly 0, every round of the
+    # extraction is an exact tie, so the whole winner sequence is decided
+    # by tie-breaking alone.
+    matrix = np.zeros((9, 3))
+    distances = pairwise_squared_distances(matrix)
+    theta = 9 - 2 * 1
+    loop = _bulyan_selection(matrix, 1, theta, distances=distances)
+    vectorised = bulyan_select(distances, 1, theta)
+    np.testing.assert_array_equal(vectorised, loop)
+    np.testing.assert_array_equal(vectorised, np.arange(theta))
+
+
+def test_bulyan_select_minimum_n_edge():
+    # n = 4f + 3 exactly (the rule's resilience floor) for each small f.
+    for f in (0, 1, 2):
+        n = 4 * f + 3
+        rng = np.random.default_rng(f)
+        matrix = rng.standard_normal((n, 4))
+        distances = pairwise_squared_distances(matrix)
+        theta = n - 2 * f
+        np.testing.assert_array_equal(
+            bulyan_select(distances, f, theta),
+            _bulyan_selection(matrix, f, theta, distances=distances),
+        )
+
+
+def test_bulyan_select_rejects_invalid_shapes():
+    distances = pairwise_squared_distances(np.zeros((5, 2)))
+    with pytest.raises(ResilienceConditionError):
+        bulyan_select(distances, 5, 1)  # n - f - 2 < 1
+    with pytest.raises(ResilienceConditionError):
+        bulyan_select(distances, 0, 6)  # theta > n
+
+
+@settings(max_examples=30, deadline=None)
+@given(matrix=selection_matrices(min_n=7, max_n=15), f=st.integers(0, 2))
+def test_bulyan_rule_modes_agree_end_to_end(matrix, f):
+    n = matrix.shape[0]
+    if n < 4 * f + 3:
+        return
+    loop_rule = Bulyan(f=f)
+    loop_rule.selection_mode = "loop"
+    vec_rule = Bulyan(f=f)
+    vec_rule.selection_mode = "vectorized"
+    try:
+        loop_result = loop_rule.aggregate_detailed(matrix)
+    except Exception as exc:  # noqa: BLE001 - both modes must fail alike
+        with pytest.raises(type(exc)):
+            vec_rule.aggregate_detailed(matrix)
+        return
+    vec_result = vec_rule.aggregate_detailed(matrix)
+    np.testing.assert_array_equal(vec_result.gradient, loop_result.gradient)
+    np.testing.assert_array_equal(
+        vec_result.selected_indices, loop_result.selected_indices
+    )
+
+
+# ---------------------------------------------------------------------- Brute
+@settings(max_examples=60, deadline=None)
+@given(matrix=selection_matrices(min_n=3, max_n=10), f=st.integers(0, 3))
+def test_brute_select_matches_loop_reference(matrix, f):
+    n = matrix.shape[0]
+    subset_size = n - f
+    if subset_size < 1 or n < 2 * f + 1:
+        return
+    distances = pairwise_squared_distances(matrix)
+    loop = Brute._select_loop(distances, n, subset_size)
+    vectorised, diameter = brute_select(distances, subset_size)
+    np.testing.assert_array_equal(vectorised, loop)
+    if subset_size >= 2:
+        expected = distances[np.ix_(loop, loop)].max()
+        assert diameter == expected or (np.isinf(diameter) and np.isinf(expected))
+
+
+def test_brute_select_all_infinite_diameters_keeps_the_first_subset():
+    # Every row quarantined: all pairwise distances are +inf, so every
+    # subset ties at an infinite diameter and both paths must keep the
+    # lexicographically first one (the rule then raises AggregationError
+    # on the non-finite selection).
+    matrix = np.full((5, 2), np.nan)
+    distances = pairwise_squared_distances(matrix)
+    loop = Brute._select_loop(distances, 5, 3)
+    vectorised, diameter = brute_select(distances, 3)
+    np.testing.assert_array_equal(vectorised, loop)
+    np.testing.assert_array_equal(vectorised, [0, 1, 2])
+    assert np.isinf(diameter)
+
+
+@settings(max_examples=25, deadline=None)
+@given(matrix=selection_matrices(min_n=3, max_n=9), f=st.integers(0, 2))
+def test_brute_rule_modes_agree_end_to_end(matrix, f):
+    n = matrix.shape[0]
+    if n < 2 * f + 1:
+        return
+    loop_rule = Brute(f=f)
+    loop_rule.selection_mode = "loop"
+    vec_rule = Brute(f=f)
+    vec_rule.selection_mode = "vectorized"
+    try:
+        loop_result = loop_rule.aggregate_detailed(matrix)
+    except Exception as exc:  # noqa: BLE001 - both modes must fail alike
+        with pytest.raises(type(exc)):
+            vec_rule.aggregate_detailed(matrix)
+        return
+    vec_result = vec_rule.aggregate_detailed(matrix)
+    np.testing.assert_array_equal(vec_result.gradient, loop_result.gradient)
+    np.testing.assert_array_equal(
+        vec_result.selected_indices, loop_result.selected_indices
+    )
+
+
+# ----------------------------------------------------------------- Multi-Krum
+def test_multi_krum_select_orders_ties_by_index():
+    scores = np.array([2.0, 1.0, 1.0, 3.0, 1.0])
+    np.testing.assert_array_equal(multi_krum_select(scores, 2), [1, 2])
+    np.testing.assert_array_equal(multi_krum_select(scores, 3), [1, 2, 4])
+    np.testing.assert_array_equal(multi_krum_select(scores, 5), [1, 2, 4, 0, 3])
+    with pytest.raises(ResilienceConditionError):
+        multi_krum_select(scores, 0)
+    with pytest.raises(ResilienceConditionError):
+        multi_krum_select(scores, 6)
+
+
+def test_multi_krum_boundary_tie_regression():
+    """Frozen pin of the stable tie-break fix.
+
+    Four copies of the zero vector and three copies of ``e1`` give exact
+    integer Krum scores ``[1, 1, 1, 1, 2, 2, 2]`` (f=1: each score sums
+    the 4 smallest of 6 integer squared distances).  With ``m = 2`` the
+    selection boundary cuts straight through the four-way tie; the stable
+    rule must keep the two *lowest* indices, where the previous
+    ``argpartition`` selection could legally return any two of the four.
+    """
+    matrix = np.zeros((7, 3))
+    matrix[4:, 0] = 1.0
+    result = MultiKrum(f=1, m=2).aggregate_detailed(matrix)
+    np.testing.assert_array_equal(result.selected_indices, [0, 1])
+    np.testing.assert_array_equal(result.scores, [1, 1, 1, 1, 2, 2, 2])
+    np.testing.assert_array_equal(result.gradient, np.zeros(3))
+
+
+# ---------------------------------------------------------- combination table
+@settings(max_examples=60, deadline=None)
+@given(n=st.integers(0, 10), k=st.integers(0, 10))
+def test_combination_table_matches_itertools(n, k):
+    if k > n:
+        with pytest.raises(ResilienceConditionError):
+            combination_table(n, k)
+        return
+    table = combination_table(n, k)
+    if k == 0:
+        # itertools yields one empty tuple; the table is one empty row.
+        assert table.shape == (1, 0)
+        return
+    expected = np.array(list(combinations(range(n), k)), dtype=np.intp)
+    expected = expected.reshape(-1, k)  # normalise the empty-result shape
+    assert table.shape == expected.shape
+    np.testing.assert_array_equal(table, expected)

@@ -93,3 +93,41 @@ def test_legacy_loop_reports_the_same_shape():
     split = _profiled_run(vectorized=False)
     _assert_split_is_coherent(split)
     assert split["subsystems"]["attack"]["calls"] > 0
+
+
+@pytest.mark.parametrize("gar_selection", ["vectorized", "loop"])
+def test_sync_gar_select_split_fires_for_selection_gars(gar_selection):
+    """Selection GARs book their selection stage under ``gar_select``.
+
+    The trainer drains the rules' shared selection clock after each
+    ``gar_kernel`` bracket and re-books the seconds, so the split must
+    stay coherent (sections disjoint, sums to the wall clock) with both
+    the vectorised kernels and the retained loop paths, and the
+    re-booking may never drive ``gar_kernel`` negative.
+    """
+    split = _profiled_run(
+        gar="bulyan", num_workers=15, gar_selection=gar_selection
+    )
+    _assert_split_is_coherent(split)
+    assert split["subsystems"]["gar_select"]["calls"] > 0
+    assert split["subsystems"]["gar_select"]["seconds"] >= 0.0
+    assert split["subsystems"]["gar_kernel"]["seconds"] >= 0.0
+
+
+@pytest.mark.parametrize("gar_selection", ["vectorized", "loop"])
+def test_async_gar_select_split_fires_for_selection_gars(gar_selection):
+    split = _profiled_run(
+        gar="multi-krum",
+        mode="async",
+        sync_policy="quorum",
+        gar_selection=gar_selection,
+    )
+    _assert_split_is_coherent(split)
+    assert split["subsystems"]["gar_select"]["calls"] > 0
+    assert split["subsystems"]["gar_kernel"]["seconds"] >= 0.0
+
+
+def test_median_books_no_gar_select_time():
+    """Non-selection GARs never touch the selection clock."""
+    split = _profiled_run(gar="median")
+    assert "gar_select" not in split["subsystems"]
