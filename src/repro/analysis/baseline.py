@@ -1,0 +1,90 @@
+"""Baseline handling — grandfathered findings simlint tolerates without failing.
+
+The baseline is a committed JSON file of fingerprints (code, path, stripped
+source text, one entry per occurrence).  Matching is line-number-insensitive
+so unrelated edits don't churn it, but *content*-sensitive: touching a
+grandfathered line re-surfaces the finding, which is exactly when the debt
+should be paid.  Stale entries (baselined findings that no longer exist)
+fail the run, so the file can only shrink through ``--update-baseline`` —
+the suite and the baseline can never drift apart silently.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.analysis.rules import Finding
+
+#: Schema version of the baseline payload.
+BASELINE_VERSION = 1
+
+_Key = Tuple[str, str, str]
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of filtering findings through a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    stale: List[Dict[str, str]] = field(default_factory=list)
+
+
+def load_baseline(path: Path) -> Counter:
+    """Fingerprint multiset from a baseline file (empty if absent)."""
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {payload.get('version')!r}, "
+            f"expected {BASELINE_VERSION}; regenerate with --update-baseline"
+        )
+    entries: Counter = Counter()
+    for entry in payload.get("findings", []):
+        entries[(entry["code"], entry["path"], entry["source"])] += 1
+    return entries
+
+
+def save_baseline(path: Path, findings: List[Finding]) -> None:
+    """Write the current findings as the new grandfathered set."""
+    entries = [
+        {"code": f.code, "path": f.path, "source": f.source}
+        for f in sorted(findings, key=lambda f: (f.path, f.code, f.line))
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "simlint",
+        "note": (
+            "Grandfathered findings; regenerate with "
+            "`python -m repro.analysis src --update-baseline`.  Entries match "
+            "by (code, path, source text), so editing a baselined line "
+            "re-surfaces its finding."
+        ),
+        "findings": entries,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8")
+
+
+def apply_baseline(findings: List[Finding], baseline: Counter) -> BaselineMatch:
+    """Split findings into new vs. grandfathered; report stale entries."""
+    remaining = Counter(baseline)
+    match = BaselineMatch()
+    for finding in findings:
+        key: _Key = finding.fingerprint
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            match.baselined.append(finding)
+        else:
+            match.new.append(finding)
+    for (code, path, source), count in sorted(remaining.items()):
+        for _ in range(count):
+            match.stale.append({"code": code, "path": path, "source": source})
+    return match
+
+
+__all__ = ["BaselineMatch", "load_baseline", "save_baseline", "apply_baseline", "BASELINE_VERSION"]

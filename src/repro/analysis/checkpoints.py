@@ -1,0 +1,176 @@
+"""SIM4xx — checkpoint-coverage rules.
+
+A resumable simulator is only as good as its checkpoints: a class that
+offers ``state_dict`` but forgets one mutable attribute silently resumes
+with stale state — the breakage shows up thousands of steps later as a
+replay divergence nobody can bisect.  SIM401 cross-checks every class that
+defines ``state_dict`` against the mutable containers its ``__init__``
+creates.
+
+Escape hatches, in preference order: capture the attribute; list it in a
+class-level ``_CHECKPOINT_EXEMPT = ("attr", ...)`` tuple with a comment
+explaining why it is derived/rebuilt state; or pragma the assignment line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.rules import Finding, Rule, register_rule
+from repro.analysis.walker import SourceFile, dotted_name
+
+#: Method names that participate in the checkpoint contract.
+_CHECKPOINT_METHODS = ("state_dict", "load_state_dict", "restore")
+
+#: Constructor basenames whose results are mutable containers.
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "defaultdict",
+        "OrderedDict",
+        "Counter",
+        "deque",
+        "array",
+        "asarray",
+        "zeros",
+        "ones",
+        "empty",
+        "full",
+        "zeros_like",
+        "ones_like",
+        "empty_like",
+        "full_like",
+        "arange",
+    }
+)
+
+
+def _is_mutable_value(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee is None:
+            return False
+        return callee.rsplit(".", 1)[-1] in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _class_methods(cls: ast.ClassDef) -> dict:
+    return {
+        stmt.name: stmt
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _exempt_attrs(cls: ast.ClassDef) -> Set[str]:
+    """Names listed in a class-level ``_CHECKPOINT_EXEMPT`` tuple/list/set."""
+    exempt: Set[str] = set()
+    for stmt in cls.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "_CHECKPOINT_EXEMPT":
+                if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                            exempt.add(element.value)
+    return exempt
+
+
+def _mutable_init_attrs(init: ast.AST) -> List[Tuple[str, ast.AST]]:
+    """``(attr_name, assignment_node)`` for mutable ``self.x = ...`` in __init__."""
+    found: List[Tuple[str, ast.AST]] = []
+    seen: Set[str] = set()
+    for node in ast.walk(init):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None or not _is_mutable_value(value):
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr not in seen
+            ):
+                seen.add(target.attr)
+                found.append((target.attr, node))
+    return found
+
+
+def _captured_names(methods: dict) -> Tuple[Set[str], bool]:
+    """Attribute names referenced by the checkpoint methods.
+
+    Returns ``(names, generic)`` where *generic* means the method walks
+    ``self.__dict__`` — full capture by construction, nothing to check.
+    """
+    names: Set[str] = set()
+    generic = False
+    for method_name in _CHECKPOINT_METHODS:
+        method = methods.get(method_name)
+        if method is None:
+            continue
+        for node in ast.walk(method):
+            if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+                if node.value.id == "self":
+                    if node.attr == "__dict__":
+                        generic = True
+                    names.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                names.add(node.value)
+    return names, generic
+
+
+@register_rule
+class CheckpointCoverageRule(Rule):
+    code = "SIM401"
+    name = "checkpoint-coverage"
+    description = (
+        "Class defines state_dict but a mutable attribute assigned in __init__ is "
+        "never referenced by state_dict/load_state_dict/restore — silent resume "
+        "breakage; capture it or list it in _CHECKPOINT_EXEMPT"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for node in src.walk():
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = _class_methods(node)
+            if "state_dict" not in methods:
+                continue
+            init = methods.get("__init__")
+            if init is None:
+                continue
+            captured, generic = _captured_names(methods)
+            if generic:
+                continue
+            exempt = _exempt_attrs(node)
+            for attr, assignment in _mutable_init_attrs(init):
+                if attr in captured or attr in exempt:
+                    continue
+                yield self.finding(
+                    src,
+                    assignment,
+                    f"{node.name}.{attr} is mutable state created in __init__ but "
+                    "never touched by state_dict/load_state_dict/restore; a "
+                    "resumed run silently keeps the fresh value.  Capture it, or "
+                    f"add {attr!r} to {node.name}._CHECKPOINT_EXEMPT with a "
+                    "comment explaining why it is derived state",
+                )
+
+
+__all__ = ["CheckpointCoverageRule"]

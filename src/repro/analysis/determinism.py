@@ -1,0 +1,296 @@
+"""SIM1xx — determinism rules.
+
+The simulator's contract is that every simulated quantity is a pure
+function of the configuration flags plus the master seed.  Anything that
+reads the host environment — the wall clock, the process's global RNG
+state, OS entropy — or that lets CPython's unordered containers pick an
+iteration order on the hot path silently voids bit-identical replay.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.rules import Finding, Rule, register_rule
+from repro.analysis.walker import SourceFile, ancestors, dotted_name
+
+#: Host-clock reads that make a run non-replayable.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: ``numpy.random`` attributes that are *not* the legacy global-state API.
+NUMPY_RANDOM_MODERN = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+        "RandomState",  # explicit legacy object, handled by SIM203's scope
+    }
+)
+
+#: Ambient-entropy reads.
+AMBIENT_ENTROPY_CALLS = frozenset({"os.urandom", "uuid.uuid1", "uuid.uuid4"})
+
+
+@register_rule
+class WallClockRule(Rule):
+    code = "SIM101"
+    name = "wall-clock-read"
+    description = (
+        "Host-clock read (time.time/perf_counter/...) outside cluster/profiler.py; "
+        "simulated time must come from SimulatedClock, host profiling from SimProfiler"
+    )
+    exempt_suffixes = ("cluster/profiler.py",)
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for call in src.calls():
+            resolved = src.resolve_call(call)
+            if resolved in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    src,
+                    call,
+                    f"wall-clock read {resolved}() breaks bit-identical replay; "
+                    "use the simulated clock, route host timing through "
+                    "SimProfiler, or pragma with a justification",
+                )
+
+
+@register_rule
+class LegacyNumpyRandomRule(Rule):
+    code = "SIM102"
+    name = "legacy-global-numpy-random"
+    description = (
+        "Legacy np.random.* global-state call (seed/randn/choice/...); draw from a "
+        "named Generator stream built by repro.utils.random instead"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for call in src.calls():
+            resolved = src.resolve_call(call)
+            if resolved is None or not resolved.startswith("numpy.random."):
+                continue
+            tail = resolved[len("numpy.random."):]
+            if "." in tail or tail in NUMPY_RANDOM_MODERN:
+                continue
+            yield self.finding(
+                src,
+                call,
+                f"{resolved}() mutates the process-global legacy RNG; every draw "
+                "must come from a named np.random.Generator stream "
+                "(repro.utils.random.spawn_rngs)",
+            )
+
+
+@register_rule
+class StdlibRandomRule(Rule):
+    code = "SIM103"
+    name = "stdlib-random"
+    description = (
+        "stdlib random module call; the simulator draws only from named numpy "
+        "Generator streams"
+    )
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        if not src.imports.imports_module("random"):
+            return
+        for call in src.calls():
+            resolved = src.resolve_call(call)
+            if resolved is not None and resolved.startswith("random."):
+                yield self.finding(
+                    src,
+                    call,
+                    f"{resolved}() uses the process-global stdlib RNG; draw from a "
+                    "named numpy Generator stream instead",
+                )
+
+
+@register_rule
+class AmbientEntropyRule(Rule):
+    code = "SIM104"
+    name = "ambient-entropy"
+    description = "os.urandom / uuid1 / uuid4 / secrets.* read OS entropy, voiding replay"
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for call in src.calls():
+            resolved = src.resolve_call(call)
+            if resolved is None:
+                continue
+            if resolved in AMBIENT_ENTROPY_CALLS or resolved.startswith("secrets."):
+                yield self.finding(
+                    src,
+                    call,
+                    f"{resolved}() reads OS entropy; derive identifiers and seeds "
+                    "from the master seed (repro.utils.random.derive_seed)",
+                )
+
+
+# --------------------------------------------------------------------------
+# SIM105: set-iteration ordering in the simulation core
+# --------------------------------------------------------------------------
+
+#: Calls whose result order (or float-accumulation order) follows the
+#: argument's iteration order.
+_ORDER_SENSITIVE_SINKS = frozenset(
+    {
+        "list",
+        "tuple",
+        "iter",
+        "enumerate",
+        "sum",
+        "numpy.array",
+        "numpy.asarray",
+        "numpy.fromiter",
+        "numpy.stack",
+        "numpy.concatenate",
+    }
+)
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        callee = dotted_name(node.func)
+        if callee in ("set", "frozenset"):
+            return True
+    if isinstance(node, ast.Name) and node.id in set_names:
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(node.right, set_names)
+    return False
+
+
+class _ScopeSets(ast.NodeVisitor):
+    """Collect local names that are only ever assigned set-typed values.
+
+    Deliberately scoped to one function (or the module body): a name is a
+    "set name" when every plain assignment to it is a set expression.
+    Attributes and subscripts are not tracked — the rule stays conservative.
+    """
+
+    def __init__(self) -> None:
+        self.set_assigned: Set[str] = set()
+        self.other_assigned: Set[str] = set()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scopes analysed separately
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+    visit_ClassDef = visit_FunctionDef
+
+    def _record(self, target: ast.AST, value: Optional[ast.AST]) -> None:
+        if not isinstance(target, ast.Name) or value is None:
+            return
+        if _is_set_expr(value, self.set_assigned):
+            self.set_assigned.add(target.id)
+        else:
+            self.other_assigned.add(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record(node.target, node.value)
+        self.generic_visit(node)
+
+    @property
+    def set_names(self) -> Set[str]:
+        return self.set_assigned - self.other_assigned
+
+
+def _scope_body(scope: ast.AST) -> List[ast.stmt]:
+    return getattr(scope, "body", [])
+
+
+@register_rule
+class SetIterationRule(Rule):
+    code = "SIM105"
+    name = "set-iteration-order"
+    description = (
+        "Iterating a set (or materialising one into an ordered container) in "
+        "cluster//core/; wrap in sorted(...) so replay order is pinned"
+    )
+    scope_dirs = ("cluster", "core")
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        if src.tree is None:
+            return
+        scopes: List[ast.AST] = [src.tree]
+        for node in src.walk():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node)
+        for scope in scopes:
+            yield from self._check_scope(src, scope)
+
+    def _check_scope(self, src: SourceFile, scope: ast.AST) -> Iterable[Finding]:
+        collector = _ScopeSets()
+        for stmt in _scope_body(scope):
+            collector.visit(stmt)
+        set_names = collector.set_names
+
+        for node in ast.walk(scope):
+            if isinstance(node, ast.For) and self._in_scope(node, scope):
+                if _is_set_expr(node.iter, set_names):
+                    yield self._finding_at(src, node.iter)
+            elif isinstance(node, ast.comprehension) and self._in_scope(node.iter, scope):
+                if _is_set_expr(node.iter, set_names):
+                    yield self._finding_at(src, node.iter)
+            elif isinstance(node, ast.Call) and self._in_scope(node, scope):
+                callee = dotted_name(node.func)
+                if callee is None:
+                    continue
+                resolved = src.imports.resolve(callee)
+                if resolved in _ORDER_SENSITIVE_SINKS and node.args:
+                    if _is_set_expr(node.args[0], set_names):
+                        yield self._finding_at(src, node.args[0])
+
+    @staticmethod
+    def _in_scope(node: ast.AST, scope: ast.AST) -> bool:
+        """Whether *node*'s nearest enclosing function scope is *scope*."""
+        for ancestor in ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor is scope
+        return not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef))
+
+    def _finding_at(self, src: SourceFile, node: ast.AST) -> Finding:
+        return self.finding(
+            src,
+            node,
+            "iteration order of a set is an implementation detail of CPython "
+            "hashing; wrap in sorted(...) (or keep a list/dict) so admitted "
+            "order and float accumulation stay replayable",
+        )
+
+
+__all__ = [
+    "WallClockRule",
+    "LegacyNumpyRandomRule",
+    "StdlibRandomRule",
+    "AmbientEntropyRule",
+    "SetIterationRule",
+]

@@ -1,0 +1,137 @@
+"""SIM5xx — profiler-coverage rules (cross-module contract).
+
+``--profile`` is only trustworthy if the declared bucket list in
+:mod:`repro.cluster.profiler` and the sections the trainers actually
+bracket agree in *both* directions: an undeclared section silently sorts
+to the bottom of every report, and a declared-but-never-drained bucket is
+a subsystem whose cost has quietly moved somewhere invisible.  This is the
+"profiler splits sum to wall" invariant's static half — the dynamic half
+lives in ``tests/test_sim_profiler.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.rules import Finding, Rule, register_rule
+from repro.analysis.walker import SourceFile, dotted_name
+
+#: Call attribute names that bracket a profiled section.
+_SECTION_METHODS = frozenset({"section", "_section"})
+
+#: Module that owns the canonical bucket declaration.
+_PROFILER_SUFFIX = "cluster/profiler.py"
+
+
+def _declared_subsystems(src: SourceFile) -> Optional[Tuple[Set[str], int]]:
+    """The ``SUBSYSTEMS = (...)`` declaration, or None if absent."""
+    for node in src.walk():
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name) and target.id == "SUBSYSTEMS":
+                names: Set[str] = set()
+                if isinstance(node.value, (ast.Tuple, ast.List)):
+                    for element in node.value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                            names.add(element.value)
+                return names, node.lineno
+    return None
+
+
+def _used_sections(files: List[SourceFile]) -> Dict[str, List[Tuple[SourceFile, ast.Call]]]:
+    """Bucket name -> call sites that credit it.
+
+    Two shapes count: ``<anything>.section("name")`` / ``self._section("name")``
+    brackets, and ``<profiler-ish>.add("name", seconds)`` direct credits (the
+    shape the SELECTION_CLOCK drain uses).  Non-literal first arguments are
+    internal plumbing (the profiler's own ``add(name, ...)``) and are skipped.
+    """
+    used: Dict[str, List[Tuple[SourceFile, ast.Call]]] = {}
+    for src in files:
+        if src.matches(_PROFILER_SUFFIX):
+            continue  # the declaration module's own docstring/plumbing
+        for call in src.calls():
+            if not isinstance(call.func, ast.Attribute) or not call.args:
+                continue
+            first = call.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            attr = call.func.attr
+            if attr in _SECTION_METHODS:
+                used.setdefault(first.value, []).append((src, call))
+            elif attr == "add":
+                receiver = dotted_name(call.func.value) or ""
+                if "profiler" in receiver.lower():
+                    used.setdefault(first.value, []).append((src, call))
+    return used
+
+
+@register_rule
+class UndeclaredSectionRule(Rule):
+    code = "SIM501"
+    name = "undeclared-profiler-section"
+    description = (
+        "A profiler section/add names a bucket missing from SimProfiler.SUBSYSTEMS; "
+        "it would sort after the canonical split in every report"
+    )
+
+    def check_project(self, files: List[SourceFile]) -> Iterable[Finding]:
+        declaration = _find_declaration(files)
+        if declaration is None:
+            return
+        declared, _, _ = declaration
+        for name, sites in sorted(_used_sections(files).items()):
+            if name in declared:
+                continue
+            for src, call in sites:
+                yield self.finding(
+                    src,
+                    call,
+                    f"profiler bucket {name!r} is not declared in "
+                    "SimProfiler.SUBSYSTEMS; declare it (with a docstring entry) "
+                    "so reports keep the canonical order and the "
+                    "split-sums-to-wall tests see it",
+                )
+
+
+@register_rule
+class DrainedBucketRule(Rule):
+    code = "SIM502"
+    name = "undrained-profiler-bucket"
+    description = (
+        "A SimProfiler.SUBSYSTEMS bucket is never credited by any section()/add() "
+        "call — its subsystem's cost has moved somewhere invisible"
+    )
+
+    def check_project(self, files: List[SourceFile]) -> Iterable[Finding]:
+        declaration = _find_declaration(files)
+        if declaration is None:
+            return
+        declared, src, lineno = declaration
+        used = set(_used_sections(files))
+        anchor = ast.Pass()
+        anchor.lineno = lineno
+        anchor.col_offset = 0
+        for name in sorted(declared - used):
+            yield self.finding(
+                src,
+                anchor,
+                f"declared profiler bucket {name!r} is never credited by any "
+                "section()/profiler.add() call site; drain it from a trainer "
+                "stage or drop it from SUBSYSTEMS",
+            )
+
+
+def _find_declaration(files: List[SourceFile]) -> Optional[Tuple[Set[str], SourceFile, int]]:
+    for src in files:
+        if src.matches(_PROFILER_SUFFIX) and src.tree is not None:
+            declaration = _declared_subsystems(src)
+            if declaration is not None:
+                names, lineno = declaration
+                return names, src, lineno
+    return None
+
+
+__all__ = ["UndeclaredSectionRule", "DrainedBucketRule"]

@@ -1,0 +1,150 @@
+"""SIM2xx — RNG-discipline rules.
+
+Every generator in a run must hang off the builder's named-stream tree
+(:func:`repro.utils.random.spawn_rngs` from the master seed) so that replay,
+checkpoint capture and prefix-stable stream growth all hold.  These rules
+catch the two ways that discipline erodes: fresh-entropy generators becoming
+reachable from library code (``as_rng(None)``), and call sites minting
+generators behind the helpers' back (raw ``np.random.default_rng``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.rules import Finding, Rule, register_rule
+from repro.analysis.walker import (
+    SourceFile,
+    enclosing_function,
+    first_argument,
+    function_params_defaulting_none,
+)
+
+#: Helper callables whose first argument is a SeedLike.
+_SEED_HELPERS = frozenset({"as_rng", "spawn_rngs"})
+
+#: Canonical names of raw generator/bit-generator constructors.
+_GENERATOR_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+    }
+)
+
+
+def _helper_basename(resolved: str) -> str:
+    return resolved.rsplit(".", 1)[-1]
+
+
+@register_rule
+class UnseededLibraryRngRule(Rule):
+    code = "SIM201"
+    name = "unseeded-library-rng"
+    description = (
+        "as_rng/spawn_rngs reachable with None inside cluster//core/: fresh entropy "
+        "must be explicit user intent (runner/CLI), never implicit library behaviour"
+    )
+    scope_dirs = ("cluster", "core")
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for call in src.calls():
+            resolved = src.resolve_call(call)
+            if resolved is None:
+                continue
+            basename = _helper_basename(resolved)
+            if basename in _SEED_HELPERS:
+                yield from self._check_seed_arg(src, call, basename)
+            elif resolved == "numpy.random.SeedSequence" and not call.args and not call.keywords:
+                yield self.finding(
+                    src,
+                    call,
+                    "np.random.SeedSequence() with no entropy draws fresh OS "
+                    "entropy inside library code; thread a seed from the "
+                    "builder's stream tree",
+                )
+
+    def _check_seed_arg(self, src: SourceFile, call: ast.Call, basename: str) -> Iterable[Finding]:
+        seed, present = first_argument(call, "seed", "rng")
+        if not present:
+            yield self.finding(
+                src,
+                call,
+                f"{basename}() with no seed mints a fresh-entropy generator inside "
+                "library code; pass an explicit stream, or derive a deterministic "
+                "default with repro.utils.random.component_seed",
+            )
+            return
+        if isinstance(seed, ast.Constant) and seed.value is None:
+            yield self.finding(
+                src,
+                call,
+                f"{basename}(None) mints a fresh-entropy generator inside library "
+                "code; use repro.utils.random.component_seed (deterministic "
+                "default) or require the caller to pass a stream",
+            )
+            return
+        if isinstance(seed, ast.Name):
+            func = enclosing_function(call)
+            if func is not None and seed.id in function_params_defaulting_none(func):
+                yield self.finding(
+                    src,
+                    call,
+                    f"{basename}({seed.id}) where parameter {seed.id!r} defaults to "
+                    "None: a caller omitting it silently gets fresh entropy.  "
+                    "Wrap with repro.utils.random.component_seed(...) so the "
+                    "implicit default is a deterministic named stream",
+                )
+
+
+@register_rule
+class RawDefaultRngRule(Rule):
+    code = "SIM202"
+    name = "raw-default-rng"
+    description = (
+        "np.random.default_rng called outside utils/random.py, bypassing the "
+        "as_rng/spawn_rngs helpers (and their checkpoint/replay guarantees)"
+    )
+    exempt_suffixes = ("utils/random.py",)
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for call in src.calls():
+            if src.resolve_call(call) == "numpy.random.default_rng":
+                yield self.finding(
+                    src,
+                    call,
+                    "np.random.default_rng() bypasses repro.utils.random; use "
+                    "as_rng / spawn_rngs so seed coercion (and the None policy) "
+                    "stays in one audited place",
+                )
+
+
+@register_rule
+class RawGeneratorConstructionRule(Rule):
+    code = "SIM203"
+    name = "raw-generator-construction"
+    description = (
+        "Direct np.random.Generator / bit-generator construction outside "
+        "utils/random.py, outside the builder's named-stream tree"
+    )
+    exempt_suffixes = ("utils/random.py",)
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for call in src.calls():
+            resolved = src.resolve_call(call)
+            if resolved in _GENERATOR_CONSTRUCTORS:
+                yield self.finding(
+                    src,
+                    call,
+                    f"{resolved}(...) constructs a generator outside the builder's "
+                    "named-stream tree; spawn streams via "
+                    "repro.utils.random.spawn_rngs instead",
+                )
+
+
+__all__ = ["UnseededLibraryRngRule", "RawDefaultRngRule", "RawGeneratorConstructionRule"]

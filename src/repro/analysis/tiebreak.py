@@ -1,0 +1,92 @@
+"""SIM3xx — tie-break hazard rules.
+
+PR 8 shipped (and a frozen-oracle test caught) the canonical bug in this
+class: ``np.argpartition`` on Krum scores left *boundary ties* to the
+partition's internal arrangement, which is unspecified across NumPy
+versions and input layouts.  Selection and admission must therefore order
+candidates with an explicit, stable tie-break.  These rules flag the two
+syntactic shapes of the hazard inside the simulation core; audited sites
+carry a pragma whose justification argues tie-safety (or bit-compat with a
+pinned oracle).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.rules import Finding, Rule, register_rule
+from repro.analysis.walker import SourceFile, call_keyword
+
+#: ``kind=`` values that guarantee a stable order.
+_STABLE_KINDS = frozenset({"stable", "mergesort"})
+
+
+def _is_argpartition(src: SourceFile, call: ast.Call) -> bool:
+    resolved = src.resolve_call(call)
+    if resolved == "numpy.argpartition":
+        return True
+    return isinstance(call.func, ast.Attribute) and call.func.attr == "argpartition"
+
+
+def _is_argsort(src: SourceFile, call: ast.Call) -> bool:
+    resolved = src.resolve_call(call)
+    if resolved == "numpy.argsort":
+        return True
+    return isinstance(call.func, ast.Attribute) and call.func.attr == "argsort"
+
+
+@register_rule
+class ArgpartitionRule(Rule):
+    code = "SIM301"
+    name = "argpartition-tie-hazard"
+    description = (
+        "np.argpartition in cluster//core/: element arrangement around the "
+        "partition boundary is unspecified, so score ties select "
+        "nondeterministically across NumPy builds (the PR 8 bug class)"
+    )
+    scope_dirs = ("cluster", "core")
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for call in src.calls():
+            if _is_argpartition(src, call):
+                yield self.finding(
+                    src,
+                    call,
+                    "argpartition leaves boundary ties to the partition's internal "
+                    "arrangement; use a stable argsort (kind='stable') with an "
+                    "explicit tie-break, or pragma with an argument for why ties "
+                    "are impossible/harmless here",
+                )
+
+
+@register_rule
+class UnstableArgsortRule(Rule):
+    code = "SIM302"
+    name = "unstable-argsort"
+    description = (
+        "np.argsort without kind='stable' in cluster//core/: equal keys order "
+        "unspecified, so score/arrival ties break replay"
+    )
+    scope_dirs = ("cluster", "core")
+
+    def check_file(self, src: SourceFile) -> Iterable[Finding]:
+        for call in src.calls():
+            if not _is_argsort(src, call):
+                continue
+            kind = call_keyword(call, "kind")
+            if (
+                kind is not None
+                and isinstance(kind, ast.Constant)
+                and kind.value in _STABLE_KINDS
+            ):
+                continue
+            yield self.finding(
+                src,
+                call,
+                "argsort defaults to introsort, whose equal-key order is "
+                "unspecified; pass kind='stable' so ties keep submission order",
+            )
+
+
+__all__ = ["ArgpartitionRule", "UnstableArgsortRule"]

@@ -1,0 +1,258 @@
+"""Source-file loading, AST plumbing and pragma extraction for simlint.
+
+One :class:`SourceFile` per module: the parsed tree (with parent links so
+rules can ask "what function am I in?"), an import-alias table that resolves
+``np.random.default_rng`` / ``from time import perf_counter`` style calls to
+canonical dotted names, and the ``# simlint: disable=SIMxxx`` pragma map.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Attribute used to thread parent links through the AST.
+_PARENT = "_simlint_parent"
+
+#: ``# simlint: disable=SIM101,SIM202`` (optionally followed by free text).
+_PRAGMA_RE = re.compile(r"#\s*simlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Code token inside a pragma list.
+_CODE_RE = re.compile(r"^(?:SIM\d{3}|ALL)$")
+
+
+def parse_pragmas(lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the set of codes disabled on that line.
+
+    The special token ``all`` disables every rule on the line.  Codes are
+    comma-separated; anything after the code list (a justification — which
+    every pragma should carry) is ignored by the parser but kept in the
+    source for reviewers.
+    """
+    pragmas: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        codes: Set[str] = set()
+        for token in match.group(1).split(","):
+            token = token.strip().upper()
+            # The code list ends at the first token that is not a code —
+            # free-text justifications ("SIM301 tie arrangement pinned by
+            # the frozen oracle") stay out of the set.
+            token = token.split()[0] if token else token
+            if _CODE_RE.match(token):
+                codes.add(token)
+        if codes:
+            pragmas[lineno] = codes
+    return pragmas
+
+
+class ImportTable:
+    """Alias → canonical dotted-module map for one source file."""
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    @classmethod
+    def from_tree(cls, tree: ast.AST) -> "ImportTable":
+        table = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        table.aliases[alias.asname] = alias.name
+                    else:
+                        # ``import numpy.random`` binds the head name only.
+                        head = alias.name.split(".")[0]
+                        table.aliases[head] = head
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    table.aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+        return table
+
+    def resolve(self, dotted: str) -> str:
+        """Expand the head alias of *dotted* through the import table."""
+        head, _, rest = dotted.partition(".")
+        expansion = self.aliases.get(head)
+        if expansion is None:
+            return dotted
+        return f"{expansion}.{rest}" if rest else expansion
+
+    def imports_module(self, module: str) -> bool:
+        """Whether any alias resolves to *module* or a name inside it."""
+        return any(
+            target == module or target.startswith(module + ".")
+            for target in self.aliases.values()
+        )
+
+
+@dataclass
+class SourceFile:
+    """One parsed module plus everything rules need to inspect it."""
+
+    path: Path
+    display: str
+    text: str
+    lines: List[str] = field(default_factory=list)
+    tree: Optional[ast.AST] = None
+    syntax_error: Optional[SyntaxError] = None
+    imports: ImportTable = field(default_factory=ImportTable)
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, display: str) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        src = cls(path=path, display=display, text=text, lines=text.splitlines())
+        src.pragmas = parse_pragmas(src.lines)
+        try:
+            tree = ast.parse(text, filename=display)
+        except SyntaxError as error:
+            src.syntax_error = error
+            return src
+        _link_parents(tree)
+        src.tree = tree
+        src.imports = ImportTable.from_tree(tree)
+        return src
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def posix(self) -> PurePosixPath:
+        return PurePosixPath(self.display.replace("\\", "/"))
+
+    def in_dir(self, name: str) -> bool:
+        """Whether the file lives under a directory called *name*."""
+        return name in self.posix.parts[:-1]
+
+    def matches(self, suffix: str) -> bool:
+        """Whether the file path ends with *suffix* (posix form)."""
+        return str(self.posix).endswith(suffix)
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def disabled_codes(self, lineno: int) -> Set[str]:
+        """Codes suppressed at *lineno*: same-line pragma, or one anywhere in
+        the contiguous block of pure comment lines immediately above (so a
+        pragma can carry a multi-line justification)."""
+        codes = set(self.pragmas.get(lineno, ()))
+        above = lineno - 1
+        while above >= 1 and self.source_line(above).startswith("#"):
+            codes |= self.pragmas.get(above, set())
+            above -= 1
+        return codes
+
+    # ------------------------------------------------------------ traversal
+    def walk(self) -> Iterator[ast.AST]:
+        if self.tree is None:
+            return iter(())
+        return ast.walk(self.tree)
+
+    def calls(self) -> Iterator[ast.Call]:
+        for node in self.walk():
+            if isinstance(node, ast.Call):
+                yield node
+
+    def resolve_call(self, call: ast.Call) -> Optional[str]:
+        """Canonical dotted name of the callee, or ``None`` if not a plain
+        name/attribute chain (e.g. a call on a subscript result)."""
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        return self.imports.resolve(dotted)
+
+
+def _link_parents(tree: ast.AST) -> None:
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            setattr(child, _PARENT, parent)
+
+
+def parent(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, _PARENT, None)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    current = parent(node)
+    while current is not None:
+        yield current
+        current = parent(current)
+
+
+def enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def function_params_defaulting_none(func: ast.AST) -> Set[str]:
+    """Names of parameters whose declared default is the literal ``None``."""
+    names: Set[str] = set()
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return names
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+        if isinstance(default, ast.Constant) and default.value is None:
+            names.add(arg.arg)
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if (
+            default is not None
+            and isinstance(default, ast.Constant)
+            and default.value is None
+        ):
+            names.add(arg.arg)
+    return names
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def call_keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def first_argument(call: ast.Call, *keyword_names: str) -> Tuple[Optional[ast.expr], bool]:
+    """``(node, present)`` for the call's first positional-or-keyword seed arg."""
+    if call.args:
+        if isinstance(call.args[0], ast.Starred):
+            return None, True
+        return call.args[0], True
+    for name in keyword_names:
+        value = call_keyword(call, name)
+        if value is not None:
+            return value, True
+    return None, False
+
+
+__all__ = [
+    "SourceFile",
+    "ImportTable",
+    "parse_pragmas",
+    "parent",
+    "ancestors",
+    "enclosing_function",
+    "function_params_defaulting_none",
+    "dotted_name",
+    "call_keyword",
+    "first_argument",
+]

@@ -16,7 +16,6 @@ defence to tune its attack, which is exactly what "omniscient" means.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -24,7 +24,7 @@ the AggregaThor trainer, so Figure 3/5/6 comparisons are apples-to-apples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Union
 
 import numpy as np
 

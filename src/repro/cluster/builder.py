@@ -12,14 +12,13 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Dict, Optional, Union
 
-import numpy as np
 
 from repro.attacks.base import Attack, make_attack
 from repro.cluster.codec import WireCodec, make_codec
 from repro.cluster.cost_model import CostModel, StragglerModel
 from repro.cluster.deploy import ClusterSpec, allocate_devices
 from repro.cluster.link import SHARING_MODES, LinkTopology, parse_link_profile
-from repro.cluster.network import Channel, DelayedChannel, LossyChannel, ReliableChannel
+from repro.cluster.network import Channel, DelayedChannel, LossyChannel
 from repro.cluster.packets import RecoveryPolicy
 from repro.cluster.profiler import SimProfiler
 from repro.cluster.server import ParameterServer

@@ -38,14 +38,14 @@ layer never re-derives wire sizes from a shared constant.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.cost_model import BYTES_PER_COORDINATE
 from repro.exceptions import ConfigurationError
-from repro.utils.random import SeedLike, as_rng
+from repro.utils.random import SeedLike, as_rng, component_seed
 
 #: Sentinel distinguishing "keep the frame's indices" from an explicit None.
 _KEEP_INDICES = object()
@@ -280,6 +280,9 @@ class TopKCodec(WireCodec):
         if k >= values.size:
             indices = np.arange(values.size)
         else:
+            # simlint: disable=SIM301 boundary ties follow introselect pivot
+            # order; the resulting support is pinned by the frozen codec
+            # round-trip oracles and the batch path reproduces it exactly.
             indices = np.argpartition(np.abs(values), values.size - k)[-k:]
             indices = np.sort(indices)
         return WireFrame(
@@ -303,6 +306,7 @@ class TopKCodec(WireCodec):
         # np.argpartition with axis=1 applies introselect row-wise with the
         # same pivot walk as the 1-D call, so the selected (and then sorted)
         # support matches the per-row encode exactly, ties included.
+        # simlint: disable=SIM301 tie arrangement pinned against the 1-D path
         support = np.argpartition(np.abs(matrix), dim - k, axis=1)[:, -k:]
         indices = np.sort(support, axis=1)
         kept = np.take_along_axis(matrix, indices, axis=1)
@@ -326,6 +330,7 @@ class TopKCodec(WireCodec):
         # Same selection as encode_batch; the frames take row views of the
         # batch arrays and the decode scatters those same arrays over zeros
         # — no per-frame restacking.
+        # simlint: disable=SIM301 tie arrangement pinned against the 1-D path
         support = np.argpartition(np.abs(matrix), dim - k, axis=1)[:, -k:]
         indices = np.sort(support, axis=1)
         kept = np.take_along_axis(matrix, indices, axis=1)
@@ -373,7 +378,9 @@ class RandomKCodec(WireCodec):
 
     def __init__(self, k: int, *, rng: SeedLike = None) -> None:
         self.k = _check_k(k)
-        self._rng = as_rng(rng)
+        # Omitted rng = deterministic named stream, never fresh entropy
+        # (SIM201); the builder always passes its dedicated codec stream.
+        self._rng = as_rng(component_seed(rng, "random-k-codec"))
 
     def _effective_k(self, dim: int) -> int:
         return min(self.k, int(dim))
@@ -381,12 +388,15 @@ class RandomKCodec(WireCodec):
     def _supports(self, n: int, dim: int, k: int) -> np.ndarray:
         """``(n, k)`` sorted uniform supports from one batched uniform draw."""
         uniforms = self._rng.random((n, dim))
+        # simlint: disable=SIM301 selecting on iid uniforms — exact ties have
+        # probability zero, so no data-dependent tie-break can arise.
         return np.sort(np.argpartition(uniforms, k - 1, axis=1)[:, :k], axis=1)
 
     def encode(self, gradient: np.ndarray) -> WireFrame:
         values = self._flat(gradient)
         k = self._effective_k(values.size)
         uniforms = self._rng.random(values.size)
+        # simlint: disable=SIM301 uniform-draw ties are measure-zero
         indices = np.sort(np.argpartition(uniforms, k - 1)[:k])
         scale = values.size / k
         return WireFrame(
@@ -462,7 +472,9 @@ class QSGDCodec(WireCodec):
             )
         self.bits = int(bits)
         self.levels = 2 ** self.bits - 1
-        self._rng = as_rng(rng)
+        # Omitted rng = deterministic named stream, never fresh entropy
+        # (SIM201); the builder always passes its dedicated codec stream.
+        self._rng = as_rng(component_seed(rng, "qsgd-codec"))
 
     def encode(self, gradient: np.ndarray) -> WireFrame:
         values = self._flat(gradient)

@@ -266,8 +266,12 @@ class CostModel:
             gar.distance_provider = distance_cache
         try:
             if self.measured_aggregation:
+                # simlint: disable=SIM101 measured aggregation is the opt-in
+                # non-replayable mode; the CLI refuses it under
+                # --determinism-check, so replay never takes this branch.
                 start = time.perf_counter()
                 result = gar.aggregate_validated(matrix)
+                # simlint: disable=SIM101 same opt-in measured branch as above
                 return result, time.perf_counter() - start
             result = gar.aggregate_validated(matrix)
         finally:

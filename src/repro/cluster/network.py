@@ -50,7 +50,7 @@ from repro.cluster.codec import IdentityCodec, WireFrame
 from repro.cluster.cost_model import CostModel
 from repro.cluster.packets import Packetizer, RecoveryPolicy
 from repro.exceptions import ConfigurationError
-from repro.utils.random import SeedLike, as_rng, spawn_rngs
+from repro.utils.random import SeedLike, component_seed, spawn_rngs
 from repro.utils.validation import check_probability
 
 #: Shared raw framing used by the payload-level compatibility API.
@@ -204,7 +204,9 @@ class DelayedChannel(Channel):
         # the lossy channel's wire/fill streams: sharing the raw seed (or a
         # parent generator) with another component must never let jitter
         # consumption perturb that component's draws — or any training stream.
-        (self._rng,) = spawn_rngs(rng, 1)
+        # An omitted rng falls back to a deterministic component seed, never
+        # fresh entropy (SIM201), so replays stay bit-identical.
+        (self._rng,) = spawn_rngs(component_seed(rng, "delayed-channel"), 1)
 
     def transfer_frame(
         self, frame: WireFrame, cost_model: CostModel
@@ -255,7 +257,9 @@ class LossyChannel(Channel):
     ) -> None:
         self.drop_rate = check_probability(drop_rate, "drop_rate")
         self.reorder_rate = check_probability(reorder_rate, "reorder_rate")
-        self._wire_rng, fill_rng = spawn_rngs(rng, 2)
+        # Omitted rng = deterministic component seed, never fresh entropy
+        # (SIM201): drop/reorder/fill draws must replay bit-identically.
+        self._wire_rng, fill_rng = spawn_rngs(component_seed(rng, "lossy-channel"), 2)
         self.packetizer = Packetizer(
             coordinates_per_packet, policy=policy, rng=fill_rng
         )

@@ -31,7 +31,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError, NetworkError
-from repro.utils.random import SeedLike, as_rng
+from repro.utils.random import SeedLike, as_rng, component_seed
 from repro.utils.validation import check_positive_int
 
 
@@ -82,7 +82,9 @@ class Packetizer:
             coordinates_per_packet, "coordinates_per_packet"
         )
         self.policy = RecoveryPolicy(policy)
-        self._rng = as_rng(rng)
+        # Omitted rng = deterministic named stream, never fresh entropy
+        # (SIM201); only the RANDOM_FILL policy ever draws from it.
+        self._rng = as_rng(component_seed(rng, "packetizer"))
 
     # ------------------------------------------------------------------ split
     def split(self, gradient: np.ndarray) -> List[Packet]:

@@ -32,8 +32,7 @@ from repro.cluster.message import GradientMessage
 from repro.cluster.server import ParameterServer
 from repro.core.base import GradientAggregationRule
 from repro.exceptions import ConfigurationError, TrainingError
-from repro.optim.base import Optimizer, make_optimizer
-from repro.utils.random import SeedLike, as_rng
+from repro.utils.random import SeedLike, as_rng, component_seed
 
 
 def majority_model(proposals: Sequence[np.ndarray], *, quorum: Optional[int] = None,
@@ -118,7 +117,9 @@ class ReplicatedParameterServer:
             )
         self.num_replicas = int(num_replicas)
         self.byzantine_replicas = int(byzantine_replicas)
-        self._rng = as_rng(rng)
+        # Omitted rng = deterministic named stream, never fresh entropy
+        # (SIM201): replica-fault draws must replay bit-identically.
+        self._rng = as_rng(component_seed(rng, "replicated-server"))
         self.replicas: List[ParameterServer] = [
             ParameterServer(
                 np.asarray(initial_parameters, dtype=np.float64).copy(),

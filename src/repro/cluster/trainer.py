@@ -76,7 +76,7 @@ from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker, craft_fl
 from repro.core.kernels import SELECTION_CLOCK
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.nn.model import Sequential
-from repro.utils.random import SeedLike, as_rng
+from repro.utils.random import SeedLike, as_rng, component_seed
 
 #: Accepted honest-gradient compute modes.  ``exact`` runs every worker's own
 #: backprop (bit-identical to the seed); ``fleet`` batches all honest
@@ -215,7 +215,10 @@ class BaseTrainer:
         self.sync_policy = sync_policy if sync_policy is not None else FullSync()
         self.sync_policy.bind(num_workers=len(self.workers), f=server.gar.f)
         self.straggler_model = straggler_model
-        self._straggler_rng = as_rng(straggler_rng)
+        # Omitted straggler_rng = deterministic named stream, never fresh
+        # entropy (SIM201); the builder always passes its dedicated stream,
+        # and checkpoints capture/restore this generator either way.
+        self._straggler_rng = as_rng(component_seed(straggler_rng, "straggler"))
         self.cluster = cluster
         self.codec = codec if codec is not None else IdentityCodec()
         self.link_sharing = link_sharing

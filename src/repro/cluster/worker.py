@@ -9,7 +9,6 @@ observe every honest gradient before crafting its own).
 from __future__ import annotations
 
 import abc
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -17,7 +16,7 @@ from repro.cluster.message import GradientMessage
 from repro.data.sampler import MiniBatchSampler
 from repro.exceptions import ConfigurationError
 from repro.nn.model import Sequential
-from repro.utils.random import SeedLike, as_rng
+from repro.utils.random import SeedLike, as_rng, component_seed
 
 
 class Worker(abc.ABC):
@@ -112,7 +111,9 @@ class ByzantineWorker(Worker):
                 "num_byzantine, rng) method"
             )
         self.attack = attack
-        self._rng = as_rng(rng)
+        # Omitted rng falls back to a deterministic named stream — fresh
+        # entropy inside the cluster layer would void replay (SIM201).
+        self._rng = as_rng(component_seed(rng, "byzantine-worker"))
 
     @property
     def is_byzantine(self) -> bool:

@@ -21,7 +21,7 @@ command-line-style runner can instantiate them from strings, mirroring the
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple, Type
 
 import numpy as np

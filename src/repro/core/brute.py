@@ -21,7 +21,6 @@ from repro.core.kernels import (
     BRUTE_VECTOR_SUBSET_LIMIT,
     SELECTION_CLOCK,
     brute_select,
-    pairwise_squared_distances,
 )
 from repro.exceptions import AggregationError, ConfigurationError, ResilienceConditionError
 

@@ -14,7 +14,6 @@ import numpy as np
 
 from repro.core.base import AggregationResult, GradientAggregationRule, register_gar
 from repro.core.kernels import fill_non_finite_extremes
-from repro.exceptions import ConfigurationError
 
 
 @register_gar("median")

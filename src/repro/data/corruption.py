@@ -7,7 +7,6 @@ helpers implement the corruptions applied to such a worker's local dataset.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

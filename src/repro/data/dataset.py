@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.utils.random import as_rng
 
 
 @dataclass
@@ -70,7 +71,7 @@ class Dataset:
             raise ConfigurationError(
                 f"subset size must be in [1, {self.num_train}], got {size}"
             )
-        generator = rng if rng is not None else np.random.default_rng(0)
+        generator = as_rng(rng if rng is not None else 0)
         idx = generator.choice(self.num_train, size=size, replace=False)
         return Dataset(
             train_x=self.train_x[idx],

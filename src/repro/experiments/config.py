@@ -18,11 +18,10 @@ accepts a *profile*:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.cluster.cost_model import CostModel
 from repro.data.dataset import Dataset
-from repro.data.datasets import gaussian_blobs, synthetic_cifar
 from repro.exceptions import ConfigurationError
 
 

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core import Average, Bulyan, MultiKrum, theory
 from repro.exceptions import ConfigurationError
 from repro.experiments.export import format_table
+from repro.utils.random import as_rng
 
 
 def measure_aggregation_time(
@@ -28,7 +29,7 @@ def measure_aggregation_time(
     """Median wall-clock seconds of one aggregation call on random gradients."""
     if repeats < 1:
         raise ConfigurationError("repeats must be >= 1")
-    generator = rng if rng is not None else np.random.default_rng(0)
+    generator = as_rng(rng if rng is not None else 0)
     matrix = generator.standard_normal((n, d))
     times = []
     for _ in range(repeats):
@@ -47,7 +48,7 @@ def run_cost_analysis(
 ) -> Dict:
     """Measure GAR runtimes across a (n, d) grid and report scaling exponents."""
     rows: List[Dict] = []
-    rng = np.random.default_rng(0)
+    rng = as_rng(0)
     gars = {
         "average": Average(),
         "multi-krum": MultiKrum(f=f),

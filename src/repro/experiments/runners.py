@@ -14,7 +14,7 @@ A *system* is one of the curves of the paper's figures:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
 from repro.baselines.draco import DracoConfig, DracoTrainer
 from repro.cluster.builder import build_trainer

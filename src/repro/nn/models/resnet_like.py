@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.exceptions import ConfigurationError
-from repro.nn.layers import Conv2D, Dense, Flatten, GlobalAvgPool2D, ReLU, ResidualBlock
+from repro.nn.layers import Conv2D, Dense, GlobalAvgPool2D, ReLU, ResidualBlock
 from repro.nn.model import Sequential
 from repro.nn.models.registry import register_model
 from repro.utils.random import SeedLike, spawn_rngs

@@ -29,7 +29,6 @@ from repro.cluster.codec import CODEC_REGISTRY, QSGDCodec, available_codecs
 from repro.cluster.checkpoint import (
     Checkpoint,
     CheckpointManager,
-    write_history_json,
     write_summary_csv,
 )
 from repro.cluster.cost_model import StragglerModel

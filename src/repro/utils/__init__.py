@@ -1,6 +1,6 @@
 """Shared utilities: validation, deterministic RNG handling, flattening."""
 
-from repro.utils.random import as_rng, spawn_rngs
+from repro.utils.random import as_rng, component_seed, fresh_rng, spawn_rngs
 from repro.utils.validation import (
     check_gradient_matrix,
     check_positive_int,
@@ -11,6 +11,8 @@ from repro.utils.flatten import flatten_arrays, unflatten_array
 
 __all__ = [
     "as_rng",
+    "component_seed",
+    "fresh_rng",
     "spawn_rngs",
     "check_gradient_matrix",
     "check_positive_int",

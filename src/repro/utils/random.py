@@ -9,7 +9,7 @@ each worker and each channel through :func:`spawn_rngs`.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 
@@ -47,6 +47,40 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in ss.spawn(count)]
 
 
+#: Fixed namespace for :func:`component_seed` defaults.  The value is
+#: arbitrary but frozen: changing it changes every implicit component
+#: stream, which is a replay-breaking event.
+_COMPONENT_NAMESPACE = 0x51AB
+
+
+def component_seed(rng: SeedLike, component: str) -> SeedLike:
+    """Deterministic default seed policy for library components.
+
+    Components in ``cluster/`` / ``core/`` must never mint fresh-entropy
+    generators implicitly (simlint rule SIM201): a caller who omits ``rng``
+    gets a *deterministic* stream derived from the component's name instead
+    of OS entropy.  An explicitly provided seed/generator passes through
+    unchanged, so the builder's named-stream tree is unaffected.
+
+    Fresh entropy remains available — but only through the explicit
+    :func:`fresh_rng`, i.e. from deliberate user intent at the runner/CLI
+    layer, never as a silent default.
+    """
+    if rng is None:
+        return derive_seed(_COMPONENT_NAMESPACE, component)
+    return rng
+
+
+def fresh_rng() -> np.random.Generator:
+    """A generator seeded from OS entropy — *explicit* user intent only.
+
+    This is the single sanctioned way to obtain a non-reproducible stream
+    (e.g. a runner flag that deliberately randomises a demo).  Library code
+    must not call it; simulations derive every stream from the master seed.
+    """
+    return np.random.default_rng(np.random.SeedSequence())
+
+
 def derive_seed(seed: SeedLike, *tags: Union[int, str]) -> int:
     """Derive a stable integer sub-seed from *seed* and a sequence of tags.
 
@@ -71,4 +105,4 @@ def derive_seed(seed: SeedLike, *tags: Union[int, str]) -> int:
     return int(np.random.SeedSequence(material).generate_state(1)[0])
 
 
-__all__ = ["SeedLike", "as_rng", "spawn_rngs", "derive_seed"]
+__all__ = ["SeedLike", "as_rng", "spawn_rngs", "derive_seed", "component_seed", "fresh_rng"]

@@ -1,0 +1,9 @@
+import time
+
+
+def stamp_event():
+    return time.time()
+
+
+def split():
+    return time.perf_counter()

@@ -1,0 +1,6 @@
+import time
+
+
+def host_split():
+    # Allowed: cluster/profiler.py is the sanctioned host-timing module.
+    return time.perf_counter()

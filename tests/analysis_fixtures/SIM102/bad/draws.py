@@ -1,0 +1,6 @@
+import numpy as np
+
+
+def draw():
+    np.random.seed(0)
+    return np.random.randn(3)

@@ -1,0 +1,5 @@
+import numpy as np
+
+
+def draw(rng: np.random.Generator):
+    return rng.normal(size=3)

@@ -1,0 +1,5 @@
+import random
+
+
+def pick(items):
+    return random.choice(list(items))

@@ -1,0 +1,3 @@
+def pick(items, rng):
+    items = list(items)
+    return items[int(rng.integers(len(items)))]

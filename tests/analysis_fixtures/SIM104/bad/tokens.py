@@ -1,0 +1,6 @@
+import os
+import uuid
+
+
+def session_token():
+    return os.urandom(16), uuid.uuid4()

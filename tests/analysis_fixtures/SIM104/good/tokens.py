@@ -1,0 +1,5 @@
+import uuid
+
+
+def stable_id(name: str):
+    return uuid.uuid5(uuid.NAMESPACE_DNS, name)

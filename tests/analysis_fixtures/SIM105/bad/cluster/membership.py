@@ -1,0 +1,9 @@
+def drain(ids):
+    pending = {int(i) for i in ids}
+    for worker_id in pending:
+        yield worker_id
+
+
+def snapshot(ids):
+    members = {i for i in ids}
+    return list(members)

@@ -1,0 +1,8 @@
+def drain(pending: set):
+    for worker_id in sorted(pending):
+        yield worker_id
+
+
+def snapshot(ids):
+    members = {i for i in ids}
+    return sorted(members)

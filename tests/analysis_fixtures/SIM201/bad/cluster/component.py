@@ -1,0 +1,10 @@
+from repro.utils.random import as_rng, spawn_rngs
+
+
+class Component:
+    def __init__(self, rng=None):
+        self._rng = as_rng(rng)
+
+
+def make_streams():
+    return spawn_rngs(None, 2)

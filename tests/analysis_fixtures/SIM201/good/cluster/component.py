@@ -1,0 +1,6 @@
+from repro.utils.random import as_rng, component_seed
+
+
+class Component:
+    def __init__(self, rng=None):
+        self._rng = as_rng(component_seed(rng, "component"))

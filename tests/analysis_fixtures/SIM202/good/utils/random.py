@@ -1,0 +1,6 @@
+import numpy as np
+
+
+def as_rng(seed=None):
+    # Allowed: utils/random.py is the single sanctioned constructor site.
+    return np.random.default_rng(seed)

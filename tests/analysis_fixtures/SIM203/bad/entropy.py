@@ -1,0 +1,5 @@
+import numpy as np
+
+
+def make_generator():
+    return np.random.Generator(np.random.PCG64(7))

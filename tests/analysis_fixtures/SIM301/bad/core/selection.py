@@ -1,0 +1,5 @@
+import numpy as np
+
+
+def top_k(scores, k):
+    return np.argpartition(scores, k - 1)[:k]

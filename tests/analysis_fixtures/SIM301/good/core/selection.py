@@ -1,0 +1,6 @@
+import numpy as np
+
+
+def top_k(scores, k):
+    # Stable sort + explicit slice: boundary ties resolve by index.
+    return np.argsort(scores, kind="stable")[:k]

@@ -1,0 +1,5 @@
+import numpy as np
+
+
+def ranked(scores):
+    return np.argsort(scores)

@@ -1,0 +1,10 @@
+class Accumulator:
+    def __init__(self):
+        self.history = []
+        self.count = 0
+
+    def state_dict(self):
+        return {"count": self.count}
+
+    def load_state_dict(self, state):
+        self.count = state["count"]

@@ -1,0 +1,11 @@
+class Accumulator:
+    def __init__(self):
+        self.history = []
+        self.count = 0
+
+    def state_dict(self):
+        return {"count": self.count, "history": list(self.history)}
+
+    def load_state_dict(self, state):
+        self.count = state["count"]
+        self.history = list(state["history"])

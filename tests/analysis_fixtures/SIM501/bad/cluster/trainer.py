@@ -1,0 +1,6 @@
+def run(profiler):
+    with profiler.section("compute"):
+        pass
+    with profiler.section("network"):
+        pass
+    profiler.add("gpu", 1.0)

@@ -1,0 +1,4 @@
+def run(profiler):
+    with profiler.section("compute"):
+        pass
+    profiler.add("network", 1.0)

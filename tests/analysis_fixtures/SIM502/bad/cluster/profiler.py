@@ -1,0 +1,2 @@
+class SimProfiler:
+    SUBSYSTEMS = ("compute", "network")

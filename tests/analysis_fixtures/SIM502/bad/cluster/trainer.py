@@ -1,0 +1,3 @@
+def run(profiler):
+    with profiler.section("compute"):
+        pass

@@ -1,0 +1,260 @@
+"""Fixture-corpus driver for the simlint rules (tests/analysis_fixtures/).
+
+Every registered rule code (plus the SIM001 parse-error pseudo-code) has a
+``bad/`` tree that must trigger it and a ``good/`` tree that must not; this
+module drives both directions, exercises the pragma / baseline / CLI
+machinery on synthetic trees, and finally asserts the live ``src/`` tree is
+clean under the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rule_codes, run_analysis
+from repro.analysis.baseline import save_baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import PARSE_ERROR_CODE
+from repro.analysis.report import format_github, format_text, to_json_payload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tests" / "analysis_fixtures"
+
+ALL_CODES = sorted(set(all_rule_codes()) | {PARSE_ERROR_CODE})
+
+
+def _scan(path: Path, **kwargs):
+    return run_analysis([path], root=REPO_ROOT, baseline_path=None, **kwargs)
+
+
+# ------------------------------------------------------------ fixture corpus
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_bad_fixture_triggers_code(code):
+    result = _scan(FIXTURES / code / "bad")
+    assert code in result.codes(), (
+        f"{code}: bad fixture produced {sorted(result.codes())}"
+    )
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+def test_good_fixture_does_not_trigger_code(code):
+    result = _scan(FIXTURES / code / "good")
+    assert code not in result.codes(), (
+        f"{code}: good fixture produced {sorted(result.codes())}"
+    )
+
+
+def test_fixture_corpus_covers_every_rule():
+    on_disk = {p.name for p in FIXTURES.iterdir() if p.is_dir()}
+    assert on_disk == set(ALL_CODES)
+    for code in ALL_CODES:
+        assert list((FIXTURES / code / "bad").rglob("*.py")), f"{code}: no bad files"
+        assert list((FIXTURES / code / "good").rglob("*.py")), f"{code}: no good files"
+
+
+# ------------------------------------------------------------------ pragmas
+def _write(tmp_path: Path, body: str) -> Path:
+    target = tmp_path / "module.py"
+    target.write_text(body, encoding="utf-8")
+    return target
+
+
+def test_pragma_same_line_suppresses(tmp_path):
+    _write(tmp_path, "import time\nnow = time.time()  # simlint: disable=SIM101 harness\n")
+    result = run_analysis([tmp_path], root=tmp_path, baseline_path=None)
+    assert result.codes() == set()
+    assert len(result.suppressed) == 1
+
+
+def test_pragma_comment_line_above_suppresses(tmp_path):
+    _write(
+        tmp_path,
+        "import time\n"
+        "# simlint: disable=SIM101 reporting-only wall clock\n"
+        "now = time.time()\n",
+    )
+    result = run_analysis([tmp_path], root=tmp_path, baseline_path=None)
+    assert result.codes() == set()
+
+
+def test_pragma_in_comment_block_above_suppresses(tmp_path):
+    _write(
+        tmp_path,
+        "import time\n"
+        "# simlint: disable=SIM101 this wall-clock read is a harness\n"
+        "# measurement only; it never feeds back into simulated time.\n"
+        "now = time.time()\n",
+    )
+    result = run_analysis([tmp_path], root=tmp_path, baseline_path=None)
+    assert result.codes() == set()
+
+
+def test_pragma_wrong_code_does_not_suppress(tmp_path):
+    _write(tmp_path, "import time\nnow = time.time()  # simlint: disable=SIM301\n")
+    result = run_analysis([tmp_path], root=tmp_path, baseline_path=None)
+    assert result.codes() == {"SIM101"}
+
+
+def test_pragma_all_token_suppresses_everything(tmp_path):
+    _write(tmp_path, "import time\nnow = time.time()  # simlint: disable=all legacy\n")
+    result = run_analysis([tmp_path], root=tmp_path, baseline_path=None)
+    assert result.codes() == set()
+
+
+def test_pragma_on_unrelated_line_does_not_suppress(tmp_path):
+    _write(
+        tmp_path,
+        "import time\n"
+        "# simlint: disable=SIM101\n"
+        "x = 1\n"
+        "now = time.time()\n",
+    )
+    result = run_analysis([tmp_path], root=tmp_path, baseline_path=None)
+    assert result.codes() == {"SIM101"}
+
+
+# ----------------------------------------------------------------- baseline
+def test_baseline_consumes_known_findings(tmp_path):
+    _write(tmp_path, "import time\nnow = time.time()\n")
+    no_baseline = run_analysis([tmp_path], root=tmp_path, baseline_path=None)
+    assert len(no_baseline.new_findings) == 1
+
+    baseline = tmp_path / "baseline.json"
+    save_baseline(baseline, no_baseline.raw_findings)
+    result = run_analysis([tmp_path], root=tmp_path, baseline_path=baseline)
+    assert result.ok
+    assert len(result.baselined) == 1
+
+
+def test_baseline_stale_entry_fails_run(tmp_path):
+    _write(tmp_path, "import time\nnow = time.time()\n")
+    first = run_analysis([tmp_path], root=tmp_path, baseline_path=None)
+    baseline = tmp_path / "baseline.json"
+    save_baseline(baseline, first.raw_findings)
+
+    (tmp_path / "module.py").write_text("now = 0\n", encoding="utf-8")
+    result = run_analysis([tmp_path], root=tmp_path, baseline_path=baseline)
+    assert not result.ok
+    assert result.new_findings == []
+    assert len(result.stale_baseline) == 1
+
+
+def test_baseline_matches_by_source_not_line(tmp_path):
+    _write(tmp_path, "import time\nnow = time.time()\n")
+    first = run_analysis([tmp_path], root=tmp_path, baseline_path=None)
+    baseline = tmp_path / "baseline.json"
+    save_baseline(baseline, first.raw_findings)
+
+    # Pure line shift: prepend comments; the baseline entry must still match.
+    _write(tmp_path, "# header\n# header\nimport time\nnow = time.time()\n")
+    result = run_analysis([tmp_path], root=tmp_path, baseline_path=baseline)
+    assert result.ok
+    assert len(result.baselined) == 1
+
+
+def test_corrupt_baseline_exits_2(tmp_path, monkeypatch, capsys):
+    _write(tmp_path, "x = 1\n")
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"version": 99, "findings": []}), encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    assert main(["module.py", "--baseline", str(baseline)]) == 2
+    assert "simlint" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------- CLI
+def test_cli_clean_tree_exits_0(tmp_path, monkeypatch, capsys):
+    _write(tmp_path, "x = 1\n")
+    monkeypatch.chdir(tmp_path)
+    assert main(["module.py", "--no-baseline"]) == 0
+
+
+def test_cli_findings_exit_1(tmp_path, monkeypatch, capsys):
+    _write(tmp_path, "import time\nnow = time.time()\n")
+    monkeypatch.chdir(tmp_path)
+    assert main(["module.py", "--no-baseline"]) == 1
+    assert "SIM101" in capsys.readouterr().out
+
+
+def test_cli_missing_path_exits_2(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit) as exc:
+        main(["no-such-dir"])
+    assert exc.value.code == 2
+
+
+def test_cli_update_baseline_roundtrip(tmp_path, monkeypatch, capsys):
+    _write(tmp_path, "import time\nnow = time.time()\n")
+    monkeypatch.chdir(tmp_path)
+    assert main(["module.py", "--update-baseline"]) == 0
+    assert (tmp_path / ".simlint-baseline.json").exists()
+    assert main(["module.py"]) == 0  # baselined now
+
+
+def test_cli_output_writes_json_artifact(tmp_path, monkeypatch, capsys):
+    _write(tmp_path, "import time\nnow = time.time()\n")
+    monkeypatch.chdir(tmp_path)
+    report = tmp_path / "report.json"
+    main(["module.py", "--no-baseline", "--output", str(report)])
+    payload = json.loads(report.read_text(encoding="utf-8"))
+    assert payload["counts"]["new"] == 1
+    assert payload["findings"][0]["code"] == "SIM101"
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in all_rule_codes():
+        assert code in out
+
+
+def test_select_and_ignore(tmp_path):
+    _write(tmp_path, "import time\nimport numpy as np\nnow = time.time()\ng = np.random.default_rng(0)\n")
+    only_1xx = run_analysis([tmp_path], root=tmp_path, baseline_path=None, select=["SIM1"])
+    assert only_1xx.codes() == {"SIM101"}
+    without_1xx = run_analysis([tmp_path], root=tmp_path, baseline_path=None, ignore=["SIM1"])
+    assert "SIM101" not in without_1xx.codes()
+    assert "SIM202" in without_1xx.codes()
+
+
+# ------------------------------------------------------------------ formats
+def test_report_formats_smoke(tmp_path):
+    _write(tmp_path, "import time\nnow = time.time()\n")
+    result = run_analysis([tmp_path], root=tmp_path, baseline_path=None)
+    text = format_text(result)
+    assert "SIM101" in text and "module.py" in text
+    github = format_github(result)
+    assert github.startswith("::error file=")
+    payload = to_json_payload(result)
+    assert payload["files_scanned"] == 1
+
+
+# ------------------------------------------------------------- live src tree
+def test_simlint_clean_on_live_src():
+    """The committed tree must pass simlint under the committed baseline."""
+    result = run_analysis(
+        [REPO_ROOT / "src"],
+        root=REPO_ROOT,
+        baseline_path=REPO_ROOT / ".simlint-baseline.json",
+    )
+    assert result.ok, (
+        "simlint found new violations:\n" + format_text(result)
+    )
+    assert result.stale_baseline == [], "baseline has stale entries"
+
+
+def test_committed_baseline_is_small_and_justified():
+    """The baseline is for grandfathering, not a dumping ground."""
+    payload = json.loads(
+        (REPO_ROOT / ".simlint-baseline.json").read_text(encoding="utf-8")
+    )
+    assert payload["version"] == 1
+    assert len(payload["findings"]) <= 10
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(pytest.main([__file__, "-q"]))
