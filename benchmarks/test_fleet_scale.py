@@ -18,7 +18,12 @@ The tentpole claims of the vectorised hot-path work, one per regime:
   regressions before the runner OOMs);
 * ``wan_delta`` — the link-maths-dominated regime: the vectorised path
   must never be slower than legacy, and the per-scenario baseline ratio
-  does the real gating.
+  does the real gating;
+* ``sharded_wan`` — the region-sharded parameter service on a four-region
+  WAN: like ``wan_delta`` the step is link and gather maths common to both
+  arms, so the gate is "never slower than legacy" plus the baseline ratio;
+  the scenario's real claim (regional sharding cuts measured cross-region
+  bytes versus an unsharded twin) is gated by the CI smoke job.
 
 All assertions are machine-normalised: each gate is an ``optimised /
 legacy`` wall-clock *ratio* measured on this machine (min over repeats,
@@ -56,6 +61,7 @@ SPEEDUP_FLOORS = {
     "async_quorum": 3.0,
     "conv_fleet": 4.0,
     "wan_delta": 0.95,
+    "sharded_wan": 0.95,
     "bulyan_attack": 5.0,
     "sync_10k": 5.0,
 }

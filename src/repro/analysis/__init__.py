@@ -25,6 +25,9 @@ Rule families
             by ``state_dict``)
 ``SIM5xx``  profiler coverage (``SimProfiler`` buckets vs. trainer
             sections, both directions)
+``SIM6xx``  parameter-service contracts (shard routing must be a pure
+            function of ``(worker_id, shard_id, version)`` — no clock
+            reads, no RNG draws, no salted ``hash()`` in placement)
 
 See the README's "Static analysis" section for the workflow (pragmas,
 ``--update-baseline``, adding a rule).

@@ -11,6 +11,7 @@ from repro.analysis import checkpoints as _checkpoints  # noqa: F401  (registers
 from repro.analysis import determinism as _determinism  # noqa: F401
 from repro.analysis import profiler_coverage as _profiler  # noqa: F401
 from repro.analysis import rng_discipline as _rng  # noqa: F401
+from repro.analysis import shard_routing as _shard_routing  # noqa: F401
 from repro.analysis import tiebreak as _tiebreak  # noqa: F401
 from repro.analysis.baseline import apply_baseline, load_baseline
 from repro.analysis.rules import Finding, instantiate_rules

@@ -22,6 +22,7 @@ from repro.cluster.network import Channel, DelayedChannel, LossyChannel
 from repro.cluster.packets import RecoveryPolicy
 from repro.cluster.profiler import SimProfiler
 from repro.cluster.server import ParameterServer
+from repro.cluster.service import ServerFabric, parse_server_topology
 from repro.cluster.sync import FullSync, SyncPolicy, make_sync_policy
 from repro.cluster.trainer import AsyncTrainer, BaseTrainer, SynchronousTrainer
 from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker
@@ -116,6 +117,7 @@ def build_trainer(
     link_jitters: Optional[Dict[int, float]] = None,
     worker_speeds: Optional[Dict[int, float]] = None,
     uplink_channels: Optional[Dict[int, Channel]] = None,
+    server_topology: Optional[str] = None,
     seed: SeedLike = 0,
 ) -> BaseTrainer:
     """Assemble a full simulated deployment and return its trainer.
@@ -270,6 +272,16 @@ def build_trainer(
         Per-worker-id relative compute speed (< 1 = persistent compute
         straggler); applies to honest workers only, the adversary is
         arbitrarily fast regardless.
+    server_topology:
+        The parameter-service layout (``--server-topology`` analogue):
+        ``"single"`` / ``None`` keeps the one-server deployment,
+        ``"shards:N"`` hosts ``N`` server actors each owning a contiguous
+        parameter shard, ``"replicas:R"`` runs ``R`` deterministic
+        full-model replicas, and ``"region-sharded"`` places one shard per
+        WAN region of the link topology (requires a ``wan:`` profile).  A
+        cluster spec's ``server_topology`` field applies when not given.
+        Trivial layouts (``shards:1`` / ``replicas:1``) are bit-identical —
+        parameters, timing and telemetry — to the single server.
     seed:
         Master seed; every worker / channel / attack derives an independent
         stream from it.
@@ -464,7 +476,25 @@ def build_trainer(
     if cluster_spec is not None and cluster_spec.server_node is None:
         cluster_spec = allocate_devices(cluster_spec, num_workers)
 
+    # Parameter service (PR 10): resolve the topology request against the
+    # wire topology.  ``None`` (no flag, no cluster field) builds no fabric
+    # at all — the trainers then take the exact legacy code path, as do
+    # trivial topologies via ``ServerFabric.is_trivial``.
+    topology_spec = server_topology
+    if topology_spec is None and cluster_spec is not None:
+        topology_spec = cluster_spec.server_topology
+    service = None
+    if topology_spec is not None:
+        service = ServerFabric(
+            server,
+            cost,
+            topology=parse_server_topology(topology_spec),
+            link_topology=topology,
+            link_sharing=link_sharing,
+        )
+
     common = dict(
+        service=service,
         sync_policy=sync_instance,
         straggler_model=straggler_model,
         straggler_rng=straggler_rng,

@@ -157,6 +157,12 @@ class TrainingState:
     #: carry pool on restore; this one float is the only pricing carry-over
     #: (0.0 without a distance cache — and in older archives).
     distance_warm_debt: float = 0.0
+    #: Parameter-service fabric state (:meth:`ServerFabric.state_dict`):
+    #: every shard's retained-version slice digests, the versions pinned for
+    #: live delta broadcasts, and the cumulative interserver counters.
+    #: ``None`` without a service — and in archives written before the
+    #: parameter service existed.
+    service_state: Optional[Dict] = None
 
 
 def _channel_rngs(channel, prefix: str) -> List[Tuple[str, np.random.Generator]]:
@@ -237,6 +243,11 @@ def capture_training_state(trainer) -> TrainingState:
             for worker_id, session in getattr(trainer, "_downlink", {}).items()
         },
         distance_warm_debt=float(getattr(trainer, "_warm_debt", 0.0)),
+        service_state=(
+            trainer.service.state_dict()
+            if getattr(trainer, "service", None) is not None
+            else None
+        ),
     )
 
 
@@ -301,6 +312,22 @@ def restore_training_state(trainer, state: TrainingState) -> None:
         # the uninterrupted run never paid for.
         trainer.server.track_version(version, replica)
         trainer.server.pin_version(version)
+    if state.service_state is not None:
+        if getattr(trainer, "service", None) is None:
+            raise ConfigurationError(
+                "checkpoint carries parameter-service state but the trainer was "
+                "built without a server topology; pass the same --server-topology "
+                "the checkpointed run used"
+            )
+        # After the downlink loop above, the server holds exactly the versions
+        # the fabric's digests must verify against; restore_state checks every
+        # retained slice digest and rejects divergent archives.
+        trainer.service.restore_state(state.service_state)
+    elif getattr(trainer, "service", None) is not None and not trainer.service.is_trivial:
+        raise ConfigurationError(
+            "trainer runs a non-trivial parameter service but the checkpoint has "
+            "no service state; it was written by an unsharded run"
+        )
     trainer.clock.reset(state.sim_time)
 
 
@@ -346,6 +373,7 @@ def save_training_state(state: TrainingState, path: Union[str, Path]) -> Path:
         "codec_memory_workers": sorted(int(w) for w in state.codec_memory),
         "downlink_versions": downlink_versions,
         "distance_warm_debt": float(state.distance_warm_debt),
+        "service_state": state.service_state,
     }
     np.savez_compressed(path, meta=np.asarray(json.dumps(meta)), **arrays)
     return path
@@ -392,6 +420,7 @@ def load_training_state(path: Union[str, Path]) -> TrainingState:
                 for worker_id, version in meta.get("downlink_versions", {}).items()
             },
             distance_warm_debt=float(meta.get("distance_warm_debt", 0.0)),
+            service_state=meta.get("service_state"),
         )
 
 

@@ -203,6 +203,7 @@ class CostModel:
     def _analytic_aggregation_seconds(
         self, gar: GradientAggregationRule, n: int, d: int,
         *, computed_distance_flops: Optional[float] = None,
+        charge_shard_combine: bool = True,
     ) -> float:
         """Analytic-mode duration of one aggregation call.
 
@@ -211,6 +212,11 @@ class CostModel:
         this round (cache hits are free); ``None`` charges the full share.
         On a single core with no cache the legacy single-division pricing is
         reproduced bit for bit.
+
+        *charge_shard_combine* keeps (default) or drops the flat
+        :func:`repro.core.theory.shard_combine_flops` gather term; a sharded
+        parameter service drops it and adds its own *measured* inter-server
+        gather wire seconds instead (:meth:`repro.cluster.service.ServerFabric.gather_seconds`).
         """
         rate = self.server_gflops * 1e9
         if self.server_cores == 1 and computed_distance_flops is None:
@@ -218,7 +224,11 @@ class CostModel:
         distance, parallel, serial = self.aggregation_flops_split(gar, n, d)
         if computed_distance_flops is not None:
             distance = min(distance, max(float(computed_distance_flops), 0.0))
-        combine = theory.shard_combine_flops(n, d, self.server_cores)
+        combine = (
+            theory.shard_combine_flops(n, d, self.server_cores)
+            if charge_shard_combine
+            else 0.0
+        )
         return ((distance + parallel) / self.server_cores + serial + combine) / rate
 
     def distance_overlap_excess(self, warmed_flops: float, budget_s: float) -> float:
@@ -236,7 +246,7 @@ class CostModel:
 
     def aggregation_time_detailed(
         self, gar: GradientAggregationRule, matrix: np.ndarray,
-        *, distance_cache=None,
+        *, distance_cache=None, charge_shard_combine: bool = True,
     ) -> tuple[AggregationResult, float]:
         """Aggregate a pre-validated matrix, keeping the GAR's diagnostics.
 
@@ -256,6 +266,10 @@ class CostModel:
         numbers), but the analytic duration charges only the distance flops
         the cache actually computed — cache hits are free.  Non-selection
         GARs never query the provider and are priced unchanged.
+
+        *charge_shard_combine* is forwarded to the analytic pricing: a
+        sharded parameter service passes ``False`` and prices the gather as
+        measured inter-server wire sessions instead of the flat flop term.
         """
         n, d = matrix.shape
         charged_before = queries_before = 0.0
@@ -281,7 +295,8 @@ class CostModel:
         if distance_cache is not None and distance_cache.total_queries > queries_before:
             computed = distance_cache.total_charged_flops - charged_before
         return result, self._analytic_aggregation_seconds(
-            gar, n, d, computed_distance_flops=computed
+            gar, n, d, computed_distance_flops=computed,
+            charge_shard_combine=charge_shard_combine,
         )
 
     def aggregation_time(

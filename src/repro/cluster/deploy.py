@@ -58,12 +58,18 @@ class ClusterSpec:
     (the :func:`repro.cluster.link.parse_link_profile` grammar, e.g.
     ``"wan:3x10mbit/40ms"``); the builder resolves it into per-region
     bottleneck pipes unless an explicit topology overrides it.
+
+    ``server_topology`` optionally names the parameter-service layout (the
+    :func:`repro.cluster.service.parse_server_topology` grammar:
+    ``"shards:N"`` / ``"replicas:R"`` / ``"region-sharded"``); the builder's
+    own ``server_topology`` argument overrides it.
     """
 
     nodes: List[NodeSpec]
     server_node: Optional[str] = None
     worker_nodes: List[str] = field(default_factory=list)
     link_profile: Optional[str] = None
+    server_topology: Optional[str] = None
 
     def __post_init__(self) -> None:
         if len(self.nodes) == 0:
@@ -119,6 +125,7 @@ class ClusterSpec:
             "server_node": self.server_node,
             "worker_nodes": list(self.worker_nodes),
             "link_profile": self.link_profile,
+            "server_topology": self.server_topology,
         }
 
     def to_json(self, path: Union[str, Path, None] = None) -> str:
@@ -140,6 +147,7 @@ class ClusterSpec:
             server_node=data.get("server_node"),
             worker_nodes=list(data.get("worker_nodes", [])),
             link_profile=data.get("link_profile"),
+            server_topology=data.get("server_topology"),
         )
         known = set(spec.node_map)
         for name in spec.worker_nodes + ([spec.server_node] if spec.server_node else []):
@@ -195,6 +203,7 @@ def allocate_devices(
         server_node=server.name,
         worker_nodes=worker_nodes,
         link_profile=spec.link_profile,
+        server_topology=spec.server_topology,
     )
 
 

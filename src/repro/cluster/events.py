@@ -247,6 +247,16 @@ class EventLoop:
             raise ConfigurationError(f"event kind {kind!r} already has a handler")
         self._handlers[kind] = handler
 
+    def on_each(self, handlers: Dict[str, Callable[[Event], None]]) -> None:
+        """Register one handler per kind in a single call.
+
+        Same contract as :meth:`on` for every entry (one handler per kind,
+        re-registration of a different handler rejected) — the bulk form the
+        trainers use to declare their whole event vocabulary at once.
+        """
+        for kind, handler in handlers.items():
+            self.on(kind, handler)
+
     def schedule(
         self, kind: str, time: float, *, worker_id: int = -1, payload: Any = None
     ) -> Event:

@@ -24,13 +24,15 @@ lie about the broadcast, which the quorum vote filters out.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import copy
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.message import GradientMessage
 from repro.cluster.server import ParameterServer
 from repro.core.base import GradientAggregationRule
+from repro.core.distance_cache import DistanceCache
 from repro.exceptions import ConfigurationError, TrainingError
 from repro.utils.random import SeedLike, as_rng, component_seed
 
@@ -57,13 +59,37 @@ def majority_model(proposals: Sequence[np.ndarray], *, quorum: Optional[int] = N
     needed = quorum if quorum is not None else (2 * r) // 3 + 1
     if needed < 1 or needed > r:
         raise ConfigurationError(f"quorum must be in [1, {r}], got {needed}")
-    counts = [0] * r
-    for i in range(r):
-        for j in range(r):
-            if vectors[i].shape == vectors[j].shape and np.allclose(
-                vectors[i], vectors[j], atol=atol, rtol=0.0, equal_nan=False
-            ):
-                counts[i] += 1
+    if atol == 0.0:
+        # Exact-equality voting (the deterministic-replica contract) groups
+        # proposals by content fingerprint in O(r * d) instead of running the
+        # O(r^2 * d) pairwise comparison loop.  Two canonicalisations keep the
+        # grouping equivalent to ``np.allclose(..., atol=0, rtol=0)``:
+        # ``vec + 0.0`` folds ``-0.0`` into ``+0.0`` (equal values, different
+        # bit patterns), and a vector containing NaN matches *nothing* — not
+        # even itself (``equal_nan=False``) — so it votes with count 0.
+        counts = [0] * r
+        keys: List[Optional[Tuple[Tuple[int, ...], bytes]]] = []
+        groups: Dict[Tuple[Tuple[int, ...], bytes], int] = {}
+        for vec in vectors:
+            if np.isnan(vec).any():
+                keys.append(None)
+                continue
+            key = (vec.shape, (vec + 0.0).tobytes())
+            keys.append(key)
+            groups[key] = groups.get(key, 0) + 1
+        for i, key in enumerate(keys):
+            if key is not None:
+                counts[i] = groups[key]
+    else:
+        # Tolerance voting has no transitive grouping (a ~ b and b ~ c do not
+        # imply a ~ c), so the pairwise loop is kept as the fallback.
+        counts = [0] * r
+        for i in range(r):
+            for j in range(r):
+                if vectors[i].shape == vectors[j].shape and np.allclose(
+                    vectors[i], vectors[j], atol=atol, rtol=0.0, equal_nan=False
+                ):
+                    counts[i] += 1
     best = int(np.argmax(counts))
     if counts[best] < needed:
         raise TrainingError(
@@ -81,8 +107,13 @@ class ReplicatedParameterServer:
     initial_parameters:
         Flat initial model (identical on every replica, as SMR guarantees).
     gar:
-        The gradient aggregation rule; each replica gets its own instance-like
-        usage but the rule is stateless, so sharing one object is fine.
+        The gradient aggregation rule.  Each replica runs its **own deep copy**
+        of the rule with its own cache-backed distance provider: rules carry
+        per-instance state (an installed ``distance_provider``, selection-mode
+        flags), and state-machine replication requires that state to be
+        replica-local — a shared rule object would route every replica's
+        distance queries through one provider and cross-contaminate the
+        cache's hit/miss accounting.
     optimizer_factory:
         Callable returning a *fresh* optimizer per replica (optimizer state is
         part of the replicated state machine and must not be shared).
@@ -120,15 +151,21 @@ class ReplicatedParameterServer:
         # Omitted rng = deterministic named stream, never fresh entropy
         # (SIM201): replica-fault draws must replay bit-identically.
         self._rng = as_rng(component_seed(rng, "replicated-server"))
-        self.replicas: List[ParameterServer] = [
-            ParameterServer(
-                np.asarray(initial_parameters, dtype=np.float64).copy(),
-                gar,
-                optimizer_factory(),
-                expected_workers=expected_workers,
+        self.replicas: List[ParameterServer] = []
+        for _ in range(self.num_replicas):
+            # Every replica owns a private rule instance and a private
+            # cache-backed distance provider: replica state machines must not
+            # share mutable aggregation state (see the ``gar`` parameter doc).
+            replica_gar = copy.deepcopy(gar)
+            replica_gar.distance_provider = DistanceCache()
+            self.replicas.append(
+                ParameterServer(
+                    np.asarray(initial_parameters, dtype=np.float64).copy(),
+                    replica_gar,
+                    optimizer_factory(),
+                    expected_workers=expected_workers,
+                )
             )
-            for _ in range(self.num_replicas)
-        ]
 
     # ------------------------------------------------------------------ state
     @property

@@ -150,6 +150,15 @@ class ParameterServer:
         """Whether *version* is still in the store (delta-broadcast capable)."""
         return int(version) in self._version_log
 
+    def pinned_versions(self) -> Dict[int, int]:
+        """Current pin counts per version (copy): ``{version: live pins}``.
+
+        Pinned versions are the ones live downlink sessions still hold as
+        delta bases; a sharded parameter service mirrors them into every
+        shard's checkpointed version store.
+        """
+        return dict(self._pins)
+
     # --------------------------------------------------------- delta broadcasts
     def pin_version(self, version: int) -> None:
         """Exempt *version* from eviction while a worker still holds it.

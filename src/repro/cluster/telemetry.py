@@ -30,6 +30,19 @@ _WIRE_FLOAT_COLUMNS = (
 #: Integer-valued wire columns (fetch counts by downlink framing).
 _WIRE_INT_COLUMNS = ("full_fetches", "delta_fetches")
 
+#: Inter-server counter keys of :meth:`TrainingHistory.record_interserver`,
+#: in the order :meth:`TrainingHistory.interserver_summary` reports them.
+_INTERSERVER_KEYS = (
+    "push_local_bytes",
+    "push_cross_bytes",
+    "fetch_local_bytes",
+    "fetch_cross_bytes",
+    "gather_bytes",
+    "gather_seconds",
+    "gather_sessions",
+    "replica_sync_bytes",
+)
+
 
 @dataclass
 class StepRecord:
@@ -181,6 +194,11 @@ class TrainingHistory:
     #: Queueing delay accumulated per link-topology region (``{region: s}``;
     #: all traffic lands under ``"core"`` on the symmetric single pipe).
     region_queueing_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Inter-server (parameter-service) counters: per-shard push/fetch byte
+    #: splits and the measured shard-gather / replica-sync wire.  Stays empty
+    #: on single-server runs — :meth:`interserver_summary` reports all zeros,
+    #: which keeps pre-service telemetry comparable.
+    interserver_counters: Dict[str, float] = field(default_factory=dict)
     #: Compact wire accounting: per-worker wire activity lands in
     #: preallocated numpy columns instead of one Python object mutation per
     #: worker per step.  Round counters (admissions, supersedes, compute and
@@ -409,6 +427,43 @@ class TrainingHistory:
             merged[wid] = timeline
         return merged
 
+    def record_interserver(
+        self,
+        *,
+        push_local_bytes: float = 0.0,
+        push_cross_bytes: float = 0.0,
+        fetch_local_bytes: float = 0.0,
+        fetch_cross_bytes: float = 0.0,
+        gather_bytes: float = 0.0,
+        gather_seconds: float = 0.0,
+        gather_sessions: float = 0.0,
+        replica_sync_bytes: float = 0.0,
+    ) -> None:
+        """Account parameter-service traffic (per-shard splits, gather wire).
+
+        ``push`` / ``fetch`` bytes are classified by whether the sub-frame
+        stayed in the worker's own region (``local``) or crossed the WAN to
+        a foreign shard (``cross``); the ``gather`` counters measure the
+        inter-server sessions replacing the analytic
+        ``shard_combine_flops`` term; ``replica_sync_bytes`` are the state
+        digests deterministic replicas exchange.
+        """
+        deltas = {
+            "push_local_bytes": push_local_bytes,
+            "push_cross_bytes": push_cross_bytes,
+            "fetch_local_bytes": fetch_local_bytes,
+            "fetch_cross_bytes": fetch_cross_bytes,
+            "gather_bytes": gather_bytes,
+            "gather_seconds": gather_seconds,
+            "gather_sessions": gather_sessions,
+            "replica_sync_bytes": replica_sync_bytes,
+        }
+        for key, value in deltas.items():
+            if value:
+                self.interserver_counters[key] = (
+                    self.interserver_counters.get(key, 0.0) + float(value)
+                )
+
     def record_version_lag(self, lag: int) -> None:
         """Count one admitted gradient with the given version *lag*."""
         lag = int(lag)
@@ -548,6 +603,18 @@ class TrainingHistory:
             "overlapped_flops": float(sum(r.overlapped_flops for r in self.steps)),
         }
 
+    def interserver_summary(self) -> Dict[str, float]:
+        """Aggregate parameter-service counters over the run (fixed keys).
+
+        All-zero when the run had no (non-trivial) parameter service, which
+        keeps single-server telemetry — and the ``shards:1`` bit-identity
+        contract — comparable across deployments.
+        """
+        return {
+            key: float(self.interserver_counters.get(key, 0.0))
+            for key in _INTERSERVER_KEYS
+        }
+
     def region_queueing_summary(self) -> Dict[str, float]:
         """Per-region queueing delay totals, sorted by region name."""
         return {
@@ -664,6 +731,7 @@ class TrainingHistory:
             "wire": self.wire_summary(),
             "distance_cache": self.distance_cache_summary(),
             "region_queueing": self.region_queueing_summary(),
+            "interserver": self.interserver_summary(),
             "server_utilisation": self.server_utilisation(),
             "version_lag_histogram": {
                 str(lag): count for lag, count in self.version_lag_histogram().items()

@@ -70,6 +70,7 @@ from repro.cluster.message import GradientMessage
 from repro.cluster.network import Channel, build_uplink_map
 from repro.cluster.profiler import SimProfiler
 from repro.cluster.server import ParameterServer
+from repro.cluster.service import ServerFabric
 from repro.cluster.sync import ArrivalEvent, FullSync, SyncDecision, SyncPolicy
 from repro.cluster.telemetry import EvalRecord, StepRecord, TrainingHistory
 from repro.cluster.worker import ByzantineWorker, HonestWorker, Worker, craft_fleet
@@ -188,6 +189,7 @@ class BaseTrainer:
         compact_telemetry: bool = False,
         eval_model: Optional[Sequential] = None,
         test_set: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        service: Optional[ServerFabric] = None,
     ) -> None:
         if len(workers) == 0:
             raise ConfigurationError("the cluster needs at least one worker")
@@ -297,8 +299,17 @@ class BaseTrainer:
         #: fixed for the trainer's lifetime, so the per-step property scan
         #: collapses to one array lookup).
         self._uplink_transparent_cache: Optional[np.ndarray] = None
+        #: Optional multi-actor parameter service (PR 10).  ``None`` and
+        #: trivial topologies (``shards:1`` / ``replicas:1``) both take the
+        #: exact legacy code path — the shards:1 bit-identity contract holds
+        #: by construction because ``_service_active`` gates every hook.
+        self.service = service
+        self._service_active = service is not None and not service.is_trivial
         self.history = TrainingHistory(compact=bool(compact_telemetry))
         self.history.register_workers(ids)
+        if self._service_active:
+            assert service is not None
+            service.bind_history(self.history)
 
     def _uplink_transparent(self) -> np.ndarray:
         """Boolean mask: honest worker ``i``'s uplink channel is transparent."""
@@ -508,7 +519,10 @@ class BaseTrainer:
             raise TrainingError("every gradient was dropped this step; cannot make progress")
         matrix = self.server.stack_submissions(delivered)
         result, aggregation_time = self.cost_model.aggregation_time_detailed(
-            self.server.gar, matrix, distance_cache=self.server.distance_cache
+            self.server.gar,
+            matrix,
+            distance_cache=self.server.distance_cache,
+            charge_shard_combine=not self._service_active,
         )
         return delivered, result, aggregation_time
 
@@ -874,6 +888,16 @@ class SynchronousTrainer(BaseTrainer):
                     region=self.fabric.region_of(message.worker_id),
                 )
 
+        if self._service_active:
+            assert self.service is not None
+            all_messages = honest_messages + byzantine_messages
+            self.service.account_pushes(
+                [m.worker_id for m in all_messages], frames
+            )
+            self.service.account_fetches(
+                [w.worker_id for w in self.workers],
+                [fetches[w.worker_id][1] for w in self.workers],
+            )
         losses = [m.loss for m in honest_messages if np.isfinite(m.loss)]
         return events, floor, losses, downlink_step_bytes
 
@@ -1161,6 +1185,14 @@ class SynchronousTrainer(BaseTrainer):
                     regions=[self.fabric.region_of(wid) for wid in honest_ids],
                 )
                 fleet.account_bytes(sent=nbytes_honest, received=fetch_bytes)
+        if self._service_active:
+            assert self.service is not None
+            byz_ids = [m.worker_id for m in byzantine_messages]
+            self.service.account_pushes(honest_ids + byz_ids, frames)
+            self.service.account_fetches(
+                [w.worker_id for w in self.workers],
+                [fetches[w.worker_id][1] for w in self.workers],
+            )
 
         if fleet_loss_array is not None:
             losses = fleet_loss_array[np.isfinite(fleet_loss_array)].tolist()
@@ -1188,15 +1220,25 @@ class SynchronousTrainer(BaseTrainer):
             matrix = np.stack([e.payload for e in admitted], axis=0)
             self.server.validate_rows(worker_ids, matrix)
             result, aggregation_time = self.cost_model.aggregation_time_detailed(
-                self.server.gar, matrix, distance_cache=self.server.distance_cache
+                self.server.gar,
+                matrix,
+                distance_cache=self.server.distance_cache,
+                charge_shard_combine=not self._service_active,
             )
         else:
             delivered, result, aggregation_time = self._aggregate_batch(admitted)
             worker_ids = [m.worker_id for m in delivered]
+        if self._service_active:
+            assert self.service is not None
+            # The flat shard_combine_flops term was suppressed above; the
+            # measured inter-server gather wire time replaces it.
+            aggregation_time += self.service.gather_seconds(len(worker_ids))
         wire_bytes = float(sum(e.wire_bytes for e in admitted))
         self.server.apply_update(
             result.gradient, worker_ids=worker_ids, wire_bytes=wire_bytes
         )
+        if self._service_active:
+            self.service.observe_update(self.server.version, self.server.parameters)
         return worker_ids, self._diagnostics(worker_ids, result, aggregation_time), wire_bytes
 
     # ------------------------------------------------------------------ step
@@ -1310,6 +1352,12 @@ class AsyncTrainer(BaseTrainer):
     FETCH, COMPUTE, PUSH, ARRIVE, UPDATE_DONE = (
         "fetch", "compute", "push", "arrive", "update-done",
     )
+    #: Inter-server gather stage (multi-actor parameter service only): the
+    #: shards' distance-block exchange / replica digest sync that must
+    #: complete before the GAR's selection can run.  Interposed between the
+    #: quorum fill and UPDATE_DONE; never scheduled when the service is
+    #: absent or trivial, so the legacy event vocabulary is untouched.
+    GATHER = "gather"
     #: Link-busy event: a provisional completion on one of the server's
     #: shared pipes.  Rescheduled (old event tombstoned) whenever an
     #: admission changes the contention picture.
@@ -1343,12 +1391,15 @@ class AsyncTrainer(BaseTrainer):
         self._workers_by_id = {w.worker_id: w for w in self.workers}
 
         self._loop = EventLoop(clock=self.clock, profiler=self.profiler)
-        self._loop.on(self.FETCH, self._on_fetch)
-        self._loop.on(self.COMPUTE, self._on_compute)
-        self._loop.on(self.PUSH, self._on_push)
-        self._loop.on(self.ARRIVE, self._on_arrive)
-        self._loop.on(self.UPDATE_DONE, self._on_update_done)
-        self._loop.on(self.LINK, self._on_link)
+        self._loop.on_each({
+            self.FETCH: self._on_fetch,
+            self.COMPUTE: self._on_compute,
+            self.PUSH: self._on_push,
+            self.ARRIVE: self._on_arrive,
+            self.GATHER: self._on_gather,
+            self.UPDATE_DONE: self._on_update_done,
+            self.LINK: self._on_link,
+        })
 
         #: Shared-link schedulers and their pending provisional completion
         #: events, one pipe per direction *and* region bottleneck (keys
@@ -1462,6 +1513,9 @@ class AsyncTrainer(BaseTrainer):
         self.history.record_wire(
             event.worker_id, bytes_received=nbytes, downlink_delta=is_delta
         )
+        if self._service_active:
+            assert self.service is not None
+            self.service.account_fetches([event.worker_id], [nbytes])
         self._interval_downlink += nbytes
         if self._contended:
             key = self._pipe_key("down", event.worker_id)
@@ -1511,6 +1565,9 @@ class AsyncTrainer(BaseTrainer):
         self.history.record_wire(
             message.worker_id, bytes_sent=frame.nbytes, compression_error=error
         )
+        if self._service_active:
+            assert self.service is not None
+            self.service.account_pushes([message.worker_id], [frame])
         if self._contended:
             # The session's drain time replaces the solo wire time; the
             # channel's extra penalty (backoff, delays, jitter) rides on top.
@@ -1637,10 +1694,37 @@ class AsyncTrainer(BaseTrainer):
                 warmed_flops, budget
             )
         update_time = self.cost_model.update_time(self.server.dim)
+        if self._service_active:
+            assert self.service is not None
+            # Inter-server gather first: the shards' distance-block exchange
+            # (or replica digest sync) is a real wire session that must drain
+            # before the selection can run.  The server stays busy throughout.
+            gather_s = self.service.gather_seconds(len(batch))
+            self._loop.schedule(
+                self.GATHER,
+                now + gather_s,
+                payload=(batch, result, aggregation_time, gather_s, update_time, now),
+            )
+            return
         self._loop.schedule(
             self.UPDATE_DONE,
             now + aggregation_time + update_time,
             payload=(batch, result, aggregation_time, update_time, now),
+        )
+
+    def _on_gather(self, event: Event) -> None:
+        """Inter-server gather drained: run the selection + optimizer stages.
+
+        Re-emits the standard UPDATE_DONE payload with the gather seconds
+        folded into the reported aggregation time, so the step record and
+        ``record_server_busy`` account the full busy period exactly as the
+        sync path does when it adds :meth:`ServerFabric.gather_seconds`.
+        """
+        batch, result, aggregation_time, gather_s, update_time, started = event.payload
+        self._loop.schedule(
+            self.UPDATE_DONE,
+            event.time + aggregation_time + update_time,
+            payload=(batch, result, aggregation_time + gather_s, update_time, started),
         )
 
     def _aggregate_pending(self, batch: PendingBatch):
@@ -1657,7 +1741,10 @@ class AsyncTrainer(BaseTrainer):
         worker_ids = [int(w) for w in batch.worker_ids]
         self.server.validate_rows(worker_ids, batch.payloads)
         result, aggregation_time = self.cost_model.aggregation_time_detailed(
-            self.server.gar, batch.payloads, distance_cache=self.server.distance_cache
+            self.server.gar,
+            batch.payloads,
+            distance_cache=self.server.distance_cache,
+            charge_shard_combine=not self._service_active,
         )
         return result, aggregation_time
 
@@ -1698,6 +1785,9 @@ class AsyncTrainer(BaseTrainer):
             worker_ids=worker_ids,
             wire_bytes=wire_bytes,
         )
+        if self._service_active:
+            assert self.service is not None
+            self.service.observe_update(self.server.version, self.server.parameters)
         self._busy = False
         diagnostics = self._diagnostics(worker_ids, result, aggregation_time)
         # Close the cache round against the admission buffer: gradients that
@@ -1817,6 +1907,8 @@ class AsyncTrainer(BaseTrainer):
                 self._on_arrive(event)
             elif event.kind == self.LINK:
                 self._on_link(event)
+            elif event.kind == self.GATHER:
+                self._on_gather(event)
             elif event.kind == self.UPDATE_DONE:
                 self._on_update_done(event)
             else:
@@ -1866,6 +1958,9 @@ class AsyncTrainer(BaseTrainer):
             self.history.record_wire_batch(
                 worker_ids, bytes_received=nbytes, downlink_delta=deltas
             )
+        if self._service_active:
+            assert self.service is not None
+            self.service.account_fetches(worker_ids, nbytes)
         for i in range(num):
             self._interval_downlink += float(nbytes[i])
         if self._contended:
@@ -2022,6 +2117,9 @@ class AsyncTrainer(BaseTrainer):
             self.history.record_wire_batch(
                 worker_ids, bytes_sent=frame_bytes, compression_error=errors
             )
+        if self._service_active:
+            assert self.service is not None
+            self.service.account_pushes(worker_ids, frames)
         if self._contended:
             touched: Dict[str, int] = {}
             by_pipe: Dict[str, List[tuple]] = {}

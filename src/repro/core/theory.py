@@ -257,6 +257,28 @@ def shard_combine_flops(n: int, d: int, cores: int) -> float:
     return float((cores - 1) * (n * n + d))
 
 
+def shard_gather_bytes(n: int, d_shard: int) -> float:
+    """Wire bytes one non-coordinator parameter shard ships per gather.
+
+    The wire realisation of :func:`shard_combine_flops`: when the distance
+    matrix and the coordinate-parallel trimming work are sharded across
+    *server actors* instead of cores, each non-coordinator shard must ship
+    its partial ``(n, n)`` distance block plus its aggregated coordinate
+    slice (``d_shard`` coordinates) to the coordinator — one float32 per
+    gathered entry, mirroring the one-pass-per-extra-core flop charge:
+
+    .. math:: 4 n^2 + 4 d_{shard}
+
+    The sharded parameter service prices this as real
+    :class:`~repro.cluster.link.LinkScheduler` sessions (and disables the
+    flat flop term), so the gather cost becomes topology- and
+    placement-dependent instead of a constant per extra core.
+    """
+    n = check_positive_int(n, "n")
+    d_shard = check_positive_int(d_shard, "d_shard")
+    return 4.0 * float(n) * float(n) + 4.0 * float(d_shard)
+
+
 def aggregation_flops_bulyan(n: int, f: int, d: int) -> float:
     """Approximate flop count of Bulyan over Multi-Krum.
 
@@ -344,6 +366,7 @@ __all__ = [
     "aggregation_flops_brute",
     "aggregation_flops_distances",
     "shard_combine_flops",
+    "shard_gather_bytes",
     "attack_cost_regression",
     "DeploymentSpec",
 ]

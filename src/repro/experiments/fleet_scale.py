@@ -47,6 +47,14 @@ The grid:
     job runs it at full worker count and additionally gates wall-clock and
     peak heap against absolute budgets, witnessing that the SoA hot paths
     stay sub-budget (and non-OOM) at that scale.
+``sharded_wan``
+    A dense lock-step deployment on a four-region WAN with the parameter
+    service region-sharded (``--server-topology region-sharded``): each
+    worker's home slice is served in-region and the inter-server shard
+    gather is priced as measured wire sessions.  The smoke job additionally
+    runs an *unsharded* twin of the deployment and asserts the per-region
+    sharding cuts the measured cross-region bytes — the service's headline
+    systems claim.
 
 Timing is reported min-and-median over repeats (min damps scheduler noise)
 next to machine-normalised throughput (dispatched events per second) and
@@ -187,6 +195,32 @@ SCENARIOS: Dict[str, Dict] = {
         "budget": {"wall_s": 60.0, "heap_bytes": 128 * 1024 * 1024},
         "smoke": {"max_steps": 2},
     },
+    "sharded_wan": {
+        **STANDARD_SCENARIO,
+        "num_workers": 400,
+        # A denser model (d = 2020) pushed uncompressed: the regime where
+        # regional slice serving pays off — per-worker wire bytes dominate
+        # the inter-server gather's (n, n) distance blocks.  Lock-step
+        # rounds keep the unsharded twin byte-comparable (the data plane is
+        # bit-identical across topologies in sync mode).
+        "model_kwargs": {"input_dim": 100, "num_classes": 20},
+        "dataset": {
+            "name": "blobs",
+            "num_train": 2000,
+            "num_classes": 20,
+            "dim": 100,
+            "rng": 3,
+        },
+        "codec": "identity",
+        "codec_k": None,
+        "arms": ("legacy", "vectorized"),
+        "extra": {
+            "link_profile": "wan:4x10mbit/20ms",
+            "link_sharing": "fair",
+            "server_topology": "region-sharded",
+        },
+        "smoke": {"num_workers": 60, "max_steps": 3},
+    },
     "conv_fleet": {
         "num_workers": 50,
         "num_byzantine": 0,
@@ -300,6 +334,11 @@ def _run_arm(
             trainer.history.steps[-1].mean_loss if trainer.history.steps else None
         ),
     }
+    service = getattr(trainer, "service", None)
+    if service is not None and not service.is_trivial:
+        # The measured inter-server wire ledger (per-shard push/fetch split
+        # and the gather sessions) is what the sharded scenarios report on.
+        summary["interserver"] = trainer.history.interserver_summary()
     if profile_split:
         profiler = SimProfiler()
         profiled = _build(scenario, arm, profiler=profiler)
@@ -544,11 +583,66 @@ def _smoke(json_path: Optional[str]) -> int:
                     file=sys.stderr,
                 )
                 failures += 1
+    failures += _check_sharded_wan_cuts_cross_region_bytes(nodes)
     if failures:
         return 1
     if json_path:
         results_to_json(results, json_path)
     print("fleet-scale smoke: OK")
+    return 0
+
+
+def _check_sharded_wan_cuts_cross_region_bytes(nodes: Dict) -> int:
+    """The region-sharded service's headline claim, measured at smoke scale.
+
+    The ``sharded_wan`` arms already carry the measured inter-server ledger;
+    this check runs an *unsharded* twin of the same deployment and compares
+    cross-region bytes.  On a ``wan:`` profile the single server is the core
+    hub *outside* every region — each worker's push and fetch rides its
+    region's WAN bottleneck, so the twin's cross-region bytes are its
+    **total** wire bytes.  The region-sharded service serves each worker's
+    home slice from the in-region shard (that slice never touches the WAN)
+    at the cost of the measured inter-server gather, which must still come
+    out ahead.
+    """
+    node = nodes.get("sharded_wan")
+    if node is None:
+        return 0
+    scenario = node["scenario"]
+    gated = optimized_arm(scenario)
+    inter = node["arms"][gated].get("interserver", {})
+    if not inter or inter.get("gather_bytes", 0.0) <= 0:
+        print(
+            "FAIL: sharded_wan: no measured inter-server gather bytes "
+            f"(interserver={inter})",
+            file=sys.stderr,
+        )
+        return 1
+    sharded_cross = inter["push_cross_bytes"] + inter["fetch_cross_bytes"]
+
+    twin_scenario = dict(scenario)
+    twin_extra = dict(twin_scenario.get("extra", {}))
+    twin_extra.pop("server_topology", None)
+    twin_scenario["extra"] = twin_extra
+    twin = _build(twin_scenario, gated)
+    twin.run(TrainerConfig(max_steps=scenario["max_steps"], eval_every=0))
+    unsharded_cross = sum(
+        timeline.bytes_sent + timeline.bytes_received
+        for timeline in twin.history.merged_timelines().values()
+    )
+    print(
+        f"sharded_wan cross-region bytes: sharded {sharded_cross:.0f} "
+        f"(+{inter['gather_bytes']:.0f} inter-server gather) vs "
+        f"unsharded {unsharded_cross:.0f}"
+    )
+    if sharded_cross + inter["gather_bytes"] >= unsharded_cross:
+        print(
+            "FAIL: sharded_wan: region sharding did not cut cross-region "
+            f"bytes (sharded {sharded_cross:.0f} + gather "
+            f"{inter['gather_bytes']:.0f} >= unsharded {unsharded_cross:.0f})",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

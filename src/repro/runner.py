@@ -33,6 +33,7 @@ from repro.cluster.checkpoint import (
 )
 from repro.cluster.cost_model import StragglerModel
 from repro.cluster.profiler import SimProfiler
+from repro.cluster.service import parse_server_topology
 from repro.cluster.sync import available_sync_policies
 from repro.cluster.trainer import TrainerConfig
 from repro.core.base import available_gars
@@ -128,6 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "seed semantics) or 'wan:<regions>x<bandwidth>[/<latency>]' "
                              "(per-region shared bottlenecks, workers round-robin), "
                              "e.g. 'wan:3x10mbit/40ms'")
+    parser.add_argument("--server-topology", default=None,
+                        help="parameter-service layout: 'single' (default), "
+                             "'shards:N' (N server actors each owning a "
+                             "contiguous parameter shard), 'replicas:R' (R "
+                             "deterministic full-model replicas) or "
+                             "'region-sharded' (one shard per WAN region of "
+                             "--link-profile).  shards:1 is bit-identical to "
+                             "the single server")
     parser.add_argument("--server-cores", type=int, default=1,
                         help="simulated server cores the aggregation's parallelisable "
                              "work (distance matrix, coordinate-wise trimming) is "
@@ -233,6 +242,17 @@ def _validate_cluster_flags(args) -> None:
         raise ConfigurationError(
             f"--server-cores must be >= 1, got {args.server_cores}"
         )
+    if args.server_topology is not None:
+        # Validate the grammar up front so the operator sees the flag name.
+        topology = parse_server_topology(args.server_topology)
+        if topology.kind == "region-sharded" and not str(
+            args.link_profile or ""
+        ).startswith("wan:"):
+            raise ConfigurationError(
+                "--server-topology region-sharded needs a WAN wire topology "
+                "to shard across; pass --link-profile "
+                "'wan:<regions>x<bandwidth>[/<latency>]'"
+            )
     if args.measured_aggregation and args.determinism_check:
         raise ConfigurationError(
             "--measured-aggregation is incompatible with --determinism-check: "
@@ -418,6 +438,7 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
             error_feedback=not args.no_error_feedback,
             link_sharing=args.link_sharing,
             link_profile=args.link_profile,
+            server_topology=args.server_topology,
             lossy_links=args.lossy_links,
             lossy_drop_rate=args.drop_rate,
             lossy_policy=args.recovery_policy,
@@ -477,6 +498,7 @@ def run(argv: Optional[Sequence[str]] = None, *, stream=None) -> dict:
             "broadcast_bits": args.broadcast_bits,
             "link_sharing": args.link_sharing,
             "link_profile": args.link_profile,
+            "server_topology": args.server_topology,
             "server_cores": args.server_cores,
             "distance_cache": args.distance_cache,
             "measured_aggregation": args.measured_aggregation,

@@ -1,0 +1,24 @@
+"""Bad: shard routing that depends on things other than its arguments."""
+
+import time
+
+import numpy as np
+
+
+def home_shard(worker_id, num_shards, version):
+    # Seeded or not, a draw makes placement depend on stream state.
+    rng = np.random.default_rng(worker_id)
+    return int(rng.integers(num_shards))
+
+
+def place_shards(num_shards, regions, clock):
+    # Simulated time is legal simulator-wide but not in placement.
+    offset = int(clock.now()) % len(regions)
+    return [regions[(offset + shard) % len(regions)] for shard in range(num_shards)]
+
+
+def route_push(worker_id, shard_id, version):
+    # Host clock and salted hash() both void replay and resume.
+    if time.time_ns() % 2:
+        return hash((worker_id, version)) % shard_id
+    return worker_id % shard_id

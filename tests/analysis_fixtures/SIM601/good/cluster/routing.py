@@ -1,0 +1,25 @@
+"""Good: shard routing as a pure function of (worker_id, shard_id, version)."""
+
+
+def home_shard(worker_id, num_shards):
+    return worker_id % num_shards
+
+
+def shard_bounds(dim, num_shards):
+    base, extra = divmod(dim, num_shards)
+    bounds, lo = [], 0
+    for shard in range(num_shards):
+        hi = lo + base + (1 if shard < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def place_shards(num_shards, regions):
+    return [regions[shard % len(regions)] for shard in range(num_shards)]
+
+
+def fetch_plan(worker_id, shard_id, version):
+    # Routing may combine its three inputs arbitrarily — arithmetic,
+    # modulo, table lookups — as long as nothing else leaks in.
+    return (worker_id + version) % (shard_id + 1)

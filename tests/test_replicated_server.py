@@ -35,6 +35,61 @@ class TestMajorityModel:
         with pytest.raises(ConfigurationError):
             majority_model(proposals, quorum=5)
 
+    def test_exact_path_never_calls_allclose(self, monkeypatch):
+        """The atol=0 vote groups by fingerprint — no pairwise allclose loop."""
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("exact-equality voting must not call np.allclose")
+
+        monkeypatch.setattr(np, "allclose", boom)
+        model = np.arange(6.0)
+        np.testing.assert_array_equal(majority_model([model, model, model]), model)
+        # The tolerance fallback still goes through the pairwise loop.
+        with pytest.raises(AssertionError, match="must not call"):
+            majority_model([model, model, model], atol=1e-9)
+
+    def test_exact_path_negative_zero_groups_with_positive_zero(self):
+        # -0.0 == +0.0 under allclose despite different bit patterns; the
+        # fingerprint canonicalisation must keep them in one group.
+        a = np.array([0.0, 1.0, 2.0])
+        b = np.array([-0.0, 1.0, 2.0])
+        np.testing.assert_array_equal(majority_model([a, b, np.ones(3)], quorum=2), a)
+
+    def test_exact_path_nan_proposal_matches_nothing(self):
+        # equal_nan=False: a NaN proposal does not even match itself, so two
+        # bit-identical NaN vectors must not form a quorum.
+        nan_vec = np.array([np.nan, 1.0, 2.0])
+        good = np.zeros(3)
+        np.testing.assert_array_equal(
+            majority_model([nan_vec, nan_vec.copy(), good, good.copy()], quorum=2), good
+        )
+        with pytest.raises(TrainingError):
+            majority_model([nan_vec, nan_vec.copy(), np.ones(3)], quorum=2)
+
+    def test_exact_path_matches_pairwise_loop_tie_break(self):
+        # argmax tie-breaking (first index of the max count) must match the
+        # legacy loop: with two equal-sized groups the earlier proposal wins.
+        a, b = np.zeros(4), np.ones(4)
+        np.testing.assert_array_equal(majority_model([a, b, a, b], quorum=2), a)
+        np.testing.assert_array_equal(majority_model([b, a, b, a], quorum=2), b)
+
+    def test_exact_path_microbench(self):
+        """Fingerprint grouping keeps a wide vote off the O(r^2 d) cliff.
+
+        40 replicas x 200k parameters means 1600 pairwise allclose scans for
+        the legacy loop; the fingerprint path hashes each vector once.  The
+        bound is deliberately loose (slow shared CI runners) but tight
+        enough that a reversion to the pairwise loop fails immediately.
+        """
+        import time
+
+        model = np.arange(200_000, dtype=np.float64)
+        proposals = [model.copy() for _ in range(40)]
+        start = time.perf_counter()
+        winner = majority_model(proposals)
+        elapsed = time.perf_counter() - start
+        np.testing.assert_array_equal(winner, model)
+        assert elapsed < 2.0, f"majority_model took {elapsed:.2f}s for r=40, d=200k"
+
 
 def make_replicated(num_replicas=4, byzantine=0, dim=6):
     return ReplicatedParameterServer(
@@ -100,6 +155,43 @@ class TestReplicatedParameterServer:
         assert server.step == 0
         server.apply_round(honest_round())
         assert server.step == 1
+
+    def test_replicas_own_private_rule_instances(self):
+        """Regression: replicas must not share one GAR object.
+
+        Rules carry per-instance state (``distance_provider``); a shared
+        object would route every replica's distance queries through one
+        provider and cross-contaminate its hit/miss accounting.
+        """
+        shared = MultiKrum(f=1)
+        server = ReplicatedParameterServer(
+            np.zeros(6), shared, lambda: SGD(learning_rate=0.1),
+            num_replicas=4, rng=0,
+        )
+        rules = [replica.gar for replica in server.replicas]
+        assert len({id(rule) for rule in rules}) == 4
+        assert shared not in rules
+        providers = [rule.distance_provider for rule in rules]
+        assert all(provider is not None for provider in providers)
+        assert len({id(provider) for provider in providers}) == 4
+        # The caller's rule object is left untouched.
+        assert shared.distance_provider is None
+
+    def test_replica_providers_account_independently(self):
+        server = make_replicated()
+        messages = honest_round()
+        server.apply_round(messages)
+        server.apply_round(messages)
+        for replica in server.replicas:
+            provider = replica.gar.distance_provider
+            # One distance query per round, per replica — a shared provider
+            # would have seen every replica's queries (and its whole-matrix
+            # memo would have hidden the re-query from the accounting).
+            assert provider.total_queries == 2
+            # The second, byte-identical round is served from the replica's
+            # own cache: every pair is a hit, nothing new is charged.
+            assert provider.total_hit_pairs > 0
+            assert provider.total_miss_pairs == provider.total_hit_pairs
 
     def test_descends_towards_gradient_direction(self):
         server = make_replicated(byzantine=1)
